@@ -1,0 +1,1 @@
+bench/bechamel_suite.ml: Analyze Bechamel Benchmark Fmt Hashtbl Instance Measure Quamachine Repro_harness Staged Synthesis Test Time Toolkit

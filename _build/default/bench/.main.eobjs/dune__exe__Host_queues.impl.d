@@ -1,0 +1,1 @@
+bench/host_queues.ml: Analyze Bechamel Benchmark Domain Fmt Hashtbl Instance List Measure Oq Repro_harness Staged Test Time Toolkit Unix

@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Arg Bechamel_suite Cmd Cmdliner Host_queues Queues Sizes Table1 Table2 Table3 Table4 Table5 Term

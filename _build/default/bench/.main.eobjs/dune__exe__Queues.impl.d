@@ -1,0 +1,1 @@
+bench/queues.ml: Asm Boot Fmt Insn Kalloc Kernel Kqueue List Machine Quamachine Repro_harness Synthesis

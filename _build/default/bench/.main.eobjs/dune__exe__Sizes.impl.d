@@ -1,0 +1,1 @@
+bench/sizes.ml: Boot Fmt Kernel List Machine Quamachine Repro_harness Synthesis

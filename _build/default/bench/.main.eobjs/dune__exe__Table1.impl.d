@@ -1,0 +1,1 @@
+bench/table1.ml: Fmt List Quamachine Repro_harness

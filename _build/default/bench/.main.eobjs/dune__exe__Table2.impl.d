@@ -1,0 +1,1 @@
+bench/table2.ml: Fmt Insn List Quamachine Repro_harness Synthesis Unix_emulator

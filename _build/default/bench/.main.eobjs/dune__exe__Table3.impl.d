@@ -1,0 +1,1 @@
+bench/table3.ml: Asm Boot Fmt Insn Kernel Layout Machine Quamachine Repro_harness Synthesis Thread Unix_emulator

@@ -1,0 +1,1 @@
+bench/table4.ml: Asm Boot Ctx Fmt Insn Kalloc Kernel Layout Machine Quamachine Repro_harness Synthesis Thread

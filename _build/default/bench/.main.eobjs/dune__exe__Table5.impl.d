@@ -1,0 +1,1 @@
+bench/table5.ml: Array Asm Boot Ctx Devices Fmt Insn Interrupt Kernel Kqueue Layout Machine Mmio_map Quamachine Repro_harness Synthesis Thread Tty Unix_emulator

@@ -1,0 +1,103 @@
+(* Host-level queue benchmarks: the optimistic queues of §3.2 running
+   on real OCaml 5 domains — the multiprocessor the paper was designed
+   for.  Single-threaded costs via Bechamel (one Test.make per queue
+   flavour), plus a multi-domain throughput comparison of optimistic
+   vs locked synchronization. *)
+
+open Bechamel
+open Toolkit
+
+let test_queue_roundtrip name put get =
+  Test.make ~name (Staged.stage (fun () -> put 42; ignore (get ())))
+
+let tests () =
+  let spsc = Oq.Spsc.create 64 in
+  let mpsc = Oq.Mpsc.create 64 in
+  let spmc = Oq.Spmc.create 64 in
+  let mpmc = Oq.Mpmc.create 64 in
+  let ded = Oq.Dedicated.create 64 in
+  let locked = Oq.Locked.create 64 in
+  Test.make_grouped ~name:"queue put+get" ~fmt:"%s %s"
+    [
+      test_queue_roundtrip "dedicated"
+        (fun v -> ignore (Oq.Dedicated.try_put ded v))
+        (fun () -> Oq.Dedicated.try_get ded);
+      test_queue_roundtrip "spsc"
+        (fun v -> ignore (Oq.Spsc.try_put spsc v))
+        (fun () -> Oq.Spsc.try_get spsc);
+      test_queue_roundtrip "mpsc"
+        (fun v -> ignore (Oq.Mpsc.try_put mpsc v))
+        (fun () -> Oq.Mpsc.try_get mpsc);
+      test_queue_roundtrip "spmc"
+        (fun v -> ignore (Oq.Spmc.try_put spmc v))
+        (fun () -> Oq.Spmc.try_get spmc);
+      test_queue_roundtrip "mpmc"
+        (fun v -> ignore (Oq.Mpmc.try_put mpmc v))
+        (fun () -> Oq.Mpmc.try_get mpmc);
+      test_queue_roundtrip "locked (mutex baseline)"
+        (fun v -> ignore (Oq.Locked.try_put locked v))
+        (fun () -> Oq.Locked.try_get locked);
+    ]
+
+let run_bechamel () =
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let instance = Instance.monotonic_clock in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~stabilize:true ()
+  in
+  let raw = Benchmark.all cfg [ instance ] (tests ()) in
+  let results = Analyze.all ols instance raw in
+  Fmt.pr "%-36s %14s@." "benchmark" "ns/op";
+  Hashtbl.iter
+    (fun name ols ->
+      match Analyze.OLS.estimates ols with
+      | Some (est :: _) -> Fmt.pr "%-36s %14.1f@." name est
+      | _ -> Fmt.pr "%-36s %14s@." name "n/a")
+    results
+
+(* Multi-domain throughput: N producers + 1 consumer, optimistic MP-SC
+   vs the mutex-protected queue. *)
+let throughput ~producers ~per_producer ~put ~get =
+  let t0 = Unix.gettimeofday () in
+  let doms =
+    List.init producers (fun _ ->
+        Domain.spawn (fun () ->
+            for i = 1 to per_producer do
+              put i
+            done))
+  in
+  let total = producers * per_producer in
+  for _ = 1 to total do
+    ignore (get ())
+  done;
+  List.iter Domain.join doms;
+  let dt = Unix.gettimeofday () -. t0 in
+  float_of_int total /. dt /. 1.0e6
+
+let run_domains () =
+  Repro_harness.Harness.header "Multi-domain throughput (Mops/s), optimistic vs locked";
+  Fmt.pr "%-12s %12s %12s@." "producers" "mpsc" "locked";
+  List.iter
+    (fun producers ->
+      let per = 200_000 in
+      let mpsc = Oq.Mpsc.create 1024 in
+      let m =
+        throughput ~producers ~per_producer:per
+          ~put:(fun v -> Oq.Mpsc.put mpsc v)
+          ~get:(fun () -> Oq.Mpsc.get mpsc)
+      in
+      let locked = Oq.Locked.create 1024 in
+      let l =
+        throughput ~producers ~per_producer:per
+          ~put:(fun v -> Oq.Locked.put locked v)
+          ~get:(fun () -> Oq.Locked.get locked)
+      in
+      Fmt.pr "%-12d %12.2f %12.2f@." producers m l)
+    [ 1; 2; 3 ]
+
+let run () =
+  Repro_harness.Harness.header "Host-level queues (Bechamel, single domain)";
+  run_bechamel ();
+  run_domains ()

@@ -1,0 +1,52 @@
+(* Benchmark driver: regenerates every table and figure of the
+   paper's evaluation (§6), plus the ablations called out in
+   DESIGN.md.  Run with no arguments for the full suite. *)
+
+let all_benches ~scale () =
+  Table1.run ~scale ();
+  Table2.run ();
+  Table3.run ();
+  Table4.run ();
+  Table5.run ();
+  Queues.run ();
+  Ablations.run ();
+  Sizes.run ();
+  Host_queues.run ();
+  Bechamel_suite.run ()
+
+open Cmdliner
+
+let scale =
+  let doc = "Divide Table 1 iteration counts by this factor." in
+  Arg.(value & opt int 10 & info [ "scale" ] ~doc)
+
+let cmd_of name f =
+  Cmd.v (Cmd.info name) Term.(const (fun () -> f ()) $ const ())
+
+let table1_cmd =
+  Cmd.v (Cmd.info "table1")
+    Term.(const (fun scale -> Table1.run ~scale ()) $ scale)
+
+let all_cmd =
+  Cmd.v (Cmd.info "all")
+    Term.(const (fun scale -> all_benches ~scale ()) $ scale)
+
+let main_cmd =
+  let default = Term.(const (fun scale -> all_benches ~scale ()) $ scale) in
+  Cmd.group ~default
+    (Cmd.info "bench" ~doc:"Synthesis kernel reproduction benchmarks")
+    [
+      all_cmd;
+      table1_cmd;
+      cmd_of "table2" Table2.run;
+      cmd_of "table3" Table3.run;
+      cmd_of "table4" Table4.run;
+      cmd_of "table5" Table5.run;
+      cmd_of "queues" Queues.run;
+      cmd_of "sizes" Sizes.run;
+      cmd_of "host-queues" Host_queues.run;
+      cmd_of "ablations" Ablations.run;
+      cmd_of "bechamel" Bechamel_suite.run;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,100 @@
+(* Table 1: measured UNIX system calls — the same seven programs run
+   on the baseline (SUNOS stand-in) and on Synthesis under the UNIX
+   emulator, reported in simulated seconds plus the speedup ratio.
+
+   Iteration counts are scaled down from the paper's (the shapes, not
+   the absolute seconds, are the reproduction target); the counts used
+   are printed with each row. *)
+
+type spec = {
+  no : int;
+  descr : string;
+  paper_sun : float; (* seconds reported for SUNOS *)
+  paper_syn : float; (* seconds reported for Synthesis *)
+  build : Repro_harness.Programs.env -> Quamachine.Insn.insn list;
+}
+
+let specs ~scale =
+  let it n = max 1 (n / scale) in
+  [
+    {
+      no = 1;
+      descr = Fmt.str "Compute (Q-sequence, n=%d)" (it 100_000);
+      paper_sun = 20.;
+      paper_syn = 21.42;
+      build = (fun env -> Repro_harness.Programs.compute ~arr:env.Repro_harness.Programs.e_arr ~n:(it 100_000));
+    };
+    {
+      no = 2;
+      descr = Fmt.str "R/W pipe, 1 word x %d" (it 10_000);
+      paper_sun = 10.;
+      paper_syn = 0.18;
+      build = (fun env -> Repro_harness.Programs.pipe_rw env ~chunk:1 ~iters:(it 10_000));
+    };
+    {
+      no = 3;
+      descr = Fmt.str "R/W pipe, 1 KiB x %d" (it 10_000);
+      paper_sun = 15.;
+      paper_syn = 2.42;
+      build = (fun env -> Repro_harness.Programs.pipe_rw env ~chunk:256 ~iters:(it 10_000));
+    };
+    {
+      no = 4;
+      descr = Fmt.str "R/W pipe, 4 KiB x %d" (it 10_000);
+      paper_sun = 38.;
+      paper_syn = 9.62;
+      build = (fun env -> Repro_harness.Programs.pipe_rw env ~chunk:1024 ~iters:(it 10_000));
+    };
+    {
+      no = 5;
+      descr = Fmt.str "R/W file, 1 KiB x %d" (it 10_000);
+      paper_sun = 21.;
+      paper_syn = 2.42;
+      build = (fun env -> Repro_harness.Programs.file_rw env ~chunk:256 ~iters:(it 10_000));
+    };
+    {
+      no = 6;
+      descr = Fmt.str "open /dev/null + close x %d" (it 10_000);
+      paper_sun = 17.;
+      paper_syn = 0.69;
+      build =
+        (fun env ->
+          Repro_harness.Programs.open_close ~name_addr:env.Repro_harness.Programs.e_name_null ~iters:(it 10_000));
+    };
+    {
+      no = 7;
+      descr = Fmt.str "open /dev/tty + close x %d" (it 10_000);
+      paper_sun = 43.;
+      paper_syn = 1.08;
+      build =
+        (fun env ->
+          Repro_harness.Programs.open_close ~name_addr:env.Repro_harness.Programs.e_name_tty ~iters:(it 10_000));
+    };
+  ]
+
+let run ?(scale = 10) () =
+  Repro_harness.Harness.header "Table 1: measured UNIX system calls (simulated seconds)";
+  Fmt.pr "%-38s %10s %10s %8s %14s@." "program" "baseline" "synthesis" "ratio"
+    "paper-ratio";
+  List.iter
+    (fun s ->
+      (* fresh kernels per program so state never leaks across rows *)
+      let be = Repro_harness.Harness.baseline_setup () in
+      let sun = Repro_harness.Harness.baseline_run be ~program:(s.build be.Repro_harness.Harness.b_env) in
+      let se = Repro_harness.Harness.synthesis_setup () in
+      let syn = Repro_harness.Harness.synthesis_run se ~program:(s.build se.Repro_harness.Harness.s_env) in
+      let ratio = if syn > 0.0 then sun /. syn else nan in
+      let paper_ratio = s.paper_sun /. s.paper_syn in
+      Fmt.pr "%d. %-35s %10.3f %10.3f %7.1fx %13.1fx@." s.no s.descr sun syn ratio
+        paper_ratio)
+    (specs ~scale);
+  (* §6.2 in-text claims derived from the pipe rows *)
+  let se = Repro_harness.Harness.synthesis_setup () in
+  let iters = 1000 and chunk = 1024 in
+  let secs =
+    Repro_harness.Harness.synthesis_run se
+      ~program:(Repro_harness.Programs.pipe_rw se.Repro_harness.Harness.s_env ~chunk ~iters)
+  in
+  let words = float_of_int (2 * chunk * iters) in
+  let mbps = words *. 4.0 /. secs /. 1_048_576.0 in
+  Fmt.pr "@.pipe transfer rate (4 KiB chunks): %.1f MB/s (paper: ~8 MB/s)@." mbps

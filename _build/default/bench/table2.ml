@@ -1,0 +1,101 @@
+(* Table 2: file and device I/O in microseconds, native Synthesis
+   calls vs the same operations through the UNIX emulator.  Measured
+   with timestamp host-calls (the Quamachine's microsecond clock). *)
+
+open Quamachine
+open Synthesis [@@warning "-33"]
+module I = Insn
+module U = Unix_emulator.Unix_abi
+
+(* One program per mode, same operation sequence, a timestamp around
+   every operation.  fd is kept in r13 (preserved across calls). *)
+let ops_program env ~emulated ~mark =
+  let call ~nat_trap ~unix_no setup =
+    if emulated then
+      setup @ [ I.Move (I.Imm unix_no, I.Reg I.r0); I.Trap U.trap; mark ]
+    else setup @ [ I.Trap nat_trap; mark ]
+  in
+  let open_ name_addr =
+    call ~nat_trap:3 ~unix_no:U.sys_open [ I.Move (I.Imm name_addr, I.Reg I.r1) ]
+  in
+  let close_r0 =
+    call ~nat_trap:4 ~unix_no:U.sys_close [ I.Move (I.Reg I.r13, I.Reg I.r1) ]
+  in
+  let read_ n =
+    call ~nat_trap:1 ~unix_no:U.sys_read
+      [
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm env.Repro_harness.Programs.e_buf, I.Reg I.r2);
+        I.Move (I.Imm n, I.Reg I.r3);
+      ]
+  in
+  let keep_fd = [ I.Move (I.Reg I.r0, I.Reg I.r13) ] in
+  List.concat
+    [
+      [ mark ];
+      open_ env.Repro_harness.Programs.e_name_null; (* span 1: open /dev/null *)
+      keep_fd;
+      [ mark ];
+      read_ 8; (* span 3: read N from /dev/null *)
+      close_r0; (* span 4: close *)
+      [ mark ];
+      open_ env.Repro_harness.Programs.e_name_tty; (* span 6: open /dev/tty *)
+      keep_fd;
+      close_r0;
+      [ mark ];
+      open_ env.Repro_harness.Programs.e_name_file; (* span 8: open file *)
+      keep_fd;
+      [ mark ];
+      read_ 1; (* span 10: read 1 word *)
+      read_ 64; (* span 11: read 64 words *)
+      close_r0;
+      [ I.Move (I.Imm U.sys_exit, I.Reg I.r0); I.Trap U.trap ];
+    ]
+
+type row = {
+  r_open_null : float;
+  r_read_null : float;
+  r_close : float;
+  r_open_tty : float;
+  r_open_file : float;
+  r_read_1 : float;
+  r_read_64 : float;
+}
+
+let measure ~emulated =
+  let se = Repro_harness.Harness.synthesis_setup () in
+  let stamps = se.Repro_harness.Harness.s_stamps in
+  let program = ops_program se.Repro_harness.Harness.s_env ~emulated ~mark:(Repro_harness.Harness.Stamps.mark stamps) in
+  ignore (Repro_harness.Harness.synthesis_run se ~program);
+  match Repro_harness.Harness.Stamps.spans stamps with
+  | [ open_null; _keep1; read_null; close; _g1; open_tty; _ct; _g2; open_file; _keep2;
+      read_1; read_64; _rest ] ->
+    {
+      r_open_null = open_null;
+      r_read_null = read_null;
+      r_close = close;
+      r_open_tty = open_tty;
+      r_open_file = open_file;
+      r_read_1 = read_1;
+      r_read_64 = read_64;
+    }
+  | spans ->
+    failwith (Fmt.str "table2: unexpected %d spans" (List.length spans))
+
+let run () =
+  Repro_harness.Harness.header "Table 2: file and device I/O (microseconds)";
+  let nat = measure ~emulated:false in
+  let emu = measure ~emulated:true in
+  Fmt.pr "%-34s %10s %10s %22s@." "operation" "native" "emulated" "paper (nat/emu)";
+  let row name n e paper =
+    Fmt.pr "%-34s %10.1f %10.1f %22s@." name n e paper
+  in
+  row "emulation trap overhead" 0.0 (emu.r_read_null -. nat.r_read_null) "- / 2";
+  row "open /dev/null" nat.r_open_null emu.r_open_null "43 / 49";
+  row "open /dev/tty" nat.r_open_tty emu.r_open_tty "62 / 68";
+  row "open file" nat.r_open_file emu.r_open_file "73 / 85";
+  row "close" nat.r_close emu.r_close "18 / 22";
+  row "read 1 word from file" nat.r_read_1 emu.r_read_1 "9 / 10";
+  row "read 64 words from file" nat.r_read_64 emu.r_read_64 "9*N/8 / 10*N/8";
+  row "  (per 8 words)" (nat.r_read_64 /. 8.0) (emu.r_read_64 /. 8.0) "9 / 10";
+  row "read 8 from /dev/null" nat.r_read_null emu.r_read_null "6 / 8"

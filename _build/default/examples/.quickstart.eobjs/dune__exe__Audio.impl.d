@@ -1,0 +1,1 @@
+examples/audio.ml: Asm Boot Ctx Devices Fmt Insn Interrupt Kernel Layout List Machine Mmio_map Quamachine Queue Scheduler Synthesis Thread

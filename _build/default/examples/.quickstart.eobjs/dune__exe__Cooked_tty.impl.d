@@ -1,0 +1,1 @@
+examples/cooked_tty.ml: Asm Boot Char Devices Fmt Insn Kalloc Kernel Machine Quamachine String Synthesis Thread Tty

@@ -1,0 +1,1 @@
+examples/cooked_tty.mli:

@@ -1,0 +1,1 @@
+examples/dataflow.ml: Boot Fmt Insn Kalloc Kernel List Machine Quaject Quamachine Scheduler Stream_graph Synthesis

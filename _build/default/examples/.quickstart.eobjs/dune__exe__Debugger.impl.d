@@ -1,0 +1,1 @@
+examples/debugger.ml: Asm Boot Fmt Insn Kalloc Kernel Layout Machine Quamachine Ready_queue Synthesis Thread

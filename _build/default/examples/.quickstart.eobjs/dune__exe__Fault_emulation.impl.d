@@ -1,0 +1,1 @@
+examples/fault_emulation.ml: Asm Boot Fmt Insn Inspect Kalloc Kernel List Machine Quamachine Synthesis Thread

@@ -1,0 +1,1 @@
+examples/pipeline.ml: Asm Boot Fmt Insn Kalloc Kernel Kpipe Layout Machine Quaject Quamachine Scheduler Synthesis Thread

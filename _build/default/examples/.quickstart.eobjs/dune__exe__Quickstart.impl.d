@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Asm Boot Char Fmt Fs Insn Kalloc Kernel List Machine Quamachine String Synthesis Thread

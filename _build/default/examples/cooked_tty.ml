@@ -1,0 +1,63 @@
+(* The cooked TTY pipeline (§5.1): keyboard interrupts feed a
+   dedicated queue; the filter thread interprets erase (^H) and kill
+   (^U), echoes through the optimistic screen queue, and delivers
+   complete lines to /dev/tty readers.
+
+   Run with: dune exec examples/cooked_tty.exe *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+
+let poke_string m addr s =
+  String.iteri (fun i c -> Machine.poke m (addr + i) (Char.code c)) s;
+  Machine.poke m (addr + String.length s) 0
+
+let () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let _srv = Tty.install b.Boot.vfs in
+
+  (* A reader program: open /dev/tty, read a line, store it. *)
+  let region = Kalloc.alloc_zeroed k.Kernel.alloc 256 in
+  poke_string m region "/dev/tty";
+  let buf = region + 64 in
+  let len_cell = region + 200 in
+  let program =
+    [
+      I.Move (I.Imm region, I.Reg I.r1);
+      I.Trap 3; (* open /dev/tty *)
+      I.Move (I.Reg I.r0, I.Reg I.r13);
+      I.Move (I.Reg I.r13, I.Reg I.r1);
+      I.Move (I.Imm buf, I.Reg I.r2);
+      I.Move (I.Imm 64, I.Reg I.r3);
+      I.Trap 1; (* read: blocks until the filter delivers a line *)
+      I.Move (I.Reg I.r0, I.Abs len_cell);
+      (* echo what we got back out through the same descriptor *)
+      I.Move (I.Reg I.r13, I.Reg I.r1);
+      I.Move (I.Imm buf, I.Reg I.r2);
+      I.Move (I.Abs len_cell, I.Reg I.r3);
+      I.Trap 2;
+      I.Trap 0;
+    ]
+  in
+  let entry, _ = Asm.assemble m program in
+  let _t = Thread.create k ~entry ~segments:[ (region, 256) ] () in
+
+  (* Type "helXX^H^Hlo world" + newline: the two ^H erase the XX. *)
+  Devices.Tty.feed k.Kernel.tty "helXX\b\blo world\n";
+
+  (match Boot.go ~max_insns:100_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> failwith "did not halt");
+
+  let len = Machine.peek m len_cell in
+  let line =
+    String.init len (fun i -> Char.chr (Machine.peek m (buf + i) land 0x7F))
+  in
+  Fmt.pr "typed:    %S@." "helXX\\b\\blo world\\n";
+  Fmt.pr "reader got %d words: %S@." len line;
+  Fmt.pr "screen echo (raw device output): %S@."
+    (Devices.Tty.output k.Kernel.tty);
+  Fmt.pr "simulated time: %.2f ms@." (Machine.time_us m /. 1000.0)

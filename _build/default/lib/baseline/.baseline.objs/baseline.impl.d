@@ -1,0 +1,1 @@
+lib/baseline/baseline.ml: Array Asm Bk_layout Char Cost Devices Hashtbl Insn List Machine Mmio_map Printf Quamachine String

@@ -1,0 +1,1 @@
+lib/baseline/baseline.mli: Cost Devices Hashtbl Insn Machine Quamachine

@@ -1,0 +1,1 @@
+lib/baseline/bk_layout.ml:

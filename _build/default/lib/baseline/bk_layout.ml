@@ -1,0 +1,33 @@
+(* Data-memory layout of the baseline kernel. *)
+
+let vector_table = 0x40 (* 48 words *)
+let retval_cell = 0x100
+let scratch_lock = 0x101
+let sleepq = 0x110 (* 16-word sleep queue scanned on wakeup *)
+let systab = 0x140 (* 64 syscall entries *)
+let proc_table = 0x200 (* 16 procs x 32 words *)
+let nproc = 16
+let proc_words = 32
+let file_table = 0x400 (* 32 entries x 8 words: used, vnode, pos *)
+let nfiles = 32
+let fentry_words = 8
+let vnode_table = 0x600 (* 16 vnodes x 8: type, lock, ops, buf, size, cap *)
+let vnode_words = 8
+let buffer_cache = 0x700 (* simulated getblk hash chains *)
+let buffer_cache_len = 64
+let directory = 0x800 (* 64 entries x 16: len, 13 chars, vnode addr *)
+let dir_entries = 64
+let dir_entry_words = 16
+let pipe_state = 0xC00 (* head, tail, lock *)
+let pipe_buf = 0x1000
+let pipe_cap = 8192
+let heap_base = 0x10000 (* file content buffers *)
+let kernel_stack_top = 0xF000
+let user_stack_top = 0xFF00
+
+(* vnode types *)
+let vt_null = 0
+let vt_tty = 1
+let vt_file = 2
+let vt_pipe_r = 3
+let vt_pipe_w = 4

@@ -1,0 +1,1 @@
+lib/core/async_queue.ml: Insn Kernel Kqueue Machine Quamachine Template Thread

@@ -1,0 +1,1 @@
+lib/core/async_queue.mli: Kernel Kqueue

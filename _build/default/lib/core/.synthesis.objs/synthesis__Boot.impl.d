@@ -1,0 +1,1 @@
+lib/core/boot.ml: Array Cost Ctx Fs Hashtbl Insn Kernel Layout List Machine Mmio_map Quamachine Ready_queue Thread Vfs

@@ -1,0 +1,1 @@
+lib/core/boot.mli: Kernel Quamachine Vfs

@@ -1,0 +1,1 @@
+lib/core/ctx.ml: Asm Insn Kernel Layout List Machine Mmio_map Printf Quamachine Ready_queue Template

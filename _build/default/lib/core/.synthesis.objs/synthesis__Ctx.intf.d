@@ -1,0 +1,1 @@
+lib/core/ctx.mli: Kernel

@@ -1,0 +1,1 @@
+lib/core/dfs.ml: Array Char Devices Disk_server Insn Kalloc Kernel Layout List Machine Printf Quamachine String Template Thread Vfs

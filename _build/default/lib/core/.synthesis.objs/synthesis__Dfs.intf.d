@@ -1,0 +1,1 @@
+lib/core/dfs.mli: Disk_server Kernel Vfs

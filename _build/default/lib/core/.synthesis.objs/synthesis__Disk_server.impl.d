@@ -1,0 +1,1 @@
+lib/core/disk_server.ml: Devices Hashtbl Insn Kalloc Kernel List Machine Mmio_map Quaject Quamachine Thread

@@ -1,0 +1,1 @@
+lib/core/disk_server.mli: Kernel

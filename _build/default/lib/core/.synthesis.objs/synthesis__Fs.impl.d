@@ -1,0 +1,1 @@
+lib/core/fs.ml: Array Insn Kalloc Kernel Layout List Machine Printf Quamachine Template Vfs

@@ -1,0 +1,1 @@
+lib/core/fs.mli: Template Vfs

@@ -1,0 +1,1 @@
+lib/core/inspect.ml: Fmt Hashtbl Kernel List Monitor Quamachine String

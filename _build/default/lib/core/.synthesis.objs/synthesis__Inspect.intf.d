@@ -1,0 +1,1 @@
+lib/core/inspect.mli: Format Kernel Quamachine

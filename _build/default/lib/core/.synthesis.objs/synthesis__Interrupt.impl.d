@@ -1,0 +1,1 @@
+lib/core/interrupt.ml: Array Asm Insn Kalloc Kernel Kqueue Machine Mmio_map Printf Quamachine Template Thread

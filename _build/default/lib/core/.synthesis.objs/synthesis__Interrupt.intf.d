@@ -1,0 +1,1 @@
+lib/core/interrupt.mli: Kernel Kqueue Quamachine

@@ -1,0 +1,1 @@
+lib/core/kalloc.ml: Array Hashtbl List Machine Quamachine

@@ -1,0 +1,1 @@
+lib/core/kernel.ml: Array Asm Cost Devices Hashtbl Insn Kalloc Layout List Logs Machine Mmio_map Peephole Quamachine String Template

@@ -1,0 +1,1 @@
+lib/core/kernel.mli: Asm Cost Devices Hashtbl Insn Kalloc Machine Quamachine Template

@@ -1,0 +1,1 @@
+lib/core/kpipe.ml: Insn Kalloc Kernel Layout List Machine Printf Quamachine Template Thread Vfs

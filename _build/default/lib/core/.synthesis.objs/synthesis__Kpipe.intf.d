@@ -1,0 +1,1 @@
+lib/core/kpipe.mli: Kernel Vfs

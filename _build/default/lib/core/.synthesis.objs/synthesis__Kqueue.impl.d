@@ -1,0 +1,1 @@
+lib/core/kqueue.ml: Insn Kalloc Kernel Machine Quamachine Template

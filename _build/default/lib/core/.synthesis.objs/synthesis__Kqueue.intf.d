@@ -1,0 +1,1 @@
+lib/core/kqueue.mli: Kernel Template

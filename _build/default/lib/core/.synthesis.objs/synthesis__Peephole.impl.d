@@ -1,0 +1,1 @@
+lib/core/peephole.ml: Insn Quamachine Word

@@ -1,0 +1,1 @@
+lib/core/peephole.mli: Quamachine

@@ -1,0 +1,1 @@
+lib/core/quaject.ml: Array Insn Kalloc Kernel Machine Quamachine

@@ -1,0 +1,1 @@
+lib/core/quaject.mli: Kernel Quamachine

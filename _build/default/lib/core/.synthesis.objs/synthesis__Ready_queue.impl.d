@@ -1,0 +1,1 @@
+lib/core/ready_queue.ml: Devices Insn Kernel List Machine Quamachine

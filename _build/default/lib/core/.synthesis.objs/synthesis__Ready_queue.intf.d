@@ -1,0 +1,1 @@
+lib/core/ready_queue.mli: Kernel

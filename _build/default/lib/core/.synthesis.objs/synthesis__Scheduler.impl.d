@@ -1,0 +1,1 @@
+lib/core/scheduler.ml: Cost Ctx Hashtbl Kernel Layout List Machine Quamachine Ready_queue

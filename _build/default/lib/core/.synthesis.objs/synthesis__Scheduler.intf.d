@@ -1,0 +1,1 @@
+lib/core/scheduler.mli: Kernel

@@ -1,0 +1,1 @@
+lib/core/stream_graph.ml: Array Asm Insn Kernel Kpipe Layout List Machine Quaject Quamachine Thread Vfs

@@ -1,0 +1,1 @@
+lib/core/stream_graph.mli: Kernel Kpipe Quaject Quamachine Vfs

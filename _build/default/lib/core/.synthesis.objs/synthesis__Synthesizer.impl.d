@@ -1,0 +1,1 @@
+lib/core/synthesizer.ml: Ctx Insn Kalloc Kernel Kqueue Layout List Machine Printf Quaject Quamachine Thread

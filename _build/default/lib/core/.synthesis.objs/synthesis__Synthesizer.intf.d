@@ -1,0 +1,1 @@
+lib/core/synthesizer.mli: Kernel Kqueue Quaject Template

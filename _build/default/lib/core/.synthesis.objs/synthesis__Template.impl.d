@@ -1,0 +1,1 @@
+lib/core/template.ml: Insn List Quamachine

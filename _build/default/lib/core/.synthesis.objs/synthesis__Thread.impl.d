@@ -1,0 +1,1 @@
+lib/core/thread.ml: Array Ctx Devices Hashtbl Insn Kalloc Kernel Layout List Machine Mmio_map Printf Quamachine Ready_queue Template

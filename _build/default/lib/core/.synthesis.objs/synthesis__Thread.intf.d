@@ -1,0 +1,1 @@
+lib/core/thread.mli: Kernel Quamachine Template

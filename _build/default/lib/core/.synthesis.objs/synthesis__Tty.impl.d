@@ -1,0 +1,1 @@
+lib/core/tty.ml: Ctx Insn Kalloc Kernel Kqueue Layout Machine Mmio_map Printf Quamachine Template Thread Vfs

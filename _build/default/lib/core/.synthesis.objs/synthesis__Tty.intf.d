@@ -1,0 +1,1 @@
+lib/core/tty.mli: Kernel Kqueue Quamachine Vfs

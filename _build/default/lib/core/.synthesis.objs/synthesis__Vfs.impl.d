@@ -1,0 +1,1 @@
+lib/core/vfs.ml: Buffer Char Hashtbl Insn Kernel Layout Machine Quamachine String

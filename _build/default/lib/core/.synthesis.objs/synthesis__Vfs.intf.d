@@ -1,0 +1,1 @@
+lib/core/vfs.mli: Hashtbl Kernel

@@ -1,0 +1,253 @@
+(* Kernel bring-up.
+
+   Installs the boot-time shared kernel code (default trap and error
+   handlers, the thread-operation system calls), creates the idle
+   thread, wires up the name space, and transfers control to the first
+   thread by jumping into its synthesized switch-in code. *)
+
+open Quamachine
+module I = Insn
+
+type t = {
+  kernel : Kernel.t;
+  vfs : Vfs.t;
+  idle : Kernel.tte;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Termination policy: when the last non-idle thread exits, halt the
+   simulation. *)
+
+let live_threads k =
+  Hashtbl.fold
+    (fun _ t acc -> if t.Kernel.state <> Kernel.Zombie then t :: acc else acc)
+    k.Kernel.threads []
+
+(* Are there any non-system, non-zombie threads left at all?  Kernel
+   service threads (idle, tty filter, pumps) don't keep the machine
+   alive on their own. *)
+let work_remaining k =
+  List.exists (fun t -> not t.Kernel.is_system) (live_threads k)
+
+(* ---------------------------------------------------------------- *)
+(* Shared handlers *)
+
+let install_fault_handlers k =
+  let kill_with reason =
+    Machine.register_hcall k.Kernel.machine (fun m ->
+        let cur = Kernel.current_exn k in
+        k.Kernel.fault_log <- (cur.Kernel.tid, reason) :: k.Kernel.fault_log;
+        let next =
+          if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else k.Kernel.rq_anchor
+        in
+        Thread.destroy k cur;
+        if not (work_remaining k) then Machine.set_halted m true
+        else
+          match (next, k.Kernel.rq_anchor) with
+          | Some n, _ when n.Kernel.state = Kernel.Ready && Ready_queue.in_queue n ->
+            Machine.set_pc m n.Kernel.sw_in_mmu
+          | _, Some a -> Machine.set_pc m a.Kernel.sw_in_mmu
+          | _, None -> Machine.set_halted m true)
+  in
+  let install vector reason =
+    let id = kill_with reason in
+    let entry, _ =
+      Kernel.install_shared k ~name:("fault/" ^ reason) [ I.Set_ipl 7; I.Hcall id ]
+    in
+    k.Kernel.default_vectors.(vector) <- entry
+  in
+  install I.Vector.bus_error "bus_error";
+  install I.Vector.illegal "illegal";
+  install I.Vector.div_zero "div_zero";
+  install I.Vector.privilege "privilege"
+
+let install_shared_handlers k =
+  let m = k.Kernel.machine in
+  (* invalid descriptor *)
+  let bad_fd, _ =
+    Kernel.install_shared k ~name:"bad_fd" [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ]
+  in
+  ignore bad_fd;
+  (* default for unimplemented traps *)
+  let unimpl, _ =
+    Kernel.install_shared k ~name:"unimpl_syscall"
+      [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ]
+  in
+  for i = 0 to I.Vector.table_size - 1 do
+    if k.Kernel.default_vectors.(i) = 0 then k.Kernel.default_vectors.(i) <- unimpl
+  done;
+  install_fault_handlers k;
+  (* trap 5: yield — the frame is already on the stack; just switch *)
+  let yield, _ =
+    Kernel.install_shared k ~name:"syscall/yield"
+      [ I.Set_ipl 6; I.Jmp (I.To_mem (I.Abs Layout.cur_sw_out_cell)) ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 5) <- yield;
+  (* trap 0: exit — destroy the calling thread and run the next one *)
+  let exit_id =
+    Machine.register_hcall m (fun m ->
+        let cur = Kernel.current_exn k in
+        let next =
+          if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else None
+        in
+        Thread.destroy k cur;
+        if not (work_remaining k) then Machine.set_halted m true
+        else
+          match (next, k.Kernel.rq_anchor) with
+          | Some n, _ when Ready_queue.in_queue n -> Machine.set_pc m n.Kernel.sw_in_mmu
+          | _, Some a -> Machine.set_pc m a.Kernel.sw_in_mmu
+          | _, None -> Machine.set_halted m true)
+  in
+  let exit_h, _ =
+    Kernel.install_shared k ~name:"syscall/exit" [ I.Set_ipl 7; I.Hcall exit_id ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 0) <- exit_h;
+  (* trace trap: the debugger's step support — stop the thread again *)
+  let trace_stop_id =
+    Machine.register_hcall m (fun mm ->
+        let cur = Kernel.current_exn k in
+        if Ready_queue.in_queue cur then Ready_queue.remove k cur;
+        cur.Kernel.state <- Kernel.Stopped;
+        (* clear the trace bit in the frame's saved SR *)
+        let sp = Machine.get_reg mm I.sp in
+        Machine.poke mm sp (Machine.peek mm sp land lnot (1 lsl 15)))
+  in
+  let trace_h, _ =
+    Kernel.install_shared k ~name:"trap/trace"
+      [
+        I.Set_ipl 6;
+        I.Hcall trace_stop_id;
+        I.Jmp (I.To_mem (I.Abs Layout.cur_sw_out_cell));
+      ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trace) <- trace_h;
+  (* FP-unavailable: resynthesize the thread's switch code with FP *)
+  let fp_id =
+    Machine.register_hcall m (fun mm ->
+        let cur = Kernel.current_exn k in
+        Ctx.resynthesize_with_fp k cur;
+        Machine.set_fp_enabled mm true)
+  in
+  let fp_h, _ =
+    Kernel.install_shared k ~name:"trap/fp_resynth" [ I.Hcall fp_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(I.Vector.fp_unavailable) <- fp_h;
+  (* trap 6: signal (r1 = target tid) *)
+  let signal_id =
+    Machine.register_hcall m (fun mm ->
+        let tid = Machine.get_reg mm I.r1 in
+        match Kernel.thread k tid with
+        | Some target ->
+          let ok = Thread.deliver_signal k target in
+          Machine.set_reg mm I.r0 (if ok then 0 else -1)
+        | None -> Machine.set_reg mm I.r0 (-1))
+  in
+  let signal_h, _ =
+    Kernel.install_shared k ~name:"syscall/signal" [ I.Hcall signal_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 6) <- signal_h;
+  (* trap 8: register signal handler (r1 = handler address) *)
+  let sethandler_id =
+    Machine.register_hcall m (fun mm ->
+        let cur = Kernel.current_exn k in
+        Thread.set_signal_handler k cur (Machine.get_reg mm I.r1);
+        Machine.set_reg mm I.r0 0)
+  in
+  let sethandler_h, _ =
+    Kernel.install_shared k ~name:"syscall/sethandler" [ I.Hcall sethandler_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 8) <- sethandler_h;
+  (* trap 9: sigreturn — restore the PC stashed at signal delivery,
+     or re-enter the trampoline if deliveries were coalesced while the
+     handler ran *)
+  let sigreturn_id =
+    Machine.register_hcall m (fun mm ->
+        let cur = Kernel.current_exn k in
+        let base = cur.Kernel.base in
+        let queued = Machine.peek mm (base + Layout.Tte.off_sig_queued) in
+        let sp = Machine.get_reg mm I.sp in
+        if queued > 0 then begin
+          Machine.poke mm (base + Layout.Tte.off_sig_queued) (queued - 1);
+          Machine.poke mm (sp + 1)
+            (Machine.peek mm (base + Layout.Tte.off_sig_handler))
+        end
+        else begin
+          Machine.poke mm (base + Layout.Tte.off_sig_inh) 0;
+          Machine.poke mm (sp + 1)
+            (Machine.peek mm (base + Layout.Tte.off_sig_pending))
+        end;
+        Machine.charge_refs mm 4)
+  in
+  let sigreturn, _ =
+    Kernel.install_shared k ~name:"syscall/sigreturn" [ I.Hcall sigreturn_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 9) <- sigreturn;
+  (* trap 10: read the microsecond clock into r0 *)
+  let gettime, _ =
+    Kernel.install_shared k ~name:"syscall/gettime"
+      [ I.Move (I.Abs Mmio_map.rtc_us, I.Reg I.r0); I.Rte ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 10) <- gettime;
+  (* trap 7: set alarm (r1 = microseconds); Table 5 "Set alarm" *)
+  let alarm_set, _ =
+    Kernel.install_shared k ~name:"syscall/alarm"
+      [
+        I.Move (I.Abs Layout.cur_tid_cell, I.Abs Layout.chain_scratch_cell);
+        I.Move (I.Reg I.r1, I.Abs Mmio_map.alarm_set);
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rte;
+      ]
+  in
+  k.Kernel.default_vectors.(I.Vector.trap 7) <- alarm_set;
+  (* alarm interrupt: signal the thread that armed it (Table 5) *)
+  let alarm_fired_id =
+    Machine.register_hcall m (fun mm ->
+        let tid = Machine.peek mm Layout.chain_scratch_cell in
+        match Kernel.thread k tid with
+        | Some target -> ignore (Thread.deliver_signal k target)
+        | None -> ())
+  in
+  let alarm_irq, _ =
+    Kernel.install_shared k ~name:"irq/alarm" [ I.Hcall alarm_fired_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(Mmio_map.alarm_vector) <- alarm_irq
+
+(* ---------------------------------------------------------------- *)
+(* The idle thread: waits for interrupts in supervisor mode. *)
+
+let create_idle k =
+  let idle_code, _ =
+    Kernel.install_shared k ~name:"idle_loop"
+      [ I.Label "idle"; I.Stop_wait; I.B (I.Always, I.To_label "idle") ]
+  in
+  let idle = Thread.create k ~quantum_us:10_000 ~system:true ~entry:idle_code () in
+  (* the idle loop needs supervisor state for Stop_wait *)
+  Machine.poke k.Kernel.machine
+    (idle.Kernel.base + Layout.Tte.off_regs + 16)
+    Ctx.kernel_sr;
+  k.Kernel.idle_thread <- Some idle;
+  idle
+
+(* ---------------------------------------------------------------- *)
+
+let boot ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
+  let k = Kernel.create ~cost ~mem_words () in
+  install_shared_handlers k;
+  let vfs = Vfs.install k in
+  Fs.register_null vfs;
+  let idle = create_idle k in
+  { kernel = k; vfs; idle }
+
+(* Transfer control to the thread scheduler: jump into some ready
+   thread's switch-in code and run the machine. *)
+let go ?(max_insns = max_int) b =
+  let k = b.kernel in
+  let m = k.Kernel.machine in
+  (match k.Kernel.rq_anchor with
+  | None -> invalid_arg "Boot.go: no runnable threads"
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m 7;
+    Machine.set_pc m t.Kernel.sw_in_mmu);
+  Machine.run ~max_insns m

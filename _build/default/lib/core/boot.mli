@@ -1,0 +1,17 @@
+(** Kernel bring-up: shared handlers (faults, thread-operation system
+    calls, signals, alarms), the idle thread, and the name space.
+    [go] transfers control to the first ready thread by jumping into
+    its synthesized switch-in code.
+
+    The machine halts when the last non-system thread exits. *)
+
+type t = { kernel : Kernel.t; vfs : Vfs.t; idle : Kernel.tte }
+
+val boot : ?cost:Quamachine.Cost.t -> ?mem_words:int -> unit -> t
+val go : ?max_insns:int -> t -> Quamachine.Machine.run_result
+
+(** Non-zombie threads. *)
+val live_threads : Kernel.t -> Kernel.tte list
+
+(** Are any non-system threads still alive? *)
+val work_remaining : Kernel.t -> bool

@@ -1,0 +1,46 @@
+(** Context-switch code synthesis (§4.2).
+
+    Each thread owns specialized switch-out/switch-in procedures with
+    its invariants folded in; the timer vector of its private vector
+    table points straight at its switch-out.  Threads pay for FP state
+    only after their first FP instruction traps and the switch code is
+    resynthesized. *)
+
+type switch_code = {
+  c_sw_out : int;
+  c_sw_in : int;
+  c_sw_in_mmu : int;
+  c_jmp_slot : int; (** the ready queue's patchable jmp *)
+  c_quantum_slot : int; (** the scheduler's patchable quantum *)
+}
+
+(** SR value for kernel-mode continuations (supervisor, IPL 0). *)
+val kernel_sr : int
+
+val synthesize :
+  Kernel.t ->
+  tte_base:int ->
+  tid:int ->
+  map_id:int ->
+  quantum_us:int ->
+  uses_fp:bool ->
+  switch_code
+
+(** Install switch code into a thread and reconnect the ready queue
+    around the new entry points. *)
+val apply_switch_code : Kernel.t -> Kernel.tte -> switch_code -> unit
+
+(** Lazy-FP: rebuild the switch code with FP save/restore after the
+    first FP instruction trapped. *)
+val resynthesize_with_fp : Kernel.t -> Kernel.tte -> unit
+
+(** Partial context switch (Table 4, ~3 µs): a synthesized coroutine
+    transfer saving only callee-context registers and the stack
+    pointer.  [from_cell]/[to_cell] hold the two contexts' stack
+    pointers. *)
+val synthesize_partial_switch :
+  Kernel.t -> name:string -> from_cell:int -> to_cell:int -> int
+
+(** Retune the quantum by patching the immediate in the thread's
+    switch-in code (fine-grain scheduling, §4.4). *)
+val set_quantum : Kernel.t -> Kernel.tte -> int -> unit

@@ -1,0 +1,177 @@
+(* The disk-backed file system: files live in contiguous block runs on
+   the disk device and are read through the §5.1 pipeline — disk
+   scheduler, buffer cache, blocking threads.
+
+   Layout on disk: block 0 is the superblock directory —
+     [0] magic, [1] file count, then per file 16 words:
+     14 name words (NUL-terminated), start block, length in words.
+
+   `open` synthesizes a per-open read routine whose fast path is a
+   host call that copies from cached blocks (charged per word); when a
+   block is missing the call schedules the read and the routine blocks
+   on the mount's wait queue, retrying when the completion interrupt
+   wakes it.  The measured file system of the paper's evaluation is
+   the memory-resident [Fs]; this one exercises the full device
+   pipeline. *)
+
+open Quamachine
+module I = Insn
+module L = Layout.Tte
+
+let magic = 0xD15C
+let dirent_words = 16
+let max_name = 13
+
+type dfs_file = { df_name : string; df_start : int; df_words : int }
+
+type t = {
+  dfs_ds : Disk_server.t;
+  dfs_wq : Kernel.waitq; (* one mount-wide completion wait queue *)
+  dfs_files : dfs_file list;
+}
+
+(* ---------------------------------------------------------------- *)
+(* Formatting: write a directory and file contents to the raw device
+   (host-side, like a mkfs run before boot). *)
+
+let format k ~files =
+  let disk = k.Kernel.disk in
+  let bw = Disk_server.block_words in
+  let dir = Array.make bw 0 in
+  dir.(0) <- magic;
+  dir.(1) <- List.length files;
+  let next_block = ref 1 in
+  List.iteri
+    (fun i (name, content) ->
+      if String.length name > max_name then invalid_arg "Dfs.format: name too long";
+      if 2 + ((i + 1) * dirent_words) > bw then invalid_arg "Dfs.format: too many files";
+      let e = 2 + (i * dirent_words) in
+      String.iteri (fun j c -> dir.(e + j) <- Char.code c) name;
+      dir.(e + String.length name) <- 0;
+      dir.(e + 14) <- !next_block;
+      dir.(e + 15) <- Array.length content;
+      (* body, one block run *)
+      let blocks = (Array.length content + bw - 1) / bw in
+      for b = 0 to blocks - 1 do
+        let chunk =
+          Array.init bw (fun j ->
+              let idx = (b * bw) + j in
+              if idx < Array.length content then content.(idx) else 0)
+        in
+        Devices.Disk.write_block disk (!next_block + b) chunk
+      done;
+      next_block := !next_block + blocks)
+    files;
+  Devices.Disk.write_block disk 0 dir
+
+(* ---------------------------------------------------------------- *)
+(* Mounting: read the directory through the cache (synchronously, at
+   boot) and register every file in the name space. *)
+
+let read_template mount_hcall k dfs =
+  Template.make ~name:"dfs_read" ~params:[ "gauge" ] (fun p ->
+      [
+        I.Alu_mem (I.Add, I.Imm 1, I.Abs (p "gauge"));
+        I.Label "retry";
+        I.Hcall mount_hcall;
+        (* host sets r4 = 1 when the transfer finished (r0 = words
+           read) and r4 = 0 when blocks are still on their way *)
+        I.Tst (I.Reg I.r4);
+        I.B (I.Ne, I.To_label "done");
+      ]
+      @ Thread.block_code k dfs.dfs_wq ~retry:"retry"
+      @ [ I.Label "done"; I.Rte ])
+
+(* Mounting requires a live machine context (the superblock read
+   completes through the disk interrupt): start the kernel — at least
+   the idle thread — before calling this. *)
+let mount vfs ds =
+  let k = vfs.Vfs.kernel in
+  let m = k.Kernel.machine in
+  (* read the superblock synchronously at mount time *)
+  let dirbuf =
+    match Disk_server.read_block_sync ds 0 ~max_insns:50_000_000 with
+    | Some buf -> buf
+    | None -> failwith "Dfs.mount: cannot read the superblock"
+  in
+  if Machine.peek m dirbuf <> magic then failwith "Dfs.mount: bad magic";
+  let count = Machine.peek m (dirbuf + 1) in
+  let files =
+    List.init count (fun i ->
+        let e = dirbuf + 2 + (i * dirent_words) in
+        let rec name_of j acc =
+          if j >= max_name then acc
+          else
+            let c = Machine.peek m (e + j) in
+            if c = 0 then acc else name_of (j + 1) (acc ^ String.make 1 (Char.chr c))
+        in
+        {
+          df_name = name_of 0 "";
+          df_start = Machine.peek m (e + 14);
+          df_words = Machine.peek m (e + 15);
+        })
+  in
+  let dfs = { dfs_ds = ds; dfs_wq = Kernel.waitq ~name:"dfs/mount"; dfs_files = files } in
+  (* register every file *)
+  List.iter
+    (fun f ->
+      Vfs.register vfs ~name:("/disk/" ^ f.df_name) (fun tte ~fd ->
+          let pos_cell = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+          let gauge = tte.Kernel.base + L.off_gauge in
+          let bw = Disk_server.block_words in
+          (* the per-open read service: copy what the cache holds,
+             schedule what it doesn't *)
+          let hcall =
+            Machine.register_hcall m (fun m ->
+                let dst = Machine.get_reg m I.r2 in
+                let want = Machine.get_reg m I.r3 in
+                let pos = Machine.peek m pos_cell in
+                let n = min want (max 0 (f.df_words - pos)) in
+                if n = 0 then begin
+                  Machine.set_reg m I.r0 0;
+                  Machine.set_reg m I.r4 1
+                end
+                else begin
+                  (* are all covered blocks resident? *)
+                  let b0 = f.df_start + (pos / bw) in
+                  let b1 = f.df_start + ((pos + n - 1) / bw) in
+                  let missing = ref false in
+                  for b = b0 to b1 do
+                    match Disk_server.get_block ds ~waitq:dfs.dfs_wq b with
+                    | _, Some _ -> missing := true
+                    | _, None -> ()
+                  done;
+                  if !missing then Machine.set_reg m I.r4 0
+                  else begin
+                    for i = 0 to n - 1 do
+                      let off = pos + i in
+                      let buf, _ =
+                        Disk_server.get_block ds ~waitq:dfs.dfs_wq
+                          (f.df_start + (off / bw))
+                      in
+                      Machine.poke m (dst + i) (Machine.peek m (buf + (off mod bw)))
+                    done;
+                    Machine.charge_refs m (2 * n);
+                    Machine.poke m pos_cell (pos + n);
+                    Machine.set_reg m I.r0 n;
+                    Machine.set_reg m I.r4 1
+                  end
+                end)
+          in
+          let tag = Printf.sprintf "dfs/t%d/fd%d/%s" tte.Kernel.tid fd f.df_name in
+          let r, _ =
+            Kernel.synthesize k ~name:(tag ^ "/read")
+              ~env:[ ("gauge", gauge) ]
+              (read_template hcall k dfs)
+          in
+          let bad = Kernel.shared_entry k "bad_fd" in
+          {
+            Vfs.h_read = r;
+            h_write = bad; (* read-only file system *)
+            h_pos_cell = Some pos_cell;
+            h_close = (fun () -> Kalloc.free k.Kernel.alloc pos_cell);
+          }))
+    files;
+  dfs
+
+let files t = t.dfs_files

@@ -1,0 +1,21 @@
+(** The disk-backed file system: files in contiguous block runs read
+    through the §5.1 pipeline (elevator scheduler, buffer cache), with
+    threads blocking on cache misses and woken by the completion
+    interrupt.  Read-only; the measured file system of the paper's
+    evaluation is the memory-resident {!Fs}. *)
+
+type dfs_file = { df_name : string; df_start : int; df_words : int }
+
+type t
+
+(** Write a directory (block 0) and file bodies onto the raw disk
+    device — a host-side mkfs. *)
+val format : Kernel.t -> files:(string * int array) list -> unit
+
+(** Read the directory through the cache and register every file as
+    [/disk/<name>].  Requires a live machine context (the superblock
+    read completes through the disk interrupt): start the kernel —
+    at least the idle thread — first. *)
+val mount : Vfs.t -> Disk_server.t -> t
+
+val files : t -> dfs_file list

@@ -1,0 +1,252 @@
+(* The default file system server pipeline (§5.1):
+
+     raw disk device server --> disk scheduler --> cache manager
+                                  (request queue)   (buffer queue)
+                                                        |
+                                  synthesized open-file readers
+
+   The raw disk server is interrupt-driven: it blocks after kicking a
+   transfer and the completion interrupt wakes it.  The disk scheduler
+   holds the request queue and issues requests in elevator order.  The
+   cache manager keeps an LRU cache of block buffers in kernel memory;
+   cache hits never touch the device.  Other file systems sharing the
+   physical disk would attach through a monitor and switch (§5.1) —
+   the switch is exposed for that purpose.
+
+   Requests are descriptors in kernel memory:
+     [0] = block number   [1] = buffer address (cache slot)
+     [2] = direction (1 read, 2 write)   [3] = status (0 pending, 1 done)
+   Completion wakes the requesting thread through the request's wait
+   queue. *)
+
+open Quamachine
+module I = Insn
+
+type request = {
+  r_desc : int; (* descriptor address *)
+  r_block : int;
+  r_waitq : Kernel.waitq;
+}
+
+type t = {
+  ds_kernel : Kernel.t;
+  (* scheduler state *)
+  mutable ds_queue : request list; (* pending, kept in elevator order *)
+  mutable ds_active : request option;
+  mutable ds_arm_position : int; (* current head position *)
+  mutable ds_direction : int; (* +1 sweeping up, -1 sweeping down *)
+  mutable ds_issued : int list; (* service order, newest first (tests) *)
+  (* cache manager *)
+  ds_cache : (int, int) Hashtbl.t; (* block -> buffer address *)
+  mutable ds_lru : int list; (* block numbers, most recent first *)
+  ds_cache_capacity : int;
+  mutable ds_dirty : (int, unit) Hashtbl.t;
+  mutable ds_hits : int;
+  mutable ds_misses : int;
+  (* the switch through which file systems attach (§5.1) *)
+  ds_switch : Quaject.switch;
+  ds_monitor : Quaject.monitor;
+}
+
+let block_words = Devices.Disk.block_words
+
+(* ---------------------------------------------------------------- *)
+(* Disk scheduler: elevator (SCAN) order *)
+
+let elevator_insert t req =
+  (* keep two sorted runs: the current sweep, then the reverse sweep *)
+  let pos = t.ds_arm_position and dir = t.ds_direction in
+  let key r =
+    let b = r.r_block in
+    if dir > 0 then if b >= pos then (0, b) else (1, -b)
+    else if b <= pos then (0, -b)
+    else (1, b)
+  in
+  t.ds_queue <-
+    List.sort (fun a b -> compare (key a) (key b)) (req :: t.ds_queue);
+  Machine.charge t.ds_kernel.Kernel.machine (10 + (4 * List.length t.ds_queue))
+
+let issue t req =
+  t.ds_active <- Some req;
+  t.ds_issued <- req.r_block :: t.ds_issued;
+  t.ds_arm_position <- req.r_block
+
+(* The MMIO registers are only reachable through machine loads/stores;
+   drive them with a tiny supervisor fragment. *)
+let issue_via_machine t req =
+  let m = t.ds_kernel.Kernel.machine in
+  let dir = Machine.peek m (req.r_desc + 2) in
+  let buf = Machine.peek m (req.r_desc + 1) in
+  let frag =
+    [
+      I.Move (I.Imm req.r_block, I.Abs Mmio_map.disk_block);
+      I.Move (I.Imm buf, I.Abs Mmio_map.disk_buffer);
+      I.Move (I.Imm dir, I.Abs Mmio_map.disk_command);
+    ]
+  in
+  (* executed inline by the kernel (supervisor context) *)
+  List.iter
+    (fun insn ->
+      match insn with
+      | I.Move (I.Imm v, I.Abs a) ->
+        Machine.charge t.ds_kernel.Kernel.machine 2;
+        (* use the MMIO path so the device reacts *)
+        let saved = Machine.in_supervisor m in
+        Machine.set_supervisor m true;
+        Machine.write_mem m a v;
+        Machine.set_supervisor m saved
+      | _ -> assert false)
+    frag
+
+let start_next t =
+  match (t.ds_active, t.ds_queue) with
+  | None, req :: rest ->
+    t.ds_queue <- rest;
+    issue t req;
+    issue_via_machine t req;
+    (* reached the top: flip the sweep *)
+    if t.ds_queue = [] then t.ds_direction <- t.ds_direction
+  | _ -> ()
+
+(* Submit a request; returns the descriptor so a thread can block on
+   its wait queue (or the host can poll its status word). *)
+let submit t ?waitq ~block ~buffer ~write () =
+  let k = t.ds_kernel in
+  let desc = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+  let m = k.Kernel.machine in
+  Machine.poke m desc block;
+  Machine.poke m (desc + 1) buffer;
+  Machine.poke m (desc + 2) (if write then 2 else 1);
+  Machine.poke m (desc + 3) 0;
+  Machine.charge_refs m 4;
+  let wq = match waitq with Some w -> w | None -> Kernel.waitq ~name:"disk/req" in
+  let req = { r_desc = desc; r_block = block; r_waitq = wq } in
+  elevator_insert t req;
+  start_next t;
+  req
+
+(* ---------------------------------------------------------------- *)
+(* Completion interrupt *)
+
+let install_irq t =
+  let k = t.ds_kernel in
+  let m = k.Kernel.machine in
+  let complete_id =
+    Machine.register_hcall m (fun m ->
+        (match t.ds_active with
+        | Some req ->
+          Machine.poke m (req.r_desc + 3) 1;
+          t.ds_active <- None;
+          (* wake everyone sleeping on this transfer: shared wait
+             queues (e.g. a file system mount) re-check on resume *)
+          Thread.unblock_all k req.r_waitq;
+          Kalloc.free k.Kernel.alloc req.r_desc
+        | None -> ());
+        start_next t;
+        Machine.charge m 25)
+  in
+  let irq, _ =
+    Kernel.install_shared k ~name:"disk/irq" [ I.Hcall complete_id; I.Rte ]
+  in
+  Kernel.set_vector_all k Mmio_map.disk_vector irq
+
+(* ---------------------------------------------------------------- *)
+(* Cache manager *)
+
+let evict_if_needed t =
+  if Hashtbl.length t.ds_cache > t.ds_cache_capacity then begin
+    match List.rev t.ds_lru with
+    | [] -> ()
+    | victim :: _ ->
+      t.ds_lru <- List.filter (fun b -> b <> victim) t.ds_lru;
+      (match Hashtbl.find_opt t.ds_cache victim with
+      | Some buf ->
+        (* write back dirty blocks before reuse *)
+        if Hashtbl.mem t.ds_dirty victim then begin
+          Hashtbl.remove t.ds_dirty victim;
+          let req = submit t ~block:victim ~buffer:buf ~write:true () in
+          ignore req
+        end
+        else Kalloc.free t.ds_kernel.Kernel.alloc buf
+      | None -> ());
+      Hashtbl.remove t.ds_cache victim
+  end
+
+let touch t block =
+  t.ds_lru <- block :: List.filter (fun b -> b <> block) t.ds_lru;
+  Machine.charge t.ds_kernel.Kernel.machine 8
+
+(* Get the cache buffer for [block], scheduling a read on a miss.
+   Returns (buffer, ready_request option): [None] means a cache hit.
+   A calling thread blocks on the request's wait queue on a miss. *)
+let get_block t ?waitq block =
+  let k = t.ds_kernel in
+  match Hashtbl.find_opt t.ds_cache block with
+  | Some buf ->
+    t.ds_hits <- t.ds_hits + 1;
+    touch t block;
+    (buf, None)
+  | None ->
+    t.ds_misses <- t.ds_misses + 1;
+    let buf = Kalloc.alloc k.Kernel.alloc block_words in
+    Hashtbl.replace t.ds_cache block buf;
+    touch t block;
+    evict_if_needed t;
+    let req = submit t ?waitq ~block ~buffer:buf ~write:false () in
+    (buf, Some req)
+
+let mark_dirty t block = Hashtbl.replace t.ds_dirty block ()
+
+(* Host-side synchronous read: drives the machine until the request
+   completes (for servers running outside a thread, and for tests). *)
+let read_block_sync t block ~max_insns =
+  let m = t.ds_kernel.Kernel.machine in
+  match get_block t block with
+  | buf, None -> Some buf
+  | buf, Some req ->
+    let ok =
+      let rec go n =
+        if n <= 0 then false
+        else if Machine.peek m (req.r_desc + 3) = 1 then true
+        else begin
+          Machine.step m;
+          go (n - 1)
+        end
+      in
+      go max_insns
+    in
+    if ok then Some buf else None
+
+let stats t = (t.ds_hits, t.ds_misses)
+let service_order t = List.rev t.ds_issued
+
+(* ---------------------------------------------------------------- *)
+
+let install k ?(cache_capacity = 16) () =
+  let bad = Kernel.shared_entry k "bad_fd" in
+  let t =
+    {
+      ds_kernel = k;
+      ds_queue = [];
+      ds_active = None;
+      ds_arm_position = 0;
+      ds_direction = 1;
+      ds_issued = [];
+      ds_cache = Hashtbl.create 64;
+      ds_lru = [];
+      ds_cache_capacity = cache_capacity;
+      ds_dirty = Hashtbl.create 16;
+      ds_hits = 0;
+      ds_misses = 0;
+      ds_switch = Quaject.create_switch k ~name:"disk/fs_switch" [| bad; bad; bad; bad |];
+      ds_monitor = Quaject.create_monitor k ~name:"disk/monitor";
+    }
+  in
+  install_irq t;
+  t
+
+(* Attach a file system's read entry point through the shared switch
+   (the paper's "monitor and switch" composition for multiple file
+   systems on one physical disk). *)
+let attach_filesystem t ~slot ~entry =
+  Quaject.retarget t.ds_kernel t.ds_switch ~index:slot ~target:entry

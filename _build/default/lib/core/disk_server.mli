@@ -1,0 +1,37 @@
+(** The file system server pipeline (§5.1): raw interrupt-driven disk
+    server → elevator (SCAN) request scheduler → LRU buffer cache with
+    dirty write-back.  Additional file systems attach through the
+    exposed switch and monitor. *)
+
+type request = { r_desc : int; r_block : int; r_waitq : Kernel.waitq }
+(** Request descriptors live in kernel memory:
+    [0]=block [1]=buffer [2]=direction [3]=status (1 when done). *)
+
+type t
+
+val block_words : int
+val install : Kernel.t -> ?cache_capacity:int -> unit -> t
+
+(** Queue a transfer in elevator order; completion sets the status
+    word and wakes everyone on [r_waitq] (pass [waitq] to share one,
+    e.g. per file-system mount). *)
+val submit :
+  t -> ?waitq:Kernel.waitq -> block:int -> buffer:int -> write:bool -> unit -> request
+
+(** Cache lookup: [None] as second component means a hit; on a miss
+    the returned request completes asynchronously. *)
+val get_block : t -> ?waitq:Kernel.waitq -> int -> int * request option
+
+val mark_dirty : t -> int -> unit
+
+(** Host-side synchronous read: steps the machine until the block is
+    resident (tests and host-driven servers). *)
+val read_block_sync : t -> int -> max_insns:int -> int option
+
+(** (hits, misses) *)
+val stats : t -> int * int
+
+(** Block numbers in the order the device serviced them. *)
+val service_order : t -> int list
+
+val attach_filesystem : t -> slot:int -> entry:int -> unit

@@ -1,0 +1,91 @@
+(* Inspection of synthesized code: find routines by registry name and
+   disassemble them with annotations — the window into what the
+   synthesizer actually emitted. *)
+
+open Quamachine
+
+(* Annotation function built from the synthesis registry. *)
+let annotator k : Monitor.annotation =
+  let by_addr = Hashtbl.create 64 in
+  List.iter (fun (name, entry, _) -> Hashtbl.replace by_addr entry name) (Kernel.registry k);
+  fun addr -> Hashtbl.find_opt by_addr addr
+
+let find k name =
+  List.find_opt (fun (n, _, _) -> n = name) (Kernel.registry k)
+
+(* Routines whose registry name contains [substr]. *)
+let grep k substr =
+  List.filter
+    (fun (n, _, _) ->
+      let ls = String.lowercase_ascii substr and ln = String.lowercase_ascii n in
+      let rec contains i =
+        if i + String.length ls > String.length ln then false
+        else if String.sub ln i (String.length ls) = ls then true
+        else contains (i + 1)
+      in
+      contains 0)
+    (Kernel.registry k)
+
+let disassemble_routine k ppf name =
+  match find k name with
+  | None -> Fmt.pf ppf "no such routine: %s@." name
+  | Some (n, entry, len) ->
+    Fmt.pf ppf "%s (%d instructions at %d):@." n len entry;
+    Monitor.disassemble ~annotate:(annotator k) k.Kernel.machine ~from:entry ~len ppf;
+    Fmt.pf ppf "static cycles (excl. memory refs): %d@."
+      (Monitor.static_cycles k.Kernel.machine ~from:entry ~len)
+
+let pp_registry k ppf () =
+  List.iter
+    (fun (name, entry, len) -> Fmt.pf ppf "%6d %4d  %s@." entry len name)
+    (Kernel.registry k)
+
+let pp_threads k ppf () =
+  Hashtbl.iter
+    (fun tid (t : Kernel.tte) ->
+      Fmt.pf ppf
+        "thread %d: state=%s tte=%d map=%d quantum=%dus fp=%b sw_out=%d sw_in=%d@."
+        tid
+        (match t.Kernel.state with
+        | Kernel.Ready -> "ready"
+        | Kernel.Blocked -> "blocked"
+        | Kernel.Stopped -> "stopped"
+        | Kernel.Zombie -> "zombie")
+        t.Kernel.base t.Kernel.map_id t.Kernel.quantum_us t.Kernel.uses_fp
+        t.Kernel.sw_out t.Kernel.sw_in)
+    k.Kernel.threads
+
+(* Aggregate a machine cycle profile by synthesized routine: which
+   kernel code the cycles went to (the monitor's profiling view). *)
+let profile_by_routine k ~top =
+  let m = k.Kernel.machine in
+  let routines =
+    List.sort
+      (fun (_, e1, _) (_, e2, _) -> compare e1 e2)
+      (Kernel.registry k)
+  in
+  let containing addr =
+    List.fold_left
+      (fun acc (name, entry, len) ->
+        if addr >= entry && addr < entry + len then Some name else acc)
+      None routines
+  in
+  let totals = Hashtbl.create 32 in
+  List.iter
+    (fun (addr, cycles) ->
+      let key = match containing addr with Some n -> n | None -> "<user/other>" in
+      Hashtbl.replace totals key
+        (cycles + (try Hashtbl.find totals key with Not_found -> 0)))
+    (Quamachine.Machine.profile_top m 100_000);
+  Hashtbl.fold (fun name cy acc -> (name, cy) :: acc) totals []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+  |> List.filteri (fun i _ -> i < top)
+
+let pp_profile k ppf ~top =
+  let total = float_of_int (Quamachine.Machine.cycles k.Kernel.machine) in
+  List.iter
+    (fun (name, cy) ->
+      Fmt.pf ppf "  %8d cycles %5.1f%%  %s@." cy
+        (100.0 *. float_of_int cy /. total)
+        name)
+    (profile_by_routine k ~top)

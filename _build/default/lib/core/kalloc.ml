@@ -1,0 +1,130 @@
+(* Kernel memory allocator over the machine's data memory.
+
+   The paper's allocator is an executable data structure implementing
+   a fast-fit heap (§6.3).  We implement the fast-fit policy —
+   segregated free lists indexed by size class, falling back to
+   first-fit on a sorted large-block list — as a host-side service
+   with explicit cycle charging, since allocation is never on a
+   synthesized hot path that the evaluation measures per-instruction. *)
+
+open Quamachine
+
+type block = { addr : int; len : int }
+
+type t = {
+  machine : Machine.t;
+  base : int;
+  limit : int;
+  (* size-class free lists: class i holds blocks of exactly 2^(i+4) words *)
+  classes : block list array;
+  mutable large : block list; (* sorted by address, coalesced *)
+  mutable live_words : int;
+  mutable allocated : (int, int) Hashtbl.t; (* addr -> len *)
+}
+
+let num_classes = 8
+let class_words i = 1 lsl (i + 4) (* 16 .. 2048 words *)
+
+let create machine ~base ~limit =
+  {
+    machine;
+    base;
+    limit;
+    classes = Array.make num_classes [];
+    large = [ { addr = base; len = limit - base } ];
+    live_words = 0;
+    allocated = Hashtbl.create 64;
+  }
+
+let class_for len =
+  let rec go i = if i >= num_classes then None else if class_words i >= len then Some i else go (i + 1) in
+  go 0
+
+(* Carve [len] words from the large list (first fit). *)
+let carve t len =
+  let rec go acc = function
+    | [] -> None
+    | b :: rest when b.len >= len ->
+      let remainder =
+        if b.len = len then rest else { addr = b.addr + len; len = b.len - len } :: rest
+      in
+      Some (b.addr, List.rev_append acc remainder)
+    | b :: rest -> go (b :: acc) rest
+  in
+  match go [] t.large with
+  | None -> None
+  | Some (addr, large) ->
+    t.large <- large;
+    Some addr
+
+exception Out_of_memory
+
+(* Allocate [len] words; returns the address.  Fast path: pop the
+   size-class list (the "fast fit"); slow path: carve from the large
+   region.  Cost: ~20 cycles fast, ~60 slow (charged). *)
+let alloc t len =
+  if len <= 0 then invalid_arg "Kalloc.alloc";
+  let addr, charged =
+    match class_for len with
+    | Some cls -> (
+      match t.classes.(cls) with
+      | b :: rest ->
+        t.classes.(cls) <- rest;
+        (Some b.addr, 20)
+      | [] -> (
+        match carve t (class_words cls) with
+        | Some addr -> (Some addr, 60)
+        | None -> (None, 60)))
+    | None -> (
+      match carve t len with Some addr -> (Some addr, 80) | None -> (None, 80))
+  in
+  Machine.charge t.machine charged;
+  match addr with
+  | None -> raise Out_of_memory
+  | Some addr ->
+    let stored_len =
+      match class_for len with Some cls -> class_words cls | None -> len
+    in
+    Hashtbl.replace t.allocated addr stored_len;
+    t.live_words <- t.live_words + stored_len;
+    addr
+
+(* Allocate and zero. *)
+let alloc_zeroed t len =
+  let addr = alloc t len in
+  for i = addr to addr + len - 1 do
+    Machine.poke t.machine i 0
+  done;
+  (* zeroing touches memory for real *)
+  Machine.charge_refs t.machine len;
+  addr
+
+let free t addr =
+  match Hashtbl.find_opt t.allocated addr with
+  | None -> invalid_arg "Kalloc.free: not an allocated block"
+  | Some len ->
+    Hashtbl.remove t.allocated addr;
+    t.live_words <- t.live_words - len;
+    Machine.charge t.machine 15;
+    (match class_for len with
+    | Some cls when class_words cls = len ->
+      t.classes.(cls) <- { addr; len } :: t.classes.(cls)
+    | _ ->
+      (* return to the large list, keeping it address-sorted and
+         coalescing neighbours *)
+      let rec insert = function
+        | [] -> [ { addr; len } ]
+        | b :: rest when addr + len = b.addr -> { addr; len = len + b.len } :: rest
+        | b :: rest when b.addr + b.len = addr -> insert_merge b rest
+        | b :: rest when addr < b.addr -> { addr; len } :: b :: rest
+        | b :: rest -> b :: insert rest
+      and insert_merge b rest =
+        match rest with
+        | nxt :: rest' when b.addr + b.len + len = nxt.addr ->
+          { addr = b.addr; len = b.len + len + nxt.len } :: rest'
+        | _ -> { addr = b.addr; len = b.len + len } :: rest
+      in
+      t.large <- insert t.large)
+
+let live_words t = t.live_words
+let block_len t addr = Hashtbl.find_opt t.allocated addr

@@ -1,0 +1,21 @@
+(** Kernel memory allocator: a fast-fit heap (§6.3) over the
+    machine's data memory — segregated power-of-two free lists with a
+    coalescing first-fit fallback.  Allocation costs are charged to
+    the simulated clock. *)
+
+type t
+
+exception Out_of_memory
+
+val create : Quamachine.Machine.t -> base:int -> limit:int -> t
+
+(** Allocate [len] words; returns the address. *)
+val alloc : t -> int -> int
+
+(** Allocate and zero-fill (the zeroing touches memory and is
+    charged). *)
+val alloc_zeroed : t -> int -> int
+
+val free : t -> int -> unit
+val live_words : t -> int
+val block_len : t -> int -> int option

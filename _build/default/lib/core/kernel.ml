@@ -1,0 +1,210 @@
+(* The Synthesis kernel instance.
+
+   Holds the simulated machine, its devices, the kernel allocator, the
+   thread table, and the registry of synthesized code.  The running
+   thread is identified by the [Layout.cur_tte_cell] kernel global,
+   which every thread's synthesized context-switch-in code keeps
+   current — the host-side structures mirror what the code in the
+   machine does, they never drive it. *)
+
+open Quamachine
+
+type thread_state = Ready | Blocked | Stopped | Zombie
+
+type tte = {
+  tid : int;
+  base : int; (* data address of the 256-word TTE block *)
+  map_id : int;
+  mutable state : thread_state;
+  mutable sw_out : int; (* code entries of the synthesized switch code *)
+  mutable sw_in : int;
+  mutable sw_in_mmu : int;
+  mutable jmp_slot : int; (* patchable Jmp ending sw_out (ready queue) *)
+  mutable quantum_slot : int; (* patchable Move #quantum in sw_in *)
+  mutable uses_fp : bool;
+  mutable quantum_us : int;
+  mutable rq_next : tte option; (* host mirror of the executable ring *)
+  mutable rq_prev : tte option;
+  mutable waiting_on : string option;
+  mutable owned_blocks : int list; (* kalloc blocks freed at destroy *)
+  mutable is_system : bool; (* kernel service threads don't keep the machine alive *)
+}
+
+(* A waiting queue for one resource (§4.1: each resource has its own
+   waiting queue; there is no general blocked queue to traverse). *)
+type waitq = {
+  wq_name : string;
+  mutable waiters : tte list;
+  mutable wq_block_hcall : int; (* memoized host-call ids, -1 = none *)
+  mutable wq_unblock_hcall : int;
+}
+
+let waitq ~name =
+  { wq_name = name; waiters = []; wq_block_hcall = -1; wq_unblock_hcall = -1 }
+
+type t = {
+  machine : Machine.t;
+  alloc : Kalloc.t;
+  timer : Devices.Timer.t;
+  alarm : Devices.Timer.t;
+  tty : Devices.Tty.t;
+  disk : Devices.Disk.t;
+  ad : Devices.Ad.t;
+  da : Devices.Da.t;
+  threads : (int, tte) Hashtbl.t;
+  by_base : (int, tte) Hashtbl.t;
+  mutable next_tid : int;
+  mutable rq_anchor : tte option;
+  (* synthesized-code registry: (name, entry, instruction count) *)
+  mutable registry : (string * int * int) list;
+  mutable synthesized_insns : int;
+  (* cost of running the synthesizer: template setup + per emitted
+     instruction (factorization + peephole + store).  Calibrated so
+     that open(/dev/null) spends ~40% of its time generating code
+     (§6.3). *)
+  codegen_cycles_fixed : int;
+  codegen_cycles_per_insn : int;
+  (* default vector table copied into each new thread's TTE *)
+  default_vectors : int array;
+  (* shared kernel entry points by name *)
+  shared : (string, int) Hashtbl.t;
+  mutable idle_thread : tte option;
+  (* error traps that killed threads: (tid, fault name) *)
+  mutable fault_log : (int * string) list;
+}
+
+let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
+  let machine = Machine.create ~mem_words cost in
+  Devices.Rtc.install machine;
+  Devices.Cpu_control.install machine;
+  let timer = Devices.Timer.install machine in
+  let alarm =
+    Devices.Timer.install ~name:"alarm" ~addr:Mmio_map.alarm_set
+      ~level:Mmio_map.alarm_level ~vector:Mmio_map.alarm_vector machine
+  in
+  let tty = Devices.Tty.install machine in
+  let disk = Devices.Disk.install machine in
+  let ad = Devices.Ad.install machine in
+  let da = Devices.Da.install machine in
+  let alloc = Kalloc.create machine ~base:Layout.heap_base ~limit:Layout.heap_limit in
+  (* reserve code address 0 so that a zero vector means "unset" *)
+  let guard = Machine.append_code machine [ Insn.Halt ] in
+  assert (guard = 0);
+  {
+    machine;
+    alloc;
+    timer;
+    alarm;
+    tty;
+    disk;
+    ad;
+    da;
+    threads = Hashtbl.create 32;
+    by_base = Hashtbl.create 32;
+    next_tid = 1;
+    rq_anchor = None;
+    registry = [];
+    synthesized_insns = 0;
+    codegen_cycles_fixed = 120;
+    codegen_cycles_per_insn = 5;
+    default_vectors = Array.make Insn.Vector.table_size 0;
+    shared = Hashtbl.create 32;
+    idle_thread = None;
+    fault_log = [];
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Code synthesis entry point: factorize -> optimize -> install.
+   Generation cost is charged per emitted instruction, which is what
+   makes `open` pay for the code it synthesizes (§6.3). *)
+
+let log_src = Logs.Src.create "synthesis.kernel" ~doc:"Synthesis kernel code generation"
+
+module Log = (val Logs.src_log log_src)
+
+let synthesize k ~name ~env template =
+  let raw = Template.instantiate template ~env in
+  let optimized = Peephole.optimize raw in
+  let n = Asm.length optimized in
+  Machine.charge k.machine (k.codegen_cycles_fixed + (n * k.codegen_cycles_per_insn));
+  let entry, syms = Asm.assemble k.machine optimized in
+  Log.debug (fun f ->
+      f "synthesized %s: %d insns at %d (%d before peephole)" name n entry
+        (Asm.length raw));
+  k.registry <- (name, entry, n) :: k.registry;
+  k.synthesized_insns <- k.synthesized_insns + n;
+  (entry, syms)
+
+(* Install boot-time shared kernel code (not specialized, charged at
+   the same rate; happens once at boot). *)
+let install_shared k ~name insns =
+  let optimized = Peephole.optimize insns in
+  let entry, syms = Asm.assemble k.machine optimized in
+  Hashtbl.replace k.shared name entry;
+  k.registry <- (name, entry, Asm.length optimized) :: k.registry;
+  (entry, syms)
+
+let shared_entry k name =
+  match Hashtbl.find_opt k.shared name with
+  | Some a -> a
+  | None -> invalid_arg ("Kernel.shared_entry: unknown " ^ name)
+
+let register_shared k ~name entry = Hashtbl.replace k.shared name entry
+let has_shared k name = Hashtbl.mem k.shared name
+
+(* ------------------------------------------------------------------ *)
+(* Threads *)
+
+let thread k tid = Hashtbl.find_opt k.threads tid
+
+let thread_exn k tid =
+  match thread k tid with
+  | Some t -> t
+  | None -> invalid_arg ("Kernel.thread: no thread " ^ string_of_int tid)
+
+(* The running thread, as recorded by synthesized sw_in code. *)
+let current k =
+  let base = Machine.peek k.machine Layout.cur_tte_cell in
+  Hashtbl.find_opt k.by_base base
+
+let current_exn k =
+  match current k with
+  | Some t -> t
+  | None -> failwith "Kernel.current: no thread is running"
+
+(* ------------------------------------------------------------------ *)
+(* Vector table helpers *)
+
+let vector_addr tte idx = tte.base + Layout.Tte.off_vectors + idx
+
+let set_vector k tte idx handler =
+  Machine.poke k.machine (vector_addr tte idx) handler
+
+let get_vector k tte idx = Machine.peek k.machine (vector_addr tte idx)
+
+(* Set a default vector and propagate to all existing threads (used
+   when a device server comes up after threads were created). *)
+let set_vector_all k idx handler =
+  k.default_vectors.(idx) <- handler;
+  Hashtbl.iter (fun _ tte -> set_vector k tte idx handler) k.threads
+
+(* ------------------------------------------------------------------ *)
+(* Synthesized-code accounting (kernel size report, §6.4) *)
+
+let registry k = List.rev k.registry
+let synthesized_insns k = k.synthesized_insns
+
+let registry_report k =
+  let by_prefix = Hashtbl.create 16 in
+  List.iter
+    (fun (name, _, n) ->
+      let prefix =
+        match String.index_opt name '/' with
+        | Some i -> String.sub name 0 i
+        | None -> name
+      in
+      let cur = try Hashtbl.find by_prefix prefix with Not_found -> (0, 0) in
+      Hashtbl.replace by_prefix prefix (fst cur + 1, snd cur + n))
+    k.registry;
+  Hashtbl.fold (fun p (count, insns) acc -> (p, count, insns) :: acc) by_prefix []
+  |> List.sort compare

@@ -1,0 +1,108 @@
+(** The Synthesis kernel instance: the simulated machine and its
+    devices, the kernel allocator, the thread table, and the registry
+    of synthesized code.  The running thread is identified by the
+    [Layout.cur_tte_cell] kernel global, which every thread's
+    synthesized switch-in code keeps current — host structures mirror
+    the machine, they never drive it.
+
+    The records are transparent: subsystem modules are the kernel and
+    manipulate them directly. *)
+
+open Quamachine
+
+type thread_state = Ready | Blocked | Stopped | Zombie
+
+type tte = {
+  tid : int;
+  base : int; (** data address of the 256-word TTE block (Figure 3) *)
+  map_id : int;
+  mutable state : thread_state;
+  mutable sw_out : int;
+  mutable sw_in : int;
+  mutable sw_in_mmu : int;
+  mutable jmp_slot : int; (** the ready queue's patchable jmp *)
+  mutable quantum_slot : int; (** the scheduler's patchable quantum *)
+  mutable uses_fp : bool;
+  mutable quantum_us : int;
+  mutable rq_next : tte option; (** host mirror of the executable ring *)
+  mutable rq_prev : tte option;
+  mutable waiting_on : string option;
+  mutable owned_blocks : int list;
+  mutable is_system : bool;
+}
+
+(** A per-resource wait queue (§4.1: no general blocked queue). *)
+type waitq = {
+  wq_name : string;
+  mutable waiters : tte list;
+  mutable wq_block_hcall : int;
+  mutable wq_unblock_hcall : int;
+}
+
+val waitq : name:string -> waitq
+
+type t = {
+  machine : Machine.t;
+  alloc : Kalloc.t;
+  timer : Devices.Timer.t;
+  alarm : Devices.Timer.t;
+  tty : Devices.Tty.t;
+  disk : Devices.Disk.t;
+  ad : Devices.Ad.t;
+  da : Devices.Da.t;
+  threads : (int, tte) Hashtbl.t;
+  by_base : (int, tte) Hashtbl.t;
+  mutable next_tid : int;
+  mutable rq_anchor : tte option;
+  mutable registry : (string * int * int) list;
+  mutable synthesized_insns : int;
+  codegen_cycles_fixed : int;
+  codegen_cycles_per_insn : int;
+  default_vectors : int array;
+  shared : (string, int) Hashtbl.t;
+  mutable idle_thread : tte option;
+  mutable fault_log : (int * string) list;
+}
+
+val create : ?cost:Cost.t -> ?mem_words:int -> unit -> t
+
+(** {1 Code synthesis}: factorize → optimize → install, charging
+    generation cost to the simulated clock (what makes [open] pay for
+    the code it emits, §6.3). *)
+
+val synthesize :
+  t -> name:string -> env:(string * int) list -> Template.t -> int * Asm.symbols
+
+(** Boot-time shared kernel code, registered by name. *)
+val install_shared : t -> name:string -> Insn.insn list -> int * Asm.symbols
+
+val shared_entry : t -> string -> int
+val register_shared : t -> name:string -> int -> unit
+val has_shared : t -> string -> bool
+
+(** {1 Threads} *)
+
+val thread : t -> int -> tte option
+val thread_exn : t -> int -> tte
+
+(** The running thread, per the cur_tte kernel global. *)
+val current : t -> tte option
+
+val current_exn : t -> tte
+
+(** {1 Vector tables} *)
+
+val vector_addr : tte -> int -> int
+val set_vector : t -> tte -> int -> int -> unit
+val get_vector : t -> tte -> int -> int
+
+(** Set a default vector and propagate to all existing threads. *)
+val set_vector_all : t -> int -> int -> unit
+
+(** {1 Synthesized-code accounting (§6.4)} *)
+
+val registry : t -> (string * int * int) list
+val synthesized_insns : t -> int
+
+(** (prefix, routine count, instruction count) per subsystem. *)
+val registry_report : t -> (string * int * int) list

@@ -1,0 +1,428 @@
+(* Synthesized kernel queues (Figures 1 and 2).
+
+   Most Synthesis kernel data structures are queues; once queue
+   operations synchronize without locking, most of the kernel runs
+   without locking (§3.2).  These templates generate the queue code
+   with the descriptor addresses folded in.  The generated routines
+   are kernel subroutines: item in r1, status returned in r0
+   (1 = done, 0 = would block), clobbering r4..r7.
+
+   The MP-SC put is the paper's measured path: 11 instructions on the
+   68020 for the normal case, ~20 with one CAS retry.  The benchmark
+   suite counts the executed instructions of our generated code and
+   reports them next to the paper's numbers. *)
+
+open Quamachine
+module I = Insn
+
+type kind = Spsc | Mpsc | Spmc | Mpmc
+
+type t = {
+  q_kind : kind;
+  q_name : string;
+  q_desc : int; (* [desc]=head, [desc+1]=tail *)
+  q_buf : int;
+  q_flag : int; (* flag array base (MP-SC); 0 for SP-SC *)
+  q_size : int;
+  q_put : int; (* code entries *)
+  q_get : int;
+  q_put_many : int; (* 0 when absent *)
+}
+
+let head_cell q = q.q_desc
+let tail_cell q = q.q_desc + 1
+
+(* ---------------------------------------------------------------- *)
+(* Templates *)
+
+(* Figure 1, Q_put: publish the item before advancing Q_head, so the
+   consumer never sees a half-written slot. *)
+let spsc_put_template =
+  Template.make ~name:"spsc_put" ~params:[ "head"; "tail"; "buf"; "size" ] (fun p ->
+      [
+        I.Move (I.Abs (p "head"), I.Reg I.r4); (* h *)
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm 1, I.r5); (* next(h) *)
+        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r5);
+        I.Label "nowrap";
+        I.Cmp (I.Abs (p "tail"), I.Reg I.r5); (* next(h) = tail -> full *)
+        I.B (I.Eq, I.To_label "full");
+        I.Alu (I.Add, I.Imm (p "buf"), I.r4);
+        I.Move (I.Reg I.r1, I.Ind I.r4); (* fill slot *)
+        I.Move (I.Reg I.r5, I.Abs (p "head")); (* publish last *)
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "full";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* Figure 1, Q_get. *)
+let spsc_get_template =
+  Template.make ~name:"spsc_get" ~params:[ "head"; "tail"; "buf"; "size" ] (fun p ->
+      [
+        I.Move (I.Abs (p "tail"), I.Reg I.r4); (* t *)
+        I.Cmp (I.Abs (p "head"), I.Reg I.r4);
+        I.B (I.Eq, I.To_label "empty");
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r5);
+        I.Move (I.Ind I.r5, I.Reg I.r1); (* take item *)
+        I.Alu (I.Add, I.Imm 1, I.r4);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r4);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r4);
+        I.Label "nowrap";
+        I.Move (I.Reg I.r4, I.Abs (p "tail")); (* free slot last *)
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "empty";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* MP-SC single-item put: claim a slot by CAS on Q_head, fill it, then
+   set the slot's valid flag (Figure 2 with H = 1).  A failed CAS
+   reloads r4 with the fresh head (68020 CAS semantics), so the retry
+   loop re-enters after the initial load. *)
+let mpsc_put_template =
+  Template.make ~name:"mpsc_put" ~params:[ "head"; "tail"; "buf"; "flag"; "size" ]
+    (fun p ->
+      [
+        I.Move (I.Abs (p "head"), I.Reg I.r4); (* h *)
+        I.Label "retry";
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm 1, I.r5);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r5);
+        I.Label "nowrap";
+        I.Cmp (I.Abs (p "tail"), I.Reg I.r5);
+        I.B (I.Eq, I.To_label "full");
+        I.Cas (I.r4, I.r5, I.Abs (p "head")); (* stake the claim *)
+        I.B (I.Ne, I.To_label "retry");
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
+        I.Move (I.Reg I.r1, I.Ind I.r6); (* fill *)
+        I.Alu (I.Add, I.Imm (p "flag"), I.r4);
+        I.Move (I.Imm 1, I.Ind I.r4); (* mark valid *)
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "full";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* MP-SC get: the single consumer trusts only the flags. *)
+let mpsc_get_template =
+  Template.make ~name:"mpsc_get" ~params:[ "tail"; "buf"; "flag"; "size" ] (fun p ->
+      [
+        I.Move (I.Abs (p "tail"), I.Reg I.r4);
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r5);
+        I.Tst (I.Ind I.r5);
+        I.B (I.Eq, I.To_label "empty");
+        I.Move (I.Imm 0, I.Ind I.r5); (* consume the flag *)
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r5);
+        I.Move (I.Ind I.r5, I.Reg I.r1);
+        I.Alu (I.Add, I.Imm 1, I.r4);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r4);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r4);
+        I.Label "nowrap";
+        I.Move (I.Reg I.r4, I.Abs (p "tail"));
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "empty";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* Figure 2 proper: atomic insert of r3 items read from (r2)+.  Either
+   claims space for the whole burst or fails without side effects. *)
+let mpsc_put_many_template =
+  Template.make ~name:"mpsc_put_many"
+    ~params:[ "head"; "tail"; "buf"; "flag"; "size" ] (fun p ->
+      let size = p "size" in
+      [
+        I.Move (I.Abs (p "head"), I.Reg I.r4);
+        I.Label "retry";
+        (* SpaceLeft(h): (tail - h - 1 + size) adjusted into range *)
+        I.Move (I.Abs (p "tail"), I.Reg I.r5);
+        I.Alu (I.Sub, I.Reg I.r4, I.r5);
+        I.Alu (I.Add, I.Imm (size - 1), I.r5);
+        I.Cmp (I.Imm size, I.Reg I.r5);
+        I.B (I.Lt, I.To_label "nomod");
+        I.Alu (I.Sub, I.Imm size, I.r5);
+        I.Label "nomod";
+        I.Cmp (I.Reg I.r3, I.Reg I.r5); (* space - H *)
+        I.B (I.Cs, I.To_label "full"); (* space < H *)
+        (* hi = AddWrap(h, H) *)
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Reg I.r3, I.r6);
+        I.Cmp (I.Imm size, I.Reg I.r6);
+        I.B (I.Lt, I.To_label "nowrap");
+        I.Alu (I.Sub, I.Imm size, I.r6);
+        I.Label "nowrap";
+        I.Cas (I.r4, I.r6, I.Abs (p "head"));
+        I.B (I.Ne, I.To_label "retry");
+        (* fill the claimed slots, setting each valid flag *)
+        I.Move (I.Reg I.r3, I.Reg I.r7);
+        I.Alu (I.Sub, I.Imm 1, I.r7);
+        I.Label "fill";
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
+        I.Move (I.Post_inc I.r2, I.Ind I.r6);
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r6);
+        I.Move (I.Imm 1, I.Ind I.r6);
+        I.Alu (I.Add, I.Imm 1, I.r4);
+        I.Cmp (I.Imm size, I.Reg I.r4);
+        I.B (I.Ne, I.To_label "nf");
+        I.Move (I.Imm 0, I.Reg I.r4);
+        I.Label "nf";
+        I.Dbra (I.r7, I.To_label "fill");
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "full";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* SP-MC get: consumers race on Q_tail with CAS.  A consumer first
+   *claims* the slot (CAS tail forward), then reads it and clears its
+   valid flag; the single producer reuses a slot only when its flag
+   has been cleared, so no two consumers ever touch the same slot and
+   no slot is overwritten while it is being read (§3.2). *)
+let spmc_get_template =
+  Template.make ~name:"spmc_get" ~params:[ "tail"; "buf"; "flag"; "size" ] (fun p ->
+      [
+        I.Move (I.Abs (p "tail"), I.Reg I.r4);
+        I.Label "retry";
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r5);
+        I.Tst (I.Ind I.r5);
+        I.B (I.Eq, I.To_label "empty"); (* not yet published *)
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm 1, I.r5);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r5);
+        I.Label "nowrap";
+        I.Cas (I.r4, I.r5, I.Abs (p "tail")); (* claim the slot *)
+        I.B (I.Ne, I.To_label "retry");
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r5);
+        I.Move (I.Ind I.r5, I.Reg I.r1); (* read *)
+        I.Alu (I.Add, I.Imm (p "flag"), I.r4);
+        I.Move (I.Imm 0, I.Ind I.r4); (* release to the producer *)
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "empty";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* SP-MC put: the single producer writes only slots whose flag has
+   been cleared by the consumer that drained them. *)
+let spmc_put_template =
+  Template.make ~name:"spmc_put" ~params:[ "head"; "tail"; "buf"; "flag"; "size" ]
+    (fun p ->
+      [
+        I.Move (I.Abs (p "head"), I.Reg I.r4);
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r5);
+        I.Tst (I.Ind I.r5);
+        I.B (I.Ne, I.To_label "full"); (* slot still being read *)
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm 1, I.r5);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r5);
+        I.Label "nowrap";
+        I.Cmp (I.Abs (p "tail"), I.Reg I.r5);
+        I.B (I.Eq, I.To_label "full");
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
+        I.Move (I.Reg I.r1, I.Ind I.r6); (* fill *)
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r6);
+        I.Move (I.Imm 1, I.Ind I.r6); (* publish *)
+        I.Move (I.Reg I.r5, I.Abs (p "head"));
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "full";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* ---------------------------------------------------------------- *)
+(* Creation *)
+
+let alloc_common k ~name ~size ~with_flags =
+  let alloc = k.Kernel.alloc in
+  let desc = Kalloc.alloc_zeroed alloc 16 in
+  let buf = Kalloc.alloc_zeroed alloc size in
+  let flag = if with_flags then Kalloc.alloc_zeroed alloc size else 0 in
+  ignore name;
+  (desc, buf, flag)
+
+let create_spsc k ~name ~size =
+  let desc, buf, _ = alloc_common k ~name ~size ~with_flags:false in
+  let env =
+    [ ("head", desc); ("tail", desc + 1); ("buf", buf); ("size", size) ]
+  in
+  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env spsc_put_template in
+  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env spsc_get_template in
+  {
+    q_kind = Spsc;
+    q_name = name;
+    q_desc = desc;
+    q_buf = buf;
+    q_flag = 0;
+    q_size = size;
+    q_put = put;
+    q_get = get;
+    q_put_many = 0;
+  }
+
+let create_mpsc k ~name ~size =
+  let desc, buf, flag = alloc_common k ~name ~size ~with_flags:true in
+  let env =
+    [
+      ("head", desc); ("tail", desc + 1); ("buf", buf); ("flag", flag); ("size", size);
+    ]
+  in
+  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env mpsc_put_template in
+  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env mpsc_get_template in
+  let put_many, _ =
+    Kernel.synthesize k ~name:(name ^ "/put_many") ~env mpsc_put_many_template
+  in
+  {
+    q_kind = Mpsc;
+    q_name = name;
+    q_desc = desc;
+    q_buf = buf;
+    q_flag = flag;
+    q_size = size;
+    q_put = put;
+    q_get = get;
+    q_put_many = put_many;
+  }
+
+let create_spmc k ~name ~size =
+  let desc, buf, flag = alloc_common k ~name ~size ~with_flags:true in
+  let env =
+    [
+      ("head", desc); ("tail", desc + 1); ("buf", buf); ("flag", flag); ("size", size);
+    ]
+  in
+  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env spmc_put_template in
+  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env spmc_get_template in
+  {
+    q_kind = Spmc;
+    q_name = name;
+    q_desc = desc;
+    q_buf = buf;
+    q_flag = flag;
+    q_size = size;
+    q_put = put;
+    q_get = get;
+    q_put_many = 0;
+  }
+
+(* MP-MC put: like Figure 2's claim-by-CAS, but with multiple
+   consumers the head/tail distance alone cannot prove a slot free —
+   a consumer may have advanced Q_tail while still reading its slot.
+   The producer therefore also requires the slot's valid flag to be
+   clear before staking its claim. *)
+let mpmc_put_template =
+  Template.make ~name:"mpmc_put" ~params:[ "head"; "tail"; "buf"; "flag"; "size" ]
+    (fun p ->
+      [
+        I.Move (I.Abs (p "head"), I.Reg I.r4);
+        I.Label "retry";
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r5);
+        I.Tst (I.Ind I.r5);
+        I.B (I.Ne, I.To_label "full"); (* slot not yet drained *)
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm 1, I.r5);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
+        I.B (I.Ne, I.To_label "nowrap");
+        I.Move (I.Imm 0, I.Reg I.r5);
+        I.Label "nowrap";
+        I.Cmp (I.Abs (p "tail"), I.Reg I.r5);
+        I.B (I.Eq, I.To_label "full");
+        I.Cas (I.r4, I.r5, I.Abs (p "head")); (* stake the claim *)
+        I.B (I.Ne, I.To_label "retry");
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
+        I.Move (I.Reg I.r1, I.Ind I.r6);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r4);
+        I.Move (I.Imm 1, I.Ind I.r4); (* publish *)
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Rts;
+        I.Label "full";
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Rts;
+      ])
+
+(* MP-MC: flag-guarded CAS claims at both ends. *)
+let create_mpmc k ~name ~size =
+  let desc, buf, flag = alloc_common k ~name ~size ~with_flags:true in
+  let env =
+    [
+      ("head", desc); ("tail", desc + 1); ("buf", buf); ("flag", flag); ("size", size);
+    ]
+  in
+  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env mpmc_put_template in
+  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env spmc_get_template in
+  {
+    q_kind = Mpmc;
+    q_name = name;
+    q_desc = desc;
+    q_buf = buf;
+    q_flag = flag;
+    q_size = size;
+    q_put = put;
+    q_get = get;
+    q_put_many = 0;
+  }
+
+(* ---------------------------------------------------------------- *)
+(* Host-side access for tests and servers (uncharged) *)
+
+let host_length k q =
+  let m = k.Kernel.machine in
+  let h = Machine.peek m (head_cell q) and t = Machine.peek m (tail_cell q) in
+  if h >= t then h - t else h - t + q.q_size
+
+let host_put k q v =
+  let m = k.Kernel.machine in
+  let h = Machine.peek m (head_cell q) in
+  let nh = if h + 1 = q.q_size then 0 else h + 1 in
+  if nh = Machine.peek m (tail_cell q) then false
+  else begin
+    Machine.poke m (q.q_buf + h) v;
+    if q.q_flag <> 0 then Machine.poke m (q.q_flag + h) 1;
+    Machine.poke m (head_cell q) nh;
+    true
+  end
+
+let host_get k q =
+  let m = k.Kernel.machine in
+  let t = Machine.peek m (tail_cell q) in
+  let valid =
+    if q.q_flag <> 0 then Machine.peek m (q.q_flag + t) = 1
+    else t <> Machine.peek m (head_cell q)
+  in
+  if not valid then None
+  else begin
+    let v = Machine.peek m (q.q_buf + t) in
+    if q.q_flag <> 0 then Machine.poke m (q.q_flag + t) 0;
+    Machine.poke m (tail_cell q) (if t + 1 = q.q_size then 0 else t + 1);
+    Some v
+  end

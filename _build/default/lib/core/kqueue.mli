@@ -1,0 +1,56 @@
+(** Synthesized kernel queues (Figures 1 and 2): the optimistic SP-SC
+    and MP-SC queue code generated with the descriptor addresses
+    folded in.
+
+    Generated routines are kernel subroutines (entered with Jsr):
+    item in r1 (or source pointer r2 and count r3 for the multi-item
+    insert), status in r0 (1 = done, 0 = would block), item out in r1
+    for gets; r4..r7 are clobbered. *)
+
+type kind = Spsc | Mpsc | Spmc | Mpmc
+
+type t = {
+  q_kind : kind;
+  q_name : string;
+  q_desc : int; (* [desc] = head, [desc+1] = tail *)
+  q_buf : int;
+  q_flag : int; (* valid-flag array base; 0 for SP-SC *)
+  q_size : int;
+  q_put : int; (* code entry points *)
+  q_get : int;
+  q_put_many : int; (* 0 when absent *)
+}
+
+val head_cell : t -> int
+val tail_cell : t -> int
+
+(** Figure 1: no CAS anywhere on the path. *)
+val create_spsc : Kernel.t -> name:string -> size:int -> t
+
+(** Figure 2: CAS slot claim plus valid flags; includes the atomic
+    multi-item insert. *)
+val create_mpsc : Kernel.t -> name:string -> size:int -> t
+
+(** Mirror of MP-SC: consumers claim slots by CAS on Q_tail and clear
+    the valid flag after reading. *)
+val create_spmc : Kernel.t -> name:string -> size:int -> t
+
+(** Flag-guarded CAS claims at both ends (§3.2's fourth kind). *)
+val create_mpmc : Kernel.t -> name:string -> size:int -> t
+
+(** Host-side access for servers and tests (uncharged). *)
+val host_length : Kernel.t -> t -> int
+
+val host_put : Kernel.t -> t -> int -> bool
+val host_get : Kernel.t -> t -> int option
+
+(** The queue code templates (exposed for inspection and ablation). *)
+val spsc_put_template : Template.t
+
+val spsc_get_template : Template.t
+val mpsc_put_template : Template.t
+val mpsc_get_template : Template.t
+val mpsc_put_many_template : Template.t
+val spmc_get_template : Template.t
+val spmc_put_template : Template.t
+val mpmc_put_template : Template.t

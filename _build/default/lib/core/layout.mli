@@ -1,0 +1,56 @@
+(** Kernel data-memory layout: global cells kept current by
+    synthesized code, the heap region, and the TTE block layout
+    (Figure 3). *)
+
+val globals_base : int
+
+(** Code address of the running thread's switch-out routine; updated
+    by every thread's synthesized switch-in so shared kernel paths can
+    block without knowing who runs them. *)
+val cur_sw_out_cell : int
+
+(** Data address of the running thread's TTE. *)
+val cur_tte_cell : int
+
+val cur_tid_cell : int
+val chain_scratch_cell : int
+val heap_base : int
+val heap_limit : int
+val boot_stack_top : int
+
+(** TTE block layout: offsets into the 256-word (~1 KiB) block. *)
+module Tte : sig
+  val size_words : int
+  val off_tid : int
+
+  (** r0..r15 at +0..+15, then SR, PC, USP. *)
+  val off_regs : int
+
+  val off_sr : int
+  val off_pc : int
+  val off_usp : int
+  val off_map : int
+  val off_quantum : int
+  val off_flags : int
+
+  (** I/O events for fine-grain scheduling. *)
+  val off_gauge : int
+
+
+  (** the private vector table (48 entries). *)
+  val off_vectors : int
+
+
+  (** 32 synthesized-routine addresses. *)
+  val off_fd_read : int
+
+  val off_fd_write : int
+  val off_sig_pending : int
+  val off_sig_handler : int
+  val off_sig_inh : int
+  val off_sig_queued : int
+  val off_kstack : int
+  val kstack_words : int
+  val off_fp_save : int
+  val max_fds : int
+end

@@ -1,0 +1,180 @@
+(* The executable ready queue (§4.2, Figure 3).
+
+   Ready-to-run threads are chained in a circular queue *of code*: the
+   patchable `jmp` instruction ending each thread's context-switch-out
+   procedure points at the context-switch-in procedure of the next
+   thread.  There is no dispatcher procedure — dispatching *is* the
+   data structure.  Inserting or removing a thread is O(1): rewrite
+   the `jmp` targets of the affected neighbours.
+
+   The host keeps a doubly-linked mirror ([rq_next]/[rq_prev]) for
+   bookkeeping and assertions; the machine only ever follows the
+   patched jumps. *)
+
+open Quamachine
+
+(* Entry point of [b] when entered from [a]: control flows to
+   sw_in_mmu only when a change of address space is required (§4.2). *)
+let entry_from a b =
+  if a.Kernel.map_id = b.Kernel.map_id then b.Kernel.sw_in else b.Kernel.sw_in_mmu
+
+(* Point [a]'s switch-out jump at [b] and fix the host mirror. *)
+let relink k a b =
+  Machine.patch_code k.Kernel.machine a.Kernel.jmp_slot
+    (Insn.Jmp (Insn.To_addr (entry_from a b)));
+  a.Kernel.rq_next <- Some b;
+  b.Kernel.rq_prev <- Some a;
+  Machine.charge k.Kernel.machine 6
+
+let next_exn t =
+  match t.Kernel.rq_next with
+  | Some n -> n
+  | None -> failwith "Ready_queue: thread not linked"
+
+let prev_exn t =
+  match t.Kernel.rq_prev with
+  | Some p -> p
+  | None -> failwith "Ready_queue: thread not linked"
+
+let in_queue t = t.Kernel.rq_next <> None
+
+(* Insert [t] right after [a]. *)
+let insert_after k a t =
+  if in_queue t then invalid_arg "Ready_queue.insert_after: already queued";
+  let b = next_exn a in
+  relink k a t;
+  relink k t b;
+  t.Kernel.state <- Kernel.Ready
+
+(* First insertion into an empty queue: the thread chains to itself. *)
+let insert_single k t =
+  relink k t t;
+  t.Kernel.state <- Kernel.Ready;
+  k.Kernel.rq_anchor <- Some t
+
+(* Insert at the "front": immediately after the running thread, so the
+   new arrival gets the CPU as soon as the current quantum ends
+   (§4.4: unblocked threads go to the front to minimize response
+   time). *)
+let insert_front k t =
+  match k.Kernel.rq_anchor with
+  | None -> insert_single k t
+  | Some _ ->
+    let after =
+      match Kernel.current k with
+      | Some cur when in_queue cur -> cur
+      | _ -> ( match k.Kernel.rq_anchor with Some a -> a | None -> assert false)
+    in
+    insert_after k after t
+
+let remove k t =
+  if not (in_queue t) then invalid_arg "Ready_queue.remove: not queued";
+  let p = prev_exn t and n = next_exn t in
+  if p == t then begin
+    (* last thread leaves: queue becomes empty *)
+    k.Kernel.rq_anchor <- None;
+    t.Kernel.rq_next <- None;
+    t.Kernel.rq_prev <- None
+  end
+  else begin
+    relink k p n;
+    (match k.Kernel.rq_anchor with
+    | Some a when a == t -> k.Kernel.rq_anchor <- Some n
+    | _ -> ());
+    (* [t]'s own jmp_slot keeps pointing at [n]: if [t] is currently
+       executing, its eventual switch-out still lands in the ring. *)
+    t.Kernel.rq_next <- None;
+    t.Kernel.rq_prev <- None
+  end;
+  Machine.charge k.Kernel.machine 4
+
+let to_list k =
+  match k.Kernel.rq_anchor with
+  | None -> []
+  | Some a ->
+    let rec go t acc = if t == a && acc <> [] then List.rev acc else go (next_exn t) (t :: acc) in
+    go a []
+
+let length k = List.length (to_list k)
+
+(* ------------------------------------------------------------------ *)
+(* Idle management.
+
+   The idle thread occupies the ring only when nothing else is ready;
+   otherwise every lap of the ring would burn its quantum waiting for
+   interrupts.  [balance_idle] enforces that invariant after every
+   queue mutation, and when it evicts the idle thread from a CPU it is
+   currently holding, it arms the quantum timer to fire immediately —
+   "giving [the unblocked thread] immediate access to the CPU" (§4.4). *)
+
+let balance_idle k =
+  match k.Kernel.idle_thread with
+  | None -> ()
+  | Some idle -> (
+    match k.Kernel.rq_anchor with
+    | None ->
+      (* nothing ready at all: the idle thread takes over *)
+      insert_single k idle
+    | Some _ ->
+      let ring = to_list k in
+      let others = List.exists (fun t -> not (t == idle)) ring in
+      if others && in_queue idle && List.length ring > 1 then begin
+        let p = prev_exn idle and n = next_exn idle in
+        relink k p n;
+        (match k.Kernel.rq_anchor with
+        | Some a when a == idle -> k.Kernel.rq_anchor <- Some n
+        | _ -> ());
+        idle.Kernel.rq_next <- None;
+        idle.Kernel.rq_prev <- None;
+        (* the evicted idle thread's own switch-out must still land in
+           the ring *)
+        Machine.patch_code k.Kernel.machine idle.Kernel.jmp_slot
+          (Insn.Jmp (Insn.To_addr (entry_from idle n)));
+        (* if the idle thread holds the CPU, preempt it now *)
+        match Kernel.current k with
+        | Some c when c == idle -> Devices.Timer.arm k.Kernel.timer ~us:2.0
+        | _ -> ()
+      end)
+
+(* Public mutators: perform the raw operation, keep the departing
+   thread's switch-out valid, and rebalance the idle thread. *)
+
+let remove k t =
+  remove k t;
+  balance_idle k;
+  (match k.Kernel.rq_anchor with
+  | Some a ->
+    (* wherever [t]'s in-flight switch-out lands, it must be ready *)
+    Machine.patch_code k.Kernel.machine t.Kernel.jmp_slot
+      (Insn.Jmp (Insn.To_addr (entry_from t a)))
+  | None -> ())
+
+let insert_after k a t =
+  insert_after k a t;
+  balance_idle k
+
+let insert_front k t =
+  insert_front k t;
+  balance_idle k
+
+let insert_single k t =
+  insert_single k t;
+  balance_idle k
+
+(* Structural invariant used by the test suite: the host mirror is a
+   consistent cycle and every patched jmp targets the right entry of
+   the right successor. *)
+let verify k =
+  match k.Kernel.rq_anchor with
+  | None -> true
+  | Some _ ->
+    let ring = to_list k in
+    List.for_all
+      (fun t ->
+        let n = next_exn t in
+        prev_exn n == t
+        &&
+        match Machine.read_code k.Kernel.machine t.Kernel.jmp_slot with
+        | Insn.Jmp (Insn.To_addr a) -> a = entry_from t n
+        | _ -> false)
+      ring

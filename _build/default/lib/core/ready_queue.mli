@@ -1,0 +1,40 @@
+(** The executable ready queue (§4.2, Figure 3).
+
+    Ready threads are chained in a circular queue of code: the
+    patchable [jmp] ending each thread's switch-out points at the next
+    thread's switch-in.  There is no dispatcher procedure.  Insertion
+    and removal are O(1) code patches; the host keeps a doubly-linked
+    mirror for bookkeeping and assertions.
+
+    The idle thread occupies the ring only when nothing else is ready;
+    the public mutators maintain that invariant and, when they evict
+    an idle thread holding the CPU, preempt it immediately. *)
+
+(** Entry point of [b] when entered from [a]: switch-in-with-MMU only
+    when the quaspace changes. *)
+val entry_from : Kernel.tte -> Kernel.tte -> int
+
+(** Point [a]'s switch-out jump at [b] (patches code, fixes the
+    mirror). *)
+val relink : Kernel.t -> Kernel.tte -> Kernel.tte -> unit
+
+val in_queue : Kernel.tte -> bool
+val next_exn : Kernel.tte -> Kernel.tte
+val prev_exn : Kernel.tte -> Kernel.tte
+val insert_after : Kernel.t -> Kernel.tte -> Kernel.tte -> unit
+
+(** Insert right after the running thread: next access to the CPU
+    (§4.4). *)
+val insert_front : Kernel.t -> Kernel.tte -> unit
+
+val insert_single : Kernel.t -> Kernel.tte -> unit
+val remove : Kernel.t -> Kernel.tte -> unit
+val to_list : Kernel.t -> Kernel.tte list
+val length : Kernel.t -> int
+
+(** Re-establish the idle-thread invariant after external changes. *)
+val balance_idle : Kernel.t -> unit
+
+(** Structural check: the mirror is a consistent cycle and every
+    patched jmp targets the right successor entry. *)
+val verify : Kernel.t -> bool

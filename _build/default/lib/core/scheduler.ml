@@ -1,0 +1,95 @@
+(* Fine-grain scheduling (§4.4).
+
+   Round-robin order comes from the executable ready queue; what this
+   module adjusts is each thread's CPU *quantum*, derived from the
+   thread's measured I/O rate ("need to execute").  Every synthesized
+   I/O routine ticks the owning thread's gauge cell; each epoch the
+   scheduler reads the gauges and retunes the quantum immediates
+   patched into every thread's switch-in code.
+
+   Effective CPU time for a thread is its quantum divided by the sum
+   of all quanta (§4.4); tests assert that proportionality. *)
+
+open Quamachine
+
+type t = {
+  kernel : Kernel.t;
+  epoch_us : int;
+  min_quantum : int;
+  max_quantum : int;
+  last_gauge : (int, int) Hashtbl.t; (* tid -> gauge at last epoch *)
+  mutable history : (float * (int * int * int) list) list;
+      (* (time_us, [(tid, rate, quantum)]) newest first *)
+  mutable epochs : int;
+}
+
+let gauge_cell (tte : Kernel.tte) = tte.Kernel.base + Layout.Tte.off_gauge
+
+let read_gauge k tte = Machine.peek k.Kernel.machine (gauge_cell tte)
+
+(* One rebalancing pass: quantum grows linearly with the epoch's I/O
+   event rate, clamped to [min, max].  Threads doing no I/O keep the
+   minimum quantum (they are compute-bound; the round-robin ring still
+   serves them every lap). *)
+let rebalance t =
+  let k = t.kernel in
+  let snapshot =
+    Hashtbl.fold
+      (fun tid tte acc ->
+        if tte.Kernel.state = Kernel.Zombie then acc
+        else begin
+          let now = read_gauge k tte in
+          let last = try Hashtbl.find t.last_gauge tid with Not_found -> 0 in
+          Hashtbl.replace t.last_gauge tid now;
+          (tte, now - last) :: acc
+        end)
+      k.Kernel.threads []
+  in
+  let max_rate = List.fold_left (fun a (_, r) -> max a r) 1 snapshot in
+  let span = t.max_quantum - t.min_quantum in
+  let entries =
+    List.map
+      (fun ((tte : Kernel.tte), rate) ->
+        let quantum = t.min_quantum + (span * rate / max_rate) in
+        if quantum <> tte.Kernel.quantum_us then Ctx.set_quantum k tte quantum;
+        Machine.charge k.Kernel.machine 10;
+        (tte.Kernel.tid, rate, quantum))
+      snapshot
+  in
+  t.epochs <- t.epochs + 1;
+  t.history <- (Machine.time_us k.Kernel.machine, entries) :: t.history
+
+(* Install the scheduler as a periodic machine device. *)
+let install k ?(epoch_us = 5_000) ?(min_quantum = 100) ?(max_quantum = 1_000) () =
+  let t =
+    {
+      kernel = k;
+      epoch_us;
+      min_quantum;
+      max_quantum;
+      last_gauge = Hashtbl.create 16;
+      history = [];
+      epochs = 0;
+    }
+  in
+  let m = k.Kernel.machine in
+  let period () = Cost.cycles_of_us (Machine.cost_model m) (float_of_int epoch_us) in
+  let dev = Machine.add_device m ~name:"scheduler" ~due:(Machine.cycles m + period ()) ~tick:(fun _ -> ()) in
+  dev.Machine.dev_tick <-
+    (fun m ->
+      rebalance t;
+      Machine.device_schedule m dev (Machine.cycles m + period ()));
+  t
+
+(* Expected CPU share of [tte] under the current quanta. *)
+let cpu_share t (tte : Kernel.tte) =
+  let total =
+    List.fold_left
+      (fun acc (x : Kernel.tte) -> acc + x.Kernel.quantum_us)
+      0
+      (Ready_queue.to_list t.kernel)
+  in
+  if total = 0 then 0.0 else float_of_int tte.Kernel.quantum_us /. float_of_int total
+
+let epochs t = t.epochs
+let history t = t.history

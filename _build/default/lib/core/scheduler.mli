@@ -1,0 +1,23 @@
+(** Fine-grain scheduling (§4.4): round-robin order comes from the
+    executable ready queue; this module retunes each thread's CPU
+    quantum from its measured I/O rate by patching the quantum
+    immediate in the thread's synthesized switch-in code. *)
+
+type t
+
+(** Install as a periodic machine device rebalancing every
+    [epoch_us]. *)
+val install :
+  Kernel.t -> ?epoch_us:int -> ?min_quantum:int -> ?max_quantum:int -> unit -> t
+
+(** One rebalancing pass (also runs automatically each epoch). *)
+val rebalance : t -> unit
+
+(** Expected CPU share of a thread under the current quanta:
+    quantum / sum of quanta (§4.4). *)
+val cpu_share : t -> Kernel.tte -> float
+
+val epochs : t -> int
+
+(** Epoch history, newest first: (time_us, [(tid, rate, quantum)]). *)
+val history : t -> (float * (int * int * int) list) list

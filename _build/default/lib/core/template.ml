@@ -1,0 +1,40 @@
+(* Code templates and Factoring Invariants (§2.2).
+
+   A template is a named code generator written against an environment
+   of *invariants* — run-time constants such as a queue's buffer
+   address, a file's size, a thread's TTE address.  Instantiation
+   ("factorization") folds those constants into the emitted
+   instructions as immediates and absolute addresses; the peephole
+   stage then cleans up whatever the folding made redundant.
+
+   The generator function receives a total lookup for the declared
+   parameters; asking for an undeclared or missing parameter is a
+   kernel bug and raises. *)
+
+open Quamachine
+
+exception Missing_param of string * string (* template, param *)
+
+type t = {
+  name : string;
+  params : string list; (* declared invariants *)
+  gen : (string -> int) -> Insn.insn list;
+}
+
+let make ~name ~params gen = { name; params; gen }
+
+(* Factorization stage: bind the invariants and emit code. *)
+let instantiate t ~env =
+  List.iter
+    (fun p ->
+      if not (List.mem_assoc p env) then raise (Missing_param (t.name, p)))
+    t.params;
+  let lookup p =
+    match List.assoc_opt p env with
+    | Some v -> v
+    | None -> raise (Missing_param (t.name, p))
+  in
+  t.gen lookup
+
+let name t = t.name
+let params t = t.params

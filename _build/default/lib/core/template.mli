@@ -1,0 +1,21 @@
+(** Code templates and Factoring Invariants (§2.2).
+
+    A template is a named generator written against an environment of
+    run-time constants; instantiation folds the constants into the
+    emitted instructions as immediates and absolute addresses. *)
+
+exception Missing_param of string * string
+
+type t
+
+(** [make ~name ~params gen]: [gen lookup] must only apply [lookup]
+    to the declared [params]. *)
+val make :
+  name:string -> params:string list -> ((string -> int) -> Quamachine.Insn.insn list) -> t
+
+(** The factorization stage: bind invariants, emit code.  Raises
+    {!Missing_param} if [env] lacks a declared parameter. *)
+val instantiate : t -> env:(string * int) list -> Quamachine.Insn.insn list
+
+val name : t -> string
+val params : t -> string list

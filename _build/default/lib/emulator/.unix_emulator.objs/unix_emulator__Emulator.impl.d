@@ -1,0 +1,1 @@
+lib/emulator/emulator.ml: Insn Kalloc Kernel Kpipe Machine Quamachine Synthesis Unix_abi Vfs

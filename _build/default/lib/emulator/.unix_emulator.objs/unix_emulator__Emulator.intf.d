@@ -1,0 +1,1 @@
+lib/emulator/emulator.mli: Synthesis

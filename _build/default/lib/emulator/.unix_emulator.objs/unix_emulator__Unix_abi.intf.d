@@ -1,0 +1,1 @@
+lib/emulator/unix_abi.mli:

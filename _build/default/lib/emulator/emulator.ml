@@ -1,0 +1,56 @@
+(* The UNIX emulator running on top of the Synthesis kernel (§6.1).
+
+   "In the simplest case, the emulator translates the UNIX kernel call
+   into an equivalent Synthesis kernel call."  Each stub shuffles
+   nothing (the native ABI was chosen to match) and re-traps into the
+   thread's own synthesized handlers; the extra trap plus the dispatch
+   is the measured 2 us emulation overhead of Table 2. *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+
+type t = { e_entry : int; e_table : int }
+
+let install vfs =
+  let k = vfs.Vfs.kernel in
+  let m = k.Kernel.machine in
+  (* pipe(2) needs its syscall installed on the native side *)
+  Kpipe.install_syscall vfs;
+  let stub name body = fst (Kernel.install_shared k ~name:("unix/" ^ name) body) in
+  let bad = stub "badcall" [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ] in
+  let table = Kalloc.alloc_zeroed k.Kernel.alloc Unix_abi.table_size in
+  for i = 0 to Unix_abi.table_size - 1 do
+    Machine.poke m (table + i) bad
+  done;
+  let set n entry = Machine.poke m (table + n) entry in
+  set Unix_abi.sys_exit (stub "exit" [ I.Trap 0 ]);
+  set Unix_abi.sys_read (stub "read" [ I.Trap 1; I.Rte ]);
+  set Unix_abi.sys_write (stub "write" [ I.Trap 2; I.Rte ]);
+  set Unix_abi.sys_open (stub "open" [ I.Trap 3; I.Rte ]);
+  set Unix_abi.sys_close (stub "close" [ I.Trap 4; I.Rte ]);
+  set Unix_abi.sys_lseek (stub "lseek" [ I.Trap 12; I.Rte ]);
+  set Unix_abi.sys_pipe (stub "pipe" [ I.Trap 11; I.Rte ]);
+  (* getpid: the kernel global holds the running tid *)
+  set Unix_abi.sys_getpid
+    (stub "getpid"
+       [ I.Move (I.Abs Synthesis.Layout.cur_tid_cell, I.Reg I.r0); I.Rte ]);
+  (* time: the microsecond clock, through the native gettime *)
+  set Unix_abi.sys_time (stub "time" [ I.Trap 10; I.Rte ]);
+  (* kill(tid, _): Unix signals map onto Synthesis signals *)
+  set Unix_abi.sys_kill (stub "kill" [ I.Trap 6; I.Rte ]);
+  let entry =
+    stub "entry"
+      [
+        I.Cmp (I.Imm Unix_abi.table_size, I.Reg I.r0);
+        I.B (I.Cc, I.To_label "bad");
+        I.Move (I.Reg I.r0, I.Reg I.r4);
+        I.Alu (I.Add, I.Imm table, I.r4);
+        I.Jmp (I.To_mem (I.Ind I.r4));
+        I.Label "bad";
+        I.Move (I.Imm (-1), I.Reg I.r0);
+        I.Rte;
+      ]
+  in
+  Kernel.set_vector_all k (I.Vector.trap Unix_abi.trap) entry;
+  { e_entry = entry; e_table = table }

@@ -1,0 +1,10 @@
+(** The UNIX emulator on the Synthesis kernel (§6.1): trap-15 system
+    calls dispatch through a table of stubs that re-trap into the
+    calling thread's own synthesized native handlers.  The measured
+    emulation overhead (Table 2) is the extra exception frame. *)
+
+type t = { e_entry : int; e_table : int }
+
+(** Install the emulator: wires trap 15 into every vector table and
+    installs pipe(2) on the native side. *)
+val install : Synthesis.Vfs.t -> t

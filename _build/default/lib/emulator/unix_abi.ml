@@ -1,0 +1,21 @@
+(* The UNIX system-call ABI shared by the emulator (on Synthesis) and
+   the baseline kernel: trap 15 with the syscall number in r0 and
+   arguments in r1..r3, result in r0.  Benchmark programs are written
+   once against this ABI and run unmodified on both kernels — the
+   paper's "same binary executable" methodology (§6.1). *)
+
+let trap = 15
+
+(* SunOS-flavoured syscall numbers. *)
+let sys_exit = 1
+let sys_read = 3
+let sys_write = 4
+let sys_open = 5
+let sys_close = 6
+let sys_time = 13
+let sys_lseek = 19
+let sys_getpid = 20
+let sys_kill = 37
+let sys_pipe = 42
+
+let table_size = 64

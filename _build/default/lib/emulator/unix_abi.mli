@@ -1,0 +1,18 @@
+(** The UNIX system-call ABI shared by the emulator (on Synthesis) and
+    the baseline kernel: trap {!trap} with the syscall number in r0,
+    arguments in r1..r3, result in r0.  Benchmark programs are written
+    once against this ABI and run unmodified on both kernels — the
+    paper's same-binary methodology (§6.1). *)
+
+val trap : int
+val sys_exit : int
+val sys_read : int
+val sys_write : int
+val sys_open : int
+val sys_close : int
+val sys_time : int
+val sys_lseek : int
+val sys_getpid : int
+val sys_kill : int
+val sys_pipe : int
+val table_size : int

@@ -1,0 +1,1 @@
+lib/harness/harness.ml: Array Asm Baseline Boot Cost Fmt Fs Insn Kalloc Kernel List Machine Programs Quamachine Synthesis Thread Tty Unix_emulator

@@ -1,0 +1,1 @@
+lib/harness/harness.mli: Baseline Cost Insn Machine Programs Quamachine Synthesis

@@ -1,0 +1,1 @@
+lib/harness/programs.ml: Char Insn Quamachine String Unix_emulator

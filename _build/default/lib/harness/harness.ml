@@ -1,0 +1,132 @@
+(* Measurement harness: runs the same Unix-ABI programs on the
+   Synthesis kernel (through the UNIX emulator) and on the baseline
+   kernel, and provides the microsecond instrumentation used by
+   Tables 2–5 (the Quamachine's counters and trace, §6.1). *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+
+(* ---------------------------------------------------------------- *)
+(* Timestamps: an Hcall that records the cycle counter — the software
+   equivalent of the Quamachine's microsecond interval timer. *)
+
+module Stamps = struct
+  type t = Machine.t * int * int list ref
+
+  let create m : t =
+    let marks = ref [] in
+    let id = Machine.register_hcall m (fun m -> marks := Machine.cycles m :: !marks) in
+    (m, id, marks)
+
+  let mark ((_, id, _) : t) = I.Hcall id
+  let cycles ((_, _, marks) : t) = List.rev !marks
+
+  (* Intervals between consecutive stamps, in microseconds. *)
+  let spans ((m, _, _) as t) =
+    let rec pair = function
+      | a :: (b :: _ as rest) -> (b - a) :: pair rest
+      | _ -> []
+    in
+    List.map (fun c -> Cost.us_of_cycles (Machine.cost_model m) c) (pair (cycles t))
+
+  let clear (_, _, marks) = marks := []
+end
+
+(* ---------------------------------------------------------------- *)
+(* Stepping helpers *)
+
+let run_until m ~max_insns pred =
+  let rec go n =
+    if n >= max_insns then false
+    else if Machine.halted m then false
+    else if pred () then true
+    else begin
+      Machine.step m;
+      go (n + 1)
+    end
+  in
+  go 0
+
+let run_until_pc m ~max_insns pc =
+  run_until m ~max_insns (fun () -> Machine.get_pc m = pc)
+
+let run_until_user m ~max_insns =
+  run_until m ~max_insns (fun () -> not (Machine.in_supervisor m))
+
+(* ---------------------------------------------------------------- *)
+(* A booted Synthesis instance ready to run Unix-ABI programs. *)
+
+type synthesis_env = {
+  s_boot : Boot.t;
+  s_env : Programs.env;
+  s_stamps : Machine.t * int * int list ref;
+}
+
+let synthesis_setup ?(cost = Cost.sun3_emulation) ?(file_content = 4096) () =
+  let b = Boot.boot ~cost () in
+  let k = b.Boot.kernel in
+  let _tty_srv = Tty.install b.Boot.vfs in
+  let _em = Unix_emulator.Emulator.install b.Boot.vfs in
+  let content = Array.init file_content (fun i -> i land 0xFF) in
+  let _file = Fs.create_file b.Boot.vfs ~name:"/data/bench" ~content () in
+  let data = Kalloc.alloc_zeroed k.Kernel.alloc Programs.data_words in
+  let env = Programs.layout ~data in
+  Programs.populate env ~poke:(fun a v -> Machine.poke k.Kernel.machine a v);
+  let stamps = Stamps.create k.Kernel.machine in
+  { s_boot = b; s_env = env; s_stamps = stamps }
+
+(* Run a program (built against [s_env]) to completion on Synthesis;
+   returns the elapsed simulated seconds. *)
+let synthesis_run ?(max_insns = 2_000_000_000) ?(quantum_us = 10_000) se ~program =
+  let k = se.s_boot.Boot.kernel in
+  let m = k.Kernel.machine in
+  let entry, _ = Asm.assemble m program in
+  let segs = [ (se.s_env.Programs.e_data, Programs.data_words) ] in
+  let _t = Thread.create k ~entry ~quantum_us ~segments:segs () in
+  let s0 = Machine.snapshot m in
+  (match Boot.go ~max_insns se.s_boot with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> failwith "synthesis_run: instruction limit");
+  (match k.Kernel.fault_log with
+  | [] -> ()
+  | (tid, reason) :: _ ->
+    failwith (Fmt.str "synthesis_run: thread %d died of %s" tid reason));
+  let d = Machine.delta m s0 in
+  Machine.stats_us m d /. 1_000_000.0
+
+(* ---------------------------------------------------------------- *)
+(* A booted baseline instance. *)
+
+type baseline_env = { b_kernel : Baseline.t; b_env : Programs.env }
+
+let baseline_setup ?(cost = Cost.sun3_emulation) ?(file_content = 4096) () =
+  let bk = Baseline.boot ~cost () in
+  let content = Array.init file_content (fun i -> i land 0xFF) in
+  ignore (Baseline.create_file bk ~name:"/data/bench" ~content ());
+  (* above the baseline kernel's heap, below the top of memory *)
+  let data = 0x40000 in
+  let env = Programs.layout ~data in
+  Programs.populate env ~poke:(fun a v -> Baseline.poke bk a v);
+  { b_kernel = bk; b_env = env }
+
+let baseline_run ?(max_insns = 2_000_000_000) be ~program =
+  let bk = be.b_kernel in
+  let entry = Baseline.load_program bk program in
+  let m = bk.Baseline.machine in
+  let s0 = Machine.snapshot m in
+  (match Baseline.run ~max_insns bk ~entry with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> failwith "baseline_run: instruction limit");
+  let d = Machine.delta m s0 in
+  Machine.stats_us m d /. 1_000_000.0
+
+(* ---------------------------------------------------------------- *)
+(* Pretty printing *)
+
+let header title =
+  Fmt.pr "@.=== %s ===@." title
+
+let row4 a b c d = Fmt.pr "%-34s %14s %14s %10s@." a b c d
+let row3 a b c = Fmt.pr "%-34s %14s %14s@." a b c
+let us_str v = Fmt.str "%.1f" v

@@ -1,0 +1,62 @@
+(** Measurement harness: runs the same Unix-ABI programs on the
+    Synthesis kernel (through the UNIX emulator) and on the baseline
+    kernel, and provides the microsecond instrumentation used by
+    Tables 2–5 (the Quamachine's counters, §6.1). *)
+
+open Quamachine
+
+(** Timestamps: a host-call that records the cycle counter — the
+    software twin of the Quamachine's microsecond interval timer. *)
+module Stamps : sig
+  type t = Machine.t * int * int list ref
+
+  val create : Machine.t -> t
+
+  (** The instruction to embed at each measurement point. *)
+  val mark : t -> Insn.insn
+
+  val cycles : t -> int list
+
+  (** Intervals between consecutive stamps, in microseconds. *)
+  val spans : t -> float list
+
+  val clear : t -> unit
+end
+
+(** {1 Stepping helpers} *)
+
+val run_until : Machine.t -> max_insns:int -> (unit -> bool) -> bool
+val run_until_pc : Machine.t -> max_insns:int -> int -> bool
+val run_until_user : Machine.t -> max_insns:int -> bool
+
+(** {1 A booted Synthesis instance} (all servers, the emulator, the
+    benchmark file, a populated user-data region, timestamps). *)
+
+type synthesis_env = {
+  s_boot : Synthesis.Boot.t;
+  s_env : Programs.env;
+  s_stamps : Machine.t * int * int list ref;
+}
+
+val synthesis_setup : ?cost:Cost.t -> ?file_content:int -> unit -> synthesis_env
+
+(** Run a program to completion; returns elapsed simulated seconds.
+    Fails loudly if any thread died of a fault. *)
+val synthesis_run :
+  ?max_insns:int -> ?quantum_us:int -> synthesis_env -> program:Insn.insn list -> float
+
+(** {1 A booted baseline instance} *)
+
+type baseline_env = { b_kernel : Baseline.t; b_env : Programs.env }
+
+val baseline_setup : ?cost:Cost.t -> ?file_content:int -> unit -> baseline_env
+
+val baseline_run :
+  ?max_insns:int -> baseline_env -> program:Insn.insn list -> float
+
+(** {1 Output helpers} *)
+
+val header : string -> unit
+val row4 : string -> string -> string -> string -> unit
+val row3 : string -> string -> string -> unit
+val us_str : float -> string

@@ -1,0 +1,173 @@
+(* The seven measurement programs of Table 1 (appendix A of the
+   paper), written once against the Unix trap-15 ABI and run
+   unmodified on the Synthesis kernel (through the UNIX emulator) and
+   on the baseline kernel — the paper's same-binary methodology.
+
+   Word note: the simulated machine is word-addressed, one word = one
+   32-bit longword = 4 bytes.  The paper's byte counts map to words
+   (1 KiB = 256 words, 4 KiB = 1024 words); the 1-byte pipe row maps
+   to a single-word transfer.  Loop state lives in r9..r14, which both
+   kernels preserve across system calls. *)
+
+open Quamachine
+module I = Insn
+
+(* User-data environment a program is linked against. *)
+type env = {
+  e_data : int; (* base of the user data region *)
+  e_name_null : int; (* "/dev/null" *)
+  e_name_tty : int; (* "/dev/tty" *)
+  e_name_file : int; (* "/data/bench" *)
+  e_buf : int; (* transfer buffer *)
+  e_arr : int; (* large array for the compute benchmark *)
+  e_arr_words : int;
+}
+
+let arr_words = 110_000
+
+let layout ~data =
+  {
+    e_data = data;
+    e_name_null = data;
+    e_name_tty = data + 16;
+    e_name_file = data + 32;
+    e_buf = data + 64;
+    e_arr = data + 64 + 1024;
+    e_arr_words = arr_words;
+  }
+
+(* Host-side population of the data region. *)
+let poke_string poke addr s =
+  String.iteri (fun i c -> poke (addr + i) (Char.code c)) s;
+  poke (addr + String.length s) 0
+
+let populate env ~poke =
+  poke_string poke env.e_name_null "/dev/null";
+  poke_string poke env.e_name_tty "/dev/tty";
+  poke_string poke env.e_name_file "/data/bench";
+  for i = 0 to 1023 do
+    poke (env.e_buf + i) (i * 7)
+  done
+
+let data_words = 64 + 1024 + arr_words (* names + buffer + compute array *)
+
+let syscall num = [ I.Move (I.Imm num, I.Reg I.r0); I.Trap 15 ]
+let prog_exit = syscall Unix_emulator.Unix_abi.sys_exit
+
+(* -------------------------------------------------------------- *)
+(* Program 1: the compute-bound calibration test — Hofstadter's
+   chaotic Q-sequence, touching a large array at non-contiguous
+   points (§6.1). *)
+
+let compute ~arr ~n =
+  [
+    I.Move (I.Imm 1, I.Abs (arr + 1)); (* Q[1] = Q[2] = 1 *)
+    I.Move (I.Imm 1, I.Abs (arr + 2));
+    I.Move (I.Imm 3, I.Reg I.r9); (* n *)
+    I.Label "loop";
+    (* r5 = Q[n - Q[n-1]] *)
+    I.Move (I.Reg I.r9, I.Reg I.r4);
+    I.Alu (I.Sub, I.Imm 1, I.r4);
+    I.Alu (I.Add, I.Imm arr, I.r4);
+    I.Move (I.Ind I.r4, I.Reg I.r4);
+    I.Move (I.Reg I.r9, I.Reg I.r5);
+    I.Alu (I.Sub, I.Reg I.r4, I.r5);
+    I.Alu (I.Add, I.Imm arr, I.r5);
+    I.Move (I.Ind I.r5, I.Reg I.r5);
+    (* r6 = Q[n - Q[n-2]] *)
+    I.Move (I.Reg I.r9, I.Reg I.r4);
+    I.Alu (I.Sub, I.Imm 2, I.r4);
+    I.Alu (I.Add, I.Imm arr, I.r4);
+    I.Move (I.Ind I.r4, I.Reg I.r4);
+    I.Move (I.Reg I.r9, I.Reg I.r6);
+    I.Alu (I.Sub, I.Reg I.r4, I.r6);
+    I.Alu (I.Add, I.Imm arr, I.r6);
+    I.Move (I.Ind I.r6, I.Reg I.r6);
+    (* Q[n] = r5 + r6 *)
+    I.Alu (I.Add, I.Reg I.r6, I.r5);
+    I.Move (I.Reg I.r9, I.Reg I.r4);
+    I.Alu (I.Add, I.Imm arr, I.r4);
+    I.Move (I.Reg I.r5, I.Ind I.r4);
+    I.Alu (I.Add, I.Imm 1, I.r9);
+    I.Cmp (I.Imm (n + 1), I.Reg I.r9);
+    I.B (I.Ne, I.To_label "loop");
+  ]
+  @ prog_exit
+
+(* -------------------------------------------------------------- *)
+(* Programs 2–4: write then read back a pipe in fixed-size chunks. *)
+
+let pipe_rw env ~chunk ~iters =
+  syscall Unix_emulator.Unix_abi.sys_pipe
+  @ [
+      I.Move (I.Reg I.r0, I.Reg I.r13); (* read fd *)
+      I.Move (I.Reg I.r1, I.Reg I.r14); (* write fd *)
+      I.Move (I.Imm (iters - 1), I.Reg I.r12);
+      I.Label "loop";
+      I.Move (I.Imm Unix_emulator.Unix_abi.sys_write, I.Reg I.r0);
+      I.Move (I.Reg I.r14, I.Reg I.r1);
+      I.Move (I.Imm env.e_buf, I.Reg I.r2);
+      I.Move (I.Imm chunk, I.Reg I.r3);
+      I.Trap 15;
+      I.Move (I.Imm Unix_emulator.Unix_abi.sys_read, I.Reg I.r0);
+      I.Move (I.Reg I.r13, I.Reg I.r1);
+      I.Move (I.Imm env.e_buf, I.Reg I.r2);
+      I.Move (I.Imm chunk, I.Reg I.r3);
+      I.Trap 15;
+      I.Dbra (I.r12, I.To_label "loop");
+    ]
+  @ prog_exit
+
+(* -------------------------------------------------------------- *)
+(* Program 5: read and write a (cached) file in 1 KiB chunks. *)
+
+let file_rw env ~chunk ~iters =
+  [
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_open, I.Reg I.r0);
+    I.Move (I.Imm env.e_name_file, I.Reg I.r1);
+    I.Trap 15;
+    I.Move (I.Reg I.r0, I.Reg I.r13); (* fd *)
+    I.Move (I.Imm (iters - 1), I.Reg I.r12);
+    I.Label "loop";
+    (* rewind, write a chunk, rewind, read it back *)
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_lseek, I.Reg I.r0);
+    I.Move (I.Reg I.r13, I.Reg I.r1);
+    I.Move (I.Imm 0, I.Reg I.r2);
+    I.Trap 15;
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_write, I.Reg I.r0);
+    I.Move (I.Reg I.r13, I.Reg I.r1);
+    I.Move (I.Imm env.e_buf, I.Reg I.r2);
+    I.Move (I.Imm chunk, I.Reg I.r3);
+    I.Trap 15;
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_lseek, I.Reg I.r0);
+    I.Move (I.Reg I.r13, I.Reg I.r1);
+    I.Move (I.Imm 0, I.Reg I.r2);
+    I.Trap 15;
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_read, I.Reg I.r0);
+    I.Move (I.Reg I.r13, I.Reg I.r1);
+    I.Move (I.Imm env.e_buf, I.Reg I.r2);
+    I.Move (I.Imm chunk, I.Reg I.r3);
+    I.Trap 15;
+    I.Dbra (I.r12, I.To_label "loop");
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_close, I.Reg I.r0);
+    I.Move (I.Reg I.r13, I.Reg I.r1);
+    I.Trap 15;
+  ]
+  @ prog_exit
+
+(* -------------------------------------------------------------- *)
+(* Programs 6 and 7: open/close loops on /dev/null and /dev/tty. *)
+
+let open_close ~name_addr ~iters =
+  [
+    I.Move (I.Imm (iters - 1), I.Reg I.r12);
+    I.Label "loop";
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_open, I.Reg I.r0);
+    I.Move (I.Imm name_addr, I.Reg I.r1);
+    I.Trap 15;
+    I.Move (I.Reg I.r0, I.Reg I.r1);
+    I.Move (I.Imm Unix_emulator.Unix_abi.sys_close, I.Reg I.r0);
+    I.Trap 15;
+    I.Dbra (I.r12, I.To_label "loop");
+  ]
+  @ prog_exit

@@ -1,0 +1,1 @@
+lib/machine/asm.ml: Fmt Insn List Machine

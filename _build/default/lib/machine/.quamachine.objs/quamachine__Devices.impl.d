@@ -1,0 +1,1 @@
+lib/machine/devices.ml: Array Buffer Char Cost List Machine Mmio_map Queue String Word

@@ -1,0 +1,1 @@
+lib/machine/machine.ml: Array Cost Hashtbl Insn Int64 List Word

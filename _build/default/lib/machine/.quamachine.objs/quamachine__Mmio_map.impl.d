@@ -1,0 +1,1 @@
+lib/machine/mmio_map.ml: Insn Machine

@@ -1,0 +1,1 @@
+lib/machine/monitor.ml: Cost Fmt Insn List Machine

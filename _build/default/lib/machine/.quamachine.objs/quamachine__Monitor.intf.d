@@ -1,0 +1,1 @@
+lib/machine/monitor.mli: Format Machine

@@ -1,0 +1,299 @@
+(* Device models for the Quamachine.
+
+   Each device registers MMIO handlers and (when it generates events)
+   a machine device entry whose [tick] runs when simulated time
+   reaches its deadline.  Interrupts are posted at the levels/vectors
+   assigned in [Mmio_map]. *)
+
+(* ------------------------------------------------------------------ *)
+(* Real-time clock and monitor counters *)
+
+module Rtc = struct
+  let install m =
+    Machine.map_mmio_read m ~addr:Mmio_map.rtc_us (fun () ->
+        int_of_float (Machine.time_us m));
+    Machine.map_mmio_read m ~addr:Mmio_map.rtc_cycles (fun () ->
+        Machine.cycles m land Word.mask);
+    Machine.map_mmio_read m ~addr:Mmio_map.rtc_insns (fun () ->
+        Machine.insns_executed m land Word.mask)
+end
+
+(* ------------------------------------------------------------------ *)
+(* CPU control (FP coprocessor availability) *)
+
+module Cpu_control = struct
+  let install m =
+    Machine.map_mmio_write m ~addr:Mmio_map.fp_control (fun v ->
+        Machine.set_fp_enabled m (v <> 0));
+    Machine.map_mmio_read m ~addr:Mmio_map.fp_control (fun () ->
+        if Machine.fp_enabled m then 1 else 0);
+    Machine.map_mmio_write m ~addr:Mmio_map.usp (fun v -> Machine.set_other_sp m v);
+    Machine.map_mmio_read m ~addr:Mmio_map.usp (fun () -> Machine.other_sp m)
+end
+
+(* ------------------------------------------------------------------ *)
+(* One-shot interval timer *)
+
+module Timer = struct
+  type t = {
+    mutable armed_at : int; (* cycle deadline, max_int = disarmed *)
+    dev : Machine.device;
+    machine : Machine.t;
+  }
+
+  let install ?(name = "timer") ?(addr = Mmio_map.timer_alarm)
+      ?(level = Mmio_map.timer_level) ?(vector = Mmio_map.timer_vector) m =
+    let dev = Machine.add_device m ~name ~due:max_int ~tick:(fun _ -> ()) in
+    let t = { armed_at = max_int; dev; machine = m } in
+    dev.Machine.dev_tick <-
+      (fun m ->
+        t.armed_at <- max_int;
+        Machine.device_idle m dev;
+        Machine.post_interrupt m ~level ~vector);
+    Machine.map_mmio_write m ~addr (fun us ->
+        if us = 0 then begin
+          t.armed_at <- max_int;
+          Machine.device_idle m dev
+        end
+        else begin
+          let deadline =
+            Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) (float_of_int us)
+          in
+          t.armed_at <- deadline;
+          Machine.device_schedule m dev deadline
+        end);
+    Machine.map_mmio_read m ~addr (fun () ->
+        if t.armed_at = max_int then 0
+        else
+          let remaining = max 0 (t.armed_at - Machine.cycles m) in
+          int_of_float (Cost.us_of_cycles (Machine.cost_model m) remaining));
+    t
+
+  let armed t = t.armed_at <> max_int
+
+  (* Host-side arm, used by the kernel to force an early preemption
+     (e.g. when an unblocked thread must get the CPU now). *)
+  let arm t ~us =
+    let m = t.machine in
+    let deadline = Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) us in
+    if deadline < t.armed_at then begin
+      t.armed_at <- deadline;
+      Machine.device_schedule m t.dev deadline
+    end
+end
+
+(* ------------------------------------------------------------------ *)
+(* Serial TTY *)
+
+module Tty = struct
+  type t = {
+    machine : Machine.t;
+    input : char Queue.t; (* characters not yet delivered *)
+    output : Buffer.t;
+    mutable data_in : int; (* last delivered character *)
+    mutable char_interval_us : float; (* inter-arrival time *)
+    dev : Machine.device;
+  }
+
+  let install ?(char_interval_us = 100.0) m =
+    let dev = Machine.add_device m ~name:"tty" ~due:max_int ~tick:(fun _ -> ()) in
+    let t =
+      {
+        machine = m;
+        input = Queue.create ();
+        output = Buffer.create 256;
+        data_in = 0;
+        char_interval_us;
+        dev;
+      }
+    in
+    dev.Machine.dev_tick <-
+      (fun m ->
+        if Queue.is_empty t.input then Machine.device_idle m dev
+        else begin
+          t.data_in <- Char.code (Queue.pop t.input);
+          Machine.post_interrupt m ~level:Mmio_map.tty_level
+            ~vector:Mmio_map.tty_vector;
+          if Queue.is_empty t.input then Machine.device_idle m dev
+          else
+            Machine.device_schedule m dev
+              (Machine.cycles m
+              + Cost.cycles_of_us (Machine.cost_model m) t.char_interval_us)
+        end);
+    Machine.map_mmio_read m ~addr:Mmio_map.tty_data_in (fun () -> t.data_in);
+    Machine.map_mmio_read m ~addr:Mmio_map.tty_status (fun () ->
+        if Queue.is_empty t.input then 0 else 1);
+    Machine.map_mmio_write m ~addr:Mmio_map.tty_data_out (fun v ->
+        Buffer.add_char t.output (Char.chr (v land 0x7F)));
+    t
+
+  (* Host-side: queue input characters for delivery. *)
+  let feed t s =
+    let was_empty = Queue.is_empty t.input in
+    String.iter (fun c -> Queue.push c t.input) s;
+    if was_empty && not (Queue.is_empty t.input) then
+      Machine.device_schedule t.machine t.dev
+        (Machine.cycles t.machine
+        + Cost.cycles_of_us (Machine.cost_model t.machine) t.char_interval_us)
+
+  let output t = Buffer.contents t.output
+  let clear_output t = Buffer.clear t.output
+end
+
+(* ------------------------------------------------------------------ *)
+(* Disk controller (DMA block device with seek latency) *)
+
+module Disk = struct
+  let block_words = 256
+
+  type t = {
+    machine : Machine.t;
+    store : int array array; (* blocks *)
+    mutable reg_block : int;
+    mutable reg_buffer : int;
+    mutable status : int; (* 0 idle, 1 busy, 2 done, 3 error *)
+    mutable seek_us : float;
+    mutable transfer_us_per_word : float;
+    mutable pending : [ `Read of int * int | `Write of int * int ] option;
+    dev : Machine.device;
+  }
+
+  let install ?(blocks = 1024) ?(seek_us = 2000.0) ?(transfer_us_per_word = 1.0) m =
+    let dev = Machine.add_device m ~name:"disk" ~due:max_int ~tick:(fun _ -> ()) in
+    let t =
+      {
+        machine = m;
+        store = Array.init blocks (fun _ -> Array.make block_words 0);
+        reg_block = 0;
+        reg_buffer = 0;
+        status = 0;
+        seek_us;
+        transfer_us_per_word;
+        pending = None;
+        dev;
+      }
+    in
+    dev.Machine.dev_tick <-
+      (fun m ->
+        Machine.device_idle m dev;
+        (match t.pending with
+        | None -> ()
+        | Some (`Read (blk, buf)) ->
+          for i = 0 to block_words - 1 do
+            Machine.poke m (buf + i) t.store.(blk).(i)
+          done;
+          t.status <- 2
+        | Some (`Write (blk, buf)) ->
+          for i = 0 to block_words - 1 do
+            t.store.(blk).(i) <- Machine.peek m (buf + i)
+          done;
+          t.status <- 2);
+        t.pending <- None;
+        Machine.post_interrupt m ~level:Mmio_map.disk_level
+          ~vector:Mmio_map.disk_vector);
+    Machine.map_mmio_write m ~addr:Mmio_map.disk_block (fun v -> t.reg_block <- v);
+    Machine.map_mmio_write m ~addr:Mmio_map.disk_buffer (fun v -> t.reg_buffer <- v);
+    Machine.map_mmio_read m ~addr:Mmio_map.disk_status (fun () -> t.status);
+    Machine.map_mmio_write m ~addr:Mmio_map.disk_command (fun cmd ->
+        if t.reg_block < 0 || t.reg_block >= Array.length t.store then t.status <- 3
+        else begin
+          t.status <- 1;
+          t.pending <-
+            (match cmd with
+            | 1 -> Some (`Read (t.reg_block, t.reg_buffer))
+            | 2 -> Some (`Write (t.reg_block, t.reg_buffer))
+            | _ ->
+              t.status <- 3;
+              None);
+          if t.pending <> None then begin
+            let latency =
+              t.seek_us +. (t.transfer_us_per_word *. float_of_int block_words)
+            in
+            Machine.device_schedule m t.dev
+              (Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) latency)
+          end
+        end);
+    t
+
+  (* Host-side access for populating disk images in tests/examples. *)
+  let write_block t blk data =
+    Array.blit data 0 t.store.(blk) 0 (min block_words (Array.length data))
+
+  let read_block t blk = Array.copy t.store.(blk)
+  let blocks t = Array.length t.store
+end
+
+(* ------------------------------------------------------------------ *)
+(* A/D converter: a sampled analog source (44,100 interrupts/s, §5.4) *)
+
+module Ad = struct
+  type t = {
+    machine : Machine.t;
+    mutable sample : int;
+    mutable rate_hz : int; (* 0 = off *)
+    mutable seq : int; (* synthetic waveform state *)
+    mutable delivered : int;
+    dev : Machine.device;
+  }
+
+  (* Synthetic 16-bit waveform: a deterministic LCG so that tests can
+     check data integrity through queues end to end. *)
+  let next_sample t =
+    t.seq <- (t.seq * 1_103_515_245) + 12_345;
+    (t.seq lsr 8) land 0xFFFF
+
+  let install m =
+    let dev = Machine.add_device m ~name:"ad" ~due:max_int ~tick:(fun _ -> ()) in
+    let t = { machine = m; sample = 0; rate_hz = 0; seq = 1; delivered = 0; dev } in
+    dev.Machine.dev_tick <-
+      (fun m ->
+        if t.rate_hz = 0 then Machine.device_idle m dev
+        else begin
+          t.sample <- next_sample t;
+          t.delivered <- t.delivered + 1;
+          Machine.post_interrupt m ~level:Mmio_map.ad_level ~vector:Mmio_map.ad_vector;
+          let period_us = 1_000_000.0 /. float_of_int t.rate_hz in
+          Machine.device_schedule m dev
+            (Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) period_us)
+        end);
+    Machine.map_mmio_read m ~addr:Mmio_map.ad_data (fun () -> t.sample);
+    Machine.map_mmio_write m ~addr:Mmio_map.ad_control (fun rate ->
+        t.rate_hz <- rate;
+        if rate = 0 then Machine.device_idle m t.dev
+        else
+          let period_us = 1_000_000.0 /. float_of_int rate in
+          Machine.device_schedule m t.dev
+            (Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) period_us));
+    t
+
+  let delivered t = t.delivered
+
+  (* Host-side rate control (same effect as the MMIO control write). *)
+  let set_rate t rate =
+    t.rate_hz <- rate;
+    if rate = 0 then Machine.device_idle t.machine t.dev
+    else
+      let period_us = 1_000_000.0 /. float_of_int rate in
+      Machine.device_schedule t.machine t.dev
+        (Machine.cycles t.machine
+        + Cost.cycles_of_us (Machine.cost_model t.machine) period_us)
+end
+
+(* ------------------------------------------------------------------ *)
+(* D/A converter: sound output sink *)
+
+module Da = struct
+  type t = { samples : int Queue.t }
+
+  let install m =
+    let t = { samples = Queue.create () } in
+    Machine.map_mmio_write m ~addr:Mmio_map.da_data (fun v -> Queue.push v t.samples);
+    t
+
+  let drain t =
+    let out = List.of_seq (Queue.to_seq t.samples) in
+    Queue.clear t.samples;
+    out
+
+  let count t = Queue.length t.samples
+end

@@ -1,0 +1,80 @@
+(** Device models (§6.1): real-time clock and counters, interval
+    timers, serial TTY, DMA disk with seek latency, the 44.1 kHz A/D
+    sampler and the D/A sink.  Each installs MMIO handlers (see
+    {!Mmio_map}) and, when it generates events, a machine device whose
+    tick fires at its cycle deadline. *)
+
+module Rtc : sig
+  val install : Machine.t -> unit
+end
+
+module Cpu_control : sig
+  (** FP-availability and user-stack-pointer registers. *)
+  val install : Machine.t -> unit
+end
+
+module Timer : sig
+  type t
+
+  (** One-shot interval timer: write microseconds to [addr] to arm,
+      0 to cancel, read for the remainder. *)
+  val install :
+    ?name:string -> ?addr:int -> ?level:int -> ?vector:int -> Machine.t -> t
+
+  val armed : t -> bool
+
+  (** Host-side arm; only ever shortens the current deadline. *)
+  val arm : t -> us:float -> unit
+end
+
+module Tty : sig
+  type t
+
+  val install : ?char_interval_us:float -> Machine.t -> t
+
+  (** Queue input characters for interrupt-driven delivery. *)
+  val feed : t -> string -> unit
+
+  (** Everything written to the output register so far. *)
+  val output : t -> string
+
+  val clear_output : t -> unit
+end
+
+module Disk : sig
+  val block_words : int
+
+  type t
+
+  val install :
+    ?blocks:int -> ?seek_us:float -> ?transfer_us_per_word:float -> Machine.t -> t
+
+  (** Host-side image access (populating disks in tests/examples). *)
+  val write_block : t -> int -> int array -> unit
+
+  val read_block : t -> int -> int array
+  val blocks : t -> int
+end
+
+module Ad : sig
+  type t
+
+  val install : Machine.t -> t
+
+  (** Samples produced so far. *)
+  val delivered : t -> int
+
+  (** Sampling rate in Hz; 0 switches the source off. *)
+  val set_rate : t -> int -> unit
+end
+
+module Da : sig
+  type t
+
+  val install : Machine.t -> t
+
+  (** Remove and return all samples written so far. *)
+  val drain : t -> int list
+
+  val count : t -> int
+end

@@ -1,0 +1,768 @@
+(* The simulated Quamachine: CPU, memory, interrupts, devices, and the
+   instruction/memory-reference/cycle counters that the paper's
+   measurement chapter relies on (§6.1).
+
+   Code and data are separate address spaces.  The code store is an
+   append-only, patch-in-place array of instructions — run-time kernel
+   code synthesis appends specialized routines and rewrites individual
+   instructions (the `jmp` threading of the executable ready queue). *)
+
+type fault =
+  | Bus_error of int
+  | Div_zero
+  | Privilege
+  | Illegal
+  | Fp_unavailable
+
+exception Cpu_fault of fault
+
+(* Raised when the CPU is stopped waiting for an interrupt and no
+   device will ever deliver one. *)
+exception Deadlock
+
+(* Raised on attempts to execute outside the code store, which means
+   wild control flow: there is no vector for it, the simulation dies. *)
+exception Wild_jump of int
+
+type device = {
+  dev_name : string;
+  mutable next_due : int; (* absolute cycle count; max_int when idle *)
+  mutable dev_tick : t -> unit;
+}
+
+and t = {
+  cost : Cost.t;
+  mem : int array;
+  mem_words : int;
+  regs : int array;
+  fregs : float array;
+  mutable pc : int;
+  mutable other_sp : int; (* the inactive stack pointer (USP or SSP) *)
+  mutable supervisor : bool;
+  mutable trace_bit : bool;
+  mutable ipl : int;
+  mutable vbr : int;
+  mutable cc_n : bool;
+  mutable cc_z : bool;
+  mutable cc_v : bool;
+  mutable cc_c : bool;
+  mutable fp_enabled : bool;
+  mutable last_fault_addr : int;
+  (* code store *)
+  mutable code : Insn.insn array;
+  mutable code_len : int;
+  (* counters *)
+  mutable cycles : int;
+  mutable insns : int;
+  mutable refs : int;
+  (* pending interrupts: vector per level 1..7, -1 = none *)
+  pending : int array;
+  (* devices *)
+  mutable devices : device list;
+  mutable next_device_due : int;
+  (* memory-mapped I/O: address -> handlers *)
+  mmio_read : (int, unit -> int) Hashtbl.t;
+  mmio_write : (int, int -> unit) Hashtbl.t;
+  (* address-space maps: map id -> list of (base, len) segments *)
+  maps : (int, (int * int) list) Hashtbl.t;
+  mutable current_map : int; (* -1: no user map installed *)
+  (* host service routines invoked by Hcall *)
+  mutable hcalls : (t -> unit) array;
+  mutable hcall_len : int;
+  (* execution trace ring buffer (kernel monitor, §6.3) *)
+  trace_ring : int array;
+  mutable trace_pos : int;
+  mutable trace_count : int;
+  mutable trace_on : bool;
+  (* per-code-address cycle profile (kernel monitor) *)
+  mutable profile : int array; (* cycles attributed per address *)
+  mutable profile_on : bool;
+  mutable halted : bool;
+  mutable stopped : bool;
+}
+
+let mmio_base = 0xF0_0000
+
+let create ?(mem_words = 1 lsl 20) cost =
+  {
+    cost;
+    mem = Array.make mem_words 0;
+    mem_words;
+    regs = Array.make Insn.num_regs 0;
+    fregs = Array.make Insn.num_fregs 0.0;
+    pc = 0;
+    other_sp = 0;
+    supervisor = true;
+    trace_bit = false;
+    ipl = 7;
+    vbr = 0;
+    cc_n = false;
+    cc_z = false;
+    cc_v = false;
+    cc_c = false;
+    fp_enabled = true;
+    last_fault_addr = 0;
+    code = Array.make 4096 Insn.Halt;
+    code_len = 0;
+    cycles = 0;
+    insns = 0;
+    refs = 0;
+    pending = Array.make 8 (-1);
+    devices = [];
+    next_device_due = max_int;
+    mmio_read = Hashtbl.create 16;
+    mmio_write = Hashtbl.create 16;
+    maps = Hashtbl.create 16;
+    current_map = -1;
+    hcalls = Array.make 64 (fun _ -> ());
+    hcall_len = 0;
+    trace_ring = Array.make 4096 0;
+    trace_pos = 0;
+    trace_count = 0;
+    trace_on = false;
+    profile = [||];
+    profile_on = false;
+    halted = false;
+    stopped = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* Counters and time *)
+
+let cycles t = t.cycles
+let insns_executed t = t.insns
+let mem_refs t = t.refs
+let time_us t = Cost.us_of_cycles t.cost t.cycles
+let charge t cy = t.cycles <- t.cycles + cy
+
+let charge_refs t n =
+  t.refs <- t.refs + n;
+  t.cycles <- t.cycles + (n * Cost.mem_ref_cycles t.cost)
+
+type stats = { s_cycles : int; s_insns : int; s_refs : int }
+
+let snapshot t = { s_cycles = t.cycles; s_insns = t.insns; s_refs = t.refs }
+
+let delta t s =
+  {
+    s_cycles = t.cycles - s.s_cycles;
+    s_insns = t.insns - s.s_insns;
+    s_refs = t.refs - s.s_refs;
+  }
+
+let stats_us t s = Cost.us_of_cycles t.cost s.s_cycles
+
+(* ------------------------------------------------------------------ *)
+(* Registers, flags, status register *)
+
+let get_reg t r = t.regs.(r)
+let set_reg t r v = t.regs.(r) <- Word.of_int v
+let get_freg t r = t.fregs.(r)
+let set_freg t r v = t.fregs.(r) <- v
+let get_pc t = t.pc
+let set_pc t pc = t.pc <- pc
+let in_supervisor t = t.supervisor
+
+(* SR layout: C=bit0 V=1 Z=2 N=3, IPL=bits 8..10, S=bit 13, T=bit 15. *)
+let pack_sr t =
+  (if t.cc_c then 1 else 0)
+  lor (if t.cc_v then 2 else 0)
+  lor (if t.cc_z then 4 else 0)
+  lor (if t.cc_n then 8 else 0)
+  lor (t.ipl lsl 8)
+  lor (if t.supervisor then 1 lsl 13 else 0)
+  lor (if t.trace_bit then 1 lsl 15 else 0)
+
+let switch_stacks t =
+  let active = t.regs.(Insn.sp) in
+  t.regs.(Insn.sp) <- t.other_sp;
+  t.other_sp <- active
+
+let unpack_sr t sr =
+  t.cc_c <- sr land 1 <> 0;
+  t.cc_v <- sr land 2 <> 0;
+  t.cc_z <- sr land 4 <> 0;
+  t.cc_n <- sr land 8 <> 0;
+  t.ipl <- (sr lsr 8) land 7;
+  let new_super = sr land (1 lsl 13) <> 0 in
+  if new_super <> t.supervisor then (
+    t.supervisor <- new_super;
+    switch_stacks t);
+  t.trace_bit <- sr land (1 lsl 15) <> 0
+
+(* ------------------------------------------------------------------ *)
+(* Memory *)
+
+let segment_allows segs addr =
+  List.exists (fun (base, len) -> addr >= base && addr < base + len) segs
+
+let check_access t addr =
+  if t.supervisor then (
+    if addr < 0 || (addr >= t.mem_words && addr < mmio_base) then (
+      t.last_fault_addr <- addr;
+      raise (Cpu_fault (Bus_error addr))))
+  else begin
+    if addr < 0 || addr >= t.mem_words then (
+      t.last_fault_addr <- addr;
+      raise (Cpu_fault (Bus_error addr)));
+    if t.current_map >= 0 then
+      let segs = try Hashtbl.find t.maps t.current_map with Not_found -> [] in
+      if not (segment_allows segs addr) then (
+        t.last_fault_addr <- addr;
+        raise (Cpu_fault (Bus_error addr)))
+  end
+
+let read_mem t addr =
+  check_access t addr;
+  t.refs <- t.refs + 1;
+  t.cycles <- t.cycles + Cost.mem_ref_cycles t.cost;
+  if addr >= mmio_base then (
+    match Hashtbl.find_opt t.mmio_read addr with
+    | Some f -> Word.of_int (f ())
+    | None ->
+      t.last_fault_addr <- addr;
+      raise (Cpu_fault (Bus_error addr)))
+  else t.mem.(addr)
+
+let write_mem t addr v =
+  check_access t addr;
+  t.refs <- t.refs + 1;
+  t.cycles <- t.cycles + Cost.mem_ref_cycles t.cost;
+  if addr >= mmio_base then (
+    match Hashtbl.find_opt t.mmio_write addr with
+    | Some f -> f (Word.of_int v)
+    | None ->
+      t.last_fault_addr <- addr;
+      raise (Cpu_fault (Bus_error addr)))
+  else t.mem.(addr) <- Word.of_int v
+
+(* Host-side (uncharged, unchecked) memory access, for kernel services
+   and tests; explicit [charge]/[charge_refs] accounts for their cost. *)
+let peek t addr = t.mem.(addr)
+let poke t addr v = t.mem.(addr) <- Word.of_int v
+
+let map_mmio_read t ~addr f = Hashtbl.replace t.mmio_read addr f
+let map_mmio_write t ~addr f = Hashtbl.replace t.mmio_write addr f
+
+let define_map t ~id segments = Hashtbl.replace t.maps id segments
+
+let map_segments t ~id = try Hashtbl.find t.maps id with Not_found -> []
+let current_map t = t.current_map
+let set_map t id = t.current_map <- id
+
+(* ------------------------------------------------------------------ *)
+(* Code store *)
+
+let ensure_code_capacity t n =
+  if t.code_len + n > Array.length t.code then begin
+    let cap = ref (Array.length t.code) in
+    while t.code_len + n > !cap do
+      cap := !cap * 2
+    done;
+    let code = Array.make !cap Insn.Halt in
+    Array.blit t.code 0 code 0 t.code_len;
+    t.code <- code
+  end
+
+(* Append resolved instructions; returns the entry address.  Labels
+   must have been resolved by [Asm.assemble]. *)
+let append_code t insns =
+  let n = List.length insns in
+  ensure_code_capacity t n;
+  let entry = t.code_len in
+  List.iteri
+    (fun i insn ->
+      match insn with
+      | Insn.Label l -> invalid_arg ("append_code: unresolved label " ^ l)
+      | _ -> t.code.(entry + i) <- insn)
+    insns;
+  t.code_len <- t.code_len + n;
+  entry
+
+(* Reserve a patchable region, initially halting. *)
+let reserve_code t n =
+  ensure_code_capacity t n;
+  let entry = t.code_len in
+  t.code_len <- t.code_len + n;
+  for i = entry to entry + n - 1 do
+    t.code.(i) <- Insn.Halt
+  done;
+  entry
+
+let patch_code t addr insn =
+  if addr < 0 || addr >= t.code_len then invalid_arg "patch_code: out of range";
+  t.code.(addr) <- insn
+
+let read_code t addr =
+  if addr < 0 || addr >= t.code_len then invalid_arg "read_code: out of range";
+  t.code.(addr)
+
+let code_size t = t.code_len
+
+(* ------------------------------------------------------------------ *)
+(* Host calls *)
+
+let register_hcall t f =
+  if t.hcall_len = Array.length t.hcalls then begin
+    let hcalls = Array.make (2 * t.hcall_len) (fun _ -> ()) in
+    Array.blit t.hcalls 0 hcalls 0 t.hcall_len;
+    t.hcalls <- hcalls
+  end;
+  let id = t.hcall_len in
+  t.hcalls.(id) <- f;
+  t.hcall_len <- id + 1;
+  id
+
+(* ------------------------------------------------------------------ *)
+(* Devices and interrupts *)
+
+let recompute_device_due t =
+  t.next_device_due <-
+    List.fold_left (fun acc d -> min acc d.next_due) max_int t.devices
+
+let add_device t ~name ~due ~tick =
+  let d = { dev_name = name; next_due = due; dev_tick = tick } in
+  t.devices <- d :: t.devices;
+  recompute_device_due t;
+  d
+
+let device_schedule t d due =
+  d.next_due <- due;
+  recompute_device_due t
+
+let device_idle t d = device_schedule t d max_int
+
+let post_interrupt t ~level ~vector =
+  if level < 1 || level > 7 then invalid_arg "post_interrupt: level";
+  t.pending.(level) <- vector;
+  t.stopped <- false
+
+let pending_level t =
+  let rec scan l = if l = 0 then 0 else if t.pending.(l) >= 0 then l else scan (l - 1) in
+  scan 7
+
+let run_due_devices t =
+  if t.cycles >= t.next_device_due then begin
+    List.iter (fun d -> if t.cycles >= d.next_due then d.dev_tick t) t.devices;
+    recompute_device_due t
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Operand evaluation *)
+
+let effective_addr t = function
+  | Insn.Imm _ | Insn.Lbl _ | Insn.Reg _ ->
+    invalid_arg "effective_addr: not a memory operand"
+  | Insn.Ind r -> t.regs.(r)
+  | Insn.Idx (r, d) -> Word.of_int (t.regs.(r) + d)
+  | Insn.Abs a -> a
+  | Insn.Post_inc r ->
+    let a = t.regs.(r) in
+    t.regs.(r) <- Word.of_int (a + 1);
+    a
+  | Insn.Pre_dec r ->
+    let a = Word.of_int (t.regs.(r) - 1) in
+    t.regs.(r) <- a;
+    a
+
+let read_operand t = function
+  | Insn.Imm v -> Word.of_int v
+  | Insn.Lbl l -> invalid_arg ("read_operand: unresolved label " ^ l)
+  | Insn.Reg r -> t.regs.(r)
+  | op -> read_mem t (effective_addr t op)
+
+let write_operand t op v =
+  match op with
+  | Insn.Imm _ -> invalid_arg "write_operand: immediate destination"
+  | Insn.Reg r -> t.regs.(r) <- Word.of_int v
+  | op -> write_mem t (effective_addr t op) v
+
+let set_nz t v =
+  t.cc_n <- Word.is_negative v;
+  t.cc_z <- v = 0
+
+let set_nz_clear_cv t v =
+  set_nz t v;
+  t.cc_c <- false;
+  t.cc_v <- false
+
+(* ------------------------------------------------------------------ *)
+(* ALU *)
+
+let alu_apply t op a b =
+  (* [b] is the destination operand value, [a] the source: dst op src. *)
+  match op with
+  | Insn.Add ->
+    let r, c, v = Word.add_full b a in
+    set_nz t r;
+    t.cc_c <- c;
+    t.cc_v <- v;
+    r
+  | Insn.Sub ->
+    let r, c, v = Word.sub_full b a in
+    set_nz t r;
+    t.cc_c <- c;
+    t.cc_v <- v;
+    r
+  | Insn.Mul ->
+    let r = Word.mul b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Divu ->
+    if a = 0 then raise (Cpu_fault Div_zero);
+    let r = Word.divu b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Divs ->
+    if a = 0 then raise (Cpu_fault Div_zero);
+    let r = Word.divs b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.And ->
+    let r = Word.logand b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Or ->
+    let r = Word.logor b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Xor ->
+    let r = Word.logxor b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Lsl ->
+    let r = Word.shift_left b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Lsr ->
+    let r = Word.shift_right_logical b a in
+    set_nz_clear_cv t r;
+    r
+  | Insn.Asr ->
+    let r = Word.shift_right_arith b a in
+    set_nz_clear_cv t r;
+    r
+
+let cond_holds t = function
+  | Insn.Always -> true
+  | Insn.Eq -> t.cc_z
+  | Insn.Ne -> not t.cc_z
+  | Insn.Lt -> t.cc_n <> t.cc_v
+  | Insn.Ge -> t.cc_n = t.cc_v
+  | Insn.Le -> t.cc_z || t.cc_n <> t.cc_v
+  | Insn.Gt -> (not t.cc_z) && t.cc_n = t.cc_v
+  | Insn.Hi -> (not t.cc_c) && not t.cc_z
+  | Insn.Ls -> t.cc_c || t.cc_z
+  | Insn.Cs -> t.cc_c
+  | Insn.Cc -> not t.cc_c
+  | Insn.Mi -> t.cc_n
+  | Insn.Pl -> not t.cc_n
+
+let resolve_target t = function
+  | Insn.To_addr a -> a
+  | Insn.To_reg r -> t.regs.(r)
+  | Insn.To_mem op -> read_mem t (effective_addr t op)
+  | Insn.To_label l -> invalid_arg ("resolve_target: unresolved label " ^ l)
+
+let push t v =
+  let a = Word.of_int (t.regs.(Insn.sp) - 1) in
+  t.regs.(Insn.sp) <- a;
+  write_mem t a v
+
+let pop t =
+  let a = t.regs.(Insn.sp) in
+  let v = read_mem t a in
+  t.regs.(Insn.sp) <- Word.of_int (a + 1);
+  v
+
+let require_supervisor t = if not t.supervisor then raise (Cpu_fault Privilege)
+
+(* ------------------------------------------------------------------ *)
+(* Exceptions, traps, interrupts *)
+
+let fault_vector = function
+  | Bus_error _ -> Insn.Vector.bus_error
+  | Div_zero -> Insn.Vector.div_zero
+  | Privilege -> Insn.Vector.privilege
+  | Illegal -> Insn.Vector.illegal
+  | Fp_unavailable -> Insn.Vector.fp_unavailable
+
+(* Enter an exception handler through the current vector table: push
+   PC and SR on the supervisor stack, enter supervisor state, fetch
+   the handler address from [vbr + vector]. *)
+let take_exception t ~vector ~new_ipl =
+  let sr = pack_sr t in
+  if not t.supervisor then begin
+    t.supervisor <- true;
+    switch_stacks t
+  end;
+  t.trace_bit <- false;
+  (match new_ipl with Some l -> t.ipl <- l | None -> ());
+  push t t.pc;
+  push t sr;
+  charge t 18;
+  (* vector fetch *)
+  let handler = read_mem t (t.vbr + vector) in
+  t.pc <- handler
+
+let deliver_pending_interrupt t =
+  let level = pending_level t in
+  if level > t.ipl then begin
+    let vector = t.pending.(level) in
+    t.pending.(level) <- -1;
+    take_exception t ~vector ~new_ipl:(Some level);
+    true
+  end
+  else false
+
+(* ------------------------------------------------------------------ *)
+(* Instruction execution *)
+
+let exec t insn =
+  match insn with
+  | Insn.Nop -> ()
+  | Insn.Label _ -> invalid_arg "exec: label in code store"
+  | Insn.Move (src, dst) ->
+    let v = read_operand t src in
+    write_operand t dst v;
+    set_nz_clear_cv t v
+  | Insn.Lea (op, r) -> t.regs.(r) <- Word.of_int (effective_addr t op)
+  | Insn.Alu (op, src, rd) ->
+    let a = read_operand t src in
+    t.regs.(rd) <- alu_apply t op a t.regs.(rd)
+  | Insn.Alu_mem (op, src, dst) ->
+    let a = read_operand t src in
+    let addr = effective_addr t dst in
+    let b = read_mem t addr in
+    write_mem t addr (alu_apply t op a b)
+  | Insn.Cmp (src, dst) ->
+    let a = read_operand t src in
+    let b = read_operand t dst in
+    let r, c, v = Word.sub_full b a in
+    set_nz t r;
+    t.cc_c <- c;
+    t.cc_v <- v
+  | Insn.Tst op ->
+    let v = read_operand t op in
+    set_nz_clear_cv t v
+  | Insn.Neg r ->
+    let v = Word.neg t.regs.(r) in
+    t.regs.(r) <- v;
+    set_nz t v;
+    t.cc_c <- v <> 0;
+    t.cc_v <- v = Word.sign_bit
+  | Insn.Not r ->
+    let v = Word.lognot t.regs.(r) in
+    t.regs.(r) <- v;
+    set_nz_clear_cv t v
+  | Insn.B (c, tgt) -> if cond_holds t c then t.pc <- resolve_target t tgt
+  | Insn.Dbra (r, tgt) ->
+    let v = Word.sub t.regs.(r) 1 in
+    t.regs.(r) <- v;
+    if v <> Word.mask then t.pc <- resolve_target t tgt
+  | Insn.Jmp tgt -> t.pc <- resolve_target t tgt
+  | Insn.Jsr tgt ->
+    let dest = resolve_target t tgt in
+    push t t.pc;
+    t.pc <- dest
+  | Insn.Rts -> t.pc <- pop t
+  | Insn.Trap n -> take_exception t ~vector:(Insn.Vector.trap n) ~new_ipl:None
+  | Insn.Rte ->
+    require_supervisor t;
+    let sr = pop t in
+    let pc = pop t in
+    unpack_sr t sr;
+    t.pc <- pc
+  | Insn.Cas (rc, ru, ea) ->
+    let addr = effective_addr t ea in
+    let v = read_mem t addr in
+    let r, c, ovf = Word.sub_full v t.regs.(rc) in
+    set_nz t r;
+    t.cc_c <- c;
+    t.cc_v <- ovf;
+    if v = t.regs.(rc) then write_mem t addr t.regs.(ru) else t.regs.(rc) <- v
+  | Insn.Movem_save (rs, sreg) ->
+    List.iter
+      (fun r ->
+        let a = Word.of_int (t.regs.(sreg) - 1) in
+        t.regs.(sreg) <- a;
+        write_mem t a t.regs.(r))
+      (List.rev rs)
+  | Insn.Movem_load (sreg, rs) ->
+    List.iter
+      (fun r ->
+        let a = t.regs.(sreg) in
+        t.regs.(r) <- read_mem t a;
+        t.regs.(sreg) <- Word.of_int (a + 1))
+      rs
+  | Insn.Push op -> push t (read_operand t op)
+  | Insn.Pop r -> t.regs.(r) <- pop t
+  | Insn.Set_ipl n ->
+    require_supervisor t;
+    t.ipl <- n land 7
+  | Insn.Move_vbr op ->
+    require_supervisor t;
+    t.vbr <- read_operand t op
+  | Insn.Move_mmu op ->
+    require_supervisor t;
+    t.current_map <- Word.signed (read_operand t op)
+  | Insn.Fmove_imm (f, d) ->
+    if not t.fp_enabled then raise (Cpu_fault Fp_unavailable);
+    t.fregs.(d) <- f
+  | Insn.Fmove (s, d) ->
+    if not t.fp_enabled then raise (Cpu_fault Fp_unavailable);
+    t.fregs.(d) <- t.fregs.(s)
+  | Insn.Fop (op, s, d) ->
+    if not t.fp_enabled then raise (Cpu_fault Fp_unavailable);
+    let a = t.fregs.(s) and b = t.fregs.(d) in
+    t.fregs.(d) <-
+      (match op with
+      | Insn.Fadd -> b +. a
+      | Insn.Fsub -> b -. a
+      | Insn.Fmul -> b *. a
+      | Insn.Fdiv -> b /. a)
+  | Insn.Fmovem_save sreg ->
+    (* FP context is wide: three memory words per register. *)
+    for i = Insn.num_fregs - 1 downto 0 do
+      let bits = Int64.to_int (Int64.logand (Int64.bits_of_float t.fregs.(i)) 0xFFFF_FFFFL) in
+      let a = Word.of_int (t.regs.(sreg) - 3) in
+      t.regs.(sreg) <- a;
+      write_mem t a bits;
+      write_mem t (a + 1)
+        (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float t.fregs.(i)) 32));
+      write_mem t (a + 2) i
+    done
+  | Insn.Fmovem_load sreg ->
+    for i = 0 to Insn.num_fregs - 1 do
+      let a = t.regs.(sreg) in
+      let lo = read_mem t a in
+      let hi = read_mem t (a + 1) in
+      let _tag = read_mem t (a + 2) in
+      t.regs.(sreg) <- Word.of_int (a + 3);
+      t.fregs.(i) <-
+        Int64.float_of_bits
+          (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
+    done
+  | Insn.Stop_wait ->
+    require_supervisor t;
+    t.stopped <- true
+  | Insn.Halt -> t.halted <- true
+  | Insn.Hcall id ->
+    if id < 0 || id >= t.hcall_len then raise (Cpu_fault Illegal);
+    t.hcalls.(id) t
+
+(* ------------------------------------------------------------------ *)
+(* Stepping and running *)
+
+let fp_control_addr = mmio_base + 0xFF0
+
+let () = ignore fp_control_addr
+
+let set_fp_enabled t b = t.fp_enabled <- b
+let fp_enabled t = t.fp_enabled
+
+let fetch t =
+  if t.pc < 0 || t.pc >= t.code_len then raise (Wild_jump t.pc);
+  t.code.(t.pc)
+
+let record_trace t pc =
+  t.trace_ring.(t.trace_pos) <- pc;
+  t.trace_pos <- (t.trace_pos + 1) mod Array.length t.trace_ring;
+  t.trace_count <- t.trace_count + 1
+
+let trace_enable t b = t.trace_on <- b
+
+(* Cycle profiling: attribute every executed instruction's cycles
+   (base + memory references) to its code address. *)
+let profile_enable t b =
+  t.profile_on <- b;
+  if b && Array.length t.profile < Array.length t.code then
+    t.profile <- Array.make (Array.length t.code) 0
+
+let profile_reset t = Array.fill t.profile 0 (Array.length t.profile) 0
+
+let profile_cycles t addr =
+  if addr >= 0 && addr < Array.length t.profile then t.profile.(addr) else 0
+
+(* The [n] hottest addresses as (address, cycles), hottest first. *)
+let profile_top t n =
+  let entries = ref [] in
+  Array.iteri (fun a c -> if c > 0 then entries := (a, c) :: !entries) t.profile;
+  let sorted = List.sort (fun (_, c1) (_, c2) -> compare c2 c1) !entries in
+  let rec take k = function
+    | [] -> []
+    | x :: rest -> if k = 0 then [] else x :: take (k - 1) rest
+  in
+  take n sorted
+
+(* Most recent executed PCs, oldest first. *)
+let trace_window t n =
+  let n = min n (min t.trace_count (Array.length t.trace_ring)) in
+  List.init n (fun i ->
+      let pos =
+        (t.trace_pos - n + i + Array.length t.trace_ring) mod Array.length t.trace_ring
+      in
+      t.trace_ring.(pos))
+
+let advance_to_next_event t =
+  if t.next_device_due = max_int then raise Deadlock;
+  if t.next_device_due > t.cycles then t.cycles <- t.next_device_due;
+  run_due_devices t
+
+let step t =
+  if t.halted then ()
+  else if t.stopped then begin
+    (* Idle: fast-forward simulated time to the next device event. *)
+    advance_to_next_event t;
+    ignore (deliver_pending_interrupt t)
+  end
+  else begin
+    if not (deliver_pending_interrupt t) then begin
+      let trace_this = t.trace_bit in
+      let insn = fetch t in
+      let at = t.pc in
+      let cy0 = t.cycles in
+      if t.trace_on then record_trace t t.pc;
+      t.pc <- t.pc + 1;
+      t.insns <- t.insns + 1;
+      t.cycles <- t.cycles + Cost.base insn;
+      (try exec t insn
+       with Cpu_fault f ->
+         t.pc <- t.pc - 1;
+         (* fault PC: re-entrant handlers may fix and retry *)
+         take_exception t ~vector:(fault_vector f) ~new_ipl:None);
+      if t.profile_on && at < Array.length t.profile then
+        t.profile.(at) <- t.profile.(at) + (t.cycles - cy0);
+      if trace_this && not t.halted then
+        take_exception t ~vector:Insn.Vector.trace ~new_ipl:None
+    end;
+    run_due_devices t
+  end
+
+type run_result = Halted | Insn_limit
+
+let run ?(max_insns = max_int) t =
+  let start = t.insns in
+  let rec loop () =
+    if t.halted then Halted
+    else if t.insns - start >= max_insns then Insn_limit
+    else begin
+      step t;
+      loop ()
+    end
+  in
+  loop ()
+
+let halted t = t.halted
+let set_halted t b = t.halted <- b
+let stopped t = t.stopped
+let last_fault_addr t = t.last_fault_addr
+let vbr t = t.vbr
+let set_vbr t v = t.vbr <- v
+let ipl t = t.ipl
+let set_ipl t l = t.ipl <- l land 7
+let set_supervisor t b = if b <> t.supervisor then (t.supervisor <- b; switch_stacks t)
+let other_sp t = t.other_sp
+let set_other_sp t v = t.other_sp <- v
+let mem_words t = t.mem_words
+let cost_model t = t.cost

@@ -1,0 +1,155 @@
+(** The simulated Quamachine (§6.1): CPU, memory with protection maps,
+    an append-only patchable code store, prioritized interrupts,
+    devices, host-call hooks, and the instruction / memory-reference /
+    cycle counters the paper's measurements rely on. *)
+
+type t
+
+(** CPU faults delivered through the current vector table. *)
+type fault =
+  | Bus_error of int
+  | Div_zero
+  | Privilege
+  | Illegal
+  | Fp_unavailable
+
+exception Cpu_fault of fault
+
+(** The CPU is stopped waiting for an interrupt no device will ever
+    deliver. *)
+exception Deadlock
+
+(** Control flow left the code store: there is no vector for this. *)
+exception Wild_jump of int
+
+(** A device: [dev_tick] runs when simulated time reaches [next_due]. *)
+type device = {
+  dev_name : string;
+  mutable next_due : int;
+  mutable dev_tick : t -> unit;
+}
+
+(** First data address routed to MMIO handlers instead of memory. *)
+val mmio_base : int
+
+val create : ?mem_words:int -> Cost.t -> t
+
+(** {1 Counters and simulated time} *)
+
+val cycles : t -> int
+val insns_executed : t -> int
+val mem_refs : t -> int
+val time_us : t -> float
+
+(** Host services account their cost explicitly. *)
+val charge : t -> int -> unit
+
+(** Charge [n] memory references (cycles and the reference counter). *)
+val charge_refs : t -> int -> unit
+
+type stats = { s_cycles : int; s_insns : int; s_refs : int }
+
+val snapshot : t -> stats
+val delta : t -> stats -> stats
+val stats_us : t -> stats -> float
+
+(** {1 Registers and status} *)
+
+val get_reg : t -> Insn.reg -> int
+val set_reg : t -> Insn.reg -> int -> unit
+val get_freg : t -> int -> float
+val set_freg : t -> int -> float -> unit
+val get_pc : t -> int
+val set_pc : t -> int -> unit
+val in_supervisor : t -> bool
+val set_supervisor : t -> bool -> unit
+val pack_sr : t -> int
+val other_sp : t -> int
+val set_other_sp : t -> int -> unit
+val vbr : t -> int
+val set_vbr : t -> int -> unit
+val ipl : t -> int
+val set_ipl : t -> int -> unit
+val set_fp_enabled : t -> bool -> unit
+val fp_enabled : t -> bool
+val last_fault_addr : t -> int
+
+(** {1 Memory} *)
+
+(** Checked, charged access (protection + MMIO dispatch); what
+    executing instructions use. *)
+val read_mem : t -> int -> int
+
+val write_mem : t -> int -> int -> unit
+
+(** Host-side access: unchecked and uncharged; pair with [charge]. *)
+val peek : t -> int -> int
+
+val poke : t -> int -> int -> unit
+
+val map_mmio_read : t -> addr:int -> (unit -> int) -> unit
+val map_mmio_write : t -> addr:int -> (int -> unit) -> unit
+
+(** Address-space maps: a map is a list of [(base, length)] segments
+    user-mode code may touch. *)
+val define_map : t -> id:int -> (int * int) list -> unit
+
+val map_segments : t -> id:int -> (int * int) list
+val current_map : t -> int
+val set_map : t -> int -> unit
+val mem_words : t -> int
+
+(** {1 Code store} *)
+
+(** Append resolved instructions; returns the entry address. *)
+val append_code : t -> Insn.insn list -> int
+
+(** Reserve a patchable region of [n] slots (initially halting). *)
+val reserve_code : t -> int -> int
+
+(** Rewrite one instruction in place — executable data structures. *)
+val patch_code : t -> int -> Insn.insn -> unit
+
+val read_code : t -> int -> Insn.insn
+val code_size : t -> int
+
+(** {1 Host calls} *)
+
+(** Register a host service invocable by [Insn.Hcall]; returns its id. *)
+val register_hcall : t -> (t -> unit) -> int
+
+(** {1 Devices and interrupts} *)
+
+val add_device : t -> name:string -> due:int -> tick:(t -> unit) -> device
+val device_schedule : t -> device -> int -> unit
+val device_idle : t -> device -> unit
+val post_interrupt : t -> level:int -> vector:int -> unit
+
+(** {1 Execution} *)
+
+type run_result = Halted | Insn_limit
+
+val step : t -> unit
+val run : ?max_insns:int -> t -> run_result
+val halted : t -> bool
+val set_halted : t -> bool -> unit
+val stopped : t -> bool
+val cost_model : t -> Cost.t
+
+(** {1 Trace (kernel monitor, §6.1)} *)
+
+val trace_enable : t -> bool -> unit
+
+(** The most recent executed PCs, oldest first. *)
+val trace_window : t -> int -> int list
+
+(** {1 Cycle profiling} — attribute every executed instruction's
+    cycles to its code address.  Enable before loading heavy code or
+    re-enable to grow the table. *)
+
+val profile_enable : t -> bool -> unit
+val profile_reset : t -> unit
+val profile_cycles : t -> int -> int
+
+(** The [n] hottest addresses as (address, cycles), hottest first. *)
+val profile_top : t -> int -> (int * int) list

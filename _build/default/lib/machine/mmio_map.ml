@@ -1,0 +1,54 @@
+(* Memory-mapped device register allocation (all in the MMIO window). *)
+
+let base = Machine.mmio_base
+
+(* Real-time clock / monitor counters (§6.1 measurement facilities). *)
+let rtc_us = base + 0x00
+let rtc_cycles = base + 0x01
+let rtc_insns = base + 0x02
+
+(* Interval timer: write an interval in microseconds to arm a one-shot
+   alarm interrupt; write 0 to cancel; read remaining microseconds. *)
+let timer_alarm = base + 0x10
+
+(* Second interval timer for user-visible alarms (Table 5). *)
+let alarm_set = base + 0x18
+
+(* Serial TTY. *)
+let tty_data_in = base + 0x20
+let tty_status = base + 0x21
+let tty_data_out = base + 0x22
+
+(* Disk controller. *)
+let disk_block = base + 0x30
+let disk_buffer = base + 0x31
+let disk_command = base + 0x32
+let disk_status = base + 0x33
+
+(* A/D converter (two-channel 16-bit analog input, §6.1). *)
+let ad_data = base + 0x40
+let ad_control = base + 0x41
+
+(* D/A converter (sound output). *)
+let da_data = base + 0x50
+
+(* CPU control: write 0/1 to disable/enable the FP coprocessor for the
+   currently running thread (used by the lazy-FP context switch). *)
+let fp_control = base + 0xFF0
+
+(* User stack pointer: the inactive stack pointer, readable/writable
+   from supervisor mode (68k "move usp" equivalent). *)
+let usp = base + 0xFF1
+
+(* Interrupt levels and autovectors. *)
+let timer_level = 6
+let ad_level = 5
+let tty_level = 4
+let disk_level = 3
+let alarm_level = 2
+
+let timer_vector = Insn.Vector.autovector timer_level
+let ad_vector = Insn.Vector.autovector ad_level
+let tty_vector = Insn.Vector.autovector tty_level
+let disk_vector = Insn.Vector.autovector disk_level
+let alarm_vector = Insn.Vector.autovector alarm_level

@@ -1,0 +1,58 @@
+(** Memory-mapped device register allocation (§6.1's I/O devices) and
+    their interrupt levels/vectors. *)
+
+val base : int
+
+(** {1 Real-time clock / monitor counters} *)
+
+val rtc_us : int
+val rtc_cycles : int
+val rtc_insns : int
+
+(** {1 Interval timers} — write microseconds to arm a one-shot
+    interrupt, 0 to cancel, read for the remainder. *)
+
+val timer_alarm : int
+
+(** the user-visible alarm timer (Table 5) *)
+val alarm_set : int
+
+(** {1 Serial TTY} *)
+
+val tty_data_in : int
+val tty_status : int
+val tty_data_out : int
+
+(** {1 Disk controller} *)
+
+val disk_block : int
+val disk_buffer : int
+val disk_command : int
+val disk_status : int
+
+(** {1 A/D and D/A converters} *)
+
+val ad_data : int
+val ad_control : int
+val da_data : int
+
+(** {1 CPU control} *)
+
+(** FP-coprocessor availability for the running thread (lazy-FP). *)
+val fp_control : int
+
+(** The inactive (user) stack pointer, 68k "move usp" equivalent. *)
+val usp : int
+
+(** {1 Interrupt levels and autovectors} *)
+
+val timer_level : int
+val ad_level : int
+val tty_level : int
+val disk_level : int
+val alarm_level : int
+val timer_vector : int
+val ad_vector : int
+val tty_vector : int
+val disk_vector : int
+val alarm_vector : int

@@ -1,0 +1,1 @@
+lib/oq/dedicated.ml: Array

@@ -1,0 +1,1 @@
+lib/oq/locked.ml: Array Domain Mutex

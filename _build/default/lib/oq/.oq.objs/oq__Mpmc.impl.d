@@ -1,0 +1,1 @@
+lib/oq/mpmc.ml: Array Atomic Domain

@@ -1,0 +1,1 @@
+lib/oq/pump.ml: Atomic Domain

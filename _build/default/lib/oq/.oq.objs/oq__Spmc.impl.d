@@ -1,0 +1,1 @@
+lib/oq/spmc.ml: Array Atomic Domain

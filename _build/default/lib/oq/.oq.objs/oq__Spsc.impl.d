@@ -1,0 +1,1 @@
+lib/oq/spsc.ml: Array Atomic Domain

@@ -1,0 +1,16 @@
+(** Dedicated queue: all synchronization code omitted (§2.3).
+
+    The cheapest queue there is — plain loads and stores.  The
+    contract, enforced by whoever instantiates it (the quaject
+    interfacer in the kernel), is that producer and consumer are
+    already serialized: never share across domains. *)
+
+type 'a t
+
+val create : int -> 'a t
+val try_put : 'a t -> 'a -> bool
+val try_get : 'a t -> 'a option
+val is_empty : 'a t -> bool
+val is_full : 'a t -> bool
+val length : 'a t -> int
+val capacity : 'a t -> int

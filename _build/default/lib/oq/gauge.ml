@@ -1,0 +1,39 @@
+(* Gauge: counts events — procedure calls, data arrival, interrupts
+   (§2.3).  Schedulers read gauges to make fine-grain scheduling
+   decisions: the rate observed over the last window drives the CPU
+   quantum assigned to the thread that animates the data flow. *)
+
+type t = {
+  count : int Atomic.t;
+  mutable window_start_count : int;
+  mutable window_start_time : float; (* caller-supplied clock *)
+  mutable last_rate : float;
+}
+
+let create () =
+  { count = Atomic.make 0; window_start_count = 0; window_start_time = 0.0; last_rate = 0.0 }
+
+let tick t = Atomic.incr t.count
+let add t n = ignore (Atomic.fetch_and_add t.count n)
+let count t = Atomic.get t.count
+
+(* Close the current measurement window at time [now] (any monotonic
+   unit); returns events/unit-time over the window just ended. *)
+let sample_rate t ~now =
+  let c = Atomic.get t.count in
+  let dt = now -. t.window_start_time in
+  let rate =
+    if dt <= 0.0 then t.last_rate
+    else float_of_int (c - t.window_start_count) /. dt
+  in
+  t.window_start_count <- c;
+  t.window_start_time <- now;
+  t.last_rate <- rate;
+  rate
+
+let last_rate t = t.last_rate
+
+let reset t =
+  Atomic.set t.count 0;
+  t.window_start_count <- 0;
+  t.last_rate <- 0.0

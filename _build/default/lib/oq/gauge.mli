@@ -1,0 +1,23 @@
+(** Gauge: counts events for scheduling decisions (§2.3).  Schedulers
+    sample a gauge's rate over a window to decide a thread's "need to
+    execute" (§4.4). *)
+
+type t
+
+val create : unit -> t
+
+(** Count one event (thread-safe). *)
+val tick : t -> unit
+
+(** Count [n] events at once. *)
+val add : t -> int -> unit
+
+val count : t -> int
+
+(** [sample_rate t ~now] closes the current measurement window at time
+    [now] (any monotonic unit) and returns events per unit time over
+    the window just ended. *)
+val sample_rate : t -> now:float -> float
+
+val last_rate : t -> float
+val reset : t -> unit

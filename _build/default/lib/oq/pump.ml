@@ -1,0 +1,42 @@
+(* Pump: a thread that actively copies its input into its output,
+   connecting a passive producer to a passive consumer (§2.3, §5.2 —
+   the xclock example: a clock that can be read at any time feeding a
+   display that accepts pixels at any time).
+
+   The pump polls the passive source with a budgeted batch size so a
+   fast source cannot starve shutdown. *)
+
+type t = {
+  stop : bool Atomic.t;
+  copied : int Atomic.t;
+  domain : unit Domain.t;
+}
+
+(* Spawn a pump copying [source ()] values into [sink v] until
+   [stop]ped.  [source] returns [None] when nothing is available right
+   now (the pump relaxes and retries). *)
+let start ?(batch = 64) ~source ~sink () =
+  let stop = Atomic.make false in
+  let copied = Atomic.make 0 in
+  let body () =
+    while not (Atomic.get stop) do
+      let moved = ref 0 in
+      let continue = ref true in
+      while !continue && !moved < batch do
+        match source () with
+        | Some v ->
+          sink v;
+          incr moved;
+          Atomic.incr copied
+        | None -> continue := false
+      done;
+      if !moved = 0 then Domain.cpu_relax ()
+    done
+  in
+  { stop; copied; domain = Domain.spawn body }
+
+let copied t = Atomic.get t.copied
+
+let stop t =
+  Atomic.set t.stop true;
+  Domain.join t.domain

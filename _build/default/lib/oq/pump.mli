@@ -1,0 +1,17 @@
+(** Pump: a thread that actively copies its input to its output,
+    connecting a passive producer to a passive consumer (§2.3, §5.2). *)
+
+type t
+
+(** [start ~source ~sink ()] spawns a domain copying [source ()]
+    values into [sink] until [stop]ped.  [source] returning [None]
+    means nothing available right now.  [batch] bounds work between
+    stop-flag checks. *)
+val start :
+  ?batch:int -> source:(unit -> 'a option) -> sink:('a -> unit) -> unit -> t
+
+(** Total values moved so far. *)
+val copied : t -> int
+
+(** Stop and join the pump domain. *)
+val stop : t -> unit

@@ -1,0 +1,69 @@
+(* Single-producer multiple-consumer optimistic queue.
+
+   Mirror image of the MP-SC queue: the producer owns [head] and the
+   per-slot valid flags tell it when a slot has been fully drained;
+   consumers race on [tail] with compare-and-swap.  A consumer first
+   *claims* a slot (CAS on tail) and only then reads it and clears the
+   flag, so no two consumers ever touch the same slot and the producer
+   cannot overwrite a slot that is still being read. *)
+
+type 'a t = {
+  buf : 'a option array;
+  flag : bool Atomic.t array;
+  size : int;
+  head : int Atomic.t; (* written only by the producer *)
+  tail : int Atomic.t; (* claimed by consumers (CAS) *)
+}
+
+let create size =
+  if size < 2 then invalid_arg "Spmc.create: size must be >= 2";
+  {
+    buf = Array.make size None;
+    flag = Array.init size (fun _ -> Atomic.make false);
+    size;
+    head = Atomic.make 0;
+    tail = Atomic.make 0;
+  }
+
+let next t x = if x = t.size - 1 then 0 else x + 1
+
+let try_put t v =
+  let h = Atomic.get t.head in
+  (* The slot is reusable only when its flag has been cleared by the
+     consumer that drained it. *)
+  if Atomic.get t.flag.(h) || next t h = Atomic.get t.tail then false
+  else begin
+    t.buf.(h) <- Some v;
+    Atomic.set t.flag.(h) true;
+    Atomic.set t.head (next t h);
+    true
+  end
+
+let rec try_get t =
+  let tl = Atomic.get t.tail in
+  if not (Atomic.get t.flag.(tl)) then None (* empty or not yet published *)
+  else if Atomic.compare_and_set t.tail tl (next t tl) then begin
+    (* Slot claimed: we are its only reader. *)
+    let v = t.buf.(tl) in
+    t.buf.(tl) <- None;
+    Atomic.set t.flag.(tl) false;
+    v
+  end
+  else try_get t (* another consumer won the claim; retry *)
+
+let rec put t v = if not (try_put t v) then (Domain.cpu_relax (); put t v)
+
+let rec get t =
+  match try_get t with
+  | Some v -> v
+  | None ->
+    Domain.cpu_relax ();
+    get t
+
+let is_empty t = not (Atomic.get t.flag.(Atomic.get t.tail))
+
+let length t =
+  let h = Atomic.get t.head and tl = Atomic.get t.tail in
+  if h >= tl then h - tl else h - tl + t.size
+
+let capacity t = t.size - 1

@@ -1,0 +1,1 @@
+test/test_baseline.ml: Alcotest Array Baseline Char Devices Insn List Machine Quamachine String Unix_emulator Word

@@ -1,0 +1,1 @@
+test/test_compare.ml: Alcotest Baseline Fmt Insn List Machine Quamachine Repro_harness Synthesis Unix_emulator Word

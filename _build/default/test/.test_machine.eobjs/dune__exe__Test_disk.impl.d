@@ -1,0 +1,1 @@
+test/test_disk.ml: Alcotest Array Asm Boot Char Devices Dfs Disk_server Dump Fmt Insn Kalloc Kernel Layout List Machine Quamachine String Synthesis Thread

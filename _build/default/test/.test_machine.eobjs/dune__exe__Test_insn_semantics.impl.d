@@ -1,0 +1,1 @@
+test/test_insn_semantics.ml: Alcotest Asm Cost Insn List Machine Quamachine Word

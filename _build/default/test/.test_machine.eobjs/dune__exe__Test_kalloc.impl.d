@@ -1,0 +1,1 @@
+test/test_kalloc.ml: Alcotest Cost Kalloc List Machine Quamachine Synthesis

@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Array Asm Boot Char Fs Insn Kalloc Kernel Kpipe Layout Machine Quamachine Ready_queue String Synthesis Thread Word

@@ -1,0 +1,1 @@
+test/test_machine.ml: Alcotest Asm Char Cost Devices Insn List Machine Mmio_map QCheck QCheck_alcotest Quamachine Word

@@ -1,0 +1,1 @@
+test/test_misc.ml: Alcotest Asm Boot Buffer Cost Format Insn Inspect Kernel Layout List Machine Monitor Oq Quamachine Scheduler String Synthesis Template Thread

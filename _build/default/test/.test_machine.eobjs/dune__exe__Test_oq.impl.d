@@ -1,0 +1,1 @@
+test/test_oq.ml: Alcotest Array Atomic Domain Hashtbl List Oq Printf QCheck QCheck_alcotest Queue String

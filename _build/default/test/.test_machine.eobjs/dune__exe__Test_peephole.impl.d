@@ -1,0 +1,1 @@
+test/test_peephole.ml: Alcotest Asm Cost Fmt Insn List Machine Peephole Printf QCheck QCheck_alcotest Quamachine Synthesis

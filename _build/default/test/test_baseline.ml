@@ -1,0 +1,163 @@
+(* Baseline kernel unit tests: the SUNOS stand-in must be a correct
+   (if slow) Unix for the programs Table 1 runs. *)
+
+open Quamachine
+module I = Insn
+module U = Unix_emulator.Unix_abi
+
+let check_int = Alcotest.(check int)
+let check_str = Alcotest.(check string)
+
+let sys num = [ I.Move (I.Imm num, I.Reg I.r0); I.Trap U.trap ]
+
+let poke_string bk addr s =
+  String.iteri (fun i c -> Baseline.poke bk (addr + i) (Char.code c)) s;
+  Baseline.poke bk (addr + String.length s) 0
+
+let test_open_close_null () =
+  let bk = Baseline.boot () in
+  let name = 0x40000 in
+  poke_string bk name "/dev/null";
+  let out = 0x40100 in
+  let prog =
+    [ I.Move (I.Imm name, I.Reg I.r1) ]
+    @ sys U.sys_open
+    @ [ I.Move (I.Reg I.r0, I.Abs out); I.Move (I.Reg I.r0, I.Reg I.r1) ]
+    @ sys U.sys_close
+    @ [ I.Move (I.Reg I.r0, I.Abs (out + 1)) ]
+    @ sys U.sys_exit
+  in
+  let entry = Baseline.load_program bk prog in
+  ignore (Baseline.run ~max_insns:10_000_000 bk ~entry);
+  let m = bk.Baseline.machine in
+  check_int "open returned a descriptor" 0 (Machine.peek m out);
+  check_int "close ok" 0 (Machine.peek m (out + 1))
+
+let test_open_missing () =
+  let bk = Baseline.boot () in
+  let name = 0x40000 in
+  poke_string bk name "/dev/none";
+  let out = 0x40100 in
+  let prog =
+    [ I.Move (I.Imm name, I.Reg I.r1) ]
+    @ sys U.sys_open
+    @ [ I.Move (I.Reg I.r0, I.Abs out) ]
+    @ sys U.sys_exit
+  in
+  let entry = Baseline.load_program bk prog in
+  ignore (Baseline.run ~max_insns:10_000_000 bk ~entry);
+  check_int "missing name = -1" (Word.of_int (-1))
+    (Machine.peek bk.Baseline.machine out)
+
+let test_file_roundtrip () =
+  let content = Array.init 40 (fun i -> 5000 + i) in
+  let bk = Baseline.boot () in
+  ignore (Baseline.create_file bk ~name:"/data/bench" ~content ());
+  let name = 0x40000 and buf = 0x40200 and out = 0x40100 in
+  poke_string bk name "/data/bench";
+  let prog =
+    [ I.Move (I.Imm name, I.Reg I.r1) ]
+    @ sys U.sys_open
+    @ [ I.Move (I.Reg I.r0, I.Reg I.r13) ]
+    (* read 24 words *)
+    @ [
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm buf, I.Reg I.r2);
+        I.Move (I.Imm 24, I.Reg I.r3);
+      ]
+    @ sys U.sys_read
+    @ [ I.Move (I.Reg I.r0, I.Abs out) ]
+    (* seek to 2, overwrite 3 words *)
+    @ [ I.Move (I.Reg I.r13, I.Reg I.r1); I.Move (I.Imm 2, I.Reg I.r2) ]
+    @ sys U.sys_lseek
+    @ [
+        I.Move (I.Imm 111, I.Abs (buf + 50));
+        I.Move (I.Imm 222, I.Abs (buf + 51));
+        I.Move (I.Imm 333, I.Abs (buf + 52));
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm (buf + 50), I.Reg I.r2);
+        I.Move (I.Imm 3, I.Reg I.r3);
+      ]
+    @ sys U.sys_write
+    (* seek 0, read 6 back *)
+    @ [ I.Move (I.Reg I.r13, I.Reg I.r1); I.Move (I.Imm 0, I.Reg I.r2) ]
+    @ sys U.sys_lseek
+    @ [
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm (buf + 60), I.Reg I.r2);
+        I.Move (I.Imm 6, I.Reg I.r3);
+      ]
+    @ sys U.sys_read
+    @ sys U.sys_exit
+  in
+  let entry = Baseline.load_program bk prog in
+  (match Baseline.run ~max_insns:50_000_000 bk ~entry with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "stuck");
+  let m = bk.Baseline.machine in
+  check_int "read count" 24 (Machine.peek m out);
+  check_int "original data" 5000 (Machine.peek m buf);
+  check_int "after write: [2]" 111 (Machine.peek m (buf + 62));
+  check_int "after write: [4]" 333 (Machine.peek m (buf + 64));
+  check_int "untouched: [5]" 5005 (Machine.peek m (buf + 65))
+
+let test_tty_write () =
+  let bk = Baseline.boot () in
+  let name = 0x40000 and buf = 0x40200 in
+  poke_string bk name "/dev/tty";
+  poke_string bk buf "ok!";
+  let prog =
+    [ I.Move (I.Imm name, I.Reg I.r1) ]
+    @ sys U.sys_open
+    @ [
+        I.Move (I.Reg I.r0, I.Reg I.r1);
+        I.Move (I.Imm buf, I.Reg I.r2);
+        I.Move (I.Imm 3, I.Reg I.r3);
+      ]
+    @ sys U.sys_write
+    @ sys U.sys_exit
+  in
+  let entry = Baseline.load_program bk prog in
+  ignore (Baseline.run ~max_insns:10_000_000 bk ~entry);
+  check_str "characters reached the device" "ok!" (Devices.Tty.output bk.Baseline.tty)
+
+let test_pipe_roundtrip () =
+  let bk = Baseline.boot () in
+  let buf = 0x40200 and out = 0x40100 in
+  List.iteri (fun i v -> Baseline.poke bk (buf + i) v) [ 7; 8; 9 ];
+  let prog =
+    sys U.sys_pipe
+    @ [ I.Move (I.Reg I.r0, I.Reg I.r13); I.Move (I.Reg I.r1, I.Reg I.r14) ]
+    @ [
+        I.Move (I.Reg I.r14, I.Reg I.r1);
+        I.Move (I.Imm buf, I.Reg I.r2);
+        I.Move (I.Imm 3, I.Reg I.r3);
+      ]
+    @ sys U.sys_write
+    @ [
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm (buf + 16), I.Reg I.r2);
+        I.Move (I.Imm 3, I.Reg I.r3);
+      ]
+    @ sys U.sys_read
+    @ [ I.Move (I.Reg I.r0, I.Abs out) ]
+    @ sys U.sys_exit
+  in
+  let entry = Baseline.load_program bk prog in
+  ignore (Baseline.run ~max_insns:10_000_000 bk ~entry);
+  let m = bk.Baseline.machine in
+  check_int "read back 3" 3 (Machine.peek m out);
+  check_int "data intact" 8 (Machine.peek m (buf + 17))
+
+let () =
+  Alcotest.run "baseline"
+    [
+      ( "unix",
+        [
+          Alcotest.test_case "open/close /dev/null" `Quick test_open_close_null;
+          Alcotest.test_case "open missing name" `Quick test_open_missing;
+          Alcotest.test_case "file read/write/seek" `Quick test_file_roundtrip;
+          Alcotest.test_case "tty write reaches device" `Quick test_tty_write;
+          Alcotest.test_case "pipe roundtrip" `Quick test_pipe_roundtrip;
+        ] );
+    ]

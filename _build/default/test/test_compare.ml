@@ -1,0 +1,209 @@
+(* Cross-kernel tests: the UNIX emulator on Synthesis, the baseline
+   kernel, and the Table 1 integration shapes — the same binaries must
+   produce the same results on both kernels, with Synthesis faster on
+   every I/O-bound row. *)
+
+open Quamachine
+module I = Insn
+module U = Unix_emulator.Unix_abi
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* A self-checking Unix-ABI program: pipes, files, /dev/null; writes a
+   "test passed" bitmap into [flags] through plain stores. *)
+let acceptance_program (env : Repro_harness.Programs.env) ~flags =
+  let buf = env.Repro_harness.Programs.e_buf in
+  List.concat
+    [
+      (* --- pipe: write 5 words, read them back, compare *)
+      [
+        I.Move (I.Imm U.sys_pipe, I.Reg I.r0);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Reg I.r13); (* rfd *)
+        I.Move (I.Reg I.r1, I.Reg I.r14); (* wfd *)
+      ];
+      List.concat_map
+        (fun i -> [ I.Move (I.Imm (100 + i), I.Abs (buf + i)) ])
+        [ 0; 1; 2; 3; 4 ];
+      [
+        I.Move (I.Imm U.sys_write, I.Reg I.r0);
+        I.Move (I.Reg I.r14, I.Reg I.r1);
+        I.Move (I.Imm buf, I.Reg I.r2);
+        I.Move (I.Imm 5, I.Reg I.r3);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Abs (flags + 0)); (* = 5 *)
+        I.Move (I.Imm U.sys_read, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm (buf + 16), I.Reg I.r2);
+        I.Move (I.Imm 5, I.Reg I.r3);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Abs (flags + 1)); (* = 5 *)
+        I.Move (I.Abs (buf + 18), I.Abs (flags + 2)); (* = 102 *)
+      ];
+      (* --- file: open, write 3, rewind, read 3 back *)
+      [
+        I.Move (I.Imm U.sys_open, I.Reg I.r0);
+        I.Move (I.Imm env.Repro_harness.Programs.e_name_file, I.Reg I.r1);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Reg I.r13);
+        I.Move (I.Imm 777, I.Abs (buf + 30));
+        I.Move (I.Imm U.sys_lseek, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm 0, I.Reg I.r2);
+        I.Trap U.trap;
+        I.Move (I.Imm U.sys_write, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm (buf + 30), I.Reg I.r2);
+        I.Move (I.Imm 1, I.Reg I.r3);
+        I.Trap U.trap;
+        I.Move (I.Imm U.sys_lseek, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm 0, I.Reg I.r2);
+        I.Trap U.trap;
+        I.Move (I.Imm U.sys_read, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm (buf + 40), I.Reg I.r2);
+        I.Move (I.Imm 1, I.Reg I.r3);
+        I.Trap U.trap;
+        I.Move (I.Abs (buf + 40), I.Abs (flags + 3)); (* = 777 *)
+        I.Move (I.Imm U.sys_close, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Trap U.trap;
+      ];
+      (* --- /dev/null: open, read gives EOF, write swallows *)
+      [
+        I.Move (I.Imm U.sys_open, I.Reg I.r0);
+        I.Move (I.Imm env.Repro_harness.Programs.e_name_null, I.Reg I.r1);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Reg I.r13);
+        I.Move (I.Imm U.sys_read, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm buf, I.Reg I.r2);
+        I.Move (I.Imm 4, I.Reg I.r3);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Abs (flags + 4)); (* = 0 *)
+        I.Move (I.Imm U.sys_write, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Move (I.Imm buf, I.Reg I.r2);
+        I.Move (I.Imm 4, I.Reg I.r3);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Abs (flags + 5)); (* = 4 *)
+        I.Move (I.Imm U.sys_close, I.Reg I.r0);
+        I.Move (I.Reg I.r13, I.Reg I.r1);
+        I.Trap U.trap;
+        (* unknown syscall returns -1 *)
+        I.Move (I.Imm 63, I.Reg I.r0);
+        I.Trap U.trap;
+        I.Move (I.Reg I.r0, I.Abs (flags + 6)); (* = -1 *)
+        (* time is monotone non-negative on both kernels *)
+        I.Move (I.Imm U.sys_time, I.Reg I.r0);
+        I.Trap U.trap;
+        I.Tst (I.Reg I.r0);
+        I.B (I.Mi, I.To_label "badtime");
+        I.Move (I.Imm 1, I.Abs (flags + 7)); (* = 1 *)
+        I.B (I.Always, I.To_label "timedone");
+        I.Label "badtime";
+        I.Move (I.Imm 0, I.Abs (flags + 7));
+        I.Label "timedone";
+      ];
+      [ I.Move (I.Imm U.sys_exit, I.Reg I.r0); I.Trap U.trap ];
+    ]
+
+let expected = [ 5; 5; 102; 777; 0; 4; Word.of_int (-1); 1 ]
+
+let check_flags peek flags =
+  List.iteri (fun i exp -> check_int (Fmt.str "flag %d" i) exp (peek (flags + i))) expected
+
+let test_acceptance_on_synthesis () =
+  let se = Repro_harness.Harness.synthesis_setup () in
+  let k = se.Repro_harness.Harness.s_boot.Synthesis.Boot.kernel in
+  let flags = se.Repro_harness.Harness.s_env.Repro_harness.Programs.e_data + 900 in
+  let program = acceptance_program se.Repro_harness.Harness.s_env ~flags in
+  ignore (Repro_harness.Harness.synthesis_run se ~program);
+  check_flags (Machine.peek k.Synthesis.Kernel.machine) flags
+
+let test_acceptance_on_baseline () =
+  let be = Repro_harness.Harness.baseline_setup () in
+  let flags = be.Repro_harness.Harness.b_env.Repro_harness.Programs.e_data + 900 in
+  let program = acceptance_program be.Repro_harness.Harness.b_env ~flags in
+  ignore (Repro_harness.Harness.baseline_run be ~program);
+  check_flags (Machine.peek be.Repro_harness.Harness.b_kernel.Baseline.machine) flags
+
+(* ------------------------------------------------------------------ *)
+(* Table 1 shapes, scaled down: Synthesis must win every I/O row and
+   tie (within 20%) the compute calibration row. *)
+
+let test_table1_shapes () =
+  let iters = 200 in
+  let run build =
+    let be = Repro_harness.Harness.baseline_setup () in
+    let sun = Repro_harness.Harness.baseline_run be ~program:(build be.Repro_harness.Harness.b_env) in
+    let se = Repro_harness.Harness.synthesis_setup () in
+    let syn = Repro_harness.Harness.synthesis_run se ~program:(build se.Repro_harness.Harness.s_env) in
+    (sun, syn)
+  in
+  (* calibration: compute-bound, must be within 20% *)
+  let sun, syn = run (fun env -> Repro_harness.Programs.compute ~arr:env.Repro_harness.Programs.e_arr ~n:2000) in
+  check_bool "compute parity" true (syn /. sun < 1.2 && syn /. sun > 0.8);
+  (* single-word pipe: Synthesis several times faster *)
+  let sun, syn = run (fun env -> Repro_harness.Programs.pipe_rw env ~chunk:1 ~iters) in
+  check_bool "1-word pipe >= 3x" true (sun /. syn >= 3.0);
+  (* 1 KiB pipe: still faster, smaller factor than 1-word *)
+  let sun1k, syn1k = run (fun env -> Repro_harness.Programs.pipe_rw env ~chunk:256 ~iters) in
+  check_bool "1KiB pipe faster" true (sun1k /. syn1k >= 1.5);
+  check_bool "factor shrinks with chunk size" true (sun /. syn > sun1k /. syn1k);
+  (* open/close: the code-synthesis win *)
+  let sun, syn =
+    run (fun env -> Repro_harness.Programs.open_close ~name_addr:env.Repro_harness.Programs.e_name_null ~iters)
+  in
+  check_bool "open/close >= 4x" true (sun /. syn >= 4.0)
+
+(* ------------------------------------------------------------------ *)
+(* Emulation overhead: the extra trap costs a few microseconds *)
+
+let test_emulation_overhead_small () =
+  let se = Repro_harness.Harness.synthesis_setup () in
+  let stamps = se.Repro_harness.Harness.s_stamps in
+  let mark = Repro_harness.Harness.Stamps.mark stamps in
+  let env = se.Repro_harness.Harness.s_env in
+  let program =
+    [
+      (* native open, then the same through the emulator *)
+      mark;
+      I.Move (I.Imm env.Repro_harness.Programs.e_name_null, I.Reg I.r1);
+      I.Trap 3;
+      mark;
+      I.Move (I.Reg I.r0, I.Reg I.r1);
+      I.Trap 4;
+      I.Move (I.Imm U.sys_open, I.Reg I.r0);
+      I.Move (I.Imm env.Repro_harness.Programs.e_name_null, I.Reg I.r1);
+      mark;
+      I.Trap U.trap;
+      mark;
+      I.Move (I.Imm U.sys_exit, I.Reg I.r0);
+      I.Trap U.trap;
+    ]
+  in
+  ignore (Repro_harness.Harness.synthesis_run se ~program);
+  match Repro_harness.Harness.Stamps.spans stamps with
+  | [ native; _mid; emulated ] ->
+    let overhead = emulated -. native in
+    check_bool "emulation overhead positive" true (overhead > 0.0);
+    check_bool "emulation overhead < 15us" true (overhead < 15.0)
+  | spans -> Alcotest.failf "unexpected spans: %d" (List.length spans)
+
+let () =
+  Alcotest.run "compare"
+    [
+      ( "acceptance",
+        [
+          Alcotest.test_case "unix program on synthesis" `Quick
+            test_acceptance_on_synthesis;
+          Alcotest.test_case "same binary on baseline" `Quick
+            test_acceptance_on_baseline;
+        ] );
+      ("table1", [ Alcotest.test_case "speedup shapes" `Slow test_table1_shapes ]);
+      ( "emulator",
+        [ Alcotest.test_case "trap overhead is small" `Quick test_emulation_overhead_small ] );
+    ]

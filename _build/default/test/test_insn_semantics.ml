@@ -1,0 +1,244 @@
+(* Table-driven instruction semantics: one focused case per
+   instruction form and branch condition, run on the real engine. *)
+
+open Quamachine
+module I = Insn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine () = Machine.create ~mem_words:(1 lsl 16) Cost.sun3_emulation
+
+(* Run [insns] with registers preset from [regs]; return the machine. *)
+let run ?(regs = []) ?(mem = []) insns =
+  let m = machine () in
+  List.iter (fun (r, v) -> Machine.set_reg m r v) regs;
+  List.iter (fun (a, v) -> Machine.poke m a v) mem;
+  Machine.set_reg m I.sp 0x8000;
+  let entry, _ = Asm.assemble m (insns @ [ I.Halt ]) in
+  Machine.set_pc m entry;
+  (match Machine.run ~max_insns:10_000 m with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "did not halt");
+  m
+
+(* One ALU case: op, dst value, src value, expected result. *)
+let alu_case name op dst src expected () =
+  let m = run ~regs:[ (0, dst) ] [ I.Alu (op, I.Imm src, 0) ] in
+  check_int name expected (Machine.get_reg m 0)
+
+(* One branch case: set flags with a Cmp (src, dst), branch, record. *)
+let branch_case name cond src dst taken () =
+  let m =
+    run
+      [
+        I.Move (I.Imm dst, I.Reg 0);
+        I.Cmp (I.Imm src, I.Reg 0);
+        I.B (cond, I.To_label "yes");
+        I.Move (I.Imm 0, I.Abs 0x100);
+        I.Halt;
+        I.Label "yes";
+        I.Move (I.Imm 1, I.Abs 0x100);
+      ]
+  in
+  check_int name (if taken then 1 else 0) (Machine.peek m 0x100)
+
+let alu_tests =
+  [
+    ("add", I.Add, 7, 5, 12);
+    ("add wraps", I.Add, Word.mask, 1, 0);
+    ("sub", I.Sub, 7, 5, 2);
+    ("sub borrows", I.Sub, 0, 1, Word.mask);
+    ("mul", I.Mul, 6, 7, 42);
+    ("mul negative", I.Mul, Word.of_int (-3), 5, Word.of_int (-15));
+    ("divu", I.Divu, 42, 5, 8);
+    ("divs negative", I.Divs, Word.of_int (-42), 5, Word.of_int (-8));
+    ("and", I.And, 0b1100, 0b1010, 0b1000);
+    ("or", I.Or, 0b1100, 0b1010, 0b1110);
+    ("xor", I.Xor, 0b1100, 0b1010, 0b0110);
+    ("lsl", I.Lsl, 3, 4, 48);
+    ("lsl out the top", I.Lsl, Word.mask, 4, Word.mask - 15);
+    ("lsr", I.Lsr, 48, 4, 3);
+    ("lsr of negative is logical", I.Lsr, Word.mask, 28, 15);
+    ("asr keeps sign", I.Asr, Word.of_int (-64), 3, Word.of_int (-8));
+  ]
+
+let branch_tests =
+  (* branch_case name cond src dst taken — flags from dst - src *)
+  [
+    ("eq taken", I.Eq, 5, 5, true);
+    ("eq not taken", I.Eq, 5, 6, false);
+    ("ne", I.Ne, 5, 6, true);
+    ("lt signed", I.Lt, 1, Word.of_int (-1), true);
+    ("lt not for unsigned-big", I.Lt, Word.of_int (-1), 1, false);
+    ("ge equal", I.Ge, 5, 5, true);
+    ("le less", I.Le, 9, 3, true);
+    ("gt greater", I.Gt, 3, 9, true);
+    ("gt not equal", I.Gt, 5, 5, false);
+    ("hi unsigned", I.Hi, 1, Word.of_int (-1), true);
+    ("ls unsigned", I.Ls, Word.of_int (-1), 1, true);
+    ("cs borrow", I.Cs, 6, 5, true);
+    ("cc no borrow", I.Cc, 5, 6, true);
+    ("mi negative", I.Mi, 1, 0, true);
+    ("pl positive", I.Pl, 0, 1, true);
+  ]
+
+(* ------------------------------------------------------------------ *)
+(* Odd corners *)
+
+let test_lea () =
+  let m = run ~regs:[ (2, 0x300) ] [ I.Lea (I.Idx (2, 5), 0) ] in
+  check_int "lea computes, does not load" 0x305 (Machine.get_reg m 0)
+
+let test_alu_mem () =
+  let m = run ~mem:[ (0x200, 40) ] [ I.Alu_mem (I.Add, I.Imm 2, I.Abs 0x200) ] in
+  check_int "read-modify-write" 42 (Machine.peek m 0x200)
+
+let test_neg_not () =
+  let m = run ~regs:[ (0, 5); (1, 5) ] [ I.Neg 0; I.Not 1 ] in
+  check_int "neg" (Word.of_int (-5)) (Machine.get_reg m 0);
+  check_int "not" (Word.mask - 5) (Machine.get_reg m 1)
+
+let test_push_pop_memory_operand () =
+  let m =
+    run ~mem:[ (0x200, 123) ]
+      [ I.Push (I.Abs 0x200); I.Pop 0 ]
+  in
+  check_int "push from memory" 123 (Machine.get_reg m 0);
+  check_int "stack balanced" 0x8000 (Machine.get_reg m I.sp)
+
+let test_predec_postinc_pair () =
+  (* a push/pop built from raw addressing modes *)
+  let m =
+    run ~regs:[ (2, 0x400) ]
+      [
+        I.Move (I.Imm 9, I.Pre_dec 2); (* [0x3FF] = 9, r2 = 0x3FF *)
+        I.Move (I.Post_inc 2, I.Reg 0); (* r0 = 9, r2 = 0x400 *)
+      ]
+  in
+  check_int "value round-trips" 9 (Machine.get_reg m 0);
+  check_int "pointer restored" 0x400 (Machine.get_reg m 2)
+
+let test_dbra_zero_iterations () =
+  (* entering with the counter at 0: body should run exactly once *)
+  let m =
+    run
+      [
+        I.Move (I.Imm 0, I.Reg 1);
+        I.Move (I.Imm 0, I.Reg 0);
+        I.Label "loop";
+        I.Alu (I.Add, I.Imm 1, 0);
+        I.Dbra (1, I.To_label "loop");
+      ]
+  in
+  check_int "one pass then fall through" 1 (Machine.get_reg m 0)
+
+let test_move_sets_nz () =
+  let m =
+    run
+      [
+        I.Move (I.Imm 0, I.Reg 0);
+        I.B (I.Eq, I.To_label "z");
+        I.Move (I.Imm 0, I.Abs 0x100);
+        I.Halt;
+        I.Label "z";
+        I.Move (I.Imm (-1), I.Reg 0);
+        I.B (I.Mi, I.To_label "n");
+        I.Move (I.Imm 0, I.Abs 0x100);
+        I.Halt;
+        I.Label "n";
+        I.Move (I.Imm 1, I.Abs 0x100);
+      ]
+  in
+  check_int "move sets Z then N" 1 (Machine.peek m 0x100)
+
+let test_tst_memory () =
+  let m =
+    run ~mem:[ (0x200, 0) ]
+      [
+        I.Tst (I.Abs 0x200);
+        I.B (I.Eq, I.To_label "z");
+        I.Move (I.Imm 0, I.Abs 0x100);
+        I.Halt;
+        I.Label "z";
+        I.Move (I.Imm 1, I.Abs 0x100);
+      ]
+  in
+  check_int "tst reads memory" 1 (Machine.peek m 0x100)
+
+let test_jmp_indirect_register () =
+  let m = machine () in
+  let target, _ = Asm.assemble m [ I.Move (I.Imm 5, I.Abs 0x100); I.Halt ] in
+  let entry, _ =
+    Asm.assemble m [ I.Move (I.Imm target, I.Reg 3); I.Jmp (I.To_reg 3) ]
+  in
+  Machine.set_pc m entry;
+  ignore (Machine.run ~max_insns:100 m);
+  check_int "jmp through register" 5 (Machine.peek m 0x100)
+
+let test_fp_ops () =
+  let m =
+    run
+      [
+        I.Fmove_imm (2.5, 0);
+        I.Fmove_imm (4.0, 1);
+        I.Fop (I.Fmul, 0, 1); (* f1 = 10.0 *)
+        I.Fmove (1, 2);
+        I.Fop (I.Fdiv, 0, 2); (* f2 = 4.0 *)
+        I.Fop (I.Fsub, 0, 2); (* f2 = 1.5 *)
+      ]
+  in
+  check_bool "fmul" true (Machine.get_freg m 1 = 10.0);
+  check_bool "fdiv/fsub" true (Machine.get_freg m 2 = 1.5)
+
+let test_fp_disabled_traps () =
+  let m = machine () in
+  let handler, _ = Asm.assemble m [ I.Move (I.Imm 1, I.Abs 0x100); I.Halt ] in
+  Machine.poke m I.Vector.fp_unavailable handler;
+  let entry, _ = Asm.assemble m [ I.Fmove_imm (1.0, 0); I.Halt ] in
+  Machine.set_fp_enabled m false;
+  Machine.set_reg m I.sp 0x8000;
+  Machine.set_pc m entry;
+  ignore (Machine.run ~max_insns:100 m);
+  check_int "fp trap taken" 1 (Machine.peek m 0x100)
+
+let test_trap_out_of_range_hcall () =
+  let m = machine () in
+  let handler, _ = Asm.assemble m [ I.Move (I.Imm 1, I.Abs 0x100); I.Halt ] in
+  Machine.poke m I.Vector.illegal handler;
+  let entry, _ = Asm.assemble m [ I.Hcall 9999; I.Halt ] in
+  Machine.set_reg m I.sp 0x8000;
+  Machine.set_pc m entry;
+  ignore (Machine.run ~max_insns:100 m);
+  check_int "unregistered hcall = illegal" 1 (Machine.peek m 0x100)
+
+let () =
+  Alcotest.run "insn-semantics"
+    [
+      ( "alu",
+        List.map
+          (fun (name, op, dst, src, expected) ->
+            Alcotest.test_case name `Quick (alu_case name op dst src expected))
+          alu_tests );
+      ( "branches",
+        List.map
+          (fun (name, cond, src, dst, taken) ->
+            Alcotest.test_case name `Quick (branch_case name cond src dst taken))
+          branch_tests );
+      ( "corners",
+        [
+          Alcotest.test_case "lea" `Quick test_lea;
+          Alcotest.test_case "alu_mem rmw" `Quick test_alu_mem;
+          Alcotest.test_case "neg/not" `Quick test_neg_not;
+          Alcotest.test_case "push/pop memory operand" `Quick
+            test_push_pop_memory_operand;
+          Alcotest.test_case "predec/postinc pair" `Quick test_predec_postinc_pair;
+          Alcotest.test_case "dbra from zero" `Quick test_dbra_zero_iterations;
+          Alcotest.test_case "move sets N/Z" `Quick test_move_sets_nz;
+          Alcotest.test_case "tst memory" `Quick test_tst_memory;
+          Alcotest.test_case "jmp via register" `Quick test_jmp_indirect_register;
+          Alcotest.test_case "fp arithmetic" `Quick test_fp_ops;
+          Alcotest.test_case "fp disabled traps" `Quick test_fp_disabled_traps;
+          Alcotest.test_case "bad hcall is illegal" `Quick test_trap_out_of_range_hcall;
+        ] );
+    ]

@@ -1,0 +1,111 @@
+(* Kernel allocator tests: fast-fit reuse, coalescing, exhaustion. *)
+
+open Quamachine
+open Synthesis
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine () = Machine.create ~mem_words:(1 lsl 16) Cost.sun3_emulation
+
+let test_alloc_free_reuse () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x8000 in
+  let b1 = Kalloc.alloc a 16 in
+  Kalloc.free a b1;
+  let b2 = Kalloc.alloc a 16 in
+  check_int "freed block reused (fast fit)" b1 b2
+
+let test_distinct_blocks () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x8000 in
+  let blocks = List.init 20 (fun _ -> Kalloc.alloc a 32) in
+  let sorted = List.sort_uniq compare blocks in
+  check_int "all blocks distinct" 20 (List.length sorted);
+  (* no overlap: gaps of at least the class size *)
+  let rec gaps = function
+    | a :: (b :: _ as rest) ->
+      check_bool "no overlap" true (b - a >= 32);
+      gaps rest
+    | _ -> ()
+  in
+  gaps sorted
+
+let test_rounding_to_class () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x8000 in
+  let b = Kalloc.alloc a 17 in
+  (* rounded to the 32-word class *)
+  check_int "class rounding recorded" 32
+    (match Kalloc.block_len a b with Some l -> l | None -> -1)
+
+let test_live_accounting () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x8000 in
+  check_int "empty" 0 (Kalloc.live_words a);
+  let b1 = Kalloc.alloc a 16 in
+  let b2 = Kalloc.alloc a 64 in
+  check_int "live counts classes" (16 + 64) (Kalloc.live_words a);
+  Kalloc.free a b1;
+  Kalloc.free a b2;
+  check_int "back to zero" 0 (Kalloc.live_words a)
+
+let test_out_of_memory () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x1100 in
+  (* 256 words total *)
+  let _b = Kalloc.alloc a 128 in
+  let _c = Kalloc.alloc a 64 in
+  Alcotest.check_raises "exhausted" Kalloc.Out_of_memory (fun () ->
+      ignore (Kalloc.alloc a 128))
+
+let test_large_block_coalescing () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x2000 in
+  (* 4096 words; three large blocks fill most of it *)
+  let b1 = Kalloc.alloc a 3000 in
+  Alcotest.check_raises "full" Kalloc.Out_of_memory (fun () ->
+      ignore (Kalloc.alloc a 3000));
+  Kalloc.free a b1;
+  (* after coalescing, the same large allocation must fit again *)
+  let b2 = Kalloc.alloc a 3000 in
+  check_int "coalesced region reusable" b1 b2
+
+let test_double_free_rejected () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x8000 in
+  let b = Kalloc.alloc a 16 in
+  Kalloc.free a b;
+  Alcotest.check_raises "double free"
+    (Invalid_argument "Kalloc.free: not an allocated block") (fun () ->
+      Kalloc.free a b)
+
+let test_zeroing () =
+  let m = machine () in
+  let a = Kalloc.create m ~base:0x1000 ~limit:0x8000 in
+  let b1 = Kalloc.alloc a 16 in
+  for i = 0 to 15 do
+    Machine.poke m (b1 + i) 99
+  done;
+  Kalloc.free a b1;
+  let b2 = Kalloc.alloc_zeroed a 16 in
+  check_int "same block" b1 b2;
+  for i = 0 to 15 do
+    check_int "zeroed" 0 (Machine.peek m (b2 + i))
+  done
+
+let () =
+  Alcotest.run "kalloc"
+    [
+      ( "fast-fit",
+        [
+          Alcotest.test_case "free then realloc reuses" `Quick test_alloc_free_reuse;
+          Alcotest.test_case "blocks distinct and disjoint" `Quick test_distinct_blocks;
+          Alcotest.test_case "size-class rounding" `Quick test_rounding_to_class;
+          Alcotest.test_case "live accounting" `Quick test_live_accounting;
+          Alcotest.test_case "out of memory" `Quick test_out_of_memory;
+          Alcotest.test_case "coalescing" `Quick test_large_block_coalescing;
+          Alcotest.test_case "double free rejected" `Quick test_double_free_rejected;
+          Alcotest.test_case "alloc_zeroed zeroes" `Quick test_zeroing;
+        ] );
+    ]

@@ -1,0 +1,560 @@
+(* Machine substrate tests: instruction semantics, flags, assembler,
+   interrupts, traps, protection, devices, cost accounting. *)
+
+open Quamachine
+module I = Insn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let machine () = Machine.create ~mem_words:(1 lsl 16) Cost.sun3_emulation
+
+(* Run a code fragment until Halt; returns the machine. *)
+let run_fragment ?(setup = fun _ -> ()) insns =
+  let m = machine () in
+  let entry, _ = Asm.assemble m insns in
+  Machine.set_pc m entry;
+  Machine.set_reg m I.sp 0x8000;
+  setup m;
+  (match Machine.run ~max_insns:1_000_000 m with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "fragment did not halt");
+  m
+
+(* ------------------------------------------------------------------ *)
+
+let test_move_alu () =
+  let m =
+    run_fragment
+      [
+        I.Move (I.Imm 7, I.Reg I.r0);
+        I.Move (I.Imm 5, I.Reg I.r1);
+        I.Alu (I.Add, I.Reg I.r0, I.r1); (* r1 = 12 *)
+        I.Alu (I.Mul, I.Imm 3, I.r1); (* r1 = 36 *)
+        I.Alu (I.Sub, I.Imm 6, I.r1); (* r1 = 30 *)
+        I.Alu (I.Divu, I.Imm 4, I.r1); (* r1 = 7 *)
+        I.Move (I.Reg I.r1, I.Abs 0x100);
+        I.Halt;
+      ]
+  in
+  check_int "alu chain" 7 (Machine.peek m 0x100)
+
+let test_addressing_modes () =
+  let m =
+    run_fragment
+      [
+        I.Move (I.Imm 0x200, I.Reg I.r2);
+        I.Move (I.Imm 11, I.Ind I.r2); (* [0x200] = 11 *)
+        I.Move (I.Imm 22, I.Idx (I.r2, 1)); (* [0x201] = 22 *)
+        I.Move (I.Imm 33, I.Post_inc I.r2); (* overwrites [0x200], r2 = 0x201 *)
+        I.Move (I.Imm 44, I.Post_inc I.r2); (* [0x201] = 44, r2 = 0x202 *)
+        I.Move (I.Imm 55, I.Pre_dec I.r2); (* r2 = 0x201, [0x201] = 55 *)
+        I.Move (I.Reg I.r2, I.Abs 0x300);
+        I.Halt;
+      ]
+  in
+  check_int "ind write" 33 (Machine.peek m 0x200);
+  check_int "predec write" 55 (Machine.peek m 0x201);
+  check_int "postinc/predec pointer" 0x201 (Machine.peek m 0x300)
+
+let test_branches_signed_unsigned () =
+  (* -1 compared with 1: signed lt, unsigned hi *)
+  let m =
+    run_fragment
+      [
+        I.Move (I.Imm (-1), I.Reg I.r0);
+        I.Cmp (I.Imm 1, I.Reg I.r0); (* flags from -1 - 1 *)
+        I.B (I.Lt, I.To_label "signed_lt");
+        I.Move (I.Imm 0, I.Abs 0x100);
+        I.B (I.Always, I.To_label "next");
+        I.Label "signed_lt";
+        I.Move (I.Imm 1, I.Abs 0x100);
+        I.Label "next";
+        I.Cmp (I.Imm 1, I.Reg I.r0);
+        I.B (I.Hi, I.To_label "unsigned_hi");
+        I.Move (I.Imm 0, I.Abs 0x101);
+        I.Halt;
+        I.Label "unsigned_hi";
+        I.Move (I.Imm 1, I.Abs 0x101);
+        I.Halt;
+      ]
+  in
+  check_int "signed lt taken" 1 (Machine.peek m 0x100);
+  check_int "unsigned hi taken" 1 (Machine.peek m 0x101)
+
+let test_dbra_loop () =
+  let m =
+    run_fragment
+      [
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Move (I.Imm 9, I.Reg I.r1); (* 10 iterations *)
+        I.Label "loop";
+        I.Alu (I.Add, I.Imm 1, I.r0);
+        I.Dbra (I.r1, I.To_label "loop");
+        I.Move (I.Reg I.r0, I.Abs 0x100);
+        I.Halt;
+      ]
+  in
+  check_int "dbra count" 10 (Machine.peek m 0x100)
+
+let test_jsr_rts () =
+  let m =
+    run_fragment
+      [
+        I.Jsr (I.To_label "sub");
+        I.Move (I.Reg I.r0, I.Abs 0x100);
+        I.Halt;
+        I.Label "sub";
+        I.Move (I.Imm 99, I.Reg I.r0);
+        I.Rts;
+      ]
+  in
+  check_int "jsr/rts" 99 (Machine.peek m 0x100)
+
+let test_cas_success_failure () =
+  let m =
+    run_fragment
+      [
+        I.Move (I.Imm 5, I.Abs 0x100);
+        I.Move (I.Imm 5, I.Reg I.r0); (* compare value (matches) *)
+        I.Move (I.Imm 9, I.Reg I.r1); (* update value *)
+        I.Cas (I.r0, I.r1, I.Abs 0x100);
+        I.B (I.Eq, I.To_label "ok");
+        I.Move (I.Imm 0, I.Abs 0x101);
+        I.B (I.Always, I.To_label "second");
+        I.Label "ok";
+        I.Move (I.Imm 1, I.Abs 0x101);
+        I.Label "second";
+        (* now CAS with stale compare: fails and loads r0 with actual *)
+        I.Move (I.Imm 5, I.Reg I.r0);
+        I.Cas (I.r0, I.r1, I.Abs 0x100);
+        I.B (I.Ne, I.To_label "failed");
+        I.Move (I.Imm 1, I.Abs 0x102);
+        I.Halt;
+        I.Label "failed";
+        I.Move (I.Reg I.r0, I.Abs 0x102); (* r0 = 9 (refetched) *)
+        I.Halt;
+      ]
+  in
+  check_int "cas stored" 9 (Machine.peek m 0x100);
+  check_int "first cas succeeded" 1 (Machine.peek m 0x101);
+  check_int "failed cas refetches" 9 (Machine.peek m 0x102)
+
+let test_movem_round_trip () =
+  let m =
+    run_fragment
+      [
+        I.Move (I.Imm 0x4000, I.Reg I.sp);
+        I.Move (I.Imm 1, I.Reg I.r0);
+        I.Move (I.Imm 2, I.Reg I.r1);
+        I.Move (I.Imm 3, I.Reg I.r2);
+        I.Movem_save ([ 0; 1; 2 ], I.sp);
+        I.Move (I.Imm 0, I.Reg I.r0);
+        I.Move (I.Imm 0, I.Reg I.r1);
+        I.Move (I.Imm 0, I.Reg I.r2);
+        I.Movem_load (I.sp, [ 0; 1; 2 ]);
+        I.Move (I.Reg I.r0, I.Abs 0x100);
+        I.Move (I.Reg I.r1, I.Abs 0x101);
+        I.Move (I.Reg I.r2, I.Abs 0x102);
+        I.Move (I.Reg I.sp, I.Abs 0x103);
+        I.Halt;
+      ]
+  in
+  check_int "r0 restored" 1 (Machine.peek m 0x100);
+  check_int "r1 restored" 2 (Machine.peek m 0x101);
+  check_int "r2 restored" 3 (Machine.peek m 0x102);
+  check_int "sp balanced" 0x4000 (Machine.peek m 0x103)
+
+let test_trap_rte () =
+  (* vector table at 0, VBR = 0 *)
+  let m = machine () in
+  let handler, _ =
+    Asm.assemble m [ I.Move (I.Imm 77, I.Reg I.r0); I.Rte ]
+  in
+  let main, _ =
+    Asm.assemble m
+      [ I.Move (I.Imm 0, I.Reg I.r0); I.Trap 3; I.Move (I.Reg I.r0, I.Abs 0x100); I.Halt ]
+  in
+  Machine.poke m (I.Vector.trap 3) handler;
+  Machine.set_pc m main;
+  Machine.set_reg m I.sp 0x8000;
+  ignore (Machine.run ~max_insns:1000 m);
+  check_int "trap handler ran" 77 (Machine.peek m 0x100)
+
+let test_user_mode_protection () =
+  (* User code touching memory outside its map takes a bus error. *)
+  let m = machine () in
+  let fault_flag = 0x900 in
+  let handler, _ =
+    Asm.assemble m
+      [ I.Move (I.Imm 1, I.Abs fault_flag); I.Halt ]
+  in
+  let user, _ =
+    Asm.assemble m [ I.Move (I.Imm 5, I.Abs 0x5000); I.Halt ] (* illegal *)
+  in
+  Machine.poke m I.Vector.bus_error handler;
+  Machine.define_map m ~id:1 [ (0x4000, 16) ];
+  Machine.set_map m 1;
+  Machine.set_reg m I.sp 0x8000;
+  Machine.set_pc m user;
+  Machine.set_supervisor m false;
+  ignore (Machine.run ~max_insns:1000 m);
+  check_int "bus error handler ran" 1 (Machine.peek m fault_flag);
+  check_int "fault address recorded" 0x5000 (Machine.last_fault_addr m)
+
+let test_interrupt_priority () =
+  (* A level-2 interrupt is deferred while IPL = 3, delivered after
+     IPL drops. *)
+  let m = machine () in
+  let got = 0x900 in
+  let handler, _ = Asm.assemble m [ I.Move (I.Imm 1, I.Abs got); I.Rte ] in
+  Machine.poke m (I.Vector.autovector 2) handler;
+  let main, _ =
+    Asm.assemble m
+      [
+        I.Set_ipl 3;
+        I.Nop;
+        I.Nop;
+        I.Move (I.Abs got, I.Abs 0x901); (* should still be 0 *)
+        I.Set_ipl 0;
+        I.Nop;
+        I.Nop;
+        I.Move (I.Abs got, I.Abs 0x902); (* should be 1 *)
+        I.Halt;
+      ]
+  in
+  Machine.set_pc m main;
+  Machine.set_reg m I.sp 0x8000;
+  (* post the interrupt before running *)
+  Machine.post_interrupt m ~level:2 ~vector:(I.Vector.autovector 2);
+  ignore (Machine.run ~max_insns:1000 m);
+  check_int "deferred while masked" 0 (Machine.peek m 0x901);
+  check_int "delivered after unmask" 1 (Machine.peek m 0x902)
+
+let test_timer_device () =
+  let m = machine () in
+  let got = 0x900 in
+  let _timer = Devices.Timer.install m in
+  let handler, _ = Asm.assemble m [ I.Move (I.Imm 1, I.Abs got); I.Rte ] in
+  Machine.poke m Mmio_map.timer_vector handler;
+  let main, _ =
+    Asm.assemble m
+      [
+        I.Set_ipl 0;
+        I.Move (I.Imm 50, I.Abs Mmio_map.timer_alarm); (* 50 us *)
+        I.Move (I.Imm 20000, I.Reg I.r0);
+        I.Label "spin";
+        I.Tst (I.Abs got);
+        I.B (I.Ne, I.To_label "done");
+        I.Dbra (I.r0, I.To_label "spin");
+        I.Label "done";
+        I.Halt;
+      ]
+  in
+  Machine.set_supervisor m true;
+  Machine.set_pc m main;
+  Machine.set_reg m I.sp 0x8000;
+  ignore (Machine.run ~max_insns:1_000_000 m);
+  check_int "timer fired" 1 (Machine.peek m got);
+  check_bool "fired near 50us" true (Machine.time_us m >= 50.0)
+
+let test_disk_error_status () =
+  let m = machine () in
+  let disk = Devices.Disk.install ~blocks:8 m in
+  ignore disk;
+  let prog =
+    [
+      I.Move (I.Imm 99, I.Abs Mmio_map.disk_block); (* out of range *)
+      I.Move (I.Imm 0x200, I.Abs Mmio_map.disk_buffer);
+      I.Move (I.Imm 1, I.Abs Mmio_map.disk_command);
+      I.Move (I.Abs Mmio_map.disk_status, I.Abs 0x100);
+      (* bad command code on a valid block *)
+      I.Move (I.Imm 3, I.Abs Mmio_map.disk_block);
+      I.Move (I.Imm 7, I.Abs Mmio_map.disk_command);
+      I.Move (I.Abs Mmio_map.disk_status, I.Abs 0x101);
+      I.Halt;
+    ]
+  in
+  let entry, _ = Asm.assemble m prog in
+  Machine.set_pc m entry;
+  Machine.set_reg m I.sp 0x8000;
+  ignore (Machine.run ~max_insns:1000 m);
+  check_int "invalid block = error" 3 (Machine.peek m 0x100);
+  check_int "invalid command = error" 3 (Machine.peek m 0x101)
+
+let test_timer_cancel_and_remaining () =
+  let m = machine () in
+  let _t = Devices.Timer.install m in
+  let prog =
+    [
+      I.Move (I.Imm 500, I.Abs Mmio_map.timer_alarm);
+      I.Move (I.Abs Mmio_map.timer_alarm, I.Abs 0x100); (* remaining ~500 *)
+      I.Move (I.Imm 0, I.Abs Mmio_map.timer_alarm); (* cancel *)
+      I.Move (I.Abs Mmio_map.timer_alarm, I.Abs 0x101); (* 0 when idle *)
+      I.Halt;
+    ]
+  in
+  let entry, _ = Asm.assemble m prog in
+  Machine.set_pc m entry;
+  Machine.set_reg m I.sp 0x8000;
+  ignore (Machine.run ~max_insns:1000 m);
+  check_bool "remaining close to the interval" true
+    (Machine.peek m 0x100 >= 495 && Machine.peek m 0x100 <= 500);
+  check_int "cancelled reads zero" 0 (Machine.peek m 0x101)
+
+let test_tty_output_collects () =
+  let m = machine () in
+  let tty = Devices.Tty.install m in
+  let prog =
+    [
+      I.Move (I.Imm (Char.code 'h'), I.Abs Mmio_map.tty_data_out);
+      I.Move (I.Imm (Char.code 'i'), I.Abs Mmio_map.tty_data_out);
+      I.Halt;
+    ]
+  in
+  let entry, _ = Asm.assemble m prog in
+  Machine.set_pc m entry;
+  Machine.set_reg m I.sp 0x8000;
+  ignore (Machine.run ~max_insns:100 m);
+  Alcotest.(check string) "collected" "hi" (Devices.Tty.output tty);
+  Devices.Tty.clear_output tty;
+  Alcotest.(check string) "cleared" "" (Devices.Tty.output tty)
+
+let test_trace_ring_wraps () =
+  let m = machine () in
+  Machine.trace_enable m true;
+  let prog =
+    [ I.Move (I.Imm 9999, I.Reg I.r0); I.Label "l"; I.Dbra (I.r0, I.To_label "l"); I.Halt ]
+  in
+  let entry, _ = Asm.assemble m prog in
+  Machine.set_pc m entry;
+  ignore (Machine.run ~max_insns:100_000 m);
+  let w = Machine.trace_window m 6 in
+  check_int "window length" 6 (List.length w);
+  (* the tail of the trace is the loop body then Halt *)
+  check_bool "trace ends at the halt" true
+    (match List.rev w with halt_pc :: _ -> halt_pc = entry + 2 | [] -> false)
+
+let test_operand_refs () =
+  check_int "imm" 0 (Cost.operand_refs (I.Imm 5));
+  check_int "reg" 0 (Cost.operand_refs (I.Reg 3));
+  check_int "ind" 1 (Cost.operand_refs (I.Ind 3));
+  check_int "abs" 1 (Cost.operand_refs (I.Abs 9));
+  check_int "postinc" 1 (Cost.operand_refs (I.Post_inc 3))
+
+let test_cost_accounting () =
+  let m = machine () in
+  let entry, _ = Asm.assemble m [ I.Move (I.Imm 1, I.Abs 0x100); I.Halt ] in
+  Machine.set_pc m entry;
+  let s0 = Machine.snapshot m in
+  ignore (Machine.run ~max_insns:10 m);
+  let d = Machine.delta m s0 in
+  check_int "two instructions" 2 d.Machine.s_insns;
+  check_int "one memory ref" 1 d.Machine.s_refs;
+  (* Move base 2 + ref (3+1 ws) = 6 cycles *)
+  check_int "cycles" 6 d.Machine.s_cycles
+
+let test_asm_duplicate_label () =
+  let m = machine () in
+  Alcotest.check_raises "duplicate label" (Asm.Duplicate_label "x") (fun () ->
+      ignore (Asm.assemble m [ I.Label "x"; I.Nop; I.Label "x"; I.Halt ]))
+
+let test_asm_undefined_label () =
+  let m = machine () in
+  Alcotest.check_raises "undefined label" (Asm.Undefined_label "nowhere") (fun () ->
+      ignore (Asm.assemble m [ I.B (I.Always, I.To_label "nowhere"); I.Halt ]))
+
+(* Nested interrupts: a level-6 interrupt preempts a running level-4
+   handler; both complete, innermost first (§5.3's recursive
+   interrupt scenario). *)
+let test_nested_interrupts () =
+  let m = machine () in
+  let log = 0x900 in
+  (* handlers append their id to a small log via a shared cursor *)
+  let append id =
+    [
+      I.Push (I.Reg I.r4);
+      I.Move (I.Abs (log + 7), I.Reg I.r4); (* cursor *)
+      I.Alu (I.Add, I.Imm log, I.r4);
+      I.Move (I.Imm id, I.Ind I.r4);
+      I.Alu_mem (I.Add, I.Imm 1, I.Abs (log + 7));
+      I.Pop I.r4;
+    ]
+  in
+  let h6, _ = Asm.assemble m (append 6 @ [ I.Rte ]) in
+  (* the level-4 handler posts the level-6 interrupt mid-flight, logs
+     entry and exit around it *)
+  let post6 = Machine.register_hcall m (fun m ->
+      Machine.post_interrupt m ~level:6 ~vector:(I.Vector.autovector 6)) in
+  let h4, _ =
+    Asm.assemble m
+      (append 4 @ [ I.Hcall post6; I.Nop; I.Nop ] @ append 44 @ [ I.Rte ])
+  in
+  Machine.poke m (I.Vector.autovector 4) h4;
+  Machine.poke m (I.Vector.autovector 6) h6;
+  let main, _ =
+    Asm.assemble m
+      [
+        I.Set_ipl 0;
+        I.Nop;
+        I.Nop;
+        I.Nop;
+        I.Nop;
+        I.Nop;
+        I.Nop;
+        I.Nop;
+        I.Nop;
+        I.Halt;
+      ]
+  in
+  Machine.set_pc m main;
+  Machine.set_reg m I.sp 0x8000;
+  Machine.post_interrupt m ~level:4 ~vector:(I.Vector.autovector 4);
+  ignore (Machine.run ~max_insns:10_000 m);
+  check_int "level 4 entered" 4 (Machine.peek m log);
+  check_int "level 6 preempted it" 6 (Machine.peek m (log + 1));
+  check_int "level 4 resumed and finished" 44 (Machine.peek m (log + 2))
+
+(* Stop_wait with no device event pending deadlocks loudly. *)
+let test_stop_wait_deadlock () =
+  let m = machine () in
+  let entry, _ = Asm.assemble m [ I.Stop_wait; I.Halt ] in
+  Machine.set_pc m entry;
+  Machine.set_reg m I.sp 0x8000;
+  Alcotest.check_raises "deadlock detected" Machine.Deadlock (fun () ->
+      ignore (Machine.run ~max_insns:100 m))
+
+(* FP register save/restore through memory round-trips exactly. *)
+let test_fmovem_round_trip () =
+  let m = machine () in
+  let entry, _ =
+    Asm.assemble m
+      [
+        I.Move (I.Imm 0x4000, I.Reg I.sp);
+        I.Fmove_imm (3.25, 0);
+        I.Fmove_imm (-7.5, 1);
+        I.Fmove_imm (1e300, 7);
+        I.Fmovem_save I.sp;
+        I.Fmove_imm (0.0, 0);
+        I.Fmove_imm (0.0, 1);
+        I.Fmove_imm (0.0, 7);
+        I.Fmovem_load I.sp;
+        I.Halt;
+      ]
+  in
+  Machine.set_pc m entry;
+  ignore (Machine.run ~max_insns:100 m);
+  Alcotest.(check (float 0.0)) "f0" 3.25 (Machine.get_freg m 0);
+  Alcotest.(check (float 0.0)) "f1" (-7.5) (Machine.get_freg m 1);
+  Alcotest.(check (float 0.0)) "f7" 1e300 (Machine.get_freg m 7);
+  check_int "sp balanced" 0x4000 (Machine.get_reg m I.sp)
+
+(* Property: the machine's ALU agrees with the Word reference on
+   random register operands, including carry/overflow flags. *)
+let prop_alu_reference =
+  let gen =
+    QCheck.Gen.(
+      triple
+        (oneofl
+           [ I.Add; I.Sub; I.Mul; I.And; I.Or; I.Xor; I.Lsl; I.Lsr; I.Asr; I.Divu ])
+        (map Word.of_int (int_bound 0x3FFFFFFF))
+        (map Word.of_int (frequency [ (3, int_bound 0xFFFF); (1, int_bound 0x3FFFFFFF); (1, return 0) ])))
+  in
+  QCheck.Test.make ~name:"alu agrees with the word reference" ~count:2000
+    (QCheck.make gen) (fun (op, b, a) ->
+      (* machine computes rd := rd op src with rd = b, src = a *)
+      let m = machine () in
+      Machine.set_reg m 0 b;
+      Machine.set_reg m 1 a;
+      let entry, _ =
+        Asm.assemble m [ I.Alu (op, I.Reg 1, 0); I.Halt ]
+      in
+      Machine.set_pc m entry;
+      Machine.set_reg m I.sp 0x8000;
+      (* divide by zero faults; vector 5 is 0 -> code 0 -> Halt *)
+      ignore (Machine.run ~max_insns:10 m);
+      let got = Machine.get_reg m 0 in
+      let expected =
+        match op with
+        | I.Add -> Word.add b a
+        | I.Sub -> Word.sub b a
+        | I.Mul -> Word.mul b a
+        | I.And -> Word.logand b a
+        | I.Or -> Word.logor b a
+        | I.Xor -> Word.logxor b a
+        | I.Lsl -> Word.shift_left b a
+        | I.Lsr -> Word.shift_right_logical b a
+        | I.Asr -> Word.shift_right_arith b a
+        | I.Divu -> if a = 0 then b (* faulted before writing *) else Word.divu b a
+        | _ -> assert false
+      in
+      got = expected)
+
+(* Property: 32-bit add/sub round-trip and flag consistency. *)
+let prop_word_roundtrip =
+  QCheck.Test.make ~name:"word add/sub round-trip" ~count:2000
+    QCheck.(pair (map Word.of_int int) (map Word.of_int int))
+    (fun (a, b) ->
+      let sum = Word.add a b in
+      Word.sub sum b = a
+      && Word.add (Word.neg a) a = 0
+      &&
+      let _, borrow, _ = Word.sub_full a b in
+      borrow = (Word.compare_unsigned a b < 0))
+
+let qcheck = List.map QCheck_alcotest.to_alcotest
+
+let test_word_ops () =
+  check_int "mask add wraps" 0 (Word.add Word.mask 1);
+  check_int "signed -1" (-1) (Word.signed Word.mask);
+  check_int "neg" Word.mask (Word.neg 1);
+  check_bool "sub borrow" true (match Word.sub_full 0 1 with _, b, _ -> b);
+  check_int "asr sign extends" Word.mask (Word.shift_right_arith Word.mask 4);
+  check_int "lsr no sign" 0x0FFF_FFFF (Word.shift_right_logical Word.mask 4)
+
+let () =
+  Alcotest.run "machine"
+    [
+      ( "insn",
+        [
+          Alcotest.test_case "move/alu" `Quick test_move_alu;
+          Alcotest.test_case "addressing modes" `Quick test_addressing_modes;
+          Alcotest.test_case "signed/unsigned branches" `Quick test_branches_signed_unsigned;
+          Alcotest.test_case "dbra loop" `Quick test_dbra_loop;
+          Alcotest.test_case "jsr/rts" `Quick test_jsr_rts;
+          Alcotest.test_case "cas semantics" `Quick test_cas_success_failure;
+          Alcotest.test_case "movem round trip" `Quick test_movem_round_trip;
+        ] );
+      ( "exceptions",
+        [
+          Alcotest.test_case "trap and rte" `Quick test_trap_rte;
+          Alcotest.test_case "user mode protection" `Quick test_user_mode_protection;
+          Alcotest.test_case "interrupt priority" `Quick test_interrupt_priority;
+        ] );
+      ( "devices",
+        [
+          Alcotest.test_case "one-shot timer" `Quick test_timer_device;
+          Alcotest.test_case "disk error status" `Quick test_disk_error_status;
+          Alcotest.test_case "timer cancel/remaining" `Quick
+            test_timer_cancel_and_remaining;
+          Alcotest.test_case "tty output buffer" `Quick test_tty_output_collects;
+          Alcotest.test_case "trace ring wraps" `Quick test_trace_ring_wraps;
+          Alcotest.test_case "operand ref counts" `Quick test_operand_refs;
+        ] );
+      ( "cost",
+        [ Alcotest.test_case "cycle accounting" `Quick test_cost_accounting ] );
+      ( "asm",
+        [
+          Alcotest.test_case "duplicate label" `Quick test_asm_duplicate_label;
+          Alcotest.test_case "undefined label" `Quick test_asm_undefined_label;
+        ] );
+      ( "nesting",
+        [
+          Alcotest.test_case "nested interrupt levels" `Quick test_nested_interrupts;
+          Alcotest.test_case "stop_wait deadlock detection" `Quick
+            test_stop_wait_deadlock;
+          Alcotest.test_case "fmovem round trip" `Quick test_fmovem_round_trip;
+        ] );
+      ("word", [ Alcotest.test_case "word ops" `Quick test_word_ops ]);
+      ("properties", qcheck [ prop_alu_reference; prop_word_roundtrip ]);
+    ]
