@@ -1,0 +1,32 @@
+# Convenience wrapper around dune.  `make check` is what CI runs:
+# build everything, run the test suites, and (when ocamlformat is
+# installed) verify formatting.
+
+DUNE ?= dune
+
+.PHONY: all build test fmt check bench clean
+
+all: build
+
+build:
+	$(DUNE) build
+
+test:
+	$(DUNE) runtest
+
+# @fmt needs ocamlformat, which not every environment has; skip with a
+# notice instead of failing the whole check.
+fmt:
+	@if command -v ocamlformat >/dev/null 2>&1; then \
+	  $(DUNE) build @fmt; \
+	else \
+	  echo "ocamlformat not installed; skipping format check"; \
+	fi
+
+check: build test fmt
+
+bench:
+	$(DUNE) exec bench/main.exe
+
+clean:
+	$(DUNE) clean

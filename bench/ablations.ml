@@ -299,11 +299,11 @@ let ablation_collapse () =
   in
   let cn_call =
     Synthesizer.interface k ~name:"col/direct"
-      ~producer:(Quaject.Active, Quaject.Single)
-      ~consumer:(Quaject.Passive, Quaject.Single)
+      ~producer:(Quaject.port Quaject.Active)
+      ~consumer:(Quaject.port Quaject.Passive)
       ~consumer_entry:filter ()
   in
-  let q = Kqueue.create_spsc k ~name:"col/q" ~size:64 in
+  let q = Kqueue.create ~kind:Kqueue.Spsc k ~name:"col/q" ~size:64 in
   let measure frag =
     let entry, _ = Asm.assemble m frag in
     Machine.set_halted m false;

@@ -12,6 +12,7 @@ let all_benches ~scale () =
   Ablations.run ();
   Sizes.run ();
   Host_queues.run ();
+  Trace_overhead.run ();
   Bechamel_suite.run ()
 
 open Cmdliner
@@ -46,6 +47,7 @@ let main_cmd =
       cmd_of "sizes" Sizes.run;
       cmd_of "host-queues" Host_queues.run;
       cmd_of "ablations" Ablations.run;
+      cmd_of "trace-overhead" Trace_overhead.run;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

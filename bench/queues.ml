@@ -43,8 +43,8 @@ let run () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let spsc = Kqueue.create_spsc k ~name:"bench/spsc" ~size:16 in
-  let mpsc = Kqueue.create_mpsc k ~name:"bench/mpsc" ~size:16 in
+  let spsc = Kqueue.create ~kind:Kqueue.Spsc k ~name:"bench/spsc" ~size:16 in
+  let mpsc = Kqueue.create ~kind:Kqueue.Mpsc k ~name:"bench/mpsc" ~size:16 in
   Fmt.pr "%-36s %8s %10s %10s@." "operation" "insns" "us" "paper";
   let row name insns us paper = Fmt.pr "%-36s %8d %10.2f %10s@." name insns us paper in
   let n, us = count_call m ~entry:spsc.Kqueue.q_put ~r1:42 () in

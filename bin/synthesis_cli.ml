@@ -78,6 +78,103 @@ let cmd_demo () =
   Fmt.pr "@.threads at exit:@.";
   Inspect.pp_threads k Fmt.stdout ()
 
+(* Boot a kernel with tracing attached from the start (so the context
+   switch and queue probes are compiled into the synthesized code),
+   run the quickstart-style two-stage pipe workload, then print the
+   cycle-attribution summary and export Chrome trace JSON. *)
+let cmd_trace out =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let tr = Ktrace.create m in
+  Kernel.attach_tracing k tr;
+  let _sched = Scheduler.install k ~epoch_us:2_000 () in
+  let pipe = Kpipe.create k ~cap:64 () in
+  let total = 4096 in
+  let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+  let dst = Kalloc.alloc_zeroed k.Kernel.alloc 64 in
+  let result = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+  let producer_prog ~wfd =
+    [
+      I.Move (I.Imm 1, I.Reg I.r9);
+      I.Label "loop";
+      I.Move (I.Imm src, I.Reg I.r10);
+      I.Move (I.Imm 7, I.Reg I.r11);
+      I.Label "fill";
+      I.Move (I.Reg I.r9, I.Post_inc I.r10);
+      I.Alu (I.Add, I.Imm 1, I.r9);
+      I.Dbra (I.r11, I.To_label "fill");
+      I.Move (I.Imm wfd, I.Reg I.r1);
+      I.Move (I.Imm src, I.Reg I.r2);
+      I.Move (I.Imm 8, I.Reg I.r3);
+      I.Trap 2;
+      I.Cmp (I.Imm (total + 1), I.Reg I.r9);
+      I.B (I.Ne, I.To_label "loop");
+      I.Trap 0;
+    ]
+  in
+  let consumer_prog ~rfd =
+    [
+      I.Move (I.Imm 0, I.Reg I.r9);
+      I.Move (I.Imm 0, I.Reg I.r10);
+      I.Label "loop";
+      I.Move (I.Imm rfd, I.Reg I.r1);
+      I.Move (I.Imm dst, I.Reg I.r2);
+      I.Move (I.Imm 32, I.Reg I.r3);
+      I.Trap 1;
+      I.Move (I.Reg I.r0, I.Reg I.r11);
+      I.Alu (I.Add, I.Reg I.r11, I.r10);
+      I.Move (I.Imm dst, I.Reg I.r12);
+      I.Tst (I.Reg I.r11);
+      I.B (I.Eq, I.To_label "loop");
+      I.Alu (I.Sub, I.Imm 1, I.r11);
+      I.Label "acc";
+      I.Alu (I.Add, I.Post_inc I.r12, I.r9);
+      I.Dbra (I.r11, I.To_label "acc");
+      I.Cmp (I.Imm total, I.Reg I.r10);
+      I.B (I.Ne, I.To_label "loop");
+      I.Move (I.Reg I.r9, I.Abs result);
+      I.Trap 0;
+    ]
+  in
+  let consumer =
+    Thread.create k ~quantum_us:150 ~entry:0
+      ~segments:[ (dst, 64); (result, 16) ]
+      ()
+  in
+  let producer = Thread.create k ~quantum_us:150 ~entry:0 ~segments:[ (src, 16) ] () in
+  let crfd, _ = Kpipe.attach b.Boot.vfs pipe consumer in
+  let _, pwfd = Kpipe.attach b.Boot.vfs pipe producer in
+  let centry, _ = Asm.assemble m (consumer_prog ~rfd:crfd) in
+  let pentry, _ = Asm.assemble m (producer_prog ~wfd:pwfd) in
+  Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 17) centry;
+  Machine.poke m (producer.Kernel.base + Layout.Tte.off_regs + 17) pentry;
+  (match Boot.go ~max_insns:200_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> failwith "trace workload did not halt");
+  let expected = total * (total + 1) / 2 in
+  let got = Machine.peek m result in
+  if got <> expected then
+    failwith (Fmt.str "trace workload wrong sum: %d, expected %d" got expected);
+  Ktrace.pp_summary Fmt.stdout tr;
+  let attributed = Ktrace.attributed_total tr in
+  let traced = Ktrace.traced_cycles tr in
+  Fmt.pr "@.attribution check: %d cycles attributed, %d traced -> %s@." attributed
+    traced
+    (if attributed = traced then "balanced" else "IMBALANCED");
+  let json = Ktrace.to_chrome_json tr in
+  (match open_out out with
+  | oc ->
+    output_string oc json;
+    close_out oc
+  | exception Sys_error msg ->
+    Fmt.epr "cannot write trace: %s@." msg;
+    exit 1);
+  Fmt.pr "wrote %s (%d events, %d dropped) — load it at chrome://tracing@." out
+    (List.length (Ktrace.events tr))
+    (Ktrace.dropped tr);
+  if attributed <> traced then exit 1
+
 open Cmdliner
 
 let pattern =
@@ -99,6 +196,17 @@ let cmds =
     Cmd.v
       (Cmd.info "profile" ~doc:"Cycle profile of a pipe workload, by kernel routine")
       Term.(const cmd_profile $ const ());
+    (let out =
+       Arg.(
+         value & opt string "trace.json"
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"Chrome trace output path")
+     in
+     Cmd.v
+       (Cmd.info "trace"
+          ~doc:
+            "Run a two-stage pipe workload with ktrace attached; print the \
+             cycle-attribution summary and write Chrome trace JSON")
+       Term.(const cmd_trace $ out));
   ]
 
 let () =

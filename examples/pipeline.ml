@@ -14,8 +14,8 @@ let () =
   (* ask the interfacer what connects these endpoints *)
   let connector =
     Quaject.connect
-      ~producer:(Quaject.Active, Quaject.Single)
-      ~consumer:(Quaject.Active, Quaject.Single)
+      ~producer:(Quaject.port Quaject.Active)
+      ~consumer:(Quaject.port Quaject.Active)
   in
   Fmt.pr "interfacer: active producer + active consumer (single/single) -> %s@."
     (Quaject.connector_name connector);

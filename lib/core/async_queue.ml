@@ -76,7 +76,7 @@ let get_template ~q ~signal_producer =
       ])
 
 let create k ~name ~size =
-  let q = Kqueue.create_spsc k ~name:(name ^ "/under") ~size in
+  let q = Kqueue.create ~kind:Kqueue.Spsc k ~name:(name ^ "/under") ~size in
   let t = { aq_queue = q; aq_put = 0; aq_get = 0; aq_consumer = None; aq_producer = None } in
   let m = k.Kernel.machine in
   let signal_consumer =

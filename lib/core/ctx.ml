@@ -32,11 +32,14 @@ let kernel_sr = 1 lsl 13
    [SR][PC] on the thread's kernel stack.  It stores the entire
    context into the TTE and jumps — through the ready queue's
    patchable jmp — into the next thread's sw_in. *)
-let sw_out_template ~uses_fp =
+let sw_out_template ~uses_fp ~probe =
   Template.make ~name:"sw_out" ~params:[ "save"; "fp_save_end" ] (fun p ->
       let save = p "save" in
       List.concat
         [
+          (* ktrace probe: empty unless tracing was enabled at
+             synthesis time *)
+          probe;
           (* r0..r14 into the register save area *)
           List.init 15 (fun i -> I.Move (I.Reg i, I.Abs (save + i)));
           [
@@ -55,7 +58,7 @@ let sw_out_template ~uses_fp =
 
 (* sw_in restores a thread.  Entered at "sw_in_mmu" when the address
    space must change, at "sw_in" otherwise. *)
-let sw_in_template ~uses_fp =
+let sw_in_template ~uses_fp ~probe =
   Template.make ~name:"sw_in"
     ~params:
       [ "save"; "map_id"; "quantum"; "vtable"; "tte_base"; "tid"; "sw_out"; "fp_save" ]
@@ -64,6 +67,7 @@ let sw_in_template ~uses_fp =
       List.concat
         [
           [ I.Label "sw_in_mmu"; I.Move_mmu (I.Imm (p "map_id")); I.Label "sw_in" ];
+          probe;
           [
             I.Label "quantum_slot";
             I.Move (I.Imm (p "quantum"), I.Abs Mmio_map.timer_alarm);
@@ -95,7 +99,7 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
   let sw_out, out_syms =
     Kernel.synthesize k ~name:(label ^ "/sw_out")
       ~env:[ ("save", save); ("fp_save_end", fp_save_end) ]
-      (sw_out_template ~uses_fp)
+      (sw_out_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_out tid)))
   in
   let sw_in_entry, in_syms =
     Kernel.synthesize k ~name:(label ^ "/sw_in")
@@ -110,7 +114,7 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
           ("sw_out", sw_out);
           ("fp_save", fp_save);
         ]
-      (sw_in_template ~uses_fp)
+      (sw_in_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_in tid)))
   in
   ignore sw_in_entry;
   {
@@ -183,4 +187,5 @@ let set_quantum k t quantum_us =
   t.Kernel.quantum_us <- quantum_us;
   Machine.patch_code k.Kernel.machine t.Kernel.quantum_slot
     (I.Move (I.Imm quantum_us, I.Abs Mmio_map.timer_alarm));
+  Kernel.trace k (Ktrace.Patched t.Kernel.quantum_slot);
   Machine.charge k.Kernel.machine 4

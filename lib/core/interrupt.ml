@@ -29,7 +29,7 @@ type chain = {
 }
 
 let install_chain k =
-  let queue = Kqueue.create_mpsc k ~name:"chain/q" ~size:32 in
+  let queue = Kqueue.create ~kind:Kqueue.Mpsc k ~name:"chain/q" ~size:32 in
   let saved = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
   (* The runner executes in the interrupted (kernel) context after the
      handler's Rte: drain the queue, then resume where the interrupt

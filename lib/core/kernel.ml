@@ -71,6 +71,8 @@ type t = {
   mutable idle_thread : tte option;
   (* error traps that killed threads: (tid, fault name) *)
   mutable fault_log : (int * string) list;
+  (* observability: None = tracing never attached, zero overhead *)
+  mutable ktrace : Ktrace.t option;
 }
 
 let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
@@ -111,7 +113,33 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     shared = Hashtbl.create 32;
     idle_thread = None;
     fault_log = [];
+    ktrace = None;
   }
+
+(* ------------------------------------------------------------------ *)
+(* Tracing *)
+
+(* Emit an event if tracing is attached; free otherwise. *)
+let trace k kind = match k.ktrace with Some tr -> Ktrace.emit tr kind | None -> ()
+
+(* Probe fragment for synthesized code: empty unless tracing is
+   attached and enabled, so untraced kernels generate identical
+   instruction streams. *)
+let trace_probe k kind =
+  match k.ktrace with Some tr -> Ktrace.probe tr kind | None -> []
+
+let trace_probe_status k f =
+  match k.ktrace with Some tr -> Ktrace.probe_status tr f | None -> []
+
+(* Attach a trace to this kernel: machine hooks, cycle attribution,
+   and ownership of everything synthesized so far.  Code synthesized
+   from now on registers automatically. *)
+let attach_tracing k tr =
+  k.ktrace <- Some tr;
+  Ktrace.install tr;
+  List.iter
+    (fun (name, entry, n) -> ignore (Ktrace.register_owner tr ~name ~entry ~len:n))
+    k.registry
 
 (* ------------------------------------------------------------------ *)
 (* Code synthesis entry point: factorize -> optimize -> install.
@@ -133,6 +161,11 @@ let synthesize k ~name ~env template =
         (Asm.length raw));
   k.registry <- (name, entry, n) :: k.registry;
   k.synthesized_insns <- k.synthesized_insns + n;
+  (match k.ktrace with
+  | Some tr ->
+    ignore (Ktrace.register_owner tr ~name ~entry ~len:n);
+    Ktrace.emit tr (Ktrace.Synthesized (name, n))
+  | None -> ());
   (entry, syms)
 
 (* Install boot-time shared kernel code (not specialized, charged at
@@ -141,7 +174,13 @@ let install_shared k ~name insns =
   let optimized = Peephole.optimize insns in
   let entry, syms = Asm.assemble k.machine optimized in
   Hashtbl.replace k.shared name entry;
-  k.registry <- (name, entry, Asm.length optimized) :: k.registry;
+  let n = Asm.length optimized in
+  k.registry <- (name, entry, n) :: k.registry;
+  (match k.ktrace with
+  | Some tr ->
+    ignore (Ktrace.register_owner tr ~name ~entry ~len:n);
+    Ktrace.emit tr (Ktrace.Synthesized (name, n))
+  | None -> ());
   (entry, syms)
 
 let shared_entry k name =

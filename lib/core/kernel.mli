@@ -62,9 +62,28 @@ type t = {
   shared : (string, int) Hashtbl.t;
   mutable idle_thread : tte option;
   mutable fault_log : (int * string) list;
+  mutable ktrace : Ktrace.t option;
 }
 
 val create : ?cost:Cost.t -> ?mem_words:int -> unit -> t
+
+(** {1 Tracing}
+
+    With no trace attached every call below is free and synthesized
+    code is byte-identical to an untraced kernel. *)
+
+(** Attach: machine hooks, cycle attribution from now on, and owner
+    registration for everything synthesized so far and hereafter. *)
+val attach_tracing : t -> Ktrace.t -> unit
+
+(** Emit an event if tracing is attached. *)
+val trace : t -> Ktrace.kind -> unit
+
+(** Probe fragment for synthesized code; [[]] unless tracing is
+    attached and enabled at synthesis time. *)
+val trace_probe : t -> Ktrace.kind -> Insn.insn list
+
+val trace_probe_status : t -> (bool -> Ktrace.kind) -> Insn.insn list
 
 (** {1 Code synthesis}: factorize → optimize → install, charging
     generation cost to the simulated clock (what makes [open] pay for

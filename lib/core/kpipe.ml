@@ -60,6 +60,9 @@ let burst_copy ~prefix =
    blocking while the pipe is full; returns n in r0. *)
 let write_template k pipe ~gauge =
   let mask = pipe.p_cap - 1 in
+  (* Ktrace probe, synthesized in only when tracing is enabled: fires
+     after the writer publishes head, i.e. once per successful burst. *)
+  let probe = Kernel.trace_probe k (Ktrace.Queue_put (pipe.p_name, true)) in
   Template.make ~name:"pipe_write" ~params:[] (fun _ ->
       [
         I.Move (I.Reg I.r3, I.Reg I.r8); (* remaining *)
@@ -125,6 +128,9 @@ let write_template k pipe ~gauge =
           I.Move (I.Reg I.r5, I.Reg I.r2); (* restore user ptr *)
           I.Move (I.Reg I.r7, I.Abs (head_cell pipe)); (* publish *)
           I.Alu_mem (I.Add, I.Imm 1, I.Abs gauge);
+        ]
+      @ probe
+      @ [
           (* wake a waiting reader *)
           I.Tst (I.Abs (rwait_cell pipe));
           I.B (I.Eq, I.To_label "nowake");
@@ -142,6 +148,7 @@ let write_template k pipe ~gauge =
    closed and the pipe drained). *)
 let read_template k pipe ~gauge =
   let mask = pipe.p_cap - 1 in
+  let probe = Kernel.trace_probe k (Ktrace.Queue_get (pipe.p_name, true)) in
   Template.make ~name:"pipe_read" ~params:[] (fun _ ->
       [
         I.Label "retry";
@@ -198,6 +205,9 @@ let read_template k pipe ~gauge =
       @ [
           I.Move (I.Reg I.r7, I.Abs (tail_cell pipe)); (* publish *)
           I.Alu_mem (I.Add, I.Imm 1, I.Abs gauge);
+        ]
+      @ probe
+      @ [
           I.Tst (I.Abs (wwait_cell pipe));
           I.B (I.Eq, I.To_label "nowake");
           I.Move (I.Imm 0, I.Abs (wwait_cell pipe));

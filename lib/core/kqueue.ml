@@ -269,7 +269,7 @@ let alloc_common k ~name ~size ~with_flags =
   ignore name;
   (desc, buf, flag)
 
-let create_spsc k ~name ~size =
+let create_spsc_impl k ~name ~size =
   let desc, buf, _ = alloc_common k ~name ~size ~with_flags:false in
   let env =
     [ ("head", desc); ("tail", desc + 1); ("buf", buf); ("size", size) ]
@@ -288,7 +288,7 @@ let create_spsc k ~name ~size =
     q_put_many = 0;
   }
 
-let create_mpsc k ~name ~size =
+let create_mpsc_impl k ~name ~size =
   let desc, buf, flag = alloc_common k ~name ~size ~with_flags:true in
   let env =
     [
@@ -312,7 +312,7 @@ let create_mpsc k ~name ~size =
     q_put_many = put_many;
   }
 
-let create_spmc k ~name ~size =
+let create_spmc_impl k ~name ~size =
   let desc, buf, flag = alloc_common k ~name ~size ~with_flags:true in
   let env =
     [
@@ -371,7 +371,7 @@ let mpmc_put_template =
       ])
 
 (* MP-MC: flag-guarded CAS claims at both ends. *)
-let create_mpmc k ~name ~size =
+let create_mpmc_impl k ~name ~size =
   let desc, buf, flag = alloc_common k ~name ~size ~with_flags:true in
   let env =
     [
@@ -391,6 +391,75 @@ let create_mpmc k ~name ~size =
     q_get = get;
     q_put_many = 0;
   }
+
+(* ---------------------------------------------------------------- *)
+(* The unified entry point.
+
+   [create ?kind] picks the synchronization discipline explicitly, or
+   — when [kind] is omitted — derives it from the participant counts
+   through the quaject interfacer's case table (§5.2): a queue always
+   joins two active ends, so the connector chosen for the given
+   multiplicities names the queue kind. *)
+
+let kind_of_connector = function
+  | Quaject.Queue_spsc -> Some Spsc
+  | Quaject.Queue_mpsc -> Some Mpsc
+  | Quaject.Queue_spmc -> Some Spmc
+  | Quaject.Queue_mpmc -> Some Mpmc
+  | Quaject.Procedure_call | Quaject.Monitored_call | Quaject.Pump_thread -> None
+
+let kind_for ~producers ~consumers =
+  let mult n = if n > 1 then Quaject.Multiple else Quaject.Single in
+  let connector =
+    Quaject.connect
+      ~producer:{ Quaject.end_ = Quaject.Active; mult = mult producers }
+      ~consumer:{ Quaject.end_ = Quaject.Active; mult = mult consumers }
+  in
+  match kind_of_connector connector with
+  | Some kd -> kd
+  | None -> assert false (* active/active always yields a queue *)
+
+(* When tracing is enabled at synthesis time, wrap an entry so each
+   call emits a Queue_put/Queue_get event carrying the r0 status.
+   Without tracing the entry is returned untouched and no code is
+   generated. *)
+let traced_entry k ~qname ~op entry =
+  let event ok =
+    match op with
+    | `Put -> Ktrace.Queue_put (qname, ok)
+    | `Get -> Ktrace.Queue_get (qname, ok)
+  in
+  match Kernel.trace_probe_status k event with
+  | [] -> entry
+  | probe ->
+    let suffix = match op with `Put -> "/traced_put" | `Get -> "/traced_get" in
+    fst
+      (Kernel.install_shared k ~name:(qname ^ suffix)
+         ((I.Jsr (I.To_addr entry) :: probe) @ [ I.Rts ]))
+
+let create ?kind ?(producers = 1) ?(consumers = 1) k ~name ~size =
+  let kind =
+    match kind with Some kd -> kd | None -> kind_for ~producers ~consumers
+  in
+  let q =
+    match kind with
+    | Spsc -> create_spsc_impl k ~name ~size
+    | Mpsc -> create_mpsc_impl k ~name ~size
+    | Spmc -> create_spmc_impl k ~name ~size
+    | Mpmc -> create_mpmc_impl k ~name ~size
+  in
+  {
+    q with
+    q_put = traced_entry k ~qname:name ~op:`Put q.q_put;
+    q_get = traced_entry k ~qname:name ~op:`Get q.q_get;
+  }
+
+(* Deprecated (kept for one PR cycle): the per-kind constructors are
+   now one-line wrappers over [create]. *)
+let create_spsc k ~name ~size = create ~kind:Spsc k ~name ~size
+let create_mpsc k ~name ~size = create ~kind:Mpsc k ~name ~size
+let create_spmc k ~name ~size = create ~kind:Spmc k ~name ~size
+let create_mpmc k ~name ~size = create ~kind:Mpmc k ~name ~size
 
 (* ---------------------------------------------------------------- *)
 (* Host-side access for tests and servers (uncharged) *)

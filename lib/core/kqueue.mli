@@ -24,18 +24,45 @@ type t = {
 val head_cell : t -> int
 val tail_cell : t -> int
 
-(** Figure 1: no CAS anywhere on the path. *)
+(** The unified constructor.  [kind] picks the synchronization
+    discipline explicitly:
+    {ul
+    {- [Spsc] — Figure 1: no CAS anywhere on the path;}
+    {- [Mpsc] — Figure 2: CAS slot claim plus valid flags, including
+       the atomic multi-item insert;}
+    {- [Spmc] — mirror of MP-SC: consumers claim slots by CAS on
+       Q_tail and clear the valid flag after reading;}
+    {- [Mpmc] — flag-guarded CAS claims at both ends (§3.2's fourth
+       kind).}}
+    When [kind] is omitted it is derived from [producers]/[consumers]
+    (default 1/1) through the quaject interfacer's case table (§5.2).
+    With tracing enabled at creation time, the put/get entries are
+    wrapped so every call emits a [Queue_put]/[Queue_get] ktrace
+    event. *)
+val create :
+  ?kind:kind ->
+  ?producers:int ->
+  ?consumers:int ->
+  Kernel.t ->
+  name:string ->
+  size:int ->
+  t
+
+(** Map a queue connector from {!Quaject.connect} to the queue kind it
+    names; [None] for non-queue connectors. *)
+val kind_of_connector : Quaject.connector -> kind option
+
+(** @deprecated One-line wrapper over {!create}; kept for one PR
+    cycle. *)
 val create_spsc : Kernel.t -> name:string -> size:int -> t
 
-(** Figure 2: CAS slot claim plus valid flags; includes the atomic
-    multi-item insert. *)
+(** @deprecated One-line wrapper over {!create}. *)
 val create_mpsc : Kernel.t -> name:string -> size:int -> t
 
-(** Mirror of MP-SC: consumers claim slots by CAS on Q_tail and clear
-    the valid flag after reading. *)
+(** @deprecated One-line wrapper over {!create}. *)
 val create_spmc : Kernel.t -> name:string -> size:int -> t
 
-(** Flag-guarded CAS claims at both ends (§3.2's fourth kind). *)
+(** @deprecated One-line wrapper over {!create}. *)
 val create_mpmc : Kernel.t -> name:string -> size:int -> t
 
 (** Host-side access for servers and tests (uncharged). *)

@@ -1,0 +1,372 @@
+(* Cycle-attributed kernel tracing (§6.1's measurement facility grown
+   into a first-class subsystem).
+
+   Three cooperating pieces:
+
+   - a bounded ring buffer of typed events, each stamped with the
+     machine cycle counter at emission;
+   - host-side machine hooks (interrupt post/accept, device ticks,
+     faults) that cost no simulated cycles at all;
+   - synthesized-code probes: one-instruction [Hcall] fragments that
+     the synthesizer splices into generated routines (context switch
+     prologues, queue put/get) *only when tracing is enabled at
+     synthesis time*.  With tracing off the fragments are empty lists,
+     so traced and untraced kernels execute identical code — the
+     tracing-off overhead is exactly zero cycles.
+
+   Cycle attribution rides on the machine's pc→owner map: every
+   registered routine becomes an owner, every elapsed cycle lands on
+   exactly one owner, and the per-owner totals sum to the machine
+   total over the traced window. *)
+
+open Quamachine
+module I = Insn
+
+type kind =
+  | Switch_out of int (* tid leaving the CPU *)
+  | Switch_in of int (* tid entering the CPU *)
+  | Queue_put of string * bool (* queue name, success (false = full) *)
+  | Queue_get of string * bool (* queue name, success (false = empty) *)
+  | Block of string * int (* wait-queue name, tid *)
+  | Unblock of string * int
+  | Synthesized of string * int (* routine name, instruction count *)
+  | Patched of int (* code address rewritten in place *)
+  | Rebalance of int (* scheduler epoch number *)
+  | Irq_posted of string * int (* device source, level *)
+  | Irq_enter of int * int (* level, vector *)
+  | Device_tick of string
+  | Fault of string
+
+type event = { ev_cycles : int; ev_kind : kind }
+
+type t = {
+  machine : Machine.t;
+  metrics : Metrics.t;
+  mutable enabled : bool;
+  ring : event option array;
+  mutable pos : int;
+  mutable count : int; (* total emitted, including dropped *)
+  mutable owners : (string * int) list; (* name, owner id; newest first *)
+  mutable next_owner : int;
+  mutable base_cycles : int; (* machine cycles when tracing was installed *)
+}
+
+let create ?(capacity = 65536) ?(enabled = true) machine =
+  if capacity <= 0 then invalid_arg "Ktrace.create: capacity";
+  {
+    machine;
+    metrics = Metrics.create ();
+    enabled;
+    ring = Array.make capacity None;
+    pos = 0;
+    count = 0;
+    owners = [];
+    next_owner = Machine.owner_first;
+    base_cycles = Machine.cycles machine;
+  }
+
+let machine t = t.machine
+let metrics t = t.metrics
+let enabled t = t.enabled
+let set_enabled t b = t.enabled <- b
+
+let kind_name = function
+  | Switch_out _ -> "switch_out"
+  | Switch_in _ -> "switch_in"
+  | Queue_put _ -> "queue_put"
+  | Queue_get _ -> "queue_get"
+  | Block _ -> "block"
+  | Unblock _ -> "unblock"
+  | Synthesized _ -> "synthesized"
+  | Patched _ -> "patched"
+  | Rebalance _ -> "rebalance"
+  | Irq_posted _ -> "irq_posted"
+  | Irq_enter _ -> "irq_enter"
+  | Device_tick _ -> "device_tick"
+  | Fault _ -> "fault"
+
+let emit t kind =
+  if t.enabled then begin
+    t.ring.(t.pos) <- Some { ev_cycles = Machine.cycles t.machine; ev_kind = kind };
+    t.pos <- (t.pos + 1) mod Array.length t.ring;
+    t.count <- t.count + 1;
+    Metrics.bump t.metrics ("ktrace.events." ^ kind_name kind)
+  end
+
+let clear t =
+  Array.fill t.ring 0 (Array.length t.ring) None;
+  t.pos <- 0;
+  t.count <- 0
+
+(* Oldest first. *)
+let events t =
+  let cap = Array.length t.ring in
+  let n = min t.count cap in
+  let out = ref [] in
+  for i = n - 1 downto 0 do
+    match t.ring.((t.pos - n + i + (2 * cap)) mod cap) with
+    | Some e -> out := e :: !out
+    | None -> ()
+  done;
+  !out
+
+let event_count t = t.count
+let dropped t = max 0 (t.count - Array.length t.ring)
+
+(* ------------------------------------------------------------------ *)
+(* Owners: pc-range → name, riding on the machine attribution map *)
+
+let register_owner t ~name ~entry ~len =
+  let id = t.next_owner in
+  t.next_owner <- id + 1;
+  t.owners <- (name, id) :: t.owners;
+  Machine.set_owner_range t.machine ~entry ~len ~owner:id;
+  id
+
+let owner_name t id =
+  if id = Machine.owner_unowned then "(user/unowned)"
+  else if id = Machine.owner_host then "(host services)"
+  else if id = Machine.owner_idle then "(idle)"
+  else if id = Machine.owner_irq then "(irq delivery)"
+  else
+    match List.find_opt (fun (_, i) -> i = id) t.owners with
+    | Some (n, _) -> n
+    | None -> Fmt.str "(owner %d)" id
+
+(* Per-owner cycle totals, every owner that accumulated anything,
+   biggest first.  Call sites should [Machine.attribution_flush]
+   first; [owner_cycles] does it for them. *)
+let owner_cycles t =
+  Machine.attribution_flush t.machine;
+  let out = ref [] in
+  for id = 0 to Machine.max_owner t.machine do
+    let cy = Machine.owner_cycles t.machine id in
+    if cy > 0 then out := (owner_name t id, cy) :: !out
+  done;
+  List.sort (fun (_, a) (_, b) -> compare b a) !out
+
+let attributed_total t =
+  Machine.attribution_flush t.machine;
+  let total = ref 0 in
+  for id = 0 to Machine.max_owner t.machine do
+    total := !total + Machine.owner_cycles t.machine id
+  done;
+  !total
+
+let traced_cycles t = Machine.cycles t.machine - t.base_cycles
+
+(* Group registered-owner totals by quaject: the first '/'-separated
+   component of the routine name ("sw_out/t2" → "sw_out", "open/fd3"
+   → "open").  Reserved owners keep their parenthesized names, so the
+   groups still partition the traced window exactly. *)
+let quaject_of_name name =
+  if String.length name > 0 && name.[0] = '(' then name
+  else match String.index_opt name '/' with
+    | Some i -> String.sub name 0 i
+    | None -> name
+
+let quaject_cycles t =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun (name, cy) ->
+      let q = quaject_of_name name in
+      Hashtbl.replace tbl q (cy + Option.value ~default:0 (Hashtbl.find_opt tbl q)))
+    (owner_cycles t);
+  Hashtbl.fold (fun q cy acc -> (q, cy) :: acc) tbl []
+  |> List.sort (fun (_, a) (_, b) -> compare b a)
+
+(* Per-thread CPU time from the switch events: cycles between each
+   Switch_in(tid) and the next Switch_out(tid).  Approximate when the
+   ring has dropped events. *)
+let thread_cycles t =
+  let tbl = Hashtbl.create 8 in
+  let running = Hashtbl.create 8 in
+  List.iter
+    (fun e ->
+      match e.ev_kind with
+      | Switch_in tid -> Hashtbl.replace running tid e.ev_cycles
+      | Switch_out tid -> (
+        match Hashtbl.find_opt running tid with
+        | Some t0 ->
+          Hashtbl.remove running tid;
+          Hashtbl.replace tbl tid
+            (e.ev_cycles - t0 + Option.value ~default:0 (Hashtbl.find_opt tbl tid))
+        | None -> ())
+      | _ -> ())
+    (events t);
+  (* threads still on CPU at the end of the trace *)
+  let now = Machine.cycles t.machine in
+  Hashtbl.iter
+    (fun tid t0 ->
+      Hashtbl.replace tbl tid
+        (now - t0 + Option.value ~default:0 (Hashtbl.find_opt tbl tid)))
+    running;
+  Hashtbl.fold (fun tid cy acc -> (tid, cy) :: acc) tbl [] |> List.sort compare
+
+(* ------------------------------------------------------------------ *)
+(* Machine hooks: free observability, no simulated cycles *)
+
+let install_machine_hooks t =
+  let fault_name = function
+    | Machine.Bus_error _ -> "bus_error"
+    | Machine.Div_zero -> "div_zero"
+    | Machine.Privilege -> "privilege"
+    | Machine.Illegal -> "illegal"
+    | Machine.Fp_unavailable -> "fp_unavailable"
+  in
+  Machine.set_hooks t.machine
+    (Some
+       {
+         Machine.h_post = (fun ~source ~level ~vector:_ -> emit t (Irq_posted (source, level)));
+         h_irq = (fun ~level ~vector -> emit t (Irq_enter (level, vector)));
+         h_device = (fun name -> emit t (Device_tick name));
+         h_fault = (fun f -> emit t (Fault (fault_name f)));
+       })
+
+(* Install everything that doesn't need the kernel: hooks plus the
+   cycle-attribution window starting now.  [Kernel.attach_tracing]
+   calls this and then registers the already-synthesized routines as
+   owners. *)
+let install t =
+  install_machine_hooks t;
+  Machine.attribution_enable t.machine true;
+  t.base_cycles <- Machine.cycles t.machine
+
+(* ------------------------------------------------------------------ *)
+(* Synthesized-code probes *)
+
+(* A probe is an instruction fragment spliced into generated code at
+   synthesis time.  When tracing is disabled at synthesis time the
+   fragment is empty — the traced and untraced kernels run identical
+   instruction streams, so the tracing-off overhead is zero cycles.
+   When enabled, the fragment is a single [Hcall] (2 cycles). *)
+let probe t kind =
+  if not t.enabled then []
+  else
+    let id = Machine.register_hcall t.machine (fun _ -> emit t kind) in
+    [ I.Hcall id ]
+
+(* Probe whose payload depends on the routine's status result: reads
+   r0 at execution time (the generated queue/pipe convention: r0 = 1
+   done, 0 would-block). *)
+let probe_status t f =
+  if not t.enabled then []
+  else
+    let id =
+      Machine.register_hcall t.machine (fun m ->
+          emit t (f (Machine.get_reg m I.r0 <> 0)))
+    in
+    [ I.Hcall id ]
+
+(* ------------------------------------------------------------------ *)
+(* Text summary *)
+
+let pp_summary ppf t =
+  Fmt.pf ppf "ktrace: %d events (%d dropped), %d cycles traced@."
+    t.count (dropped t) (traced_cycles t);
+  let counts =
+    List.filter
+      (fun (n, _) ->
+        String.length n > 14 && String.sub n 0 14 = "ktrace.events.")
+      (Metrics.counters t.metrics)
+  in
+  List.iter
+    (fun (n, v) ->
+      Fmt.pf ppf "  %-28s %8d@." (String.sub n 14 (String.length n - 14)) v)
+    counts;
+  Fmt.pf ppf "cycles by quaject:@.";
+  let total = max 1 (attributed_total t) in
+  List.iter
+    (fun (q, cy) ->
+      Fmt.pf ppf "  %-28s %10d cycles  %5.1f%%@." q cy
+        (100.0 *. float_of_int cy /. float_of_int total))
+    (quaject_cycles t);
+  (match thread_cycles t with
+  | [] -> ()
+  | per_thread ->
+    Fmt.pf ppf "cpu time by thread (from switch events):@.";
+    List.iter
+      (fun (tid, cy) -> Fmt.pf ppf "  thread %-21d %10d cycles@." tid cy)
+      per_thread);
+  let sched = Metrics.epoch_history t.metrics in
+  if sched <> [] then
+    Fmt.pf ppf "scheduler: %d rebalance epochs recorded@." (List.length sched)
+
+(* ------------------------------------------------------------------ *)
+(* Chrome trace export (chrome://tracing / Perfetto JSON) *)
+
+let json_escape s =
+  let b = Buffer.create (String.length s + 8) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Fmt.str "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let ts_of_cycles t cy = Cost.us_of_cycles (Machine.cost_model t.machine) cy
+
+let chrome_event t b e =
+  let ts = ts_of_cycles t e.ev_cycles in
+  let common ~name ~cat ~ph ~tid ~args =
+    Buffer.add_string b
+      (Fmt.str
+         "{\"name\":\"%s\",\"cat\":\"%s\",\"ph\":\"%s\",\"ts\":%.3f,\"pid\":0,\"tid\":%d%s}"
+         (json_escape name) cat ph ts tid args)
+  in
+  let instant ?(tid = 0) ?(args = "") name cat =
+    let args = if args = "" then "" else Fmt.str ",\"args\":{%s}" args in
+    common ~name ~cat ~ph:"i" ~tid ~args:(args ^ ",\"s\":\"g\"")
+  in
+  match e.ev_kind with
+  | Switch_in tid -> common ~name:(Fmt.str "thread %d" tid) ~cat:"thread" ~ph:"B" ~tid ~args:""
+  | Switch_out tid -> common ~name:(Fmt.str "thread %d" tid) ~cat:"thread" ~ph:"E" ~tid ~args:""
+  | Queue_put (q, ok) ->
+    instant (Fmt.str "put %s" q) "queue" ~args:(Fmt.str "\"ok\":%b" ok)
+  | Queue_get (q, ok) ->
+    instant (Fmt.str "get %s" q) "queue" ~args:(Fmt.str "\"ok\":%b" ok)
+  | Block (wq, tid) -> instant ~tid (Fmt.str "block %s" wq) "sync"
+  | Unblock (wq, tid) -> instant ~tid (Fmt.str "unblock %s" wq) "sync"
+  | Synthesized (name, n) ->
+    instant (Fmt.str "synthesize %s" name) "synthesis" ~args:(Fmt.str "\"insns\":%d" n)
+  | Patched addr -> instant (Fmt.str "patch @%d" addr) "synthesis"
+  | Rebalance n -> instant (Fmt.str "rebalance %d" n) "scheduler"
+  | Irq_posted (src, level) ->
+    instant (Fmt.str "irq post %s" (if src = "" then "?" else src)) "irq"
+      ~args:(Fmt.str "\"level\":%d" level)
+  | Irq_enter (level, vector) ->
+    instant (Fmt.str "irq L%d" level) "irq" ~args:(Fmt.str "\"vector\":%d" vector)
+  | Device_tick name -> instant (Fmt.str "tick %s" name) "device"
+  | Fault name -> instant (Fmt.str "fault %s" name) "fault"
+
+let to_chrome_json t =
+  let b = Buffer.create 65536 in
+  Buffer.add_string b "{\"traceEvents\":[";
+  let first = ref true in
+  List.iter
+    (fun e ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_char b '\n';
+      chrome_event t b e)
+    (events t);
+  Buffer.add_string b "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  Buffer.add_string b (Fmt.str "\"traced_cycles\":%d" (traced_cycles t));
+  Buffer.add_string b (Fmt.str ",\"attributed_cycles\":%d" (attributed_total t));
+  Buffer.add_string b (Fmt.str ",\"machine_cycles\":%d" (Machine.cycles t.machine));
+  Buffer.add_string b (Fmt.str ",\"events\":%d,\"dropped\":%d" t.count (dropped t));
+  Buffer.add_string b ",\"quajects\":{";
+  let first = ref true in
+  List.iter
+    (fun (q, cy) ->
+      if !first then first := false else Buffer.add_char b ',';
+      Buffer.add_string b (Fmt.str "\"%s\":%d" (json_escape q) cy))
+    (quaject_cycles t);
+  Buffer.add_string b "}}}\n";
+  Buffer.contents b

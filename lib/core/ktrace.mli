@@ -1,0 +1,119 @@
+(** Cycle-attributed kernel tracing.
+
+    A bounded ring buffer of typed events stamped with the machine
+    cycle counter, fed from three directions:
+
+    {ul
+    {- host-side machine hooks (interrupt post/accept, device ticks,
+       faults) — free, no simulated cycles;}
+    {- host-side kernel call sites (synthesis, patches, block/unblock,
+       rebalances) — also free;}
+    {- probes spliced into synthesized code (context switches, queue
+       put/get) — one [Hcall] each, and {e only} when tracing is
+       enabled at synthesis time.  With tracing off the probe
+       fragments are empty, so the traced and untraced kernels run
+       identical instruction streams: tracing-off overhead is exactly
+       zero cycles ([bench/trace_overhead.ml] proves it).}}
+
+    Cycle attribution rides on {!Machine.set_owner_range}: every
+    synthesized routine registers as an owner, and the per-owner
+    totals sum exactly to the machine's cycle total over the traced
+    window.  See [docs/OBSERVABILITY.md]. *)
+
+open Quamachine
+
+type t
+
+type kind =
+  | Switch_out of int  (** tid leaving the CPU *)
+  | Switch_in of int  (** tid entering the CPU *)
+  | Queue_put of string * bool  (** queue name, success (false = full) *)
+  | Queue_get of string * bool  (** queue name, success (false = empty) *)
+  | Block of string * int  (** wait-queue name, tid *)
+  | Unblock of string * int
+  | Synthesized of string * int  (** routine name, instruction count *)
+  | Patched of int  (** code address rewritten in place *)
+  | Rebalance of int  (** scheduler epoch number *)
+  | Irq_posted of string * int  (** posting device, level *)
+  | Irq_enter of int * int  (** level, vector *)
+  | Device_tick of string
+  | Fault of string
+
+type event = { ev_cycles : int; ev_kind : kind }
+
+val create : ?capacity:int -> ?enabled:bool -> Machine.t -> t
+val machine : t -> Machine.t
+val metrics : t -> Metrics.t
+val enabled : t -> bool
+
+(** Runtime switch: stops event {e collection}.  Probes already
+    compiled into synthesized code still cost their [Hcall]; only
+    synthesis-time disabling removes them entirely. *)
+val set_enabled : t -> bool -> unit
+
+val emit : t -> kind -> unit
+val kind_name : kind -> string
+
+(** Buffered events, oldest first. *)
+val events : t -> event list
+
+(** Total emitted, including events the ring has dropped. *)
+val event_count : t -> int
+
+val dropped : t -> int
+val clear : t -> unit
+
+(** {1 Owners and cycle attribution} *)
+
+(** Register a synthesized routine as a cycle owner; returns its id. *)
+val register_owner : t -> name:string -> entry:int -> len:int -> int
+
+val owner_name : t -> int -> string
+
+(** Per-owner cycle totals (registered routines plus the reserved
+    host/idle/irq/unowned owners), biggest first.  Flushes pending
+    host charges first so the totals are balanced. *)
+val owner_cycles : t -> (string * int) list
+
+(** Sum over all owners — equals {!traced_cycles} whenever attribution
+    was enabled for the whole window. *)
+val attributed_total : t -> int
+
+(** Machine cycles elapsed since {!install}. *)
+val traced_cycles : t -> int
+
+(** Owner totals grouped by quaject (first ['/']-separated component
+    of the routine name). *)
+val quaject_cycles : t -> (string * int) list
+
+(** Per-thread CPU cycles reconstructed from the switch events. *)
+val thread_cycles : t -> (int * int) list
+
+(** {1 Installation} *)
+
+(** Wire the machine hooks so interrupt/device/fault activity lands in
+    the ring. *)
+val install_machine_hooks : t -> unit
+
+(** Hooks + cycle attribution, window starting now.  Use
+    [Kernel.attach_tracing] instead when a kernel is up: it also
+    registers already-synthesized routines as owners. *)
+val install : t -> unit
+
+(** {1 Probes for synthesized code} *)
+
+(** Instruction fragment emitting [kind]; [[]] when tracing is
+    disabled, a single [Hcall] when enabled. *)
+val probe : t -> kind -> Insn.insn list
+
+(** Like {!probe}, but the payload is computed at execution time from
+    r0 (the generated-code status convention: 1 done, 0 would-block). *)
+val probe_status : t -> (bool -> kind) -> Insn.insn list
+
+(** {1 Export} *)
+
+val pp_summary : Format.formatter -> t -> unit
+
+(** The whole ring as Chrome [chrome://tracing] JSON ([traceEvents]
+    plus an [otherData] block with the per-quaject cycle totals). *)
+val to_chrome_json : t -> string

@@ -1,0 +1,86 @@
+(* A small counter/gauge registry plus the scheduler's typed epoch
+   history.  Everything here is host-side bookkeeping: reading or
+   updating a metric never charges simulated cycles. *)
+
+type counter = { c_name : string; mutable c_value : int }
+type gauge = { g_name : string; mutable g_value : float }
+
+type epoch_entry = { ep_tid : int; ep_rate : int; ep_quantum : int }
+type epoch_record = { ep_time_us : float; ep_entries : epoch_entry list }
+
+type t = {
+  counters : (string, counter) Hashtbl.t;
+  gauges : (string, gauge) Hashtbl.t;
+  mutable epochs : epoch_record list; (* newest first *)
+}
+
+let create () =
+  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; epochs = [] }
+
+(* ------------------------------------------------------------------ *)
+(* Counters *)
+
+let counter t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c
+  | None ->
+    let c = { c_name = name; c_value = 0 } in
+    Hashtbl.replace t.counters name c;
+    c
+
+let incr ?(by = 1) c = c.c_value <- c.c_value + by
+let counter_value c = c.c_value
+let counter_name c = c.c_name
+
+(* Bump a counter by name: convenience for call sites that fire
+   rarely enough that the hash lookup doesn't matter. *)
+let bump ?by t name = incr ?by (counter t name)
+
+let read t name =
+  match Hashtbl.find_opt t.counters name with
+  | Some c -> c.c_value
+  | None -> 0
+
+(* ------------------------------------------------------------------ *)
+(* Gauges *)
+
+let gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> g
+  | None ->
+    let g = { g_name = name; g_value = 0.0 } in
+    Hashtbl.replace t.gauges name g;
+    g
+
+let set_gauge g v = g.g_value <- v
+let gauge_value g = g.g_value
+let gauge_name g = g.g_name
+
+let read_gauge t name =
+  match Hashtbl.find_opt t.gauges name with
+  | Some g -> Some g.g_value
+  | None -> None
+
+(* ------------------------------------------------------------------ *)
+(* Scheduler epochs *)
+
+let record_epoch t r = t.epochs <- r :: t.epochs
+let epoch_history t = t.epochs
+let epoch_count t = List.length t.epochs
+
+(* ------------------------------------------------------------------ *)
+(* Dumping *)
+
+let counters t =
+  Hashtbl.fold (fun _ c acc -> (c.c_name, c.c_value) :: acc) t.counters []
+  |> List.sort compare
+
+let gauges t =
+  Hashtbl.fold (fun _ g acc -> (g.g_name, g.g_value) :: acc) t.gauges []
+  |> List.sort compare
+
+let pp ppf t =
+  List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %d@." n v) (counters t);
+  List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %g@." n v) (gauges t);
+  if t.epochs <> [] then
+    Fmt.pf ppf "%-40s %d@." "scheduler.epochs.recorded" (List.length t.epochs)

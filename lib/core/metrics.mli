@@ -1,0 +1,61 @@
+(** Counter/gauge registry and the scheduler's typed epoch history.
+
+    Host-side bookkeeping only: touching a metric never charges
+    simulated cycles.  The ktrace layer and the fine-grain scheduler
+    share one registry so a single dump shows event counts next to
+    rebalance history. *)
+
+type t
+
+type counter
+type gauge
+
+(** One thread's row in a scheduler rebalance: the I/O rate observed
+    over the epoch and the quantum assigned from it (§4: quantum ∝
+    1/rate). *)
+type epoch_entry = { ep_tid : int; ep_rate : int; ep_quantum : int }
+
+(** One scheduler rebalance, stamped with simulated time. *)
+type epoch_record = { ep_time_us : float; ep_entries : epoch_entry list }
+
+val create : unit -> t
+
+(** {1 Counters} *)
+
+(** Find-or-create by name. *)
+val counter : t -> string -> counter
+
+val incr : ?by:int -> counter -> unit
+val counter_value : counter -> int
+val counter_name : counter -> string
+
+(** Find-or-create and increment in one call. *)
+val bump : ?by:int -> t -> string -> unit
+
+(** Value of a named counter, 0 when absent. *)
+val read : t -> string -> int
+
+(** {1 Gauges} *)
+
+val gauge : t -> string -> gauge
+val set_gauge : gauge -> float -> unit
+val gauge_value : gauge -> float
+val gauge_name : gauge -> string
+val read_gauge : t -> string -> float option
+
+(** {1 Scheduler epochs} *)
+
+val record_epoch : t -> epoch_record -> unit
+
+(** Newest first. *)
+val epoch_history : t -> epoch_record list
+
+val epoch_count : t -> int
+
+(** {1 Dumping} *)
+
+(** All counters, sorted by name. *)
+val counters : t -> (string * int) list
+
+val gauges : t -> (string * float) list
+val pp : Format.formatter -> t -> unit

@@ -21,6 +21,12 @@ module I = Insn
 type endpoint = Active | Passive
 type multiplicity = Single | Multiple
 
+(* One end of a connection, named: [end_] says whether the participant
+   drives control flow, [mult] how many participants share the end. *)
+type port = { end_ : endpoint; mult : multiplicity }
+
+let port ?(mult = Single) end_ = { end_; mult }
+
 type connector =
   | Procedure_call
   | Monitored_call
@@ -32,16 +38,27 @@ type connector =
 
 let connect ~producer ~consumer =
   match (producer, consumer) with
-  | (Active, _), (Passive, Single) | (Passive, Single), (Active, _) ->
+  | { end_ = Active; _ }, { end_ = Passive; mult = Single }
+  | { end_ = Passive; mult = Single }, { end_ = Active; _ } ->
     (* one side drives the other directly: collapse to a call *)
     Procedure_call
-  | (Active, _), (Passive, Multiple) | (Passive, Multiple), (Active, _) ->
+  | { end_ = Active; _ }, { end_ = Passive; mult = Multiple }
+  | { end_ = Passive; mult = Multiple }, { end_ = Active; _ } ->
     Monitored_call
-  | (Active, Single), (Active, Single) -> Queue_spsc
-  | (Active, Multiple), (Active, Single) -> Queue_mpsc
-  | (Active, Single), (Active, Multiple) -> Queue_spmc
-  | (Active, Multiple), (Active, Multiple) -> Queue_mpmc
-  | (Passive, _), (Passive, _) -> Pump_thread
+  | { end_ = Active; mult = Single }, { end_ = Active; mult = Single } ->
+    Queue_spsc
+  | { end_ = Active; mult = Multiple }, { end_ = Active; mult = Single } ->
+    Queue_mpsc
+  | { end_ = Active; mult = Single }, { end_ = Active; mult = Multiple } ->
+    Queue_spmc
+  | { end_ = Active; mult = Multiple }, { end_ = Active; mult = Multiple } ->
+    Queue_mpmc
+  | { end_ = Passive; _ }, { end_ = Passive; _ } -> Pump_thread
+
+(* Deprecated (kept for one PR cycle): the old positional-tuple
+   spelling of [connect].  New code should build {!port} records. *)
+let connect_endpoints ~producer:(pe, pm) ~consumer:(ce, cm) =
+  connect ~producer:{ end_ = pe; mult = pm } ~consumer:{ end_ = ce; mult = cm }
 
 let connector_name = function
   | Procedure_call -> "procedure call"

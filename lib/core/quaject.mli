@@ -6,6 +6,13 @@
 type endpoint = Active | Passive
 type multiplicity = Single | Multiple
 
+(** One end of a connection: [end_] says whether the participant
+    drives control flow; [mult] how many participants share the end. *)
+type port = { end_ : endpoint; mult : multiplicity }
+
+(** [port ?mult e] — [mult] defaults to [Single]. *)
+val port : ?mult:multiplicity -> endpoint -> port
+
 type connector =
   | Procedure_call
   | Monitored_call
@@ -17,7 +24,11 @@ type connector =
 
 (** The §5.2 case analysis — the principle of frugality applied to
     connections. *)
-val connect :
+val connect : producer:port -> consumer:port -> connector
+
+(** @deprecated Positional-tuple spelling of {!connect}; kept for one
+    PR cycle.  Use {!port} records. *)
+val connect_endpoints :
   producer:endpoint * multiplicity -> consumer:endpoint * multiplicity -> connector
 
 val connector_name : connector -> string

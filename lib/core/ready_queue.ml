@@ -24,6 +24,7 @@ let relink k a b =
     (Insn.Jmp (Insn.To_addr (entry_from a b)));
   a.Kernel.rq_next <- Some b;
   b.Kernel.rq_prev <- Some a;
+  Kernel.trace k (Ktrace.Patched a.Kernel.jmp_slot);
   Machine.charge k.Kernel.machine 6
 
 let next_exn t =

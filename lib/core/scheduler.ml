@@ -18,9 +18,9 @@ type t = {
   min_quantum : int;
   max_quantum : int;
   last_gauge : (int, int) Hashtbl.t; (* tid -> gauge at last epoch *)
-  mutable history : (float * (int * int * int) list) list;
-      (* (time_us, [(tid, rate, quantum)]) newest first *)
-  mutable epochs : int;
+  metrics : Metrics.t;
+      (* epoch records and counters; shared with the kernel's ktrace
+         registry when tracing is attached *)
 }
 
 let gauge_cell (tte : Kernel.tte) = tte.Kernel.base + Layout.Tte.off_gauge
@@ -51,16 +51,28 @@ let rebalance t =
     List.map
       (fun ((tte : Kernel.tte), rate) ->
         let quantum = t.min_quantum + (span * rate / max_rate) in
-        if quantum <> tte.Kernel.quantum_us then Ctx.set_quantum k tte quantum;
+        if quantum <> tte.Kernel.quantum_us then begin
+          Ctx.set_quantum k tte quantum;
+          Metrics.bump t.metrics "sched.retunes"
+        end;
         Machine.charge k.Kernel.machine 10;
-        (tte.Kernel.tid, rate, quantum))
+        { Metrics.ep_tid = tte.Kernel.tid; ep_rate = rate; ep_quantum = quantum })
       snapshot
   in
-  t.epochs <- t.epochs + 1;
-  t.history <- (Machine.time_us k.Kernel.machine, entries) :: t.history
+  Metrics.bump t.metrics "sched.rebalances";
+  Metrics.record_epoch t.metrics
+    { Metrics.ep_time_us = Machine.time_us k.Kernel.machine; ep_entries = entries };
+  Kernel.trace k (Ktrace.Rebalance (Metrics.epoch_count t.metrics))
 
 (* Install the scheduler as a periodic machine device. *)
 let install k ?(epoch_us = 5_000) ?(min_quantum = 100) ?(max_quantum = 1_000) () =
+  (* share the ktrace metrics registry when tracing is attached, so
+     one [pp] shows scheduler and trace counters together *)
+  let metrics =
+    match k.Kernel.ktrace with
+    | Some tr -> Ktrace.metrics tr
+    | None -> Metrics.create ()
+  in
   let t =
     {
       kernel = k;
@@ -68,8 +80,7 @@ let install k ?(epoch_us = 5_000) ?(min_quantum = 100) ?(max_quantum = 1_000) ()
       min_quantum;
       max_quantum;
       last_gauge = Hashtbl.create 16;
-      history = [];
-      epochs = 0;
+      metrics;
     }
   in
   let m = k.Kernel.machine in
@@ -91,5 +102,6 @@ let cpu_share t (tte : Kernel.tte) =
   in
   if total = 0 then 0.0 else float_of_int tte.Kernel.quantum_us /. float_of_int total
 
-let epochs t = t.epochs
-let history t = t.history
+let metrics t = t.metrics
+let epochs t = Metrics.epoch_count t.metrics
+let history t = Metrics.epoch_history t.metrics

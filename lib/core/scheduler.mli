@@ -19,5 +19,10 @@ val cpu_share : t -> Kernel.tte -> float
 
 val epochs : t -> int
 
-(** Epoch history, newest first: (time_us, [(tid, rate, quantum)]). *)
-val history : t -> (float * (int * int * int) list) list
+(** The scheduler's metrics registry ([sched.rebalances],
+    [sched.retunes], epoch records).  Shared with the kernel's ktrace
+    registry when tracing was attached before [install]. *)
+val metrics : t -> Metrics.t
+
+(** Epoch history, newest first. *)
+val history : t -> Metrics.epoch_record list

@@ -34,9 +34,10 @@ type built = {
 
 (* What connects a stage to its successor, per §5.2. *)
 let connect_many ~producers ~consumers =
+  let mult n = if n > 1 then Quaject.Multiple else Quaject.Single in
   Quaject.connect
-    ~producer:(Quaject.Active, (if producers > 1 then Quaject.Multiple else Quaject.Single))
-    ~consumer:(Quaject.Active, (if consumers > 1 then Quaject.Multiple else Quaject.Single))
+    ~producer:{ Quaject.end_ = Quaject.Active; mult = mult producers }
+    ~consumer:{ Quaject.end_ = Quaject.Active; mult = mult consumers }
 
 (* Build a linear pipeline: Head, zero or more Middles, Tail.
    Returns the threads (created, runnable) and the connecting pipes. *)

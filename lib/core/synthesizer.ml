@@ -83,9 +83,8 @@ type connection = {
    - monitored call: the same, bracketed by a monitor's enter/exit;
    - queues: an optimistic queue of the right flavour, with the
      producer-side call being the queue's put. *)
-let interface k ~name ~producer:(p_act, p_mult) ~consumer:(c_act, c_mult)
-    ~consumer_entry () =
-  let connector = Quaject.connect ~producer:(p_act, p_mult) ~consumer:(c_act, c_mult) in
+let interface k ~name ~producer ~consumer ~consumer_entry () =
+  let connector = Quaject.connect ~producer ~consumer in
   match connector with
   | Quaject.Procedure_call ->
     (* combine: a direct jump; factorize+optimize are trivial and the
@@ -107,17 +106,14 @@ let interface k ~name ~producer:(p_act, p_mult) ~consumer:(c_act, c_mult)
         ]
     in
     { cn_connector = connector; cn_call = entry; cn_queue = None }
-  | Quaject.Queue_spsc ->
-    let q = Kqueue.create_spsc k ~name:(name ^ "/q") ~size:64 in
-    { cn_connector = connector; cn_call = q.Kqueue.q_put; cn_queue = Some q }
-  | Quaject.Queue_mpsc ->
-    let q = Kqueue.create_mpsc k ~name:(name ^ "/q") ~size:64 in
-    { cn_connector = connector; cn_call = q.Kqueue.q_put; cn_queue = Some q }
-  | Quaject.Queue_spmc ->
-    let q = Kqueue.create_spmc k ~name:(name ^ "/q") ~size:64 in
-    { cn_connector = connector; cn_call = q.Kqueue.q_put; cn_queue = Some q }
+  | Quaject.Queue_spsc | Quaject.Queue_mpsc | Quaject.Queue_spmc
   | Quaject.Queue_mpmc ->
-    let q = Kqueue.create_mpmc k ~name:(name ^ "/q") ~size:64 in
+    let kind =
+      match Kqueue.kind_of_connector connector with
+      | Some kd -> kd
+      | None -> assert false
+    in
+    let q = Kqueue.create ~kind k ~name:(name ^ "/q") ~size:64 in
     { cn_connector = connector; cn_call = q.Kqueue.q_put; cn_queue = Some q }
   | Quaject.Pump_thread ->
     invalid_arg

@@ -41,8 +41,8 @@ type connection = {
 val interface :
   Kernel.t ->
   name:string ->
-  producer:Quaject.endpoint * Quaject.multiplicity ->
-  consumer:Quaject.endpoint * Quaject.multiplicity ->
+  producer:Quaject.port ->
+  consumer:Quaject.port ->
   consumer_entry:int ->
   unit ->
   connection

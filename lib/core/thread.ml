@@ -315,6 +315,7 @@ let block_hcall k (wq : Kernel.waitq) =
           cur.Kernel.state <- Kernel.Blocked;
           cur.Kernel.waiting_on <- Some wq.Kernel.wq_name;
           wq.Kernel.waiters <- wq.Kernel.waiters @ [ cur ];
+          Kernel.trace k (Ktrace.Block (wq.Kernel.wq_name, cur.Kernel.tid));
           Machine.charge m 20)
     in
     wq.Kernel.wq_block_hcall <- id;
@@ -336,6 +337,7 @@ let unblock k (wq : Kernel.waitq) =
        performed from handler context never preempts the handler
        itself mid-flight. *)
     Devices.Timer.arm k.Kernel.timer ~us:30.0;
+    Kernel.trace k (Ktrace.Unblock (wq.Kernel.wq_name, t.Kernel.tid));
     Machine.charge k.Kernel.machine 20;
     Some t
 

@@ -239,9 +239,10 @@ let install vfs =
      created afterwards *)
   let srv =
     {
-      srv_raw = Kqueue.create_spsc k ~name:"tty/rawq" ~size:64;
-      srv_cooked = Kqueue.create_spsc k ~name:"tty/cookedq" ~size:512;
-      srv_screen = Kqueue.create_mpsc k ~name:"tty/screenq" ~size:1024;
+      srv_raw = Kqueue.create ~kind:Kqueue.Spsc k ~name:"tty/rawq" ~size:64;
+      srv_cooked = Kqueue.create ~kind:Kqueue.Spsc k ~name:"tty/cookedq" ~size:512;
+      srv_screen =
+        Kqueue.create ~producers:2 k ~name:"tty/screenq" ~size:1024;
       srv_lbuf = Kalloc.alloc_zeroed alloc lbuf_cap;
       srv_lbuf_cap = lbuf_cap;
       srv_len_cell = Kalloc.alloc_zeroed alloc 16;

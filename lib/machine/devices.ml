@@ -49,7 +49,7 @@ module Timer = struct
       (fun m ->
         t.armed_at <- max_int;
         Machine.device_idle m dev;
-        Machine.post_interrupt m ~level ~vector);
+        Machine.post_interrupt ~source:name m ~level ~vector);
     Machine.map_mmio_write m ~addr (fun us ->
         if us = 0 then begin
           t.armed_at <- max_int;
@@ -112,7 +112,7 @@ module Tty = struct
         if Queue.is_empty t.input then Machine.device_idle m dev
         else begin
           t.data_in <- Char.code (Queue.pop t.input);
-          Machine.post_interrupt m ~level:Mmio_map.tty_level
+          Machine.post_interrupt ~source:"tty" m ~level:Mmio_map.tty_level
             ~vector:Mmio_map.tty_vector;
           if Queue.is_empty t.input then Machine.device_idle m dev
           else
@@ -189,7 +189,7 @@ module Disk = struct
           done;
           t.status <- 2);
         t.pending <- None;
-        Machine.post_interrupt m ~level:Mmio_map.disk_level
+        Machine.post_interrupt ~source:"disk" m ~level:Mmio_map.disk_level
           ~vector:Mmio_map.disk_vector);
     Machine.map_mmio_write m ~addr:Mmio_map.disk_block (fun v -> t.reg_block <- v);
     Machine.map_mmio_write m ~addr:Mmio_map.disk_buffer (fun v -> t.reg_buffer <- v);
@@ -251,7 +251,8 @@ module Ad = struct
         else begin
           t.sample <- next_sample t;
           t.delivered <- t.delivered + 1;
-          Machine.post_interrupt m ~level:Mmio_map.ad_level ~vector:Mmio_map.ad_vector;
+          Machine.post_interrupt ~source:"ad" m ~level:Mmio_map.ad_level
+            ~vector:Mmio_map.ad_vector;
           let period_us = 1_000_000.0 /. float_of_int t.rate_hz in
           Machine.device_schedule m dev
             (Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) period_us)

@@ -24,6 +24,17 @@ exception Deadlock
    wild control flow: there is no vector for it, the simulation dies. *)
 exception Wild_jump of int
 
+(* Observability hooks (ktrace).  All callbacks run host-side and must
+   not charge simulated cycles; when [hooks] is [None] the fast paths
+   pay nothing beyond a mutable-field load. *)
+type hooks = {
+  h_post : source:string -> level:int -> vector:int -> unit;
+      (* a device posted an interrupt *)
+  h_irq : level:int -> vector:int -> unit; (* the CPU took the interrupt *)
+  h_device : string -> unit; (* a device tick ran *)
+  h_fault : fault -> unit; (* a CPU fault was raised *)
+}
+
 type device = {
   dev_name : string;
   mutable next_due : int; (* absolute cycle count; max_int when idle *)
@@ -77,6 +88,14 @@ and t = {
   (* per-code-address cycle profile (kernel monitor) *)
   mutable profile : int array; (* cycles attributed per address *)
   mutable profile_on : bool;
+  (* cycle attribution by owner: code address -> owner id, owner id ->
+     accumulated cycles.  Owners 0..3 are reserved (unowned code, host
+     services, idle time, interrupt delivery). *)
+  mutable attr_on : bool;
+  mutable attr_owner : int array;
+  mutable attr_cycles : int array;
+  mutable attr_mark : int; (* cycles already attributed *)
+  mutable hooks : hooks option;
   mutable halted : bool;
   mutable stopped : bool;
 }
@@ -122,6 +141,11 @@ let create ?(mem_words = 1 lsl 20) cost =
     trace_on = false;
     profile = [||];
     profile_on = false;
+    attr_on = false;
+    attr_owner = [||];
+    attr_cycles = [||];
+    attr_mark = 0;
+    hooks = None;
     halted = false;
     stopped = false;
   }
@@ -332,10 +356,11 @@ let device_schedule t d due =
 
 let device_idle t d = device_schedule t d max_int
 
-let post_interrupt t ~level ~vector =
+let post_interrupt ?(source = "") t ~level ~vector =
   if level < 1 || level > 7 then invalid_arg "post_interrupt: level";
   t.pending.(level) <- vector;
-  t.stopped <- false
+  t.stopped <- false;
+  match t.hooks with Some h -> h.h_post ~source ~level ~vector | None -> ()
 
 let pending_level t =
   let rec scan l = if l = 0 then 0 else if t.pending.(l) >= 0 then l else scan (l - 1) in
@@ -343,9 +368,86 @@ let pending_level t =
 
 let run_due_devices t =
   if t.cycles >= t.next_device_due then begin
-    List.iter (fun d -> if t.cycles >= d.next_due then d.dev_tick t) t.devices;
+    List.iter
+      (fun d ->
+        if t.cycles >= d.next_due then begin
+          (match t.hooks with Some h -> h.h_device d.dev_name | None -> ());
+          d.dev_tick t
+        end)
+      t.devices;
     recompute_device_due t
   end
+
+(* ------------------------------------------------------------------ *)
+(* Hooks and cycle attribution by owner *)
+
+let set_hooks t h = t.hooks <- h
+
+let owner_unowned = 0
+let owner_host = 1
+let owner_idle = 2
+let owner_irq = 3
+let owner_first = 4
+
+let ensure_attr_owners t owner =
+  if owner >= Array.length t.attr_cycles then begin
+    let cap = max 16 (max (owner + 1) (2 * Array.length t.attr_cycles)) in
+    let a = Array.make cap 0 in
+    Array.blit t.attr_cycles 0 a 0 (Array.length t.attr_cycles);
+    t.attr_cycles <- a
+  end
+
+let attribution_enable t b =
+  t.attr_on <- b;
+  if b then begin
+    t.attr_mark <- t.cycles;
+    ensure_attr_owners t owner_first;
+    if Array.length t.attr_owner < Array.length t.code then begin
+      let a = Array.make (Array.length t.code) owner_unowned in
+      Array.blit t.attr_owner 0 a 0 (Array.length t.attr_owner);
+      t.attr_owner <- a
+    end
+  end
+
+let attribution_on t = t.attr_on
+
+let set_owner_range t ~entry ~len ~owner =
+  if owner < 0 then invalid_arg "set_owner_range: owner";
+  ensure_attr_owners t owner;
+  if entry + len > Array.length t.attr_owner then begin
+    let cap = max (entry + len) (2 * max 1 (Array.length t.attr_owner)) in
+    let a = Array.make cap owner_unowned in
+    Array.blit t.attr_owner 0 a 0 (Array.length t.attr_owner);
+    t.attr_owner <- a
+  end;
+  for i = entry to entry + len - 1 do
+    t.attr_owner.(i) <- owner
+  done
+
+let attr_add t owner cy =
+  if cy > 0 then begin
+    ensure_attr_owners t owner;
+    t.attr_cycles.(owner) <- t.attr_cycles.(owner) + cy
+  end
+
+(* Attribute cycles accumulated since the last mark (host services
+   charging between steps) to [owner_host]; call before reading the
+   per-owner totals so the books balance. *)
+let attribution_flush t =
+  if t.attr_on && t.cycles > t.attr_mark then begin
+    attr_add t owner_host (t.cycles - t.attr_mark);
+    t.attr_mark <- t.cycles
+  end
+
+let owner_cycles t owner =
+  if owner >= 0 && owner < Array.length t.attr_cycles then t.attr_cycles.(owner)
+  else 0
+
+let max_owner t = Array.length t.attr_cycles - 1
+
+let owner_at t addr =
+  if addr >= 0 && addr < Array.length t.attr_owner then t.attr_owner.(addr)
+  else owner_unowned
 
 (* ------------------------------------------------------------------ *)
 (* Operand evaluation *)
@@ -510,6 +612,7 @@ let deliver_pending_interrupt t =
   if level > t.ipl then begin
     let vector = t.pending.(level) in
     t.pending.(level) <- -1;
+    (match t.hooks with Some h -> h.h_irq ~level ~vector | None -> ());
     take_exception t ~vector ~new_ipl:(Some level);
     true
   end
@@ -709,15 +812,28 @@ let advance_to_next_event t =
   if t.next_device_due > t.cycles then t.cycles <- t.next_device_due;
   run_due_devices t
 
+(* Attribute the cycles accumulated since the last mark to [owner] and
+   advance the mark. *)
+let attr_window t owner =
+  if t.attr_on && t.cycles > t.attr_mark then begin
+    attr_add t owner (t.cycles - t.attr_mark);
+    t.attr_mark <- t.cycles
+  end
+
 let step t =
+  (* cycles charged host-side between steps belong to host services *)
+  attr_window t owner_host;
   if t.halted then ()
   else if t.stopped then begin
     (* Idle: fast-forward simulated time to the next device event. *)
     advance_to_next_event t;
-    ignore (deliver_pending_interrupt t)
+    attr_window t owner_idle;
+    ignore (deliver_pending_interrupt t);
+    attr_window t owner_irq
   end
   else begin
-    if not (deliver_pending_interrupt t) then begin
+    if deliver_pending_interrupt t then attr_window t owner_irq
+    else begin
       let trace_this = t.trace_bit in
       let insn = fetch t in
       let at = t.pc in
@@ -729,14 +845,18 @@ let step t =
       (try exec t insn
        with Cpu_fault f ->
          t.pc <- t.pc - 1;
+         (match t.hooks with Some h -> h.h_fault f | None -> ());
          (* fault PC: re-entrant handlers may fix and retry *)
          take_exception t ~vector:(fault_vector f) ~new_ipl:None);
       if t.profile_on && at < Array.length t.profile then
         t.profile.(at) <- t.profile.(at) + (t.cycles - cy0);
       if trace_this && not t.halted then
-        take_exception t ~vector:Insn.Vector.trace ~new_ipl:None
+        take_exception t ~vector:Insn.Vector.trace ~new_ipl:None;
+      attr_window t (owner_at t at)
     end;
-    run_due_devices t
+    run_due_devices t;
+    (* device ticks charge host-side *)
+    attr_window t owner_host
   end
 
 type run_result = Halted | Insn_limit

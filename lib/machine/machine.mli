@@ -22,6 +22,18 @@ exception Deadlock
 (** Control flow left the code store: there is no vector for this. *)
 exception Wild_jump of int
 
+(** Observability hooks (ktrace).  Callbacks run host-side and must not
+    charge simulated cycles; with hooks unset the fast paths pay
+    nothing beyond a field load. *)
+type hooks = {
+  h_post : source:string -> level:int -> vector:int -> unit;
+      (** a device posted an interrupt *)
+  h_irq : level:int -> vector:int -> unit;
+      (** the CPU accepted a pending interrupt *)
+  h_device : string -> unit;  (** a device tick ran *)
+  h_fault : fault -> unit;  (** a CPU fault was raised *)
+}
+
 (** A device: [dev_tick] runs when simulated time reaches [next_due]. *)
 type device = {
   dev_name : string;
@@ -123,7 +135,52 @@ val register_hcall : t -> (t -> unit) -> int
 val add_device : t -> name:string -> due:int -> tick:(t -> unit) -> device
 val device_schedule : t -> device -> int -> unit
 val device_idle : t -> device -> unit
-val post_interrupt : t -> level:int -> vector:int -> unit
+
+(** [source] labels the posting device for the observability hooks. *)
+val post_interrupt : ?source:string -> t -> level:int -> vector:int -> unit
+
+(** {1 Observability hooks} *)
+
+val set_hooks : t -> hooks option -> unit
+
+(** {1 Cycle attribution by owner}
+
+    A second, coarser profile: every code address maps to an integer
+    owner (a thread, a quaject, a synthesized routine...) and every
+    elapsed cycle is accumulated against exactly one owner, so the
+    per-owner totals sum to the machine total over the attributed
+    window.  Owners [0..owner_first-1] are reserved:
+    {ul
+    {- [owner_unowned] — code nobody registered;}
+    {- [owner_host] — host-side services ([charge]/[charge_refs]) and
+       device ticks;}
+    {- [owner_idle] — stopped-CPU time fast-forwarded to the next
+       device event;}
+    {- [owner_irq] — exception/interrupt delivery (vector fetch,
+       frame pushes).}} *)
+
+val owner_unowned : int
+val owner_host : int
+val owner_idle : int
+val owner_irq : int
+
+(** First id available for registered owners. *)
+val owner_first : int
+
+val attribution_enable : t -> bool -> unit
+val attribution_on : t -> bool
+
+(** Assign code addresses [entry .. entry+len-1] to [owner]. *)
+val set_owner_range : t -> entry:int -> len:int -> owner:int -> unit
+
+(** Attribute host-charged cycles accumulated since the last step to
+    [owner_host]; call before reading totals so the books balance. *)
+val attribution_flush : t -> unit
+
+val owner_cycles : t -> int -> int
+
+(** Largest owner id with an accumulator slot. *)
+val max_owner : t -> int
 
 (** {1 Execution} *)
 

@@ -435,22 +435,26 @@ let test_fs_against_model () =
 let test_interfacer_cases () =
   let open Quaject in
   let check name exp got = Alcotest.(check string) name exp (connector_name got) in
+  let p ?mult e = port ?mult e in
   check "active->passive" "procedure call"
-    (connect ~producer:(Active, Single) ~consumer:(Passive, Single));
+    (connect ~producer:(p Active) ~consumer:(p Passive));
   check "passive producer driven by consumer" "procedure call"
-    (connect ~producer:(Passive, Single) ~consumer:(Active, Single));
+    (connect ~producer:(p Passive) ~consumer:(p Active));
   check "multiple on passive end" "monitor + procedure call"
-    (connect ~producer:(Active, Multiple) ~consumer:(Passive, Multiple));
+    (connect ~producer:(p ~mult:Multiple Active) ~consumer:(p ~mult:Multiple Passive));
   check "active-active" "SP-SC optimistic queue"
-    (connect ~producer:(Active, Single) ~consumer:(Active, Single));
+    (connect ~producer:(p Active) ~consumer:(p Active));
   check "multi producers" "MP-SC optimistic queue"
-    (connect ~producer:(Active, Multiple) ~consumer:(Active, Single));
+    (connect ~producer:(p ~mult:Multiple Active) ~consumer:(p Active));
   check "multi consumers" "SP-MC optimistic queue"
-    (connect ~producer:(Active, Single) ~consumer:(Active, Multiple));
+    (connect ~producer:(p Active) ~consumer:(p ~mult:Multiple Active));
   check "multi both" "MP-MC optimistic queue"
-    (connect ~producer:(Active, Multiple) ~consumer:(Active, Multiple));
+    (connect ~producer:(p ~mult:Multiple Active) ~consumer:(p ~mult:Multiple Active));
   check "passive-passive" "pump"
-    (connect ~producer:(Passive, Single) ~consumer:(Passive, Single))
+    (connect ~producer:(p Passive) ~consumer:(p Passive));
+  (* the deprecated tuple spelling must agree with the record one *)
+  check "deprecated wrapper agrees" "MP-SC optimistic queue"
+    (connect_endpoints ~producer:(Active, Multiple) ~consumer:(Active, Single))
 
 let test_monitor_and_switch () =
   let b = Boot.boot () in

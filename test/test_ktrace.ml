@@ -1,0 +1,310 @@
+(* Ktrace: event ordering across a two-stage pipeline, balanced cycle
+   attribution, and the zero-cost claim for disabled tracing. *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+(* ------------------------------------------------------------------ *)
+(* The shared workload: producer thread writes [total] words into a
+   pipe in 8-word bursts, consumer reads and sums them.  Returns the
+   booted instance after the run; [tracing] as in the overhead bench. *)
+
+let run_pipeline ?(total = 1024) ~tracing () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let tr =
+    match tracing with
+    | `None -> None
+    | `Off ->
+      let tr = Ktrace.create ~enabled:false m in
+      Kernel.attach_tracing k tr;
+      Some tr
+    | `On ->
+      let tr = Ktrace.create m in
+      Kernel.attach_tracing k tr;
+      Some tr
+  in
+  let pipe = Kpipe.create k ~cap:64 () in
+  let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+  let dst = Kalloc.alloc_zeroed k.Kernel.alloc 64 in
+  let result = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+  let producer_prog ~wfd =
+    [
+      I.Move (I.Imm 1, I.Reg I.r9);
+      I.Label "loop";
+      I.Move (I.Imm src, I.Reg I.r10);
+      I.Move (I.Imm 7, I.Reg I.r11);
+      I.Label "fill";
+      I.Move (I.Reg I.r9, I.Post_inc I.r10);
+      I.Alu (I.Add, I.Imm 1, I.r9);
+      I.Dbra (I.r11, I.To_label "fill");
+      I.Move (I.Imm wfd, I.Reg I.r1);
+      I.Move (I.Imm src, I.Reg I.r2);
+      I.Move (I.Imm 8, I.Reg I.r3);
+      I.Trap 2;
+      I.Cmp (I.Imm (total + 1), I.Reg I.r9);
+      I.B (I.Ne, I.To_label "loop");
+      I.Trap 0;
+    ]
+  in
+  let consumer_prog ~rfd =
+    [
+      I.Move (I.Imm 0, I.Reg I.r9);
+      I.Move (I.Imm 0, I.Reg I.r10);
+      I.Label "loop";
+      I.Move (I.Imm rfd, I.Reg I.r1);
+      I.Move (I.Imm dst, I.Reg I.r2);
+      I.Move (I.Imm 32, I.Reg I.r3);
+      I.Trap 1;
+      I.Move (I.Reg I.r0, I.Reg I.r11);
+      I.Alu (I.Add, I.Reg I.r11, I.r10);
+      I.Move (I.Imm dst, I.Reg I.r12);
+      I.Tst (I.Reg I.r11);
+      I.B (I.Eq, I.To_label "loop");
+      I.Alu (I.Sub, I.Imm 1, I.r11);
+      I.Label "acc";
+      I.Alu (I.Add, I.Post_inc I.r12, I.r9);
+      I.Dbra (I.r11, I.To_label "acc");
+      I.Cmp (I.Imm total, I.Reg I.r10);
+      I.B (I.Ne, I.To_label "loop");
+      I.Move (I.Reg I.r9, I.Abs result);
+      I.Trap 0;
+    ]
+  in
+  let consumer =
+    Thread.create k ~quantum_us:150 ~entry:0
+      ~segments:[ (dst, 64); (result, 16) ]
+      ()
+  in
+  let producer =
+    Thread.create k ~quantum_us:150 ~entry:0 ~segments:[ (src, 16) ] ()
+  in
+  let crfd, _ = Kpipe.attach b.Boot.vfs pipe consumer in
+  let _, pwfd = Kpipe.attach b.Boot.vfs pipe producer in
+  let centry, _ = Asm.assemble m (consumer_prog ~rfd:crfd) in
+  let pentry, _ = Asm.assemble m (producer_prog ~wfd:pwfd) in
+  Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 17) centry;
+  Machine.poke m (producer.Kernel.base + Layout.Tte.off_regs + 17) pentry;
+  (match Boot.go ~max_insns:200_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "pipeline did not halt");
+  check_int "pipeline sum" (total * (total + 1) / 2) (Machine.peek m result);
+  (b, tr, producer.Kernel.tid, consumer.Kernel.tid)
+
+(* ------------------------------------------------------------------ *)
+(* Event ordering *)
+
+let test_event_ordering () =
+  let _, tr, ptid, ctid = run_pipeline ~tracing:`On () in
+  let tr = Option.get tr in
+  let evs = Ktrace.events tr in
+  check_bool "events recorded" true (List.length evs > 0);
+  (* cycle stamps are monotone *)
+  let rec monotone = function
+    | a :: (b :: _ as rest) ->
+      a.Ktrace.ev_cycles <= b.Ktrace.ev_cycles && monotone rest
+    | _ -> true
+  in
+  check_bool "stamps monotone" true (monotone evs);
+  (* the CPU is handed over, never duplicated: a thread switches in
+     only after the previous one switched out, so in/out alternate *)
+  let switches =
+    List.filter_map
+      (fun e ->
+        match e.Ktrace.ev_kind with
+        | Ktrace.Switch_out tid -> Some (`Out tid)
+        | Ktrace.Switch_in tid -> Some (`In tid)
+        | _ -> None)
+      evs
+  in
+  check_bool "switch events exist" true (switches <> []);
+  (* The boot-time idle thread predates the tracing attach, so its
+     switches are unprobed; the invariants below hold for the traced
+     (workload) threads.  The CPU is handed over, never duplicated:
+     once a traced thread switches in, no other traced thread switches
+     in until it has switched out. *)
+  (* Per thread, in/out strictly alternate starting with in; a thread
+     that exits (rather than being preempted) ends on a final in.
+     Exits are also why the global sequence may show two ins in a row:
+     a dying thread never runs its switch-out. *)
+  let tids =
+    List.sort_uniq compare
+      (List.map (function `In t -> t | `Out t -> t) switches)
+  in
+  List.iter
+    (fun tid ->
+      let mine =
+        List.filter (function `In t | `Out t -> t = tid) switches
+      in
+      let rec alternating = function
+        | `In _ :: `Out _ :: rest -> alternating rest
+        | [ `In _ ] | [] -> true
+        | _ -> false
+      in
+      check_bool
+        (Printf.sprintf "thread %d: switch-out precedes its next switch-in" tid)
+        true (alternating mine))
+    tids;
+  (* both pipeline threads took the CPU at least once *)
+  let ran tid = List.exists (function `In t -> t = tid | _ -> false) switches in
+  check_bool "producer ran" true (ran ptid);
+  check_bool "consumer ran" true (ran ctid);
+  (* data flows forward: the first put into the pipe precedes the
+     first (successful) get out of it *)
+  let first_cycle pred =
+    List.find_map
+      (fun e -> if pred e.Ktrace.ev_kind then Some e.Ktrace.ev_cycles else None)
+      evs
+  in
+  let put =
+    first_cycle (function Ktrace.Queue_put (_, true) -> true | _ -> false)
+  in
+  let get =
+    first_cycle (function Ktrace.Queue_get (_, true) -> true | _ -> false)
+  in
+  (match (put, get) with
+  | Some p, Some g -> check_bool "first put precedes first get" true (p < g)
+  | _ -> Alcotest.fail "pipeline produced no queue events");
+  (* every block has a matching unblock on the same wait queue *)
+  let blocks =
+    List.filter_map
+      (fun e ->
+        match e.Ktrace.ev_kind with Ktrace.Block (wq, _) -> Some wq | _ -> None)
+      evs
+  in
+  List.iter
+    (fun wq ->
+      check_bool ("unblock seen for " ^ wq) true
+        (List.exists
+           (fun e ->
+             match e.Ktrace.ev_kind with
+             | Ktrace.Unblock (w, _) -> w = wq
+             | _ -> false)
+           evs))
+    blocks
+
+(* ------------------------------------------------------------------ *)
+(* Cycle attribution *)
+
+let test_attribution_balances () =
+  let b, tr, _, _ = run_pipeline ~tracing:`On () in
+  let tr = Option.get tr in
+  let m = b.Boot.kernel.Kernel.machine in
+  (* per-owner totals sum exactly to the cycles of the traced window *)
+  check_int "attributed = traced" (Ktrace.traced_cycles tr)
+    (Ktrace.attributed_total tr);
+  (* ... and the quaject grouping is just a re-bucketing of the same *)
+  let qsum = List.fold_left (fun a (_, c) -> a + c) 0 (Ktrace.quaject_cycles tr) in
+  check_int "quaject totals re-bucket the same cycles"
+    (Ktrace.attributed_total tr) qsum;
+  (* tracing was attached right after boot, so the window is nearly
+     the whole run: it can't exceed the machine total *)
+  check_bool "window within machine total" true
+    (Ktrace.traced_cycles tr <= Machine.cycles m);
+  (* the synthesized pipe code dominates this workload; it must show
+     up as a pipe quaject with a nonzero share *)
+  check_bool "pipe quaject attributed" true
+    (List.exists
+       (fun (n, c) -> n = "pipe" && c > 0)
+       (Ktrace.quaject_cycles tr));
+  (* thread CPU reconstruction covers both workload threads *)
+  check_bool "two or more threads measured" true
+    (List.length (Ktrace.thread_cycles tr) >= 2)
+
+(* ------------------------------------------------------------------ *)
+(* Zero-cost disabled tracing *)
+
+let test_disabled_tracing_is_free () =
+  let b_plain, _, _, _ = run_pipeline ~tracing:`None () in
+  let b_off, _, _, _ = run_pipeline ~tracing:`Off () in
+  let cy b = Machine.cycles b.Boot.kernel.Kernel.machine in
+  check_int "tracing-off changes no cycle counts" (cy b_plain) (cy b_off);
+  let insns b = Machine.insns_executed b.Boot.kernel.Kernel.machine in
+  check_int "tracing-off changes no instruction counts" (insns b_plain)
+    (insns b_off)
+
+(* ------------------------------------------------------------------ *)
+(* Export *)
+
+(* A tiny structural check that the export is valid JSON: balanced
+   quotes/braces/brackets outside strings, and the required keys. *)
+let json_well_formed s =
+  let depth = ref 0 in
+  let in_str = ref false in
+  let ok = ref true in
+  let n = String.length s in
+  let i = ref 0 in
+  while !i < n do
+    let c = s.[!i] in
+    if !in_str then begin
+      if c = '\\' then incr i else if c = '"' then in_str := false
+    end
+    else begin
+      match c with
+      | '"' -> in_str := true
+      | '{' | '[' -> incr depth
+      | '}' | ']' ->
+        decr depth;
+        if !depth < 0 then ok := false
+      | _ -> ()
+    end;
+    incr i
+  done;
+  !ok && !depth = 0 && not !in_str
+
+let test_chrome_export () =
+  let _, tr, _, _ = run_pipeline ~tracing:`On () in
+  let tr = Option.get tr in
+  let json = Ktrace.to_chrome_json tr in
+  check_bool "balanced json" true (json_well_formed json);
+  let contains sub =
+    let n = String.length sub in
+    let rec go i =
+      i + n <= String.length json && (String.sub json i n = sub || go (i + 1))
+    in
+    go 0
+  in
+  check_bool "traceEvents present" true (contains "\"traceEvents\"");
+  check_bool "span begin present" true (contains "\"ph\":\"B\"");
+  check_bool "span end present" true (contains "\"ph\":\"E\"");
+  check_bool "otherData present" true (contains "\"otherData\"");
+  check_bool "quaject totals exported" true (contains "\"quajects\"")
+
+(* ------------------------------------------------------------------ *)
+(* Metrics registry *)
+
+let test_metrics_registry () =
+  let _, tr, _, _ = run_pipeline ~tracing:`On () in
+  let tr = Option.get tr in
+  let mx = Ktrace.metrics tr in
+  (* every ring event was also counted, even if the ring dropped it *)
+  let counted =
+    List.fold_left (fun a (_, v) -> a + v) 0
+      (List.filter
+         (fun (n, _) ->
+           String.length n > 7 && String.sub n 0 7 = "ktrace.")
+         (Metrics.counters mx))
+  in
+  check_int "counters add up to the emit total" (Ktrace.event_count tr) counted;
+  check_bool "switch-in counter nonzero" true
+    (Metrics.read mx "ktrace.events.switch_in" > 0)
+
+let () =
+  Alcotest.run "ktrace"
+    [
+      ( "ktrace",
+        [
+          Alcotest.test_case "event ordering" `Quick test_event_ordering;
+          Alcotest.test_case "attribution balances" `Quick
+            test_attribution_balances;
+          Alcotest.test_case "disabled tracing is free" `Quick
+            test_disabled_tracing_is_free;
+          Alcotest.test_case "chrome export" `Quick test_chrome_export;
+          Alcotest.test_case "metrics registry" `Quick test_metrics_registry;
+        ] );
+    ]

@@ -132,10 +132,23 @@ let test_scheduler_history () =
   check_bool "history recorded" true (List.length h >= 2);
   (* newest first: timestamps strictly decreasing down the list *)
   let rec decreasing = function
-    | (t1, _) :: ((t2, _) :: _ as rest) -> t1 > t2 && decreasing rest
+    | r1 :: (r2 :: _ as rest) ->
+      r1.Metrics.ep_time_us > r2.Metrics.ep_time_us && decreasing rest
     | _ -> true
   in
-  check_bool "history ordered newest-first" true (decreasing h)
+  check_bool "history ordered newest-first" true (decreasing h);
+  (* every record carries the spinner's tid with a sane quantum *)
+  check_bool "entries well-formed" true
+    (List.for_all
+       (fun r ->
+         r.Metrics.ep_entries <> []
+         && List.for_all
+              (fun e -> e.Metrics.ep_rate >= 0 && e.Metrics.ep_quantum > 0)
+              r.Metrics.ep_entries)
+       h);
+  check_int "epoch counter agrees" (List.length h) (Scheduler.epochs sched);
+  check_int "rebalance counter agrees" (List.length h)
+    (Metrics.read (Scheduler.metrics sched) "sched.rebalances")
 
 (* ------------------------------------------------------------------ *)
 (* Host building blocks: edges *)

@@ -41,7 +41,7 @@ let test_kqueue_spsc () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let q = Kqueue.create_spsc k ~name:"t/spsc" ~size:4 in
+  let q = Kqueue.create ~kind:Kqueue.Spsc k ~name:"t/spsc" ~size:4 in
   (* fill to capacity (size-1 = 3) through the synthesized code *)
   for i = 1 to 3 do
     let st, _ = run_call m ~entry:q.Kqueue.q_put ~r1:(i * 11) () in
@@ -61,7 +61,7 @@ let test_kqueue_mpsc_wrap () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let q = Kqueue.create_mpsc k ~name:"t/mpsc" ~size:4 in
+  let q = Kqueue.create ~kind:Kqueue.Mpsc k ~name:"t/mpsc" ~size:4 in
   (* repeated put/get cycles across the wrap boundary *)
   for round = 1 to 10 do
     let st, _ = run_call m ~entry:q.Kqueue.q_put ~r1:round () in
@@ -80,7 +80,7 @@ let test_kqueue_put_many_atomic () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let q = Kqueue.create_mpsc k ~name:"t/mpscm" ~size:8 in
+  let q = Kqueue.create ~kind:Kqueue.Mpsc k ~name:"t/mpscm" ~size:8 in
   let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
   for i = 0 to 5 do
     Machine.poke m (src + i) (50 + i)
@@ -104,7 +104,7 @@ let test_kqueue_interrupt_producer () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let q = Kqueue.create_mpsc k ~name:"t/mpsci" ~size:64 in
+  let q = Kqueue.create ~kind:Kqueue.Mpsc k ~name:"t/mpsci" ~size:64 in
   let produced = ref 0 in
   let feeder = Machine.register_hcall m (fun m ->
       if !produced < 40 then begin
@@ -161,7 +161,7 @@ let test_kqueue_spmc_consumer_race () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let q = Kqueue.create_spmc k ~name:"t/spmc" ~size:8 in
+  let q = Kqueue.create ~kind:Kqueue.Spmc k ~name:"t/spmc" ~size:8 in
   ignore (run_call m ~entry:q.Kqueue.q_put ~r1:11 ());
   ignore (run_call m ~entry:q.Kqueue.q_put ~r1:22 ());
   (* start a get, stop at its CAS, simulate the competitor *)
@@ -200,7 +200,7 @@ let test_kqueue_mpmc_flag_guard () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let q = Kqueue.create_mpmc k ~name:"t/mpmc" ~size:4 in
+  let q = Kqueue.create ~kind:Kqueue.Mpmc k ~name:"t/mpmc" ~size:4 in
   (* fill three slots (capacity): head wraps to slot 3 next *)
   List.iter (fun v -> ignore (run_call m ~entry:q.Kqueue.q_put ~r1:v ())) [ 1; 2; 3 ];
   let st, _ = run_call m ~entry:q.Kqueue.q_put ~r1:99 () in
@@ -664,8 +664,8 @@ let test_passive_passive_pump () =
   in
   check_bool "interfacer analysis picks a pump" true
     (Quaject.connect
-       ~producer:(Quaject.Passive, Quaject.Single)
-       ~consumer:(Quaject.Passive, Quaject.Single)
+       ~producer:(Quaject.port Quaject.Passive)
+       ~consumer:(Quaject.port Quaject.Passive)
      = Quaject.Pump_thread);
   let _pump = Synthesizer.pump k ~name:"t/xclock" ~source_entry:clock ~sink_entry:display in
   (* something else must exist so the run terminates *)
@@ -868,8 +868,8 @@ let test_interfacer_collapses_call () =
   (* active producer, passive single consumer: collapses to a call *)
   let cn =
     Synthesizer.interface k ~name:"t/link"
-      ~producer:(Quaject.Active, Quaject.Single)
-      ~consumer:(Quaject.Passive, Quaject.Single)
+      ~producer:(Quaject.port Quaject.Active)
+      ~consumer:(Quaject.port Quaject.Passive)
       ~consumer_entry:consumer ()
   in
   check_bool "procedure call chosen" true
@@ -889,8 +889,8 @@ let test_interfacer_queues_active_pair () =
   let dummy, _ = Kernel.install_shared k ~name:"t/dummy" [ I.Rts ] in
   let cn =
     Synthesizer.interface k ~name:"t/link2"
-      ~producer:(Quaject.Active, Quaject.Multiple)
-      ~consumer:(Quaject.Active, Quaject.Single)
+      ~producer:(Quaject.port ~mult:Quaject.Multiple Quaject.Active)
+      ~consumer:(Quaject.port Quaject.Active)
       ~consumer_entry:dummy ()
   in
   check_bool "MP-SC queue chosen" true
@@ -939,10 +939,11 @@ let kqueue_model_prop name create =
             | _ -> false))
         ops)
 
-let prop_spsc_model = kqueue_model_prop "spsc vm queue matches FIFO model" Kqueue.create_spsc
-let prop_mpsc_model = kqueue_model_prop "mpsc vm queue matches FIFO model" Kqueue.create_mpsc
-let prop_spmc_model = kqueue_model_prop "spmc vm queue matches FIFO model" Kqueue.create_spmc
-let prop_mpmc_model = kqueue_model_prop "mpmc vm queue matches FIFO model" Kqueue.create_mpmc
+let kqueue_of_kind kind k ~name ~size = Kqueue.create ~kind k ~name ~size
+let prop_spsc_model = kqueue_model_prop "spsc vm queue matches FIFO model" (kqueue_of_kind Kqueue.Spsc)
+let prop_mpsc_model = kqueue_model_prop "mpsc vm queue matches FIFO model" (kqueue_of_kind Kqueue.Mpsc)
+let prop_spmc_model = kqueue_model_prop "spmc vm queue matches FIFO model" (kqueue_of_kind Kqueue.Spmc)
+let prop_mpmc_model = kqueue_model_prop "mpmc vm queue matches FIFO model" (kqueue_of_kind Kqueue.Mpmc)
 
 (* ------------------------------------------------------------------ *)
 (* Stream graph (§2.1) *)
