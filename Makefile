@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt check bench clean
+.PHONY: all build test fmt check bench bench-check bench-all clean
 
 all: build
 
@@ -25,8 +25,18 @@ fmt:
 
 check: build test fmt
 
+# Run the paper-table benches and emit machine-readable BENCH_tables.json.
 bench:
-	$(DUNE) exec bench/main.exe
+	$(DUNE) exec bench/main.exe -- tables
+
+# Regression gate: re-run the tables and fail on any metric more than
+# 5% worse than the committed bench/baseline.json.
+bench-check:
+	$(DUNE) exec bench/main.exe -- compare
+
+# The full suite (queues, ablations, sizes, bechamel, ...).
+bench-all:
+	$(DUNE) exec bench/main.exe -- all
 
 clean:
 	$(DUNE) clean

@@ -1,19 +1,59 @@
 (* Benchmark driver: regenerates every table and figure of the
    paper's evaluation (§6), plus the ablations called out in
-   DESIGN.md.  Run with no arguments for the full suite. *)
+   DESIGN.md.  Run with no arguments for the full suite.
 
-let all_benches ~scale () =
+   The table benches also feed Bench_json; `tables` writes the
+   machine-readable BENCH_tables.json and `compare` diffs a fresh run
+   against the committed bench/baseline.json (>5% regression fails). *)
+
+let emit_json path =
+  Bench_json.write path;
+  Fmt.pr "@.wrote %s (%d rows)@." path (List.length (Bench_json.rows ()))
+
+(* The benches that report simulated time: deterministic, so their
+   JSON rows are exactly reproducible run to run. *)
+let json_benches ~scale () =
   Table1.run ~scale ();
   Table2.run ();
   Table3.run ();
   Table4.run ();
   Table5.run ();
+  Trace_overhead.run ();
+  Pmu_overhead.run ()
+
+let all_benches ~scale () =
+  json_benches ~scale ();
   Queues.run ();
   Ablations.run ();
   Sizes.run ();
   Host_queues.run ();
-  Trace_overhead.run ();
-  Bechamel_suite.run ()
+  Bechamel_suite.run ();
+  emit_json "BENCH_tables.json"
+
+let tables ~scale ~out () =
+  json_benches ~scale ();
+  emit_json out
+
+let compare_run ~scale ~baseline ~tolerance () =
+  json_benches ~scale ();
+  emit_json "BENCH_tables.json";
+  Fmt.pr "@.comparing against %s (tolerance %.0f%%):@.@." baseline
+    (100.0 *. tolerance);
+  let base_rows = Bench_json.load baseline in
+  (* a gate that compares against nothing passes vacuously — refuse *)
+  if base_rows = [] then begin
+    Fmt.epr "bench compare: no rows parsed from %s@." baseline;
+    exit 1
+  end;
+  let regressions =
+    Bench_json.compare_rows ~baseline:base_rows
+      ~current:(Bench_json.rows ()) ~tolerance
+  in
+  if regressions > 0 then begin
+    Fmt.epr "bench compare: %d regression(s) beyond %.0f%%@." regressions
+      (100.0 *. tolerance);
+    exit 1
+  end
 
 open Cmdliner
 
@@ -32,12 +72,49 @@ let all_cmd =
   Cmd.v (Cmd.info "all")
     Term.(const (fun scale -> all_benches ~scale ()) $ scale)
 
+let tables_cmd =
+  let out =
+    Arg.(
+      value
+      & opt string "BENCH_tables.json"
+      & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON output path")
+  in
+  Cmd.v
+    (Cmd.info "tables"
+       ~doc:"Run the table benches and write machine-readable BENCH_tables.json")
+    Term.(const (fun scale out -> tables ~scale ~out ()) $ scale $ out)
+
+let compare_cmd =
+  let baseline =
+    Arg.(
+      value
+      & opt string "bench/baseline.json"
+      & info [ "baseline" ] ~docv:"FILE" ~doc:"Committed baseline to diff against")
+  in
+  let tolerance =
+    Arg.(
+      value & opt float 0.05
+      & info [ "tolerance" ] ~docv:"FRAC"
+          ~doc:"Relative regression tolerance (default 0.05 = 5%)")
+  in
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:
+         "Re-run the table benches and fail on any metric regressing more \
+          than the tolerance vs the committed baseline")
+    Term.(
+      const (fun scale baseline tolerance ->
+          compare_run ~scale ~baseline ~tolerance ())
+      $ scale $ baseline $ tolerance)
+
 let main_cmd =
   let default = Term.(const (fun scale -> all_benches ~scale ()) $ scale) in
   Cmd.group ~default
     (Cmd.info "bench" ~doc:"Synthesis kernel reproduction benchmarks")
     [
       all_cmd;
+      tables_cmd;
+      compare_cmd;
       table1_cmd;
       cmd_of "table2" Table2.run;
       cmd_of "table3" Table3.run;
@@ -48,6 +125,7 @@ let main_cmd =
       cmd_of "host-queues" Host_queues.run;
       cmd_of "ablations" Ablations.run;
       cmd_of "trace-overhead" Trace_overhead.run;
+      cmd_of "pmu-overhead" Pmu_overhead.run;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

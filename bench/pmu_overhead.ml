@@ -1,0 +1,61 @@
+(* kperf PMU overhead: the PMU observes the machine from the host side
+   — counters snapshot existing statistics and the pc-sampling hook
+   fires off a cycle watermark the step loop already maintains — so a
+   machine with a PMU attached but sampling disabled runs the exact
+   same instruction stream, cycle for cycle, as a plain machine.  Even
+   with sampling ON the simulated clock is untouched: samples cost
+   host time, never simulated cycles.
+
+   This bench proves both claims by running the pipe pipeline three
+   ways and requiring identical cycle and instruction counts. *)
+
+open Quamachine
+open Synthesis
+
+let workload ~pmu () =
+  let b = Boot.boot () in
+  let m = b.Boot.kernel.Kernel.machine in
+  let p =
+    match pmu with
+    | `None -> None
+    | `Idle ->
+      let p = Pmu.create m in
+      Pmu.start p;
+      Some p
+    | `Sampling ->
+      let p = Pmu.create m in
+      Pmu.enable_sampling p ~period:251;
+      Pmu.start p;
+      Some p
+  in
+  let pl = Repro_harness.Harness.Pipeline.build ~total:2048 b in
+  Repro_harness.Harness.Pipeline.run pl;
+  Option.iter Pmu.stop p;
+  (Machine.cycles m, Machine.insns_executed m, p)
+
+let run () =
+  Repro_harness.Harness.header
+    "kperf overhead: the PMU observes from the host, never the machine";
+  let plain_cy, plain_in, _ = workload ~pmu:`None () in
+  let idle_cy, idle_in, _ = workload ~pmu:`Idle () in
+  let samp_cy, samp_in, p = workload ~pmu:`Sampling () in
+  Fmt.pr "%-44s %12s %12s@." "configuration" "cycles" "insns";
+  Fmt.pr "%-44s %12d %12d@." "plain machine (no pmu)" plain_cy plain_in;
+  Fmt.pr "%-44s %12d %12d@." "pmu counting, sampling off" idle_cy idle_in;
+  Fmt.pr "%-44s %12d %12d@." "pmu counting + pc sampling (period 251)" samp_cy
+    samp_in;
+  (match p with
+  | Some p ->
+    Fmt.pr "samples taken while sampling on: %d (%d cycles covered)@."
+      (Pmu.sample_count p) (Pmu.sampled_cycles p)
+  | None -> ());
+  Bench_json.record ~table:"overhead" ~row:"pmu_idle" ~metric:"extra_cycles"
+    (float_of_int (idle_cy - plain_cy));
+  Bench_json.record ~table:"overhead" ~row:"pmu_sampling" ~metric:"extra_cycles"
+    (float_of_int (samp_cy - plain_cy));
+  let free = plain_cy = idle_cy && plain_cy = samp_cy && plain_in = idle_in
+             && plain_in = samp_in in
+  Fmt.pr "pmu overhead: %d cycles%s@."
+    (max (idle_cy - plain_cy) (samp_cy - plain_cy))
+    (if free then " (exactly zero: PMU is host-side observation only)" else "");
+  if not free then failwith "pmu_overhead: PMU perturbed the simulation"

@@ -8,6 +8,7 @@
 
 type spec = {
   no : int;
+  slug : string; (* stable row key in BENCH_tables.json *)
   descr : string;
   paper_sun : float; (* seconds reported for SUNOS *)
   paper_syn : float; (* seconds reported for Synthesis *)
@@ -19,6 +20,7 @@ let specs ~scale =
   [
     {
       no = 1;
+      slug = "compute";
       descr = Fmt.str "Compute (Q-sequence, n=%d)" (it 100_000);
       paper_sun = 20.;
       paper_syn = 21.42;
@@ -26,6 +28,7 @@ let specs ~scale =
     };
     {
       no = 2;
+      slug = "pipe_1w";
       descr = Fmt.str "R/W pipe, 1 word x %d" (it 10_000);
       paper_sun = 10.;
       paper_syn = 0.18;
@@ -33,6 +36,7 @@ let specs ~scale =
     };
     {
       no = 3;
+      slug = "pipe_1k";
       descr = Fmt.str "R/W pipe, 1 KiB x %d" (it 10_000);
       paper_sun = 15.;
       paper_syn = 2.42;
@@ -40,6 +44,7 @@ let specs ~scale =
     };
     {
       no = 4;
+      slug = "pipe_4k";
       descr = Fmt.str "R/W pipe, 4 KiB x %d" (it 10_000);
       paper_sun = 38.;
       paper_syn = 9.62;
@@ -47,6 +52,7 @@ let specs ~scale =
     };
     {
       no = 5;
+      slug = "file_1k";
       descr = Fmt.str "R/W file, 1 KiB x %d" (it 10_000);
       paper_sun = 21.;
       paper_syn = 2.42;
@@ -54,6 +60,7 @@ let specs ~scale =
     };
     {
       no = 6;
+      slug = "open_null";
       descr = Fmt.str "open /dev/null + close x %d" (it 10_000);
       paper_sun = 17.;
       paper_syn = 0.69;
@@ -63,6 +70,7 @@ let specs ~scale =
     };
     {
       no = 7;
+      slug = "open_tty";
       descr = Fmt.str "open /dev/tty + close x %d" (it 10_000);
       paper_sun = 43.;
       paper_syn = 1.08;
@@ -85,6 +93,9 @@ let run ?(scale = 10) () =
       let syn = Repro_harness.Harness.synthesis_run se ~program:(s.build se.Repro_harness.Harness.s_env) in
       let ratio = if syn > 0.0 then sun /. syn else nan in
       let paper_ratio = s.paper_sun /. s.paper_syn in
+      Bench_json.record ~table:"table1" ~row:s.slug ~metric:"baseline_s" sun;
+      Bench_json.record ~table:"table1" ~row:s.slug ~metric:"synthesis_s" syn;
+      Bench_json.record ~table:"table1" ~row:s.slug ~metric:"ratio" ratio;
       Fmt.pr "%d. %-35s %10.3f %10.3f %7.1fx %13.1fx@." s.no s.descr sun syn ratio
         paper_ratio)
     (specs ~scale);
@@ -97,4 +108,5 @@ let run ?(scale = 10) () =
   in
   let words = float_of_int (2 * chunk * iters) in
   let mbps = words *. 4.0 /. secs /. 1_048_576.0 in
+  Bench_json.record ~table:"table1" ~row:"pipe_rate" ~metric:"mbps" mbps;
   Fmt.pr "@.pipe transfer rate (4 KiB chunks): %.1f MB/s (paper: ~8 MB/s)@." mbps

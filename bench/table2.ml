@@ -86,6 +86,21 @@ let run () =
   Repro_harness.Harness.header "Table 2: file and device I/O (microseconds)";
   let nat = measure ~emulated:false in
   let emu = measure ~emulated:true in
+  List.iter
+    (fun (slug, n, e) ->
+      Bench_json.record ~table:"table2" ~row:slug ~metric:"native_us" n;
+      Bench_json.record ~table:"table2" ~row:slug ~metric:"emulated_us" e)
+    [
+      ("open_null", nat.r_open_null, emu.r_open_null);
+      ("open_tty", nat.r_open_tty, emu.r_open_tty);
+      ("open_file", nat.r_open_file, emu.r_open_file);
+      ("close", nat.r_close, emu.r_close);
+      ("read_1", nat.r_read_1, emu.r_read_1);
+      ("read_64", nat.r_read_64, emu.r_read_64);
+      ("read_null", nat.r_read_null, emu.r_read_null);
+    ];
+  Bench_json.record ~table:"table2" ~row:"trap_overhead" ~metric:"emulated_us"
+    (emu.r_read_null -. nat.r_read_null);
   Fmt.pr "%-34s %10s %10s %22s@." "operation" "native" "emulated" "paper (nat/emu)";
   let row name n e paper =
     Fmt.pr "%-34s %10.1f %10.1f %22s@." name n e paper

@@ -105,6 +105,12 @@ let run () =
   let create_us, destroy_us, stop_us, start_us = measure_host_ops () in
   let step_us = measure_step () in
   let signal_us = measure_signal () in
+  List.iter
+    (fun (slug, v) -> Bench_json.record ~table:"table3" ~row:slug ~metric:"us" v)
+    [
+      ("create", create_us); ("destroy", destroy_us); ("stop", stop_us);
+      ("start", start_us); ("step", step_us); ("signal", signal_us);
+    ];
   Fmt.pr "%-24s %10s %10s@." "operation" "measured" "paper";
   let row name v paper = Fmt.pr "%-24s %10.1f %10s@." name v paper in
   row "create" create_us "142";

@@ -130,6 +130,13 @@ let run () =
   let full_fp = measure_switch ~uses_fp:true ~share_map:true () in
   let partial = measure_partial () in
   let block_us, unblock_us = measure_block_unblock () in
+  List.iter
+    (fun (slug, v) -> Bench_json.record ~table:"table4" ~row:slug ~metric:"us" v)
+    [
+      ("full_switch", full); ("full_switch_mmu", full_mmu);
+      ("full_switch_fp", full_fp); ("partial_switch", partial);
+      ("block", block_us); ("unblock", unblock_us);
+    ];
   Fmt.pr "%-38s %10s %10s@." "operation" "measured" "paper";
   let row name v paper = Fmt.pr "%-38s %10.1f %10s@." name v paper in
   row "full context switch (same quaspace)" full "11";

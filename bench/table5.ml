@@ -178,6 +178,13 @@ let run () =
   let chain_us = measure_chain ~force_retry:false () in
   let chain_retry_us = measure_chain ~force_retry:true () in
   let chained_signal_us = measure_chained_signal () in
+  List.iter
+    (fun (slug, v) -> Bench_json.record ~table:"table5" ~row:slug ~metric:"us" v)
+    [
+      ("tty_irq", tty_us); ("ad_irq", ad_us); ("set_alarm", set_alarm_us);
+      ("alarm_irq", alarm_irq_us); ("chain", chain_us);
+      ("chain_retry", chain_retry_us); ("chained_signal", chained_signal_us);
+    ];
   Fmt.pr "%-38s %10s %10s@." "operation" "measured" "paper";
   let row name v paper = Fmt.pr "%-38s %10.1f %10s@." name v paper in
   row "service raw TTY interrupt" tty_us "16";

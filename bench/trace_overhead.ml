@@ -14,7 +14,6 @@
 
 open Quamachine
 open Synthesis
-module I = Insn
 
 let workload_cycles ~tracing () =
   let b = Boot.boot () in
@@ -28,73 +27,8 @@ let workload_cycles ~tracing () =
   | `On ->
     let tr = Ktrace.create m in
     Kernel.attach_tracing k tr);
-  let pipe = Kpipe.create k ~cap:64 () in
-  let total = 2048 in
-  let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let dst = Kalloc.alloc_zeroed k.Kernel.alloc 64 in
-  let result = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let producer_prog ~wfd =
-    [
-      I.Move (I.Imm 1, I.Reg I.r9);
-      I.Label "loop";
-      I.Move (I.Imm src, I.Reg I.r10);
-      I.Move (I.Imm 7, I.Reg I.r11);
-      I.Label "fill";
-      I.Move (I.Reg I.r9, I.Post_inc I.r10);
-      I.Alu (I.Add, I.Imm 1, I.r9);
-      I.Dbra (I.r11, I.To_label "fill");
-      I.Move (I.Imm wfd, I.Reg I.r1);
-      I.Move (I.Imm src, I.Reg I.r2);
-      I.Move (I.Imm 8, I.Reg I.r3);
-      I.Trap 2;
-      I.Cmp (I.Imm (total + 1), I.Reg I.r9);
-      I.B (I.Ne, I.To_label "loop");
-      I.Trap 0;
-    ]
-  in
-  let consumer_prog ~rfd =
-    [
-      I.Move (I.Imm 0, I.Reg I.r9);
-      I.Move (I.Imm 0, I.Reg I.r10);
-      I.Label "loop";
-      I.Move (I.Imm rfd, I.Reg I.r1);
-      I.Move (I.Imm dst, I.Reg I.r2);
-      I.Move (I.Imm 32, I.Reg I.r3);
-      I.Trap 1;
-      I.Move (I.Reg I.r0, I.Reg I.r11);
-      I.Alu (I.Add, I.Reg I.r11, I.r10);
-      I.Move (I.Imm dst, I.Reg I.r12);
-      I.Tst (I.Reg I.r11);
-      I.B (I.Eq, I.To_label "loop");
-      I.Alu (I.Sub, I.Imm 1, I.r11);
-      I.Label "acc";
-      I.Alu (I.Add, I.Post_inc I.r12, I.r9);
-      I.Dbra (I.r11, I.To_label "acc");
-      I.Cmp (I.Imm total, I.Reg I.r10);
-      I.B (I.Ne, I.To_label "loop");
-      I.Move (I.Reg I.r9, I.Abs result);
-      I.Trap 0;
-    ]
-  in
-  let consumer =
-    Thread.create k ~quantum_us:150 ~entry:0
-      ~segments:[ (dst, 64); (result, 16) ]
-      ()
-  in
-  let producer =
-    Thread.create k ~quantum_us:150 ~entry:0 ~segments:[ (src, 16) ] ()
-  in
-  let crfd, _ = Kpipe.attach b.Boot.vfs pipe consumer in
-  let _, pwfd = Kpipe.attach b.Boot.vfs pipe producer in
-  let centry, _ = Asm.assemble m (consumer_prog ~rfd:crfd) in
-  let pentry, _ = Asm.assemble m (producer_prog ~wfd:pwfd) in
-  Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 17) centry;
-  Machine.poke m (producer.Kernel.base + Layout.Tte.off_regs + 17) pentry;
-  (match Boot.go ~max_insns:200_000_000 b with
-  | Machine.Halted -> ()
-  | Machine.Insn_limit -> failwith "trace_overhead: did not halt");
-  let expected = total * (total + 1) / 2 in
-  if Machine.peek m result <> expected then failwith "trace_overhead: wrong sum";
+  let pl = Repro_harness.Harness.Pipeline.build ~total:2048 b in
+  Repro_harness.Harness.Pipeline.run pl;
   Machine.cycles m
 
 let run () =
@@ -110,4 +44,10 @@ let run () =
     (if off = plain then " (exactly zero: identical instruction streams)" else "");
   Fmt.pr "tracing-on overhead:  %d cycles (%.2f%%)@." (on - plain)
     (100.0 *. float_of_int (on - plain) /. float_of_int plain);
+  Bench_json.record ~table:"overhead" ~row:"pipeline_plain" ~metric:"cycles"
+    (float_of_int plain);
+  Bench_json.record ~table:"overhead" ~row:"trace_off" ~metric:"extra_cycles"
+    (float_of_int (off - plain));
+  Bench_json.record ~table:"overhead" ~row:"trace_on" ~metric:"extra_cycles"
+    (float_of_int (on - plain));
   if off <> plain then failwith "trace_overhead: tracing-off overhead is not zero"

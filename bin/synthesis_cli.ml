@@ -52,16 +52,44 @@ let cmd_switch_code () =
   | (name, _, _) :: _ -> Inspect.disassemble_routine k Fmt.stdout name
   | [] -> ()
 
-let cmd_profile () =
-  let se = Repro_harness.Harness.synthesis_setup () in
-  let k = se.Repro_harness.Harness.s_boot.Boot.kernel in
+(* kperf: boot with tracing attached (exact owner attribution), turn
+   on PMU pc sampling, run the two-stage pipe pipeline, and report
+   flat + per-owner profiles.  The owner percentages must partition
+   the machine's cycle total exactly — the command fails if not. *)
+let cmd_profile out =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  Machine.profile_enable m true;
-  let env = se.Repro_harness.Harness.s_env in
-  let program = Repro_harness.Programs.pipe_rw env ~chunk:64 ~iters:200 in
-  ignore (Repro_harness.Harness.synthesis_run se ~program);
-  Fmt.pr "cycle profile of 200 x 64-word pipe write+read, by routine:@.";
-  Inspect.pp_profile k Fmt.stdout ~top:12
+  let tr = Ktrace.create m in
+  Kernel.attach_tracing k tr;
+  let pmu = Pmu.create m in
+  (* prime period so sampling never locks onto a loop's cycle pattern *)
+  Pmu.enable_sampling pmu ~period:251;
+  Pmu.start pmu;
+  let pl = Repro_harness.Harness.Pipeline.build ~total:4096 b in
+  Repro_harness.Harness.Pipeline.run pl;
+  Pmu.stop pmu;
+  let p = Profile.collect k pmu in
+  Fmt.pr "two-stage pipe pipeline (%d words through the pipe):@.@."
+    pl.Repro_harness.Harness.Pipeline.pl_total;
+  Profile.pp Fmt.stdout p;
+  Fmt.pr "@.pmu counters over the run:@.";
+  Pmu.pp Fmt.stdout pmu;
+  Fmt.pr "@.attribution check: %d cycles in owner lines, %d machine total -> %s@."
+    (Profile.owners_total p) p.Profile.p_total
+    (if Profile.balanced p then "balanced" else "IMBALANCED");
+  (match out with
+  | None -> ()
+  | Some path ->
+    (match open_out path with
+    | oc ->
+      output_string oc (Profile.to_json p);
+      close_out oc;
+      Fmt.pr "wrote %s@." path
+    | exception Sys_error msg ->
+      Fmt.epr "cannot write profile: %s@." msg;
+      exit 1));
+  if not (Profile.balanced p) then exit 1
 
 let cmd_demo () =
   let se = Repro_harness.Harness.synthesis_setup () in
@@ -89,73 +117,8 @@ let cmd_trace out =
   let tr = Ktrace.create m in
   Kernel.attach_tracing k tr;
   let _sched = Scheduler.install k ~epoch_us:2_000 () in
-  let pipe = Kpipe.create k ~cap:64 () in
-  let total = 4096 in
-  let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let dst = Kalloc.alloc_zeroed k.Kernel.alloc 64 in
-  let result = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let producer_prog ~wfd =
-    [
-      I.Move (I.Imm 1, I.Reg I.r9);
-      I.Label "loop";
-      I.Move (I.Imm src, I.Reg I.r10);
-      I.Move (I.Imm 7, I.Reg I.r11);
-      I.Label "fill";
-      I.Move (I.Reg I.r9, I.Post_inc I.r10);
-      I.Alu (I.Add, I.Imm 1, I.r9);
-      I.Dbra (I.r11, I.To_label "fill");
-      I.Move (I.Imm wfd, I.Reg I.r1);
-      I.Move (I.Imm src, I.Reg I.r2);
-      I.Move (I.Imm 8, I.Reg I.r3);
-      I.Trap 2;
-      I.Cmp (I.Imm (total + 1), I.Reg I.r9);
-      I.B (I.Ne, I.To_label "loop");
-      I.Trap 0;
-    ]
-  in
-  let consumer_prog ~rfd =
-    [
-      I.Move (I.Imm 0, I.Reg I.r9);
-      I.Move (I.Imm 0, I.Reg I.r10);
-      I.Label "loop";
-      I.Move (I.Imm rfd, I.Reg I.r1);
-      I.Move (I.Imm dst, I.Reg I.r2);
-      I.Move (I.Imm 32, I.Reg I.r3);
-      I.Trap 1;
-      I.Move (I.Reg I.r0, I.Reg I.r11);
-      I.Alu (I.Add, I.Reg I.r11, I.r10);
-      I.Move (I.Imm dst, I.Reg I.r12);
-      I.Tst (I.Reg I.r11);
-      I.B (I.Eq, I.To_label "loop");
-      I.Alu (I.Sub, I.Imm 1, I.r11);
-      I.Label "acc";
-      I.Alu (I.Add, I.Post_inc I.r12, I.r9);
-      I.Dbra (I.r11, I.To_label "acc");
-      I.Cmp (I.Imm total, I.Reg I.r10);
-      I.B (I.Ne, I.To_label "loop");
-      I.Move (I.Reg I.r9, I.Abs result);
-      I.Trap 0;
-    ]
-  in
-  let consumer =
-    Thread.create k ~quantum_us:150 ~entry:0
-      ~segments:[ (dst, 64); (result, 16) ]
-      ()
-  in
-  let producer = Thread.create k ~quantum_us:150 ~entry:0 ~segments:[ (src, 16) ] () in
-  let crfd, _ = Kpipe.attach b.Boot.vfs pipe consumer in
-  let _, pwfd = Kpipe.attach b.Boot.vfs pipe producer in
-  let centry, _ = Asm.assemble m (consumer_prog ~rfd:crfd) in
-  let pentry, _ = Asm.assemble m (producer_prog ~wfd:pwfd) in
-  Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 17) centry;
-  Machine.poke m (producer.Kernel.base + Layout.Tte.off_regs + 17) pentry;
-  (match Boot.go ~max_insns:200_000_000 b with
-  | Machine.Halted -> ()
-  | Machine.Insn_limit -> failwith "trace workload did not halt");
-  let expected = total * (total + 1) / 2 in
-  let got = Machine.peek m result in
-  if got <> expected then
-    failwith (Fmt.str "trace workload wrong sum: %d, expected %d" got expected);
+  let pl = Repro_harness.Harness.Pipeline.build ~total:4096 b in
+  Repro_harness.Harness.Pipeline.run pl;
   Ktrace.pp_summary Fmt.stdout tr;
   let attributed = Ktrace.attributed_total tr in
   let traced = Ktrace.traced_cycles tr in
@@ -193,9 +156,18 @@ let cmds =
       Term.(const cmd_switch_code $ const ());
     Cmd.v (Cmd.info "demo" ~doc:"Run a pipe workload and show monitor counters")
       Term.(const cmd_demo $ const ());
-    Cmd.v
-      (Cmd.info "profile" ~doc:"Cycle profile of a pipe workload, by kernel routine")
-      Term.(const cmd_profile $ const ());
+    (let out =
+       Arg.(
+         value
+         & opt (some string) None
+         & info [ "o"; "output" ] ~docv:"FILE" ~doc:"JSON profile output path")
+     in
+     Cmd.v
+       (Cmd.info "profile"
+          ~doc:
+            "kperf: PMU-sampled flat + exact per-owner cycle profile of the \
+             two-stage pipe pipeline")
+       Term.(const cmd_profile $ out));
     (let out =
        Arg.(
          value & opt string "trace.json"

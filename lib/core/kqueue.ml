@@ -454,13 +454,6 @@ let create ?kind ?(producers = 1) ?(consumers = 1) k ~name ~size =
     q_get = traced_entry k ~qname:name ~op:`Get q.q_get;
   }
 
-(* Deprecated (kept for one PR cycle): the per-kind constructors are
-   now one-line wrappers over [create]. *)
-let create_spsc k ~name ~size = create ~kind:Spsc k ~name ~size
-let create_mpsc k ~name ~size = create ~kind:Mpsc k ~name ~size
-let create_spmc k ~name ~size = create ~kind:Spmc k ~name ~size
-let create_mpmc k ~name ~size = create ~kind:Mpmc k ~name ~size
-
 (* ---------------------------------------------------------------- *)
 (* Host-side access for tests and servers (uncharged) *)
 

@@ -52,19 +52,6 @@ val create :
     names; [None] for non-queue connectors. *)
 val kind_of_connector : Quaject.connector -> kind option
 
-(** @deprecated One-line wrapper over {!create}; kept for one PR
-    cycle. *)
-val create_spsc : Kernel.t -> name:string -> size:int -> t
-
-(** @deprecated One-line wrapper over {!create}. *)
-val create_mpsc : Kernel.t -> name:string -> size:int -> t
-
-(** @deprecated One-line wrapper over {!create}. *)
-val create_spmc : Kernel.t -> name:string -> size:int -> t
-
-(** @deprecated One-line wrapper over {!create}. *)
-val create_mpmc : Kernel.t -> name:string -> size:int -> t
-
 (** Host-side access for servers and tests (uncharged). *)
 val host_length : Kernel.t -> t -> int
 

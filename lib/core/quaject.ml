@@ -55,11 +55,6 @@ let connect ~producer ~consumer =
     Queue_mpmc
   | { end_ = Passive; _ }, { end_ = Passive; _ } -> Pump_thread
 
-(* Deprecated (kept for one PR cycle): the old positional-tuple
-   spelling of [connect].  New code should build {!port} records. *)
-let connect_endpoints ~producer:(pe, pm) ~consumer:(ce, cm) =
-  connect ~producer:{ end_ = pe; mult = pm } ~consumer:{ end_ = ce; mult = cm }
-
 let connector_name = function
   | Procedure_call -> "procedure call"
   | Monitored_call -> "monitor + procedure call"

@@ -26,11 +26,6 @@ type connector =
     connections. *)
 val connect : producer:port -> consumer:port -> connector
 
-(** @deprecated Positional-tuple spelling of {!connect}; kept for one
-    PR cycle.  Use {!port} records. *)
-val connect_endpoints :
-  producer:endpoint * multiplicity -> consumer:endpoint * multiplicity -> connector
-
 val connector_name : connector -> string
 
 (** {1 Monitor}: serializes multiple participants at one end.

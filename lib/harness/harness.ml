@@ -122,6 +122,104 @@ let baseline_run ?(max_insns = 2_000_000_000) be ~program =
   Machine.stats_us m d /. 1_000_000.0
 
 (* ---------------------------------------------------------------- *)
+(* The two-stage pipe pipeline shared by the observability stack: a
+   producer thread writes [total] words into a pipe in 8-word bursts,
+   a consumer reads them in up-to-32-word chunks and sums them.  The
+   ktrace/kperf CLI commands, the overhead benches, and the trace and
+   profiler tests all measure this workload, so it lives here once.
+
+   Build on a freshly booted instance *after* attaching any tracing
+   (probes are spliced at synthesis time). *)
+
+module Pipeline = struct
+  type t = {
+    pl_boot : Boot.t;
+    pl_producer : Kernel.tte;
+    pl_consumer : Kernel.tte;
+    pl_result : int; (* data address of the consumer's final sum *)
+    pl_total : int;
+  }
+
+  let build ?(total = 1024) ?(cap = 64) b =
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let pipe = Kpipe.create k ~cap () in
+    let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+    let dst = Kalloc.alloc_zeroed k.Kernel.alloc 64 in
+    let result = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+    let producer_prog ~wfd =
+      [
+        I.Move (I.Imm 1, I.Reg I.r9);
+        I.Label "loop";
+        I.Move (I.Imm src, I.Reg I.r10);
+        I.Move (I.Imm 7, I.Reg I.r11);
+        I.Label "fill";
+        I.Move (I.Reg I.r9, I.Post_inc I.r10);
+        I.Alu (I.Add, I.Imm 1, I.r9);
+        I.Dbra (I.r11, I.To_label "fill");
+        I.Move (I.Imm wfd, I.Reg I.r1);
+        I.Move (I.Imm src, I.Reg I.r2);
+        I.Move (I.Imm 8, I.Reg I.r3);
+        I.Trap 2;
+        I.Cmp (I.Imm (total + 1), I.Reg I.r9);
+        I.B (I.Ne, I.To_label "loop");
+        I.Trap 0;
+      ]
+    in
+    let consumer_prog ~rfd =
+      [
+        I.Move (I.Imm 0, I.Reg I.r9);
+        I.Move (I.Imm 0, I.Reg I.r10);
+        I.Label "loop";
+        I.Move (I.Imm rfd, I.Reg I.r1);
+        I.Move (I.Imm dst, I.Reg I.r2);
+        I.Move (I.Imm 32, I.Reg I.r3);
+        I.Trap 1;
+        I.Move (I.Reg I.r0, I.Reg I.r11);
+        I.Alu (I.Add, I.Reg I.r11, I.r10);
+        I.Move (I.Imm dst, I.Reg I.r12);
+        I.Tst (I.Reg I.r11);
+        I.B (I.Eq, I.To_label "loop");
+        I.Alu (I.Sub, I.Imm 1, I.r11);
+        I.Label "acc";
+        I.Alu (I.Add, I.Post_inc I.r12, I.r9);
+        I.Dbra (I.r11, I.To_label "acc");
+        I.Cmp (I.Imm total, I.Reg I.r10);
+        I.B (I.Ne, I.To_label "loop");
+        I.Move (I.Reg I.r9, I.Abs result);
+        I.Trap 0;
+      ]
+    in
+    let consumer =
+      Thread.create k ~quantum_us:150 ~entry:0
+        ~segments:[ (dst, 64); (result, 16) ]
+        ()
+    in
+    let producer =
+      Thread.create k ~quantum_us:150 ~entry:0 ~segments:[ (src, 16) ] ()
+    in
+    let crfd, _ = Kpipe.attach b.Boot.vfs pipe consumer in
+    let _, pwfd = Kpipe.attach b.Boot.vfs pipe producer in
+    let centry, _ = Asm.assemble m (consumer_prog ~rfd:crfd) in
+    let pentry, _ = Asm.assemble m (producer_prog ~wfd:pwfd) in
+    Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 17) centry;
+    Machine.poke m (producer.Kernel.base + Layout.Tte.off_regs + 17) pentry;
+    { pl_boot = b; pl_producer = producer; pl_consumer = consumer;
+      pl_result = result; pl_total = total }
+
+  (* Run to completion and verify the consumer's checksum. *)
+  let run ?(max_insns = 200_000_000) p =
+    (match Boot.go ~max_insns p.pl_boot with
+    | Machine.Halted -> ()
+    | Machine.Insn_limit -> failwith "Pipeline.run: did not halt");
+    let m = p.pl_boot.Boot.kernel.Kernel.machine in
+    let expected = p.pl_total * (p.pl_total + 1) / 2 in
+    let got = Machine.peek m p.pl_result in
+    if got <> expected then
+      failwith (Fmt.str "Pipeline.run: wrong sum %d, expected %d" got expected)
+end
+
+(* ---------------------------------------------------------------- *)
 (* Pretty printing *)
 
 let header title =

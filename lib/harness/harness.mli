@@ -54,6 +54,28 @@ val baseline_setup : ?cost:Cost.t -> ?file_content:int -> unit -> baseline_env
 val baseline_run :
   ?max_insns:int -> baseline_env -> program:Insn.insn list -> float
 
+(** {1 The two-stage pipe pipeline}
+
+    The shared observability workload: a producer thread writes
+    [total] words into a pipe in 8-word bursts, a consumer reads and
+    sums them.  Used by the ktrace/kperf CLI commands, the overhead
+    benches, and the trace/profiler tests.  [build] on a freshly
+    booted instance {e after} attaching tracing (probes are spliced at
+    synthesis time); [run] executes it and verifies the checksum. *)
+
+module Pipeline : sig
+  type t = {
+    pl_boot : Synthesis.Boot.t;
+    pl_producer : Synthesis.Kernel.tte;
+    pl_consumer : Synthesis.Kernel.tte;
+    pl_result : int;  (** data address of the consumer's final sum *)
+    pl_total : int;
+  }
+
+  val build : ?total:int -> ?cap:int -> Synthesis.Boot.t -> t
+  val run : ?max_insns:int -> t -> unit
+end
+
 (** {1 Output helpers} *)
 
 val header : string -> unit

@@ -66,6 +66,15 @@ and t = {
   mutable cycles : int;
   mutable insns : int;
   mutable refs : int;
+  mutable irqs_taken : int;
+  (* kperf PMU: timer-driven pc sampling.  Entirely host-side — with
+     sampling off the step loop pays one integer compare, and even
+     with it on the simulated cycle/instruction counts are untouched,
+     so a PMU-disabled and a PMU-enabled run are bit-identical. *)
+  mutable sample_period : int; (* cycles between pc samples; 0 = off *)
+  mutable sample_next : int; (* absolute cycle count of the next sample *)
+  mutable sample_mark : int; (* cycles already covered by earlier samples *)
+  mutable sample_hook : pc:int -> weight:int -> unit;
   (* pending interrupts: vector per level 1..7, -1 = none *)
   pending : int array;
   (* devices *)
@@ -126,6 +135,11 @@ let create ?(mem_words = 1 lsl 20) cost =
     cycles = 0;
     insns = 0;
     refs = 0;
+    irqs_taken = 0;
+    sample_period = 0;
+    sample_next = max_int;
+    sample_mark = 0;
+    sample_hook = (fun ~pc:_ ~weight:_ -> ());
     pending = Array.make 8 (-1);
     devices = [];
     next_device_due = max_int;
@@ -156,6 +170,7 @@ let create ?(mem_words = 1 lsl 20) cost =
 let cycles t = t.cycles
 let insns_executed t = t.insns
 let mem_refs t = t.refs
+let irqs_taken t = t.irqs_taken
 let time_us t = Cost.us_of_cycles t.cost t.cycles
 let charge t cy = t.cycles <- t.cycles + cy
 
@@ -612,6 +627,7 @@ let deliver_pending_interrupt t =
   if level > t.ipl then begin
     let vector = t.pending.(level) in
     t.pending.(level) <- -1;
+    t.irqs_taken <- t.irqs_taken + 1;
     (match t.hooks with Some h -> h.h_irq ~level ~vector | None -> ());
     take_exception t ~vector ~new_ipl:(Some level);
     true
@@ -798,6 +814,23 @@ let profile_top t n =
   in
   take n sorted
 
+(* PC sampling (kperf PMU): every [period] cycles the step loop hands
+   the hook the pc it just executed plus the cycles elapsed since the
+   previous sample, so sample weights tile the sampled window. *)
+let set_sampling t ~period hook =
+  if period <= 0 then invalid_arg "set_sampling: period";
+  t.sample_period <- period;
+  t.sample_hook <- hook;
+  t.sample_mark <- t.cycles;
+  t.sample_next <- t.cycles + period
+
+let clear_sampling t =
+  t.sample_period <- 0;
+  t.sample_next <- max_int;
+  t.sample_hook <- (fun ~pc:_ ~weight:_ -> ())
+
+let sampling_on t = t.sample_period > 0
+
 (* Most recent executed PCs, oldest first. *)
 let trace_window t n =
   let n = min n (min t.trace_count (Array.length t.trace_ring)) in
@@ -850,6 +883,12 @@ let step t =
          take_exception t ~vector:(fault_vector f) ~new_ipl:None);
       if t.profile_on && at < Array.length t.profile then
         t.profile.(at) <- t.profile.(at) + (t.cycles - cy0);
+      if t.sample_period > 0 && t.cycles >= t.sample_next then begin
+        let weight = t.cycles - t.sample_mark in
+        t.sample_mark <- t.cycles;
+        t.sample_next <- t.cycles + t.sample_period;
+        t.sample_hook ~pc:at ~weight
+      end;
       if trace_this && not t.halted then
         take_exception t ~vector:Insn.Vector.trace ~new_ipl:None;
       attr_window t (owner_at t at)

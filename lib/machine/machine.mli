@@ -51,6 +51,10 @@ val create : ?mem_words:int -> Cost.t -> t
 val cycles : t -> int
 val insns_executed : t -> int
 val mem_refs : t -> int
+
+(** Interrupts accepted by the CPU since reset. *)
+val irqs_taken : t -> int
+
 val time_us : t -> float
 
 (** Host services account their cost explicitly. *)
@@ -210,3 +214,17 @@ val profile_cycles : t -> int -> int
 
 (** The [n] hottest addresses as (address, cycles), hottest first. *)
 val profile_top : t -> int -> (int * int) list
+
+(** {1 PC sampling (kperf PMU)}
+
+    Timer-driven sampling in the step loop, mirroring the Quamachine's
+    built-in instrumentation (§6.1): every [period] cycles the hook
+    receives the pc just executed and the cycles elapsed since the
+    previous sample (so weights tile the sampled window).  Entirely
+    host-side — simulated cycle and instruction counts are identical
+    with sampling on, off, or never configured; [Pmu] wraps this with
+    counter windows and a sample buffer. *)
+
+val set_sampling : t -> period:int -> (pc:int -> weight:int -> unit) -> unit
+val clear_sampling : t -> unit
+val sampling_on : t -> bool

@@ -451,10 +451,7 @@ let test_interfacer_cases () =
   check "multi both" "MP-MC optimistic queue"
     (connect ~producer:(p ~mult:Multiple Active) ~consumer:(p ~mult:Multiple Active));
   check "passive-passive" "pump"
-    (connect ~producer:(p Passive) ~consumer:(p Passive));
-  (* the deprecated tuple spelling must agree with the record one *)
-  check "deprecated wrapper agrees" "MP-SC optimistic queue"
-    (connect_endpoints ~producer:(Active, Multiple) ~consumer:(Active, Single))
+    (connect ~producer:(p Passive) ~consumer:(p Passive))
 
 let test_monitor_and_switch () =
   let b = Boot.boot () in

@@ -3,7 +3,6 @@
 
 open Quamachine
 open Synthesis
-module I = Insn
 
 let check_int = Alcotest.(check int)
 let check_bool = Alcotest.(check bool)
@@ -29,72 +28,12 @@ let run_pipeline ?(total = 1024) ~tracing () =
       Kernel.attach_tracing k tr;
       Some tr
   in
-  let pipe = Kpipe.create k ~cap:64 () in
-  let src = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let dst = Kalloc.alloc_zeroed k.Kernel.alloc 64 in
-  let result = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let producer_prog ~wfd =
-    [
-      I.Move (I.Imm 1, I.Reg I.r9);
-      I.Label "loop";
-      I.Move (I.Imm src, I.Reg I.r10);
-      I.Move (I.Imm 7, I.Reg I.r11);
-      I.Label "fill";
-      I.Move (I.Reg I.r9, I.Post_inc I.r10);
-      I.Alu (I.Add, I.Imm 1, I.r9);
-      I.Dbra (I.r11, I.To_label "fill");
-      I.Move (I.Imm wfd, I.Reg I.r1);
-      I.Move (I.Imm src, I.Reg I.r2);
-      I.Move (I.Imm 8, I.Reg I.r3);
-      I.Trap 2;
-      I.Cmp (I.Imm (total + 1), I.Reg I.r9);
-      I.B (I.Ne, I.To_label "loop");
-      I.Trap 0;
-    ]
-  in
-  let consumer_prog ~rfd =
-    [
-      I.Move (I.Imm 0, I.Reg I.r9);
-      I.Move (I.Imm 0, I.Reg I.r10);
-      I.Label "loop";
-      I.Move (I.Imm rfd, I.Reg I.r1);
-      I.Move (I.Imm dst, I.Reg I.r2);
-      I.Move (I.Imm 32, I.Reg I.r3);
-      I.Trap 1;
-      I.Move (I.Reg I.r0, I.Reg I.r11);
-      I.Alu (I.Add, I.Reg I.r11, I.r10);
-      I.Move (I.Imm dst, I.Reg I.r12);
-      I.Tst (I.Reg I.r11);
-      I.B (I.Eq, I.To_label "loop");
-      I.Alu (I.Sub, I.Imm 1, I.r11);
-      I.Label "acc";
-      I.Alu (I.Add, I.Post_inc I.r12, I.r9);
-      I.Dbra (I.r11, I.To_label "acc");
-      I.Cmp (I.Imm total, I.Reg I.r10);
-      I.B (I.Ne, I.To_label "loop");
-      I.Move (I.Reg I.r9, I.Abs result);
-      I.Trap 0;
-    ]
-  in
-  let consumer =
-    Thread.create k ~quantum_us:150 ~entry:0
-      ~segments:[ (dst, 64); (result, 16) ]
-      ()
-  in
-  let producer =
-    Thread.create k ~quantum_us:150 ~entry:0 ~segments:[ (src, 16) ] ()
-  in
-  let crfd, _ = Kpipe.attach b.Boot.vfs pipe consumer in
-  let _, pwfd = Kpipe.attach b.Boot.vfs pipe producer in
-  let centry, _ = Asm.assemble m (consumer_prog ~rfd:crfd) in
-  let pentry, _ = Asm.assemble m (producer_prog ~wfd:pwfd) in
-  Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 17) centry;
-  Machine.poke m (producer.Kernel.base + Layout.Tte.off_regs + 17) pentry;
-  (match Boot.go ~max_insns:200_000_000 b with
-  | Machine.Halted -> ()
-  | Machine.Insn_limit -> Alcotest.fail "pipeline did not halt");
-  check_int "pipeline sum" (total * (total + 1) / 2) (Machine.peek m result);
-  (b, tr, producer.Kernel.tid, consumer.Kernel.tid)
+  let pl = Repro_harness.Harness.Pipeline.build ~total b in
+  Repro_harness.Harness.Pipeline.run pl;
+  ( b,
+    tr,
+    pl.Repro_harness.Harness.Pipeline.pl_producer.Kernel.tid,
+    pl.Repro_harness.Harness.Pipeline.pl_consumer.Kernel.tid )
 
 (* ------------------------------------------------------------------ *)
 (* Event ordering *)
