@@ -4,7 +4,7 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt check bench bench-check bench-all clean
+.PHONY: all build test fmt check bench bench-check bench-all faultsim clean
 
 all: build
 
@@ -37,6 +37,13 @@ bench-check:
 # The full suite (queues, ablations, sizes, bechamel, ...).
 bench-all:
 	$(DUNE) exec bench/main.exe -- all
+
+# kfault: deterministic 32-seed fault-injection sweep — forced
+# preemption + injected faults over all four queue kinds, plus the
+# timer-loss and disk-fault recovery scenarios.  Fails on any queue
+# invariant violation or unrecovered fault.
+faultsim:
+	$(DUNE) exec bin/synthesis_cli.exe -- faultsim --seed 1 --seeds 32
 
 clean:
 	$(DUNE) clean

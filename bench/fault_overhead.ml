@@ -1,0 +1,75 @@
+(* kfault overhead: the fault injector follows the same host-side
+   observation discipline as the PMU — compiling a plan touches
+   nothing, and even *arming* one only registers a host device whose
+   events haven't fired yet.  A machine that never arms a plan must
+   run the exact same instruction stream, cycle for cycle, as one
+   built before kfault existed; and a machine with a plan armed but
+   whose horizon lies beyond the run must still be cycle-identical.
+
+   This bench proves both claims by running the pipe pipeline three
+   ways and requiring identical cycle and instruction counts. *)
+
+open Quamachine
+open Synthesis
+
+let workload ~fault () =
+  let b = Boot.boot () in
+  let m = b.Boot.kernel.Kernel.machine in
+  let fi =
+    match fault with
+    | `None -> None
+    | `Compiled ->
+      (* a plan exists but is never armed *)
+      ignore (Fault_inject.compile 42);
+      None
+    | `Armed_beyond ->
+      (* armed, but every event is far past the end of the run: the
+         injector device sits idle in the event queue and must not
+         perturb a single cycle *)
+      let plan =
+        Fault_inject.make_plan ~seed:42
+          [
+            {
+              Fault_inject.ev_after = 1_000_000_000;
+              ev_action =
+                Fault_inject.Spurious_irq
+                  {
+                    level = Mmio_map.timer_level;
+                    vector = Mmio_map.timer_vector;
+                  };
+            };
+          ]
+      in
+      Some (Fault_inject.arm m plan)
+  in
+  let pl = Repro_harness.Harness.Pipeline.build ~total:2048 b in
+  Repro_harness.Harness.Pipeline.run pl;
+  (match fi with Some f -> Fault_inject.disarm m f | None -> ());
+  (Machine.cycles m, Machine.insns_executed m)
+
+let run () =
+  Repro_harness.Harness.header
+    "kfault overhead: fault-off runs are cycle- and instruction-identical";
+  let plain_cy, plain_in = workload ~fault:`None () in
+  let comp_cy, comp_in = workload ~fault:`Compiled () in
+  let armed_cy, armed_in = workload ~fault:`Armed_beyond () in
+  Fmt.pr "%-44s %12s %12s@." "configuration" "cycles" "insns";
+  Fmt.pr "%-44s %12d %12d@." "plain machine (no kfault)" plain_cy plain_in;
+  Fmt.pr "%-44s %12d %12d@." "plan compiled, never armed" comp_cy comp_in;
+  Fmt.pr "%-44s %12d %12d@." "plan armed, horizon beyond the run" armed_cy
+    armed_in;
+  Bench_json.record ~table:"overhead" ~row:"fault_compiled"
+    ~metric:"extra_cycles"
+    (float_of_int (comp_cy - plain_cy));
+  Bench_json.record ~table:"overhead" ~row:"fault_armed_idle"
+    ~metric:"extra_cycles"
+    (float_of_int (armed_cy - plain_cy));
+  let free =
+    plain_cy = comp_cy && plain_cy = armed_cy && plain_in = comp_in
+    && plain_in = armed_in
+  in
+  Fmt.pr "kfault overhead: %d cycles%s@."
+    (max (comp_cy - plain_cy) (armed_cy - plain_cy))
+    (if free then " (exactly zero: faults are host-side injection only)"
+     else "");
+  if not free then failwith "fault_overhead: kfault perturbed the simulation"

@@ -1,0 +1,50 @@
+(* kfault recovery latency: how long the kernel takes to notice and
+   repair an injected fault.
+
+   Three recovery paths, each with its own detector:
+   - a dropped quantum-timer completion (lost-interrupt livelock),
+     caught by the flow-rate watchdog re-arming the timer;
+   - a stalled disk completion, caught by the disk server's
+     completion watchdog re-issuing the transfer;
+   - a dropped disk completion, the same detector's worst case.
+
+   Reported in simulated microseconds from the moment the fault takes
+   effect to the moment the affected flow makes progress again, and
+   recorded in the bench JSON trajectory. *)
+
+open Quamachine
+open Synthesis
+module E = Repro_harness.Explorer
+
+let us_of_cycles m cy =
+  float_of_int cy /. float_of_int (Cost.cycles_of_us (Machine.cost_model m) 1.0)
+
+let run () =
+  Repro_harness.Harness.header "kfault recovery latency";
+  (* one boot just to convert cycles to us with the active cost model *)
+  let m0 = (Boot.boot ()).Boot.kernel.Kernel.machine in
+  let tl = E.timer_loss ~seed:1 () in
+  if tl.E.tl_restarts < 1 || tl.E.tl_recovery_cycles <= 0 then
+    failwith "fault_recovery: timer loss was not recovered";
+  let tl_us = us_of_cycles m0 tl.E.tl_recovery_cycles in
+  Fmt.pr "%-44s %10.1f us  (%d watchdog restart%s)@."
+    "timer completion dropped -> flow resumes" tl_us tl.E.tl_restarts
+    (if tl.E.tl_restarts = 1 then "" else "s");
+  let disk name mode =
+    let d = E.disk_fault ~seed:1 ~mode () in
+    if (not d.E.df_completed) || d.E.df_retries < 1 then
+      failwith ("fault_recovery: disk " ^ name ^ " was not recovered");
+    let us = us_of_cycles m0 d.E.df_recovery_cycles in
+    Fmt.pr "%-44s %10.1f us  (%d timeout%s, %d retr%s)@."
+      ("disk completion " ^ name ^ " -> read completes")
+      us d.E.df_timeouts
+      (if d.E.df_timeouts = 1 then "" else "s")
+      d.E.df_retries
+      (if d.E.df_retries = 1 then "y" else "ies");
+    us
+  in
+  let stall_us = disk "stalled" E.Disk_stall in
+  let drop_us = disk "dropped" E.Disk_drop in
+  Bench_json.record ~table:"recovery" ~row:"timer_drop" ~metric:"us" tl_us;
+  Bench_json.record ~table:"recovery" ~row:"disk_stall" ~metric:"us" stall_us;
+  Bench_json.record ~table:"recovery" ~row:"disk_drop" ~metric:"us" drop_us

@@ -19,7 +19,9 @@ let json_benches ~scale () =
   Table4.run ();
   Table5.run ();
   Trace_overhead.run ();
-  Pmu_overhead.run ()
+  Pmu_overhead.run ();
+  Fault_overhead.run ();
+  Fault_recovery.run ()
 
 let all_benches ~scale () =
   json_benches ~scale ();
@@ -126,6 +128,8 @@ let main_cmd =
       cmd_of "ablations" Ablations.run;
       cmd_of "trace-overhead" Trace_overhead.run;
       cmd_of "pmu-overhead" Pmu_overhead.run;
+      cmd_of "fault-overhead" Fault_overhead.run;
+      cmd_of "fault-recovery" Fault_recovery.run;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

@@ -138,6 +138,72 @@ let cmd_trace out =
     (Ktrace.dropped tr);
   if attributed <> traced then exit 1
 
+(* kfault: run the interleaving explorer across all four queue kinds
+   for one seed (or a --seeds N sweep), plus the targeted recovery
+   scenarios.  Exits non-zero on any invariant violation, so CI can
+   gate on `make faultsim`. *)
+let cmd_faultsim seed seeds verbose =
+  let module E = Repro_harness.Explorer in
+  let failures = ref 0 in
+  let run_seed s =
+    let results = E.run_all ~seed:s () in
+    List.iter
+      (fun (r : E.result) ->
+        let ok = r.E.x_violations = [] in
+        if not ok then incr failures;
+        if verbose || not ok then
+          Fmt.pr
+            "seed %3d %-4s %dp/%dc: %d/%d consumed, stride %d, %d preemptions, \
+             %d faults -> %s@."
+            r.E.x_seed (E.kind_name r.E.x_kind) r.E.x_producers r.E.x_consumers
+            r.E.x_consumed
+            (r.E.x_producers * r.E.x_items)
+            r.E.x_stride r.E.x_preemptions r.E.x_injected
+            (if ok then "ok" else "FAIL");
+        List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.x_violations)
+      results
+  in
+  let first = seed and last = seed + seeds - 1 in
+  for s = first to last do
+    run_seed s
+  done;
+  let runs = 4 * seeds in
+  Fmt.pr "faultsim: %d runs (seeds %d..%d x 4 queue kinds), %d failed@." runs
+    first last !failures;
+  (* recovery scenarios ride along on the first seed *)
+  let tl = E.timer_loss ~seed () in
+  Fmt.pr
+    "timer-loss: dropped completion at cycle %d, watchdog restarts %d, \
+     recovered in %d cycles (stall %d)@."
+    tl.E.tl_drop_cycle tl.E.tl_restarts tl.E.tl_recovery_cycles
+    tl.E.tl_stall_cycles;
+  if tl.E.tl_restarts < 1 || tl.E.tl_recovery_cycles <= 0 then begin
+    incr failures;
+    Fmt.pr "    FAIL: timer loss not recovered@."
+  end;
+  List.iter
+    (fun (mode, name, want_completed) ->
+      let d = E.disk_fault ~seed ~mode () in
+      Fmt.pr
+        "disk-%s: completed=%b timeouts=%d retries=%d failed=%d recovery=%d \
+         cycles@."
+        name d.E.df_completed d.E.df_timeouts d.E.df_retries d.E.df_failed
+        d.E.df_recovery_cycles;
+      if d.E.df_completed <> want_completed then begin
+        incr failures;
+        Fmt.pr "    FAIL: expected completed=%b@." want_completed
+      end)
+    [
+      (E.Disk_stall, "stall", true);
+      (E.Disk_drop, "drop", true);
+      (E.Disk_bad_block, "bad-block", false);
+    ];
+  if !failures > 0 then begin
+    Fmt.pr "faultsim FAILED (%d)@." !failures;
+    exit 1
+  end
+  else Fmt.pr "faultsim passed@."
+
 open Cmdliner
 
 let pattern =
@@ -179,6 +245,26 @@ let cmds =
             "Run a two-stage pipe workload with ktrace attached; print the \
              cycle-attribution summary and write Chrome trace JSON")
        Term.(const cmd_trace $ out));
+    (let seed =
+       Arg.(
+         value & opt int 1
+         & info [ "s"; "seed" ] ~docv:"N" ~doc:"first fault-plan seed")
+     in
+     let seeds =
+       Arg.(
+         value & opt int 1
+         & info [ "n"; "seeds" ] ~docv:"COUNT" ~doc:"number of seeds to sweep")
+     in
+     let verbose =
+       Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print every run")
+     in
+     Cmd.v
+       (Cmd.info "faultsim"
+          ~doc:
+            "kfault: sweep the interleaving explorer (forced preemption + \
+             injected faults) over all four queue kinds, then run the \
+             timer-loss and disk-fault recovery scenarios")
+       Term.(const cmd_faultsim $ seed $ seeds $ verbose));
   ]
 
 let () =

@@ -36,7 +36,7 @@ let install_fault_handlers k =
   let kill_with reason =
     Machine.register_hcall k.Kernel.machine (fun m ->
         let cur = Kernel.current_exn k in
-        k.Kernel.fault_log <- (cur.Kernel.tid, reason) :: k.Kernel.fault_log;
+        Kernel.log_fault k ~tid:cur.Kernel.tid ~reason;
         let next =
           if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else k.Kernel.rq_anchor
         in
@@ -75,6 +75,18 @@ let install_shared_handlers k =
   in
   for i = 0 to I.Vector.table_size - 1 do
     if k.Kernel.default_vectors.(i) = 0 then k.Kernel.default_vectors.(i) <- unimpl
+  done;
+  (* Hardware interrupt autovectors must NOT fall back to the trap
+     default: returning -1 in r0 is the syscall convention, but an
+     interrupt arrives asynchronously and r0 is the interrupted
+     thread's live register (kfault found a stray disk irq turning a
+     queue op's "would block" into a phantom success).  A stray irq is
+     dismissed with a bare Rte, preserving every register. *)
+  let stray_irq, _ = Kernel.install_shared k ~name:"stray_irq" [ I.Rte ] in
+  for level = 1 to 7 do
+    let v = I.Vector.autovector level in
+    if k.Kernel.default_vectors.(v) = unimpl then
+      k.Kernel.default_vectors.(v) <- stray_irq
   done;
   install_fault_handlers k;
   (* trap 5: yield — the frame is already on the stack; just switch *)
@@ -250,4 +262,11 @@ let go ?(max_insns = max_int) b =
     Machine.set_reg m I.sp Layout.boot_stack_top;
     Machine.set_ipl m 7;
     Machine.set_pc m t.Kernel.sw_in_mmu);
-  Machine.run ~max_insns m
+  let r = Machine.run ~max_insns m in
+  (* A double fault halts the machine directly (there is no state left
+     to recover with); record it so post-mortems see why. *)
+  if Machine.double_faulted m then begin
+    let tid = match Kernel.current k with Some t -> t.Kernel.tid | None -> 0 in
+    Kernel.log_fault k ~tid ~reason:"double_fault"
+  end;
+  r

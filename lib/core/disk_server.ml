@@ -15,9 +15,19 @@
 
    Requests are descriptors in kernel memory:
      [0] = block number   [1] = buffer address (cache slot)
-     [2] = direction (1 read, 2 write)   [3] = status (0 pending, 1 done)
+     [2] = direction (1 read, 2 write)
+     [3] = status (0 pending, 1 done, 2 failed)
    Completion wakes the requesting thread through the request's wait
-   queue. *)
+   queue.
+
+   Recovery (kfault): a host-side watchdog device arms whenever a
+   transfer is in flight.  If the completion interrupt has not arrived
+   within the timeout the request is re-issued, with the allowance
+   doubling each try; after [ds_max_tries] the request is failed
+   (status 2) so waiters wake and see the error instead of sleeping
+   forever.  In fault-free runs the watchdog never fires and is idled
+   on every completion, so it costs nothing and keeps no machine
+   alive. *)
 
 open Quamachine
 module I = Insn
@@ -46,6 +56,16 @@ type t = {
   (* the switch through which file systems attach (§5.1) *)
   ds_switch : Quaject.switch;
   ds_monitor : Quaject.monitor;
+  (* recovery: bounded retry with backoff on lost completions *)
+  ds_timeout_cycles : int;
+  ds_max_tries : int;
+  mutable ds_tries : int; (* issues of the active request, 1-based *)
+  mutable ds_active_since : int; (* cycle the active request was issued *)
+  mutable ds_watchdog : Machine.device option;
+  mutable ds_timeouts : int;
+  mutable ds_retries : int;
+  mutable ds_failed : int;
+  mutable ds_last_recovery_cycles : int; (* fault -> completion, for bench *)
 }
 
 let block_words = Devices.Disk.block_words
@@ -66,10 +86,27 @@ let elevator_insert t req =
     List.sort (fun a b -> compare (key a) (key b)) (req :: t.ds_queue);
   Machine.charge t.ds_kernel.Kernel.machine (10 + (4 * List.length t.ds_queue))
 
+(* Watchdog arming: the allowance doubles with each try. *)
+let watchdog_arm t =
+  match t.ds_watchdog with
+  | None -> ()
+  | Some d ->
+    let m = t.ds_kernel.Kernel.machine in
+    let allowance = t.ds_timeout_cycles lsl (t.ds_tries - 1) in
+    Machine.device_schedule m d (Machine.cycles m + allowance)
+
+let watchdog_idle t =
+  match t.ds_watchdog with
+  | None -> ()
+  | Some d -> Machine.device_idle t.ds_kernel.Kernel.machine d
+
 let issue t req =
   t.ds_active <- Some req;
   t.ds_issued <- req.r_block :: t.ds_issued;
-  t.ds_arm_position <- req.r_block
+  t.ds_arm_position <- req.r_block;
+  t.ds_tries <- 1;
+  t.ds_active_since <- Machine.cycles t.ds_kernel.Kernel.machine;
+  watchdog_arm t
 
 (* The MMIO registers are only reachable through machine loads/stores;
    drive them with a tiny supervisor fragment. *)
@@ -137,6 +174,12 @@ let install_irq t =
         | Some req ->
           Machine.poke m (req.r_desc + 3) 1;
           t.ds_active <- None;
+          watchdog_idle t;
+          if t.ds_tries > 1 then
+            (* a retried request finally completed: recovery latency
+               is fault (first issue) to completion *)
+            t.ds_last_recovery_cycles <-
+              Machine.cycles m - t.ds_active_since;
           (* wake everyone sleeping on this transfer: shared wait
              queues (e.g. a file system mount) re-check on resume *)
           Thread.unblock_all k req.r_waitq;
@@ -207,23 +250,70 @@ let read_block_sync t block ~max_insns =
     let ok =
       let rec go n =
         if n <= 0 then false
-        else if Machine.peek m (req.r_desc + 3) = 1 then true
-        else begin
-          Machine.step m;
-          go (n - 1)
-        end
+        else
+          match Machine.peek m (req.r_desc + 3) with
+          | 1 -> true
+          | s when s >= 2 -> false (* failed after bounded retries *)
+          | _ ->
+            Machine.step m;
+            go (n - 1)
       in
       go max_insns
     in
     if ok then Some buf else None
 
+(* ---------------------------------------------------------------- *)
+(* Watchdog: bounded retry with backoff *)
+
+(* Runs only when a transfer has been in flight longer than its
+   allowance (never in fault-free runs).  Either re-issue the request
+   — recovering from a lost or stalled completion — or, out of tries,
+   fail it so waiters wake with status 2 instead of sleeping forever. *)
+let watchdog_tick t m =
+  let k = t.ds_kernel in
+  match t.ds_active with
+  | None -> watchdog_idle t
+  | Some req ->
+    if Machine.peek m (req.r_desc + 3) <> 0 then watchdog_idle t
+    else begin
+      t.ds_timeouts <- t.ds_timeouts + 1;
+      Metrics.bump k.Kernel.metrics "disk.timeouts";
+      Kernel.trace k (Ktrace.Fault "disk_timeout");
+      if t.ds_tries < t.ds_max_tries then begin
+        t.ds_tries <- t.ds_tries + 1;
+        t.ds_retries <- t.ds_retries + 1;
+        Metrics.bump k.Kernel.metrics "disk.retries";
+        issue_via_machine t req;
+        watchdog_arm t
+      end
+      else begin
+        t.ds_failed <- t.ds_failed + 1;
+        Metrics.bump k.Kernel.metrics "disk.failed";
+        Kernel.log_fault k ~tid:0
+          ~reason:(Fmt.str "disk_failed block=%d" req.r_block);
+        Machine.poke m (req.r_desc + 3) 2;
+        t.ds_active <- None;
+        watchdog_idle t;
+        Thread.unblock_all k req.r_waitq;
+        Kalloc.free k.Kernel.alloc req.r_desc;
+        start_next t
+      end
+    end
+
 let stats t = (t.ds_hits, t.ds_misses)
 let service_order t = List.rev t.ds_issued
+let timeouts t = t.ds_timeouts
+let retries t = t.ds_retries
+let failed t = t.ds_failed
+let last_recovery_cycles t = t.ds_last_recovery_cycles
+let active_tries t = t.ds_tries
 
 (* ---------------------------------------------------------------- *)
 
-let install k ?(cache_capacity = 16) () =
+let install k ?(cache_capacity = 16) ?(timeout_us = 8_000.0) ?(max_tries = 4)
+    () =
   let bad = Kernel.shared_entry k "bad_fd" in
+  let m = k.Kernel.machine in
   let t =
     {
       ds_kernel = k;
@@ -240,8 +330,21 @@ let install k ?(cache_capacity = 16) () =
       ds_misses = 0;
       ds_switch = Quaject.create_switch k ~name:"disk/fs_switch" [| bad; bad; bad; bad |];
       ds_monitor = Quaject.create_monitor k ~name:"disk/monitor";
+      ds_timeout_cycles = Cost.cycles_of_us (Machine.cost_model m) timeout_us;
+      ds_max_tries = max_tries;
+      ds_tries = 1;
+      ds_active_since = 0;
+      ds_watchdog = None;
+      ds_timeouts = 0;
+      ds_retries = 0;
+      ds_failed = 0;
+      ds_last_recovery_cycles = 0;
     }
   in
+  t.ds_watchdog <-
+    Some
+      (Machine.add_device m ~name:"disk/watchdog" ~due:max_int
+         ~tick:(fun m -> watchdog_tick t m));
   install_irq t;
   t
 

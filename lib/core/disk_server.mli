@@ -5,12 +5,22 @@
 
 type request = { r_desc : int; r_block : int; r_waitq : Kernel.waitq }
 (** Request descriptors live in kernel memory:
-    [0]=block [1]=buffer [2]=direction [3]=status (1 when done). *)
+    [0]=block [1]=buffer [2]=direction
+    [3]=status (0 pending, 1 done, 2 failed after bounded retries). *)
 
 type t
 
 val block_words : int
-val install : Kernel.t -> ?cache_capacity:int -> unit -> t
+
+(** [timeout_us]/[max_tries] bound the completion watchdog: a transfer
+    whose completion interrupt is lost or stalled is re-issued with a
+    doubling allowance, then failed (status 2, waiters woken,
+    "disk_failed" logged) after [max_tries] issues.  The watchdog is a
+    host-side device armed only while a transfer is in flight — in
+    fault-free runs it never fires and costs nothing. *)
+val install :
+  Kernel.t -> ?cache_capacity:int -> ?timeout_us:float -> ?max_tries:int ->
+  unit -> t
 
 (** Queue a transfer in elevator order; completion sets the status
     word and wakes everyone on [r_waitq] (pass [waitq] to share one,
@@ -33,5 +43,22 @@ val stats : t -> int * int
 
 (** Block numbers in the order the device serviced them. *)
 val service_order : t -> int list
+
+(** {1 Recovery counters} *)
+
+(** Watchdog expiries (each is a retry or a permanent failure). *)
+val timeouts : t -> int
+
+val retries : t -> int
+
+(** Requests failed after exhausting the retry budget. *)
+val failed : t -> int
+
+(** Cycles from first issue to completion of the most recent request
+    that needed at least one retry; 0 if none has recovered yet. *)
+val last_recovery_cycles : t -> int
+
+(** Issues of the active request so far (1 = no retry yet). *)
+val active_tries : t -> int
 
 val attach_filesystem : t -> slot:int -> entry:int -> unit

@@ -42,6 +42,11 @@ type waitq = {
 let waitq ~name =
   { wq_name = name; waiters = []; wq_block_hcall = -1; wq_unblock_hcall = -1 }
 
+(* One entry in the bounded fault log: when (simulated cycles), who,
+   and why.  [f_tid] is 0 for faults not attributable to a thread
+   (e.g. a machine double fault). *)
+type fault_entry = { f_cycle : int; f_tid : int; f_reason : string }
+
 type t = {
   machine : Machine.t;
   alloc : Kalloc.t;
@@ -69,11 +74,22 @@ type t = {
   (* shared kernel entry points by name *)
   shared : (string, int) Hashtbl.t;
   mutable idle_thread : tte option;
-  (* error traps that killed threads: (tid, fault name) *)
-  mutable fault_log : (int * string) list;
+  (* error traps and kernel-detected failures, newest first, bounded
+     at [fault_log_cap] (oldest entries drop; [fault_dropped] counts
+     them, and "kernel.faults_total" in [metrics] never loses any) *)
+  mutable fault_log : fault_entry list;
+  mutable fault_log_len : int;
+  mutable fault_dropped : int;
+  (* kernel-wide counter/gauge registry (faults, disk retries,
+     watchdog restarts...) *)
+  metrics : Metrics.t;
   (* observability: None = tracing never attached, zero overhead *)
   mutable ktrace : Ktrace.t option;
 }
+
+(* The fault log keeps the most recent entries only: a wedged machine
+   retrying forever must not grow an unbounded list. *)
+let fault_log_cap = 64
 
 let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
   let machine = Machine.create ~mem_words cost in
@@ -113,6 +129,9 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     shared = Hashtbl.create 32;
     idle_thread = None;
     fault_log = [];
+    fault_log_len = 0;
+    fault_dropped = 0;
+    metrics = Metrics.create ();
     ktrace = None;
   }
 
@@ -130,6 +149,33 @@ let trace_probe k kind =
 
 let trace_probe_status k f =
   match k.ktrace with Some tr -> Ktrace.probe_status tr f | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Fault log *)
+
+(* Record a fault: bounded structured log (newest first), the
+   "kernel.faults_total" metrics counter, and a ktrace event when a
+   trace is attached.  Host-side bookkeeping — charges nothing. *)
+let log_fault k ~tid ~reason =
+  Metrics.bump k.metrics "kernel.faults_total";
+  trace k (Ktrace.Fault reason);
+  if k.fault_log_len >= fault_log_cap then begin
+    (* newest-first list: drop the oldest entry off the tail *)
+    let rec take n = function
+      | [] -> []
+      | _ when n = 0 -> []
+      | e :: tl -> e :: take (n - 1) tl
+    in
+    k.fault_log <- take (fault_log_cap - 1) k.fault_log;
+    k.fault_log_len <- fault_log_cap - 1;
+    k.fault_dropped <- k.fault_dropped + 1
+  end;
+  k.fault_log <-
+    { f_cycle = Machine.cycles k.machine; f_tid = tid; f_reason = reason }
+    :: k.fault_log;
+  k.fault_log_len <- k.fault_log_len + 1
+
+let faults_total k = Metrics.read k.metrics "kernel.faults_total"
 
 (* Attach a trace to this kernel: machine hooks, cycle attribution,
    and ownership of everything synthesized so far.  Code synthesized

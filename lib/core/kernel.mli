@@ -41,6 +41,10 @@ type waitq = {
 
 val waitq : name:string -> waitq
 
+(** One entry in the bounded fault log; [f_tid] is 0 for faults not
+    attributable to a thread (e.g. a machine double fault). *)
+type fault_entry = { f_cycle : int; f_tid : int; f_reason : string }
+
 type t = {
   machine : Machine.t;
   alloc : Kalloc.t;
@@ -61,11 +65,27 @@ type t = {
   default_vectors : int array;
   shared : (string, int) Hashtbl.t;
   mutable idle_thread : tte option;
-  mutable fault_log : (int * string) list;
+  mutable fault_log : fault_entry list;  (** newest first, bounded *)
+  mutable fault_log_len : int;
+  mutable fault_dropped : int;  (** entries evicted by the bound *)
+  metrics : Metrics.t;  (** kernel-wide counters/gauges *)
   mutable ktrace : Ktrace.t option;
 }
 
 val create : ?cost:Cost.t -> ?mem_words:int -> unit -> t
+
+(** {1 Fault log} *)
+
+(** Maximum entries retained in [fault_log] (oldest evicted first). *)
+val fault_log_cap : int
+
+(** Record a fault: prepend a bounded structured entry, bump the
+    "kernel.faults_total" counter, and emit [Ktrace.Fault] when a
+    trace is attached.  Host-side — charges no simulated cycles. *)
+val log_fault : t -> tid:int -> reason:string -> unit
+
+(** Total faults ever logged (survives fault-log eviction). *)
+val faults_total : t -> int
 
 (** {1 Tracing}
 

@@ -17,6 +17,12 @@ module I = Insn
 
 type kind = Spsc | Mpsc | Spmc | Mpmc
 
+(* What a put does when the queue is full.  [Fail] is the bare
+   generated code: r0 = 0 and the caller deals with it.  The other two
+   make the policy explicit at creation instead of leaving every call
+   site to improvise. *)
+type overflow = Drop | Block | Fail
+
 type t = {
   q_kind : kind;
   q_name : string;
@@ -27,6 +33,8 @@ type t = {
   q_put : int; (* code entries *)
   q_get : int;
   q_put_many : int; (* 0 when absent *)
+  q_overflow : overflow;
+  q_dropped_cell : int; (* data cell counting dropped items; 0 unless Drop *)
 }
 
 let head_cell q = q.q_desc
@@ -82,47 +90,81 @@ let spsc_get_template =
         I.Rts;
       ])
 
-(* MP-SC single-item put: claim a slot by CAS on Q_head, fill it, then
-   set the slot's valid flag (Figure 2 with H = 1).  A failed CAS
-   reloads r4 with the fresh head (68020 CAS semantics), so the retry
-   loop re-enters after the initial load. *)
+(* Slot-flag states shared by all multi-producer/multi-consumer
+   queues.  The kfault interleaving explorer found the original
+   claim-by-CAS-on-the-index protocol unsound under preemption: a
+   claimant descheduled between its index CAS and its flag update
+   leaves a stale flag that, one ring lap later, double-delivers the
+   slot (consumer side) or overwrites an unconsumed item via index ABA
+   (producer side).  The hardened protocol claims the slot *flag*
+   first — CAS 0->3 to write, CAS 1->2 to read — then validates the
+   index and backs the claim out if it was stale.  While a claim is
+   held the ring wedges at that slot, so the index provably cannot lap
+   it: the validation read is conclusive and the index advance needs
+   no CAS (the claimant owns that transition). *)
+let fl_free = 0 (* drained: the producer may fill it *)
+
+let fl_full = 1 (* published: the consumer may drain it *)
+let fl_reading = 2 (* claimed by a consumer, not yet drained *)
+let fl_writing = 3 (* claimed by a producer, not yet published *)
+
+(* MP put (single-item, any number of consumers): claim the head
+   slot's flag (0 -> 3), validate Q_head, advance it, fill, publish
+   (flag := 1).  Figure 2 with H = 1, hardened as above.  A failed CAS
+   leaves r6 holding the observed flag (68020 CAS semantics), which
+   only the full/busy exit consumes. *)
+let mp_put_body p =
+  [
+    I.Label "retry";
+    I.Move (I.Abs (p "head"), I.Reg I.r4); (* h *)
+    I.Move (I.Reg I.r4, I.Reg I.r5);
+    I.Alu (I.Add, I.Imm (p "flag"), I.r5); (* r5 = &flag[h] *)
+    I.Move (I.Imm fl_free, I.Reg I.r6);
+    I.Move (I.Imm fl_writing, I.Reg I.r7);
+    I.Cas (I.r6, I.r7, I.Ind I.r5); (* claim the slot *)
+    I.B (I.Ne, I.To_label "busy"); (* lapped (full) or being written *)
+    I.Cmp (I.Abs (p "head"), I.Reg I.r4);
+    I.B (I.Ne, I.To_label "stale"); (* head moved first: not our slot *)
+    I.Move (I.Reg I.r4, I.Reg I.r6);
+    I.Alu (I.Add, I.Imm 1, I.r6);
+    I.Cmp (I.Imm (p "size"), I.Reg I.r6);
+    I.B (I.Ne, I.To_label "nowrap");
+    I.Move (I.Imm 0, I.Reg I.r6);
+    I.Label "nowrap";
+    I.Cmp (I.Abs (p "tail"), I.Reg I.r6);
+    I.B (I.Eq, I.To_label "unclaim_full");
+    I.Move (I.Reg I.r6, I.Abs (p "head")); (* we own this transition *)
+    I.Move (I.Reg I.r4, I.Reg I.r6);
+    I.Alu (I.Add, I.Imm (p "buf"), I.r6);
+    I.Move (I.Reg I.r1, I.Ind I.r6); (* fill *)
+    I.Move (I.Imm fl_full, I.Ind I.r5); (* publish *)
+    I.Move (I.Imm 1, I.Reg I.r0);
+    I.Rts;
+    I.Label "stale";
+    I.Move (I.Imm fl_free, I.Ind I.r5); (* back out, take a fresh head *)
+    I.B (I.Always, I.To_label "retry");
+    I.Label "unclaim_full";
+    I.Move (I.Imm fl_free, I.Ind I.r5);
+    I.Label "busy";
+    I.Move (I.Imm 0, I.Reg I.r0);
+    I.Rts;
+  ]
+
 let mpsc_put_template =
   Template.make ~name:"mpsc_put" ~params:[ "head"; "tail"; "buf"; "flag"; "size" ]
-    (fun p ->
-      [
-        I.Move (I.Abs (p "head"), I.Reg I.r4); (* h *)
-        I.Label "retry";
-        I.Move (I.Reg I.r4, I.Reg I.r5);
-        I.Alu (I.Add, I.Imm 1, I.r5);
-        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
-        I.B (I.Ne, I.To_label "nowrap");
-        I.Move (I.Imm 0, I.Reg I.r5);
-        I.Label "nowrap";
-        I.Cmp (I.Abs (p "tail"), I.Reg I.r5);
-        I.B (I.Eq, I.To_label "full");
-        I.Cas (I.r4, I.r5, I.Abs (p "head")); (* stake the claim *)
-        I.B (I.Ne, I.To_label "retry");
-        I.Move (I.Reg I.r4, I.Reg I.r6);
-        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
-        I.Move (I.Reg I.r1, I.Ind I.r6); (* fill *)
-        I.Alu (I.Add, I.Imm (p "flag"), I.r4);
-        I.Move (I.Imm 1, I.Ind I.r4); (* mark valid *)
-        I.Move (I.Imm 1, I.Reg I.r0);
-        I.Rts;
-        I.Label "full";
-        I.Move (I.Imm 0, I.Reg I.r0);
-        I.Rts;
-      ])
+    mp_put_body
 
-(* MP-SC get: the single consumer trusts only the flags. *)
+(* MP-SC get: the single consumer trusts only the flags.  The flag
+   must equal [fl_full] exactly — a producer descheduled mid-write
+   leaves [fl_writing], whose buffer word is not yet valid. *)
 let mpsc_get_template =
   Template.make ~name:"mpsc_get" ~params:[ "tail"; "buf"; "flag"; "size" ] (fun p ->
       [
         I.Move (I.Abs (p "tail"), I.Reg I.r4);
         I.Move (I.Reg I.r4, I.Reg I.r5);
         I.Alu (I.Add, I.Imm (p "flag"), I.r5);
-        I.Tst (I.Ind I.r5);
-        I.B (I.Eq, I.To_label "empty");
+        I.Cmp (I.Imm fl_full, I.Ind I.r5);
+        I.B (I.Ne, I.To_label "empty");
         I.Move (I.Imm 0, I.Ind I.r5); (* consume the flag *)
         I.Move (I.Reg I.r4, I.Reg I.r5);
         I.Alu (I.Add, I.Imm (p "buf"), I.r5);
@@ -141,34 +183,45 @@ let mpsc_get_template =
       ])
 
 (* Figure 2 proper: atomic insert of r3 items read from (r2)+.  Either
-   claims space for the whole burst or fails without side effects. *)
+   claims space for the whole burst or fails without side effects.
+   The head slot's flag claim is the producers' mutex: while we hold
+   it no other producer can pass slot h, so the space check, the head
+   advance, and the burst fill are all safely ours. *)
 let mpsc_put_many_template =
   Template.make ~name:"mpsc_put_many"
     ~params:[ "head"; "tail"; "buf"; "flag"; "size" ] (fun p ->
       let size = p "size" in
       [
-        I.Move (I.Abs (p "head"), I.Reg I.r4);
         I.Label "retry";
+        I.Move (I.Abs (p "head"), I.Reg I.r4); (* h *)
+        I.Move (I.Reg I.r4, I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r5); (* r5 = &flag[h] *)
+        I.Move (I.Imm fl_free, I.Reg I.r6);
+        I.Move (I.Imm fl_writing, I.Reg I.r7);
+        I.Cas (I.r6, I.r7, I.Ind I.r5); (* claim the head slot *)
+        I.B (I.Ne, I.To_label "full"); (* lapped or being written *)
+        I.Cmp (I.Abs (p "head"), I.Reg I.r4);
+        I.B (I.Ne, I.To_label "stale");
         (* SpaceLeft(h): (tail - h - 1 + size) adjusted into range *)
-        I.Move (I.Abs (p "tail"), I.Reg I.r5);
-        I.Alu (I.Sub, I.Reg I.r4, I.r5);
-        I.Alu (I.Add, I.Imm (size - 1), I.r5);
-        I.Cmp (I.Imm size, I.Reg I.r5);
+        I.Move (I.Abs (p "tail"), I.Reg I.r6);
+        I.Alu (I.Sub, I.Reg I.r4, I.r6);
+        I.Alu (I.Add, I.Imm (size - 1), I.r6);
+        I.Cmp (I.Imm size, I.Reg I.r6);
         I.B (I.Lt, I.To_label "nomod");
-        I.Alu (I.Sub, I.Imm size, I.r5);
+        I.Alu (I.Sub, I.Imm size, I.r6);
         I.Label "nomod";
-        I.Cmp (I.Reg I.r3, I.Reg I.r5); (* space - H *)
-        I.B (I.Cs, I.To_label "full"); (* space < H *)
-        (* hi = AddWrap(h, H) *)
+        I.Cmp (I.Reg I.r3, I.Reg I.r6); (* space - H *)
+        I.B (I.Cs, I.To_label "unclaim_full"); (* space < H *)
+        (* hi = AddWrap(h, H); the claim makes the transition ours *)
         I.Move (I.Reg I.r4, I.Reg I.r6);
         I.Alu (I.Add, I.Reg I.r3, I.r6);
         I.Cmp (I.Imm size, I.Reg I.r6);
         I.B (I.Lt, I.To_label "nowrap");
         I.Alu (I.Sub, I.Imm size, I.r6);
         I.Label "nowrap";
-        I.Cas (I.r4, I.r6, I.Abs (p "head"));
-        I.B (I.Ne, I.To_label "retry");
-        (* fill the claimed slots, setting each valid flag *)
+        I.Move (I.Reg I.r6, I.Abs (p "head"));
+        (* fill the claimed slots, publishing each in order (slot h's
+           flag goes 3 -> 1 on its turn, releasing waiting peers) *)
         I.Move (I.Reg I.r3, I.Reg I.r7);
         I.Alu (I.Sub, I.Imm 1, I.r7);
         I.Label "fill";
@@ -177,7 +230,7 @@ let mpsc_put_many_template =
         I.Move (I.Post_inc I.r2, I.Ind I.r6);
         I.Move (I.Reg I.r4, I.Reg I.r6);
         I.Alu (I.Add, I.Imm (p "flag"), I.r6);
-        I.Move (I.Imm 1, I.Ind I.r6);
+        I.Move (I.Imm fl_full, I.Ind I.r6);
         I.Alu (I.Add, I.Imm 1, I.r4);
         I.Cmp (I.Imm size, I.Reg I.r4);
         I.B (I.Ne, I.To_label "nf");
@@ -186,40 +239,52 @@ let mpsc_put_many_template =
         I.Dbra (I.r7, I.To_label "fill");
         I.Move (I.Imm 1, I.Reg I.r0);
         I.Rts;
+        I.Label "stale";
+        I.Move (I.Imm fl_free, I.Ind I.r5);
+        I.B (I.Always, I.To_label "retry");
+        I.Label "unclaim_full";
+        I.Move (I.Imm fl_free, I.Ind I.r5);
         I.Label "full";
         I.Move (I.Imm 0, I.Reg I.r0);
         I.Rts;
       ])
 
-(* SP-MC get: consumers race on Q_tail with CAS.  A consumer first
-   *claims* the slot (CAS tail forward), then reads it and clears its
-   valid flag; the single producer reuses a slot only when its flag
-   has been cleared, so no two consumers ever touch the same slot and
-   no slot is overwritten while it is being read (§3.2). *)
+(* MC get (any number of producers): consumers race on the tail
+   slot's *flag* with CAS (1 -> 2), validate Q_tail, advance it, read,
+   then release the slot to the producer (flag := 0).  Claiming the
+   publication itself (not the index) means a consumer descheduled
+   mid-read leaves the slot visibly claimed: peers see flag=2 and
+   wait, the producer sees flag<>0 and waits — nobody can consume it
+   twice or overwrite it (§3.2, hardened; see the state table above). *)
 let spmc_get_template =
   Template.make ~name:"spmc_get" ~params:[ "tail"; "buf"; "flag"; "size" ] (fun p ->
       [
-        I.Move (I.Abs (p "tail"), I.Reg I.r4);
         I.Label "retry";
+        I.Move (I.Abs (p "tail"), I.Reg I.r4); (* t *)
         I.Move (I.Reg I.r4, I.Reg I.r5);
-        I.Alu (I.Add, I.Imm (p "flag"), I.r5);
-        I.Tst (I.Ind I.r5);
-        I.B (I.Eq, I.To_label "empty"); (* not yet published *)
-        I.Move (I.Reg I.r4, I.Reg I.r5);
-        I.Alu (I.Add, I.Imm 1, I.r5);
-        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
+        I.Alu (I.Add, I.Imm (p "flag"), I.r5); (* r5 = &flag[t] *)
+        I.Move (I.Imm fl_full, I.Reg I.r6);
+        I.Move (I.Imm fl_reading, I.Reg I.r7);
+        I.Cas (I.r6, I.r7, I.Ind I.r5); (* claim the publication *)
+        I.B (I.Ne, I.To_label "empty"); (* unpublished, or claimant mid-read *)
+        I.Cmp (I.Abs (p "tail"), I.Reg I.r4);
+        I.B (I.Ne, I.To_label "stale"); (* tail moved first: not our slot *)
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm 1, I.r6);
+        I.Cmp (I.Imm (p "size"), I.Reg I.r6);
         I.B (I.Ne, I.To_label "nowrap");
-        I.Move (I.Imm 0, I.Reg I.r5);
+        I.Move (I.Imm 0, I.Reg I.r6);
         I.Label "nowrap";
-        I.Cas (I.r4, I.r5, I.Abs (p "tail")); (* claim the slot *)
-        I.B (I.Ne, I.To_label "retry");
-        I.Move (I.Reg I.r4, I.Reg I.r5);
-        I.Alu (I.Add, I.Imm (p "buf"), I.r5);
-        I.Move (I.Ind I.r5, I.Reg I.r1); (* read *)
-        I.Alu (I.Add, I.Imm (p "flag"), I.r4);
-        I.Move (I.Imm 0, I.Ind I.r4); (* release to the producer *)
+        I.Move (I.Reg I.r6, I.Abs (p "tail")); (* we own this transition *)
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
+        I.Move (I.Ind I.r6, I.Reg I.r1); (* read *)
+        I.Move (I.Imm fl_free, I.Ind I.r5); (* release to the producer *)
         I.Move (I.Imm 1, I.Reg I.r0);
         I.Rts;
+        I.Label "stale";
+        I.Move (I.Imm fl_full, I.Ind I.r5); (* give the claim back *)
+        I.B (I.Always, I.To_label "retry");
         I.Label "empty";
         I.Move (I.Imm 0, I.Reg I.r0);
         I.Rts;
@@ -286,6 +351,8 @@ let create_spsc_impl k ~name ~size =
     q_put = put;
     q_get = get;
     q_put_many = 0;
+    q_overflow = Fail;
+    q_dropped_cell = 0;
   }
 
 let create_mpsc_impl k ~name ~size =
@@ -310,6 +377,8 @@ let create_mpsc_impl k ~name ~size =
     q_put = put;
     q_get = get;
     q_put_many = put_many;
+    q_overflow = Fail;
+    q_dropped_cell = 0;
   }
 
 let create_spmc_impl k ~name ~size =
@@ -331,44 +400,17 @@ let create_spmc_impl k ~name ~size =
     q_put = put;
     q_get = get;
     q_put_many = 0;
+    q_overflow = Fail;
+    q_dropped_cell = 0;
   }
 
-(* MP-MC put: like Figure 2's claim-by-CAS, but with multiple
-   consumers the head/tail distance alone cannot prove a slot free —
-   a consumer may have advanced Q_tail while still reading its slot.
-   The producer therefore also requires the slot's valid flag to be
-   clear before staking its claim. *)
+(* MP-MC put: the flag-claim protocol already proves the slot free
+   before any index moves (a consumer still reading holds flag=2, a
+   lapped slot holds flag=1), so the multi-consumer case is the same
+   code as the MP-SC put. *)
 let mpmc_put_template =
   Template.make ~name:"mpmc_put" ~params:[ "head"; "tail"; "buf"; "flag"; "size" ]
-    (fun p ->
-      [
-        I.Move (I.Abs (p "head"), I.Reg I.r4);
-        I.Label "retry";
-        I.Move (I.Reg I.r4, I.Reg I.r5);
-        I.Alu (I.Add, I.Imm (p "flag"), I.r5);
-        I.Tst (I.Ind I.r5);
-        I.B (I.Ne, I.To_label "full"); (* slot not yet drained *)
-        I.Move (I.Reg I.r4, I.Reg I.r5);
-        I.Alu (I.Add, I.Imm 1, I.r5);
-        I.Cmp (I.Imm (p "size"), I.Reg I.r5);
-        I.B (I.Ne, I.To_label "nowrap");
-        I.Move (I.Imm 0, I.Reg I.r5);
-        I.Label "nowrap";
-        I.Cmp (I.Abs (p "tail"), I.Reg I.r5);
-        I.B (I.Eq, I.To_label "full");
-        I.Cas (I.r4, I.r5, I.Abs (p "head")); (* stake the claim *)
-        I.B (I.Ne, I.To_label "retry");
-        I.Move (I.Reg I.r4, I.Reg I.r6);
-        I.Alu (I.Add, I.Imm (p "buf"), I.r6);
-        I.Move (I.Reg I.r1, I.Ind I.r6);
-        I.Alu (I.Add, I.Imm (p "flag"), I.r4);
-        I.Move (I.Imm 1, I.Ind I.r4); (* publish *)
-        I.Move (I.Imm 1, I.Reg I.r0);
-        I.Rts;
-        I.Label "full";
-        I.Move (I.Imm 0, I.Reg I.r0);
-        I.Rts;
-      ])
+    mp_put_body
 
 (* MP-MC: flag-guarded CAS claims at both ends. *)
 let create_mpmc_impl k ~name ~size =
@@ -390,6 +432,8 @@ let create_mpmc_impl k ~name ~size =
     q_put = put;
     q_get = get;
     q_put_many = 0;
+    q_overflow = Fail;
+    q_dropped_cell = 0;
   }
 
 (* ---------------------------------------------------------------- *)
@@ -437,7 +481,39 @@ let traced_entry k ~qname ~op entry =
       (Kernel.install_shared k ~name:(qname ^ suffix)
          ((I.Jsr (I.To_addr entry) :: probe) @ [ I.Rts ]))
 
-let create ?kind ?(producers = 1) ?(consumers = 1) k ~name ~size =
+(* Overflow wrappers: synthesized prologues around the bare put entry
+   that implement the queue's creation-time policy.  The bare put
+   reads r1 without modifying it, so calling it again (Block) or
+   falling through (Drop) is safe. *)
+
+(* Drop: a full queue discards the item, counts it in [cell], and
+   still reports success — the producer never stalls (a tty that drops
+   keystrokes rather than wedging the interrupt path). *)
+let drop_put_wrapper ~entry ~cell =
+  [
+    I.Jsr (I.To_addr entry);
+    I.Tst (I.Reg I.r0);
+    I.B (I.Ne, I.To_label "done");
+    I.Alu_mem (I.Add, I.Imm 1, I.Abs cell);
+    I.Move (I.Imm 1, I.Reg I.r0);
+    I.Label "done";
+    I.Rts;
+  ]
+
+(* Block: spin until the consumer frees a slot.  Correct only when
+   something else (an interrupt-driven consumer, a preempting thread)
+   can drain the queue out from under the spinner. *)
+let block_put_wrapper ~entry =
+  [
+    I.Label "retry";
+    I.Jsr (I.To_addr entry);
+    I.Tst (I.Reg I.r0);
+    I.B (I.Eq, I.To_label "retry");
+    I.Rts;
+  ]
+
+let create ?kind ?(producers = 1) ?(consumers = 1) ?(overflow = Fail) k ~name
+    ~size =
   let kind =
     match kind with Some kd -> kd | None -> kind_for ~producers ~consumers
   in
@@ -448,14 +524,38 @@ let create ?kind ?(producers = 1) ?(consumers = 1) k ~name ~size =
     | Spmc -> create_spmc_impl k ~name ~size
     | Mpmc -> create_mpmc_impl k ~name ~size
   in
+  let put, dropped_cell =
+    match overflow with
+    | Fail -> (q.q_put, 0)
+    | Drop ->
+      let cell = Kalloc.alloc_zeroed k.Kernel.alloc 1 in
+      let entry, _ =
+        Kernel.install_shared k ~name:(name ^ "/drop_put")
+          (drop_put_wrapper ~entry:q.q_put ~cell)
+      in
+      (entry, cell)
+    | Block ->
+      let entry, _ =
+        Kernel.install_shared k ~name:(name ^ "/block_put")
+          (block_put_wrapper ~entry:q.q_put)
+      in
+      (entry, 0)
+  in
   {
     q with
-    q_put = traced_entry k ~qname:name ~op:`Put q.q_put;
+    q_overflow = overflow;
+    q_dropped_cell = dropped_cell;
+    q_put = traced_entry k ~qname:name ~op:`Put put;
     q_get = traced_entry k ~qname:name ~op:`Get q.q_get;
   }
 
 (* ---------------------------------------------------------------- *)
 (* Host-side access for tests and servers (uncharged) *)
+
+(* Items discarded by a [Drop] queue since creation. *)
+let dropped k q =
+  if q.q_dropped_cell = 0 then 0
+  else Machine.peek k.Kernel.machine q.q_dropped_cell
 
 let host_length k q =
   let m = k.Kernel.machine in

@@ -9,6 +9,19 @@
 
 type kind = Spsc | Mpsc | Spmc | Mpmc
 
+(** Explicit policy for a put on a full queue, fixed at creation:
+    {ul
+    {- [Drop] — discard the item, count it (see {!dropped}), report
+       success: the producer never stalls;}
+    {- [Block] — spin in the put wrapper until a consumer frees a
+       slot; only meaningful when something can drain the queue out
+       from under the spinner;}
+    {- [Fail] — the bare generated code: r0 = 0, caller decides
+       (the previous, implicit behavior).}}
+    Applies to [q_put]; the atomic multi-item insert keeps [Fail]
+    semantics (all-or-nothing must be able to report failure). *)
+type overflow = Drop | Block | Fail
+
 type t = {
   q_kind : kind;
   q_name : string;
@@ -19,6 +32,8 @@ type t = {
   q_put : int; (* code entry points *)
   q_get : int;
   q_put_many : int; (* 0 when absent *)
+  q_overflow : overflow;
+  q_dropped_cell : int; (* drop-count data cell; 0 unless Drop *)
 }
 
 val head_cell : t -> int
@@ -43,6 +58,7 @@ val create :
   ?kind:kind ->
   ?producers:int ->
   ?consumers:int ->
+  ?overflow:overflow ->
   Kernel.t ->
   name:string ->
   size:int ->
@@ -51,6 +67,9 @@ val create :
 (** Map a queue connector from {!Quaject.connect} to the queue kind it
     names; [None] for non-queue connectors. *)
 val kind_of_connector : Quaject.connector -> kind option
+
+(** Items discarded by a [Drop] queue since creation (uncharged). *)
+val dropped : Kernel.t -> t -> int
 
 (** Host-side access for servers and tests (uncharged). *)
 val host_length : Kernel.t -> t -> int

@@ -1,0 +1,470 @@
+(* kfault interleaving explorer.
+
+   The paper's robustness claim (§3.2): the optimistic, lock-free
+   queue code stays correct under arbitrary preemption and interrupt
+   timing.  This module stresses exactly that, deterministically.
+
+   [run_queue] boots a kernel, builds one Kqueue of the requested
+   kind, and runs producer/consumer threads of machine code over it
+   while the host step loop forces a context switch every k-th
+   instruction (posting the quantum-timer interrupt, which every
+   thread's private vector table routes to its own switch-out code) —
+   so preemption points sweep across every instruction of the put/get
+   paths as seeds vary.  A seeded [Fault_inject] plan adds spurious
+   interrupts, scratch-region bit flips, and forced CAS failures on
+   top.  Afterwards the consumer logs are checked against the queue
+   invariants: no loss, no duplication, no corruption, and per-producer
+   FIFO order within each consumer.
+
+   [timer_loss] and [disk_fault] are targeted recovery scenarios: a
+   dropped quantum-timer completion (livelock recovered by the
+   flow-rate watchdog) and stalled/dropped/failing disk completions
+   (recovered by the disk server's bounded retry). *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+
+(* Deterministic per-seed scrambling for stride choices (never use
+   Random: sweeps must replay exactly). *)
+let mix seed salt =
+  let z = (seed * 0x9E3779B1) lxor (salt * 0x85EBCA6B) in
+  let z = (z lxor (z lsr 15)) * 0x2545F491 in
+  (z lxor (z lsr 13)) land max_int
+
+type result = {
+  x_kind : Kqueue.kind;
+  x_seed : int;
+  x_producers : int;
+  x_consumers : int;
+  x_items : int; (* per producer *)
+  x_consumed : int;
+  x_stride : int; (* instructions between forced preemptions *)
+  x_preemptions : int; (* forced context switches posted *)
+  x_injected : int; (* faults delivered by the plan *)
+  x_violations : string list; (* empty = all invariants held *)
+  x_insns : int;
+  x_cycles : int;
+}
+
+let kind_name = function
+  | Kqueue.Spsc -> "spsc"
+  | Kqueue.Mpsc -> "mpsc"
+  | Kqueue.Spmc -> "spmc"
+  | Kqueue.Mpmc -> "mpmc"
+
+let participants = function
+  | Kqueue.Spsc -> (1, 1)
+  | Kqueue.Mpsc -> (3, 1)
+  | Kqueue.Spmc -> (1, 3)
+  | Kqueue.Mpmc -> (3, 3)
+
+(* Producer [i]: put [items] tagged values, retrying while full, then
+   park.  Items are (tag << 16) | seq so the checker can reconstruct
+   per-producer streams.  The generated put reads r1 without modifying
+   it, so the full-retry re-enters with the item intact. *)
+let producer_code ~tag ~items ~put ~done_cell =
+  [
+    I.Move (I.Imm 0, I.Reg I.r8);
+    I.Label "loop";
+    I.Move (I.Imm (tag lsl 16), I.Reg I.r1);
+    I.Alu (I.Add, I.Reg I.r8, I.r1);
+    I.Label "again";
+    I.Jsr (I.To_addr put);
+    I.Tst (I.Reg I.r0);
+    I.B (I.Eq, I.To_label "again"); (* full: retry until preempted away *)
+    I.Alu (I.Add, I.Imm 1, I.r8);
+    I.Cmp (I.Imm items, I.Reg I.r8);
+    I.B (I.Ne, I.To_label "loop");
+    I.Alu_mem (I.Add, I.Imm 1, I.Abs done_cell);
+    I.Label "park";
+    I.B (I.Always, I.To_label "park");
+  ]
+
+(* Consumer [j]: drain forever, logging each item and counting it.
+   The host loop stops the run when the counts reach the total. *)
+let consumer_code ~log_base ~get ~count_cell =
+  [
+    I.Move (I.Imm log_base, I.Reg I.r12);
+    I.Label "loop";
+    I.Jsr (I.To_addr get);
+    I.Tst (I.Reg I.r0);
+    I.B (I.Eq, I.To_label "loop"); (* empty: retry *)
+    I.Move (I.Reg I.r1, I.Post_inc I.r12);
+    I.Alu_mem (I.Add, I.Imm 1, I.Abs count_cell);
+    I.B (I.Always, I.To_label "loop");
+  ]
+
+(* Check the consumer logs against the queue invariants. *)
+let check_invariants ~producers ~consumers ~items ~peek ~logs ~counts =
+  let total = producers * items in
+  let violations = ref [] in
+  let violate fmt = Fmt.kstr (fun s -> violations := s :: !violations) fmt in
+  let consumed =
+    Array.to_list (Array.init consumers (fun j -> peek (counts + j)))
+    |> List.fold_left ( + ) 0
+  in
+  if consumed <> total then
+    violate "loss/stall: consumed %d of %d" consumed total;
+  let seen = Hashtbl.create (2 * total) in
+  (* newest position of each producer's last seq per consumer *)
+  let last_seq = Array.make_matrix consumers (producers + 1) (-1) in
+  for j = 0 to consumers - 1 do
+    let n = peek (counts + j) in
+    for p = 0 to n - 1 do
+      let v = peek (logs.(j) + p) in
+      let tag = v lsr 16 and seq = v land 0xFFFF in
+      if tag < 1 || tag > producers || seq >= items then
+        violate "corrupt item %#x at consumer %d pos %d" v j p
+      else begin
+        if Hashtbl.mem seen v then violate "duplicate item %#x" v;
+        Hashtbl.replace seen v ();
+        if seq <= last_seq.(j).(tag) then
+          violate
+            "FIFO violation: consumer %d saw producer %d seq %d after %d" j
+            tag seq last_seq.(j).(tag);
+        last_seq.(j).(tag) <- seq
+      end
+    done
+  done;
+  (* presence: every produced item must appear exactly once (a phantom
+     consume can hide a loss from the count-based check above) *)
+  for tag = 1 to producers do
+    for seq = 0 to items - 1 do
+      if not (Hashtbl.mem seen ((tag lsl 16) lor seq)) then
+        violate "missing item tag=%d seq=%d" tag seq
+    done
+  done;
+  List.rev !violations
+
+(* The explorer's fault mix: spurious timer/disk interrupts (safe:
+   both handlers are idempotent) and forced CAS failures.  Bit flips
+   are aimed at the scratch region by the caller; device stalls are
+   exercised by the targeted scenarios instead. *)
+let explorer_config ~scratch =
+  {
+    Fault_inject.default_config with
+    Fault_inject.horizon_cycles = 400_000;
+    n_irqs = 3;
+    n_flips = 2;
+    n_stalls = 0;
+    n_drops = 0;
+    n_cas_fails = 6;
+    cas_gap = 32;
+    irq_choices =
+      [
+        (Mmio_map.timer_level, Mmio_map.timer_vector);
+        (Mmio_map.disk_level, Mmio_map.disk_vector);
+      ];
+    flip_base = scratch;
+    flip_len = 64;
+  }
+
+let run_queue ?(items = 32) ?(faults = true) ~kind ~seed () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let producers, consumers = participants kind in
+  let total = producers * items in
+  let q = Kqueue.create ~kind k ~name:"explorer/q" ~size:8 in
+  let alloc = k.Kernel.alloc in
+  let log_words = total + 8 in
+  let logs = Array.init consumers (fun _ -> Kalloc.alloc_zeroed alloc log_words) in
+  let counts = Kalloc.alloc_zeroed alloc 16 in
+  let scratch = Kalloc.alloc_zeroed alloc 64 in
+  (* every thread sees the queue, the logs, the counters, the scratch *)
+  let segments =
+    [ (q.Kqueue.q_desc, 16); (q.Kqueue.q_buf, 8); (counts, 16); (scratch, 64) ]
+    @ (if q.Kqueue.q_flag <> 0 then [ (q.Kqueue.q_flag, 8) ] else [])
+    @ Array.to_list (Array.map (fun l -> (l, log_words)) logs)
+  in
+  for i = 1 to producers do
+    let code =
+      producer_code ~tag:i ~items ~put:q.Kqueue.q_put
+        ~done_cell:(counts + consumers + i - 1)
+    in
+    let entry, _ = Asm.assemble m code in
+    ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
+  done;
+  for j = 0 to consumers - 1 do
+    let code =
+      consumer_code ~log_base:logs.(j) ~get:q.Kqueue.q_get
+        ~count_cell:(counts + j)
+    in
+    let entry, _ = Asm.assemble m code in
+    ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
+  done;
+  (* enter the scheduler exactly as Boot.go does, but keep stepping on
+     the host so we can post preemptions at chosen instruction counts *)
+  (match k.Kernel.rq_anchor with
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m 7;
+    Machine.set_pc m t.Kernel.sw_in_mmu
+  | None -> invalid_arg "explorer: no runnable threads");
+  let fi =
+    if faults then
+      Some
+        (Fault_inject.arm m
+           (Fault_inject.compile ~config:(explorer_config ~scratch) seed))
+    else None
+  in
+  (* stride floor keeps forward progress: a forced switch costs a few
+     dozen instructions of save/restore, so anything comfortably above
+     that guarantees every thread still advances between switches *)
+  let stride = 128 + (mix seed 7 mod 256) in
+  let preemptions = ref 0 in
+  let peek a = Machine.peek m a in
+  let consumed () =
+    let s = ref 0 in
+    for j = 0 to consumers - 1 do
+      s := !s + peek (counts + j)
+    done;
+    !s
+  in
+  let start_insns = Machine.insns_executed m in
+  let start_cycles = Machine.cycles m in
+  let budget = 6_000_000 in
+  let violations = ref [] in
+  (try
+     let rec loop last_post =
+       if consumed () >= total then ()
+       else if Machine.insns_executed m - start_insns > budget then
+         violations := [ "stall: instruction budget exhausted" ]
+       else if Machine.halted m then violations := [ "machine halted" ]
+       else begin
+         let n = Machine.insns_executed m in
+         let last_post =
+           if n - last_post >= stride then begin
+             incr preemptions;
+             Machine.post_interrupt ~source:"explorer" m
+               ~level:Mmio_map.timer_level ~vector:Mmio_map.timer_vector;
+             n
+           end
+           else last_post
+         in
+         Machine.step m;
+         loop last_post
+       end
+     in
+     loop start_insns
+   with Machine.Deadlock -> violations := [ "deadlock" ]);
+  let violations =
+    !violations
+    @ check_invariants ~producers ~consumers ~items ~peek ~logs ~counts
+  in
+  let injected = match fi with Some f -> Fault_inject.injected f | None -> 0 in
+  (match fi with Some f -> Fault_inject.disarm m f | None -> ());
+  {
+    x_kind = kind;
+    x_seed = seed;
+    x_producers = producers;
+    x_consumers = consumers;
+    x_items = items;
+    x_consumed = consumed ();
+    x_stride = stride;
+    x_preemptions = !preemptions;
+    x_injected = injected;
+    x_violations = violations;
+    x_insns = Machine.insns_executed m - start_insns;
+    x_cycles = Machine.cycles m - start_cycles;
+  }
+
+let run_all ?(items = 32) ~seed () =
+  List.map
+    (fun kind -> run_queue ~items ~kind ~seed ())
+    [ Kqueue.Spsc; Kqueue.Mpsc; Kqueue.Spmc; Kqueue.Mpmc ]
+
+(* ---------------------------------------------------------------- *)
+(* Targeted recovery scenarios *)
+
+type timer_loss_result = {
+  tl_seed : int;
+  tl_drop_cycle : int; (* when the quantum-timer completion was lost *)
+  tl_stall_cycles : int; (* flow outage observed around the drop *)
+  tl_recovery_cycles : int; (* drop -> first consumed item after it *)
+  tl_restarts : int; (* watchdog restart actions taken *)
+  tl_consumed : int;
+}
+
+(* Lose a quantum-timer completion under spinning (non-yielding)
+   producer/consumer threads: the running thread then owns the CPU
+   forever — the classic lost-interrupt livelock.  The flow-rate
+   watchdog notices the consumer's counter flat-lining and re-arms the
+   timer, and the stale-deadline check in [Devices.Timer.arm] lets the
+   re-arm through.  Returns the measured recovery latency. *)
+let timer_loss ?(seed = 1) () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let q = Kqueue.create ~kind:Kqueue.Mpsc k ~name:"tl/q" ~size:8 in
+  let alloc = k.Kernel.alloc in
+  let counts = Kalloc.alloc_zeroed alloc 4 in
+  let segments =
+    [ (q.Kqueue.q_desc, 16); (q.Kqueue.q_buf, 8); (q.Kqueue.q_flag, 8);
+      (counts, 4) ]
+  in
+  (* endless producer: seq wraps at 16 bits, tag 1 *)
+  let prod =
+    [
+      I.Move (I.Imm 0, I.Reg I.r8);
+      I.Label "loop";
+      I.Move (I.Imm (1 lsl 16), I.Reg I.r1);
+      I.Alu (I.Add, I.Reg I.r8, I.r1);
+      I.Label "again";
+      I.Jsr (I.To_addr q.Kqueue.q_put);
+      I.Tst (I.Reg I.r0);
+      I.B (I.Eq, I.To_label "again");
+      I.Alu (I.Add, I.Imm 1, I.r8);
+      I.Alu (I.And, I.Imm 0xFFFF, I.r8);
+      I.B (I.Always, I.To_label "loop");
+    ]
+  in
+  let cons =
+    [
+      I.Label "loop";
+      I.Jsr (I.To_addr q.Kqueue.q_get);
+      I.Tst (I.Reg I.r0);
+      I.B (I.Eq, I.To_label "loop");
+      I.Alu_mem (I.Add, I.Imm 1, I.Abs counts);
+      I.B (I.Always, I.To_label "loop");
+    ]
+  in
+  let pe, _ = Asm.assemble m prod in
+  let ce, _ = Asm.assemble m cons in
+  ignore (Thread.create k ~entry:pe ~quantum_us:500 ~segments ());
+  ignore (Thread.create k ~entry:ce ~quantum_us:500 ~segments ());
+  let wd = Watchdog.install k ~period_us:2_000.0 () in
+  let flow =
+    Watchdog.watch wd ~name:"tl/consumer" ~threshold:3
+      ~read:(fun () -> Machine.peek m counts)
+      ~restart:(fun () -> Devices.Timer.arm k.Kernel.timer ~us:200.0)
+      ()
+  in
+  (match k.Kernel.rq_anchor with
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m 7;
+    Machine.set_pc m t.Kernel.sw_in_mmu
+  | None -> invalid_arg "timer_loss: no runnable threads");
+  (* drop the timer completion somewhere inside steady-state flow *)
+  let drop_after = 30_000 + (mix seed 11 mod 20_000) in
+  let fi =
+    Fault_inject.arm m
+      (Fault_inject.make_plan ~seed
+         [
+           {
+             Fault_inject.ev_after = drop_after;
+             ev_action = Fault_inject.Drop_completion { device = "timer" };
+           };
+         ])
+  in
+  let arm_cycle = Machine.cycles m in
+  let budget = 8_000_000 in
+  let last_count = ref 0 in
+  let last_change_cycle = ref arm_cycle in
+  let drop_cycle = arm_cycle + drop_after in
+  let recovery = ref 0 in
+  let stall = ref 0 in
+  let rec loop n =
+    if n > budget then ()
+    else begin
+      let c = Machine.peek m counts in
+      if c <> !last_count then begin
+        let now = Machine.cycles m in
+        if now > drop_cycle && !recovery = 0 then begin
+          recovery := now - drop_cycle;
+          stall := now - !last_change_cycle
+        end;
+        last_count := c;
+        last_change_cycle := now
+      end;
+      if !recovery = 0 then begin
+        Machine.step m;
+        loop (n + 1)
+      end
+    end
+  in
+  loop 0;
+  Fault_inject.disarm m fi;
+  Watchdog.stop wd;
+  {
+    tl_seed = seed;
+    tl_drop_cycle = drop_cycle;
+    tl_stall_cycles = !stall;
+    tl_recovery_cycles = !recovery;
+    tl_restarts = Watchdog.restarts flow;
+    tl_consumed = Machine.peek m counts;
+  }
+
+type disk_fault_mode = Disk_stall | Disk_drop | Disk_bad_block
+
+type disk_fault_result = {
+  df_mode : disk_fault_mode;
+  df_completed : bool; (* the read finally returned data *)
+  df_tries : int; (* issues of the request (1 = no retry) *)
+  df_timeouts : int;
+  df_retries : int;
+  df_failed : int;
+  df_recovery_cycles : int; (* first issue -> completion, when retried *)
+}
+
+(* Stall, drop, or permanently fail a disk completion and watch the
+   disk server's bounded-retry watchdog recover (or give up with
+   status 2 instead of wedging the waiter forever). *)
+let disk_fault ?(seed = 1) ~mode () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let ds = Disk_server.install k ~timeout_us:4_000.0 ~max_tries:4 () in
+  Devices.Disk.write_block k.Kernel.disk 7
+    (Array.init Devices.Disk.block_words (fun i -> 7_000 + i));
+  (* idle thread must be resumable so completion interrupts are taken *)
+  (match k.Kernel.rq_anchor with
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m 0;
+    Machine.set_pc m t.Kernel.sw_in_mmu
+  | None -> invalid_arg "disk_fault: no idle thread");
+  let block = match mode with Disk_bad_block -> 1 lsl 20 | _ -> 7 in
+  let fi =
+    match mode with
+    | Disk_bad_block -> None (* the device itself errors: status 3 *)
+    | Disk_stall ->
+      (* push the completion past the watchdog timeout *)
+      Some
+        (Fault_inject.arm m
+           (Fault_inject.make_plan ~seed
+              [
+                {
+                  Fault_inject.ev_after = 10_000 + (mix seed 13 mod 10_000);
+                  ev_action =
+                    Fault_inject.Stall
+                      { device = "disk"; delay_cycles = 600_000 };
+                };
+              ]))
+    | Disk_drop ->
+      Some
+        (Fault_inject.arm m
+           (Fault_inject.make_plan ~seed
+              [
+                {
+                  Fault_inject.ev_after = 10_000 + (mix seed 13 mod 10_000);
+                  ev_action = Fault_inject.Drop_completion { device = "disk" };
+                };
+              ]))
+  in
+  let r = Disk_server.read_block_sync ds block ~max_insns:20_000_000 in
+  (match fi with Some f -> Fault_inject.disarm m f | None -> ());
+  {
+    df_mode = mode;
+    df_completed = r <> None;
+    df_tries = Disk_server.active_tries ds;
+    df_timeouts = Disk_server.timeouts ds;
+    df_retries = Disk_server.retries ds;
+    df_failed = Disk_server.failed ds;
+    df_recovery_cycles = Disk_server.last_recovery_cycles ds;
+  }

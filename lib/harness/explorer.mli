@@ -1,0 +1,76 @@
+(** kfault interleaving explorer.
+
+    Stresses the lock-free queue code under deterministic, seeded
+    adversity: forced context switches every k-th instruction (k swept
+    by seed), spurious interrupts, scratch bit flips, and forced CAS
+    failures, then checks the queue invariants — no loss, no
+    duplication, no corruption, per-producer FIFO within each
+    consumer — for all four {!Synthesis.Kqueue.kind}s.
+
+    Also provides targeted recovery scenarios: a dropped quantum-timer
+    completion recovered by the flow-rate {!Synthesis.Watchdog}, and
+    stalled / dropped / permanently failing disk completions recovered
+    (or cleanly failed) by the disk server's bounded retry. *)
+
+type result = {
+  x_kind : Synthesis.Kqueue.kind;
+  x_seed : int;
+  x_producers : int;
+  x_consumers : int;
+  x_items : int;  (** per producer *)
+  x_consumed : int;
+  x_stride : int;  (** instructions between forced preemptions *)
+  x_preemptions : int;  (** forced context switches posted *)
+  x_injected : int;  (** faults delivered by the plan *)
+  x_violations : string list;  (** empty = all invariants held *)
+  x_insns : int;
+  x_cycles : int;
+}
+
+val kind_name : Synthesis.Kqueue.kind -> string
+
+val run_queue :
+  ?items:int ->
+  ?faults:bool ->
+  kind:Synthesis.Kqueue.kind ->
+  seed:int ->
+  unit ->
+  result
+(** One boot, one queue of [kind], 1–3 producers × 1–3 consumers of
+    machine code, preemption forced every seed-derived stride.
+    [~faults:false] runs the pure interleaving sweep with no injected
+    faults. *)
+
+val run_all : ?items:int -> seed:int -> unit -> result list
+(** [run_queue] across all four kinds. *)
+
+type timer_loss_result = {
+  tl_seed : int;
+  tl_drop_cycle : int;  (** when the quantum-timer completion was lost *)
+  tl_stall_cycles : int;  (** flow outage observed around the drop *)
+  tl_recovery_cycles : int;  (** drop → first consumed item after it *)
+  tl_restarts : int;  (** watchdog restart actions taken *)
+  tl_consumed : int;
+}
+
+val timer_loss : ?seed:int -> unit -> timer_loss_result
+(** Drop a quantum-timer completion under spinning threads (the
+    lost-interrupt livelock); the watchdog re-arms the timer and the
+    measured recovery latency is returned. *)
+
+type disk_fault_mode = Disk_stall | Disk_drop | Disk_bad_block
+
+type disk_fault_result = {
+  df_mode : disk_fault_mode;
+  df_completed : bool;  (** the read finally returned data *)
+  df_tries : int;  (** issues of the request (1 = no retry) *)
+  df_timeouts : int;
+  df_retries : int;
+  df_failed : int;
+  df_recovery_cycles : int;  (** first issue → completion, when retried *)
+}
+
+val disk_fault : ?seed:int -> mode:disk_fault_mode -> unit -> disk_fault_result
+(** Stall, drop, or permanently fail a disk completion; the disk
+    server's watchdog retries with backoff or gives up after
+    [max_tries], never wedging the waiter. *)

@@ -90,7 +90,7 @@ let synthesis_run ?(max_insns = 2_000_000_000) ?(quantum_us = 10_000) se ~progra
   | Machine.Insn_limit -> failwith "synthesis_run: instruction limit");
   (match k.Kernel.fault_log with
   | [] -> ()
-  | (tid, reason) :: _ ->
+  | { Kernel.f_tid = tid; f_reason = reason; _ } :: _ ->
     failwith (Fmt.str "synthesis_run: thread %d died of %s" tid reason));
   let d = Machine.delta m s0 in
   Machine.stats_us m d /. 1_000_000.0

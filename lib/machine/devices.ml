@@ -75,8 +75,14 @@ module Timer = struct
      (e.g. when an unblocked thread must get the CPU now). *)
   let arm t ~us =
     let m = t.machine in
+    (* [armed_at] set while the underlying device is idle means the
+       completion was lost (a kfault drop idles the device without
+       running the tick): the remembered deadline is stale and must
+       not suppress rearming.  Fault-free runs never see this state —
+       the tick and the MMIO write keep the two fields in lockstep. *)
+    let stale = t.armed_at <> max_int && t.dev.Machine.next_due = max_int in
     let deadline = Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) us in
-    if deadline < t.armed_at then begin
+    if stale || deadline < t.armed_at then begin
       t.armed_at <- deadline;
       Machine.device_schedule m t.dev deadline
     end

@@ -1,0 +1,82 @@
+(** kfault: seeded, fully deterministic fault injection.
+
+    A {!plan} is compiled from a seed by a self-contained PRNG, so a
+    (seed, config) pair names one exact fault schedule on every host.
+    {!arm} registers a host-side machine device that fires the plan's
+    events — spurious interrupts, stalled or dropped device
+    completions, bit flips in data (never code) regions — and chains
+    transient CAS failures through [Machine.set_cas_fail].
+
+    Everything is injected from the host side of the step loop: a
+    machine that never arms a plan runs cycle- and
+    instruction-identically to one built without this module (the same
+    zero-overhead discipline as the PMU; asserted by
+    [bench fault-overhead]). *)
+
+type action =
+  | Spurious_irq of { level : int; vector : int }
+      (** post an interrupt no device asked for *)
+  | Bit_flip of { addr : int; bit : int }  (** flip one bit of data memory *)
+  | Stall of { device : string; delay_cycles : int }
+      (** push an in-flight completion later *)
+  | Drop_completion of { device : string }
+      (** lose an in-flight completion entirely *)
+
+type event = { ev_after : int; ev_action : action }
+(** [ev_after] is cycles after {!arm}. *)
+
+type plan = private {
+  seed : int;
+  events : event list;  (** sorted by [ev_after] *)
+  cas_gaps : int list;
+      (** gaps (in executed-Cas counts) between forced CAS failures *)
+}
+
+type config = {
+  horizon_cycles : int;  (** events land uniformly in \[1, horizon\] *)
+  n_irqs : int;
+  n_flips : int;
+  n_stalls : int;
+  n_drops : int;
+  n_cas_fails : int;
+  cas_gap : int;  (** max gap between consecutive forced CAS failures *)
+  irq_choices : (int * int) list;  (** (level, vector) pool for spurious irqs *)
+  stall_devices : string list;
+  flip_base : int;  (** bit flips land in \[flip_base, flip_base+flip_len) *)
+  flip_len : int;  (** 0 disables flips (callers aim at scratch data) *)
+}
+
+val default_config : config
+(** Timer/disk/alarm spurious irqs (handlers are idempotent; tty is
+    excluded because its handler reads a data register), disk/tty
+    stalls and drops, 4 CAS failures, no bit flips (no safe default
+    target — set [flip_base]/[flip_len] to a scratch region). *)
+
+val compile : ?config:config -> int -> plan
+(** [compile seed] deterministically expands a seed into a plan. *)
+
+val make_plan : ?cas_gaps:int list -> seed:int -> event list -> plan
+(** Hand-built plan for targeted scenarios: explicit events (sorted
+    for you) instead of seed-expanded ones. *)
+
+type t
+(** An armed plan: live injection state on one machine. *)
+
+val arm : Machine.t -> plan -> t
+(** Register the injector; event times are relative to the current
+    cycle count. *)
+
+val disarm : Machine.t -> t -> unit
+(** Remove the injector device and any armed CAS failure. *)
+
+val injected : t -> int
+(** Faults actually delivered so far (scheduled events may still be
+    pending; stalls/drops with no in-flight completion still count as
+    delivered but have no effect). *)
+
+val injection_log : t -> (int * string) list
+(** (cycle, description) per injected fault, oldest first. *)
+
+val seed : t -> int
+
+val describe_action : action -> string

@@ -86,7 +86,23 @@ type insn =
   | Rte  (** return from exception: pop SR, PC *)
   | Cas of reg * reg * operand
       (** [Cas (rc, ru, ea)]: atomically, if [ea] = rc then [ea] := ru
-          (Z set) else rc := [ea] (Z clear) — 68020 CAS semantics *)
+          (Z set) else rc := [ea] (Z clear) — 68020 CAS semantics.
+
+          Atomicity contract: the simulator delivers interrupts only at
+          instruction boundaries (checked at the top of [Machine.step],
+          never inside [exec]), so the load–compare–store sequence can
+          never be split by an interrupt, a device tick, or an MMIO
+          side effect that posts one — a pending interrupt raised
+          mid-Cas is taken after the store commits.  This is the
+          uniprocessor equivalent of the 68020's locked bus cycle and
+          is what the paper's lock-free retry loops (§3.2) rely on.
+
+          kfault may veto an individual Cas ([Machine.set_cas_fail]):
+          the store is suppressed and Z reads clear, which is
+          observationally identical to losing the race against another
+          writer — correct optimistic code must take its retry branch,
+          and the instruction's cycle/reference cost matches a genuine
+          miss. *)
   | Movem_save of reg list * reg  (** push registers via a stack reg *)
   | Movem_load of reg * reg list
   | Push of operand

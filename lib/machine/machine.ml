@@ -75,6 +75,17 @@ and t = {
   mutable sample_next : int; (* absolute cycle count of the next sample *)
   mutable sample_mark : int; (* cycles already covered by earlier samples *)
   mutable sample_hook : pc:int -> weight:int -> unit;
+  (* kfault: transient CAS-failure injection.  [cas_count] numbers the
+     Cas instructions executed; when it reaches [cas_fail_next] the
+     store is suppressed and Z forced clear — indistinguishable from
+     losing the race to another processor, so correct optimistic code
+     must take its retry branch.  Host-side only: with no failure
+     armed the Cas path pays one integer compare. *)
+  mutable cas_count : int;
+  mutable cas_fail_next : int; (* cas_count value to fail at; max_int = off *)
+  mutable cas_fail_hook : t -> unit;
+  (* a fault raised while entering a fault handler halts the machine *)
+  mutable double_fault : bool;
   (* pending interrupts: vector per level 1..7, -1 = none *)
   pending : int array;
   (* devices *)
@@ -140,6 +151,10 @@ let create ?(mem_words = 1 lsl 20) cost =
     sample_next = max_int;
     sample_mark = 0;
     sample_hook = (fun ~pc:_ ~weight:_ -> ());
+    cas_count = 0;
+    cas_fail_next = max_int;
+    cas_fail_hook = (fun _ -> ());
+    double_fault = false;
     pending = Array.make 8 (-1);
     devices = [];
     next_device_due = max_int;
@@ -370,6 +385,12 @@ let device_schedule t d due =
   recompute_device_due t
 
 let device_idle t d = device_schedule t d max_int
+
+let find_device t name = List.find_opt (fun d -> d.dev_name = name) t.devices
+
+let remove_device t d =
+  t.devices <- List.filter (fun d' -> d' != d) t.devices;
+  recompute_device_due t
 
 let post_interrupt ?(source = "") t ~level ~vector =
   if level < 1 || level > 7 then invalid_arg "post_interrupt: level";
@@ -693,13 +714,27 @@ let exec t insn =
     unpack_sr t sr;
     t.pc <- pc
   | Insn.Cas (rc, ru, ea) ->
+    (* Atomic by construction: interrupts are delivered only between
+       instructions (see [step]), so the load-compare-store sequence
+       can never be split.  A kfault-forced failure suppresses the
+       store and reports Z clear — exactly what losing the race to
+       another processor looks like, and costing the same references
+       as a genuine miss. *)
     let addr = effective_addr t ea in
     let v = read_mem t addr in
+    t.cas_count <- t.cas_count + 1;
+    let forced = t.cas_count = t.cas_fail_next in
     let r, c, ovf = Word.sub_full v t.regs.(rc) in
     set_nz t r;
     t.cc_c <- c;
     t.cc_v <- ovf;
-    if v = t.regs.(rc) then write_mem t addr t.regs.(ru) else t.regs.(rc) <- v
+    if v = t.regs.(rc) && not forced then write_mem t addr t.regs.(ru)
+    else t.regs.(rc) <- v;
+    if forced then begin
+      t.cc_z <- false;
+      t.cas_fail_next <- max_int;
+      t.cas_fail_hook t
+    end
   | Insn.Movem_save (rs, sreg) ->
     List.iter
       (fun r ->
@@ -876,11 +911,18 @@ let step t =
       t.insns <- t.insns + 1;
       t.cycles <- t.cycles + Cost.base insn;
       (try exec t insn
-       with Cpu_fault f ->
+       with Cpu_fault f -> (
          t.pc <- t.pc - 1;
          (match t.hooks with Some h -> h.h_fault f | None -> ());
          (* fault PC: re-entrant handlers may fix and retry *)
-         take_exception t ~vector:(fault_vector f) ~new_ipl:None);
+         try take_exception t ~vector:(fault_vector f) ~new_ipl:None
+         with Cpu_fault _ ->
+           (* Double fault: exception entry itself faulted (ruined
+              supervisor stack or unreadable vector).  There is no
+              state left to recover with — halt, like the 68020's
+              double bus fault. *)
+           t.double_fault <- true;
+           t.halted <- true));
       if t.profile_on && at < Array.length t.profile then
         t.profile.(at) <- t.profile.(at) + (t.cycles - cy0);
       if t.sample_period > 0 && t.cycles >= t.sample_next then begin
@@ -912,8 +954,23 @@ let run ?(max_insns = max_int) t =
   in
   loop ()
 
+(* kfault: deterministic transient CAS failure. *)
+let cas_executed t = t.cas_count
+
+let set_cas_fail t ~at ~hook =
+  if at <= t.cas_count then invalid_arg "set_cas_fail: index already passed";
+  t.cas_fail_next <- at;
+  t.cas_fail_hook <- hook
+
+let clear_cas_fail t =
+  t.cas_fail_next <- max_int;
+  t.cas_fail_hook <- (fun _ -> ())
+
+let cas_fail_armed t = t.cas_fail_next <> max_int
+
 let halted t = t.halted
 let set_halted t b = t.halted <- b
+let double_faulted t = t.double_fault
 let stopped t = t.stopped
 let last_fault_addr t = t.last_fault_addr
 let vbr t = t.vbr

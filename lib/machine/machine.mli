@@ -140,6 +140,13 @@ val add_device : t -> name:string -> due:int -> tick:(t -> unit) -> device
 val device_schedule : t -> device -> int -> unit
 val device_idle : t -> device -> unit
 
+(** Look up an installed device by name (kfault stalls device
+    completions by rescheduling or idling its deadline). *)
+val find_device : t -> string -> device option
+
+(** Unregister a device (e.g. disarming a fault injector). *)
+val remove_device : t -> device -> unit
+
 (** [source] labels the posting device for the observability hooks. *)
 val post_interrupt : ?source:string -> t -> level:int -> vector:int -> unit
 
@@ -194,8 +201,34 @@ val step : t -> unit
 val run : ?max_insns:int -> t -> run_result
 val halted : t -> bool
 val set_halted : t -> bool -> unit
+
+(** A fault was raised while entering a fault handler (ruined
+    supervisor stack or unreadable vector); the machine halted, like a
+    68020 double bus fault. *)
+val double_faulted : t -> bool
+
 val stopped : t -> bool
 val cost_model : t -> Cost.t
+
+(** {1 kfault: transient CAS-failure injection}
+
+    Deterministic fault injection for the optimistic-synchronization
+    retry loops.  [Cas] instructions are numbered from 1 as they
+    execute; arming a failure at index [at] makes that Cas suppress
+    its store and report Z clear — indistinguishable from losing the
+    race to another processor — then invoke [hook] (which may re-arm
+    for a later index).  Entirely host-side: with nothing armed the
+    Cas path pays one integer compare, and simulated cycle, insn, and
+    reference counts are identical to a machine without the feature. *)
+
+(** Cas instructions executed since reset. *)
+val cas_executed : t -> int
+
+(** Force the [at]-th Cas (1-based, must be in the future) to fail. *)
+val set_cas_fail : t -> at:int -> hook:(t -> unit) -> unit
+
+val clear_cas_fail : t -> unit
+val cas_fail_armed : t -> bool
 
 (** {1 Trace (kernel monitor, §6.1)} *)
 

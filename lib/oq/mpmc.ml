@@ -38,7 +38,7 @@ let rec try_put t v =
   let slot = h mod t.size in
   let s = Atomic.get t.seq.(slot) in
   if s = h then
-    if Atomic.compare_and_set t.head h (h + 1) then begin
+    if Fault.cas t.head h (h + 1) then begin
       t.buf.(slot) <- Some v;
       Atomic.set t.seq.(slot) (h + 1);
       true
@@ -52,7 +52,7 @@ let rec try_get t =
   let slot = tl mod t.size in
   let s = Atomic.get t.seq.(slot) in
   if s = tl + 1 then
-    if Atomic.compare_and_set t.tail tl (tl + 1) then begin
+    if Fault.cas t.tail tl (tl + 1) then begin
       let v = t.buf.(slot) in
       t.buf.(slot) <- None;
       Atomic.set t.seq.(slot) (tl + t.size);

@@ -53,7 +53,7 @@ let try_put_many t items n =
     if space_left t h < n then None
     else
       let hi = add_wrap t h n in
-      if Atomic.compare_and_set t.head h hi then Some h else claim ()
+      if Fault.cas t.head h hi then Some h else claim ()
   in
   match claim () with
   | None -> false

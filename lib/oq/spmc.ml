@@ -42,7 +42,7 @@ let try_put t v =
 let rec try_get t =
   let tl = Atomic.get t.tail in
   if not (Atomic.get t.flag.(tl)) then None (* empty or not yet published *)
-  else if Atomic.compare_and_set t.tail tl (next t tl) then begin
+  else if Fault.cas t.tail tl (next t tl) then begin
     (* Slot claimed: we are its only reader. *)
     let v = t.buf.(tl) in
     t.buf.(tl) <- None;

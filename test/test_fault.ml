@@ -1,0 +1,499 @@
+(* kfault tests: forced-CAS semantics and the Cas atomicity contract,
+   interrupt-boundary behaviour (nested same-level delivery, waking
+   Stop_wait), the double-fault path, bounded fault logging, queue
+   overflow policies, the host-queue fault seam, plan determinism, the
+   interleaving explorer, and the recovery quajects (watchdog, disk
+   retry). *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+module E = Repro_harness.Explorer
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+let machine () = Machine.create ~mem_words:(1 lsl 16) Cost.sun3_emulation
+
+let run_to_halt ?(max_insns = 100_000) m entry =
+  Machine.set_halted m false;
+  Machine.set_supervisor m true;
+  Machine.set_reg m I.sp 0x8000;
+  Machine.set_pc m entry;
+  match Machine.run ~max_insns m with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "fragment did not halt"
+
+(* ------------------------------------------------------------------ *)
+(* Forced CAS failure: the machine-level kfault primitive *)
+
+let cas_frag ~cell ~marker =
+  [
+    I.Move (I.Imm 5, I.Reg I.r6); (* expected *)
+    I.Move (I.Imm 9, I.Reg I.r7); (* replacement *)
+    I.Cas (I.r6, I.r7, I.Abs cell);
+    I.B (I.Ne, I.To_label "failed");
+    I.Move (I.Imm 1, I.Abs marker);
+    I.Halt;
+    I.Label "failed";
+    I.Move (I.Imm 2, I.Abs marker);
+    I.Halt;
+  ]
+
+let test_cas_forced_failure () =
+  let m = machine () in
+  let cell = 0x900 and marker = 0x910 in
+  Machine.poke m cell 5;
+  let entry, _ = Asm.assemble m (cas_frag ~cell ~marker) in
+  let hooks = ref 0 in
+  Machine.set_cas_fail m ~at:1 ~hook:(fun _ -> incr hooks);
+  check_bool "armed" true (Machine.cas_fail_armed m);
+  run_to_halt m entry;
+  (* expected = current, so only the veto can make this Cas fail *)
+  check_int "Z reported clear" 2 (Machine.peek m marker);
+  check_int "store suppressed" 5 (Machine.peek m cell);
+  check_int "rc holds the loaded value" 5 (Machine.get_reg m I.r6);
+  check_int "hook fired once" 1 !hooks;
+  check_int "one Cas executed" 1 (Machine.cas_executed m);
+  check_bool "one-shot: disarmed after firing" false (Machine.cas_fail_armed m);
+  (* the same Cas un-vetoed succeeds: failure was injection, not state *)
+  let entry2, _ = Asm.assemble m (cas_frag ~cell ~marker) in
+  run_to_halt m entry2;
+  check_int "unforced Cas succeeds" 1 (Machine.peek m marker);
+  check_int "store performed" 9 (Machine.peek m cell);
+  check_int "hook not re-fired" 1 !hooks
+
+let test_cas_fail_index_contract () =
+  let m = machine () in
+  let cell = 0x900 in
+  let entry, _ = Asm.assemble m [ I.Cas (I.r6, I.r7, I.Abs cell); I.Halt ] in
+  run_to_halt m entry;
+  check_int "one Cas retired" 1 (Machine.cas_executed m);
+  (* arming a failure at an index already executed is a caller bug *)
+  Alcotest.check_raises "past index rejected"
+    (Invalid_argument "set_cas_fail: index already passed") (fun () ->
+      Machine.set_cas_fail m ~at:1 ~hook:(fun _ -> ()));
+  check_bool "still disarmed" false (Machine.cas_fail_armed m)
+
+(* Cas is atomic with respect to interrupts: even one raised *by* the
+   forced failure is only delivered at the next instruction boundary,
+   and the handler can never observe a torn load-compare-store. *)
+let test_cas_atomic_vs_interrupt () =
+  let m = machine () in
+  let cell = 0x900 and seen = 0x904 and count = 0x908 in
+  Machine.poke m cell 5;
+  let h2, _ =
+    Asm.assemble m
+      [
+        I.Move (I.Abs cell, I.Abs seen);
+        I.Alu_mem (I.Add, I.Imm 1, I.Abs count);
+        I.Rte;
+      ]
+  in
+  Machine.poke m (I.Vector.autovector 2) h2;
+  Machine.set_cas_fail m ~at:1 ~hook:(fun mm ->
+      Machine.post_interrupt mm ~source:"test" ~level:2
+        ~vector:(I.Vector.autovector 2));
+  let entry, _ =
+    Asm.assemble m
+      [
+        I.Set_ipl 0;
+        I.Move (I.Imm 5, I.Reg I.r6);
+        I.Move (I.Imm 9, I.Reg I.r7);
+        I.Label "retry";
+        I.Cas (I.r6, I.r7, I.Abs cell);
+        I.B (I.Ne, I.To_label "retry");
+        I.Halt;
+      ]
+  in
+  run_to_halt m entry;
+  check_int "handler ran exactly once" 1 (Machine.peek m count);
+  (* the vetoed Cas retired whole before delivery: its store was
+     suppressed, so the handler saw the pre-Cas value, never a torn
+     intermediate *)
+  check_int "handler saw the pre-store value" 5 (Machine.peek m seen);
+  check_int "retry after the veto succeeded" 9 (Machine.peek m cell)
+
+(* ------------------------------------------------------------------ *)
+(* Interrupt boundaries *)
+
+(* A same-level interrupt posted while its handler runs must pend
+   until the Rte restores the pre-interrupt IPL — never nest. *)
+let test_same_level_interrupt_pends () =
+  let m = machine () in
+  let log = 0x900 in
+  let append id =
+    [
+      I.Push (I.Reg I.r4);
+      I.Move (I.Abs (log + 7), I.Reg I.r4);
+      I.Alu (I.Add, I.Imm log, I.r4);
+      I.Move (I.Imm id, I.Ind I.r4);
+      I.Alu_mem (I.Add, I.Imm 1, I.Abs (log + 7));
+      I.Pop I.r4;
+    ]
+  in
+  let posted = ref false in
+  let repost =
+    Machine.register_hcall m (fun mm ->
+        if not !posted then begin
+          posted := true;
+          Machine.post_interrupt mm ~level:4 ~vector:(I.Vector.autovector 4)
+        end)
+  in
+  let h4, _ =
+    Asm.assemble m
+      (append 4 @ [ I.Hcall repost; I.Nop; I.Nop ] @ append 44 @ [ I.Rte ])
+  in
+  Machine.poke m (I.Vector.autovector 4) h4;
+  let main, _ =
+    Asm.assemble m
+      ([ I.Set_ipl 0 ] @ List.init 8 (fun _ -> I.Nop) @ [ I.Halt ])
+  in
+  Machine.post_interrupt m ~level:4 ~vector:(I.Vector.autovector 4);
+  run_to_halt m main;
+  check_int "four log entries" 4 (Machine.peek m (log + 7));
+  check_int "first entry" 4 (Machine.peek m log);
+  (* 44 before the second 4: the handler finished before re-delivery *)
+  check_int "first handler ran to completion" 44 (Machine.peek m (log + 1));
+  check_int "pended delivery after Rte" 4 (Machine.peek m (log + 2));
+  check_int "second handler completed" 44 (Machine.peek m (log + 3))
+
+(* An interrupt wakes Stop_wait; simulated time fast-forwards to the
+   device event instead of busy-stepping. *)
+let test_interrupt_resumes_stop_wait () =
+  let m = machine () in
+  let marker = 0x900 in
+  let h2, _ = Asm.assemble m [ I.Rte ] in
+  Machine.poke m (I.Vector.autovector 2) h2;
+  let dev = ref None in
+  let d =
+    Machine.add_device m ~name:"kick" ~due:200 ~tick:(fun mm ->
+        Machine.post_interrupt mm ~source:"kick" ~level:2
+          ~vector:(I.Vector.autovector 2);
+        match !dev with Some d -> Machine.device_idle mm d | None -> ())
+  in
+  dev := Some d;
+  let entry, _ =
+    Asm.assemble m
+      [ I.Set_ipl 0; I.Stop_wait; I.Move (I.Imm 1, I.Abs marker); I.Halt ]
+  in
+  run_to_halt m entry;
+  check_int "resumed past Stop_wait" 1 (Machine.peek m marker);
+  check_bool "time advanced to the device event" true (Machine.cycles m >= 200)
+
+(* ------------------------------------------------------------------ *)
+(* Double faults *)
+
+let test_double_fault_halts_machine () =
+  let m = machine () in
+  (* ruin the supervisor stack, then fault: the exception entry's own
+     push faults and there is no state left to recover with *)
+  let entry, _ =
+    Asm.assemble m
+      [ I.Move (I.Imm 0, I.Reg I.sp); I.Move (I.Imm 1, I.Abs 0x5_0000) ]
+  in
+  Machine.set_supervisor m true;
+  Machine.set_pc m entry;
+  (match Machine.run ~max_insns:1_000 m with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "runaway after double fault");
+  check_bool "double fault recorded" true (Machine.double_faulted m);
+  check_bool "machine halted" true (Machine.halted m)
+
+let test_boot_logs_double_fault () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  (* wreck the thread's *supervisor* stack from inside user code (it
+     is the inactive stack pointer while user code runs), then bus
+     error: fault entry pushes onto the ruined stack and double
+     faults *)
+  let wreck = Machine.register_hcall m (fun mm -> Machine.set_other_sp mm 0) in
+  let prog = [ I.Hcall wreck; I.Move (I.Imm 1, I.Abs 0x5_0000) ] in
+  let entry, _ = Asm.assemble m prog in
+  let _t = Thread.create k ~entry () in
+  (match Boot.go ~max_insns:1_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "did not halt");
+  check_bool "machine double-faulted" true (Machine.double_faulted m);
+  check_bool "post-mortem entry in the fault log" true
+    (List.exists
+       (fun e -> e.Kernel.f_reason = "double_fault")
+       k.Kernel.fault_log);
+  check_bool "counted in faults_total" true (Kernel.faults_total k >= 1)
+
+(* ------------------------------------------------------------------ *)
+(* Bounded fault log *)
+
+let test_fault_log_bounded () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let n = Kernel.fault_log_cap + 36 in
+  for i = 1 to n do
+    Kernel.log_fault k ~tid:i ~reason:"test_fault"
+  done;
+  check_int "log capped" Kernel.fault_log_cap (List.length k.Kernel.fault_log);
+  check_int "length counter agrees" Kernel.fault_log_cap k.Kernel.fault_log_len;
+  check_int "evictions counted" 36 k.Kernel.fault_dropped;
+  check_int "every fault counted" n (Kernel.faults_total k);
+  check_int "metrics counter agrees" n
+    (Metrics.read k.Kernel.metrics "kernel.faults_total");
+  (* newest first: the last tid logged heads the list *)
+  match k.Kernel.fault_log with
+  | { Kernel.f_tid; _ } :: _ -> check_int "newest first" n f_tid
+  | [] -> Alcotest.fail "empty fault log"
+
+(* ------------------------------------------------------------------ *)
+(* Queue overflow policies *)
+
+let run_call m ~entry ?(r1 = 0) () =
+  let frag = [ I.Jsr (I.To_addr entry); I.Halt ] in
+  let start, _ = Asm.assemble m frag in
+  Machine.set_halted m false;
+  Machine.set_supervisor m true;
+  Machine.set_reg m I.sp 0xE00;
+  Machine.set_reg m I.r1 r1;
+  Machine.set_pc m start;
+  (match Machine.run ~max_insns:10_000 m with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> failwith "run_call: did not return");
+  (Machine.get_reg m I.r0, Machine.get_reg m I.r1)
+
+let test_overflow_fail () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let q =
+    Kqueue.create ~kind:Kqueue.Spsc ~overflow:Kqueue.Fail k ~name:"t/fail"
+      ~size:4
+  in
+  for i = 1 to 3 do
+    check_int "put ok" 1 (fst (run_call m ~entry:q.Kqueue.q_put ~r1:i ()))
+  done;
+  check_int "full put fails" 0 (fst (run_call m ~entry:q.Kqueue.q_put ~r1:99 ()));
+  check_int "nothing dropped" 0 (Kqueue.dropped k q)
+
+let test_overflow_drop () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let q =
+    Kqueue.create ~kind:Kqueue.Spsc ~overflow:Kqueue.Drop k ~name:"t/drop"
+      ~size:4
+  in
+  (* five puts into three slots: all report success, two are counted
+     away — the producer never observes the overflow *)
+  for i = 1 to 5 do
+    check_int "put reports ok" 1
+      (fst (run_call m ~entry:q.Kqueue.q_put ~r1:(i * 10) ()))
+  done;
+  check_int "two items dropped" 2 (Kqueue.dropped k q);
+  check_int "three retained" 3 (Kqueue.host_length k q);
+  for i = 1 to 3 do
+    let st, v = run_call m ~entry:q.Kqueue.q_get () in
+    check_int "get ok" 1 st;
+    check_int "oldest retained, not newest" (i * 10) v
+  done
+
+let test_overflow_block () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let q =
+    Kqueue.create ~kind:Kqueue.Spsc ~overflow:Kqueue.Block k ~name:"t/block"
+      ~size:4
+  in
+  for i = 1 to 3 do
+    ignore (run_call m ~entry:q.Kqueue.q_put ~r1:(i * 10) ())
+  done;
+  (* the fourth put spins: no slot, so the fragment cannot halt *)
+  let frag = [ I.Jsr (I.To_addr q.Kqueue.q_put); I.Halt ] in
+  let start, _ = Asm.assemble m frag in
+  Machine.set_halted m false;
+  Machine.set_supervisor m true;
+  Machine.set_reg m I.sp 0xE00;
+  Machine.set_reg m I.r1 40;
+  Machine.set_pc m start;
+  (match Machine.run ~max_insns:2_000 m with
+  | Machine.Insn_limit -> ()
+  | Machine.Halted -> Alcotest.fail "blocked put returned with no space");
+  (* a consumer frees a slot out from under the spinner *)
+  check_int "drained oldest" 10
+    (match Kqueue.host_get k q with Some v -> v | None -> -1);
+  (match Machine.run ~max_insns:10_000 m with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "unblocked put still spinning");
+  check_int "blocked put finally succeeded" 1 (Machine.get_reg m I.r0);
+  check_int "item landed" 3 (Kqueue.host_length k q)
+
+(* ------------------------------------------------------------------ *)
+(* Stray hardware interrupts (a kfault-found bug): the handler for an
+   unclaimed autovector must preserve every register — the trap
+   default's -1-in-r0 convention would corrupt the interrupted
+   thread. *)
+
+let test_stray_irq_preserves_registers () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let stray = k.Kernel.default_vectors.(I.Vector.autovector 1) in
+  check_bool "level 1 has a handler" true (stray <> 0);
+  (* wire the boot-installed stray handler into the live (vbr = 0)
+     vector table and take the interrupt mid-fragment *)
+  Machine.poke m (I.Vector.autovector 1) stray;
+  let post =
+    Machine.register_hcall m (fun mm ->
+        Machine.post_interrupt mm ~source:"stray" ~level:1
+          ~vector:(I.Vector.autovector 1))
+  in
+  let entry, _ =
+    Asm.assemble m
+      [
+        I.Set_ipl 0;
+        I.Move (I.Imm 7, I.Reg I.r0);
+        I.Move (I.Imm 8, I.Reg I.r1);
+        I.Hcall post;
+        I.Nop;
+        I.Halt;
+      ]
+  in
+  Machine.set_halted m false;
+  run_to_halt m entry;
+  check_int "r0 preserved across the stray irq" 7 (Machine.get_reg m I.r0);
+  check_int "r1 preserved across the stray irq" 8 (Machine.get_reg m I.r1)
+
+(* ------------------------------------------------------------------ *)
+(* Host-queue fault seam *)
+
+let test_oq_fault_seam () =
+  check_bool "disarmed by default" false (Oq.Fault.armed ());
+  Oq.Fault.arm ~seed:3 ~every:5;
+  let q = Oq.Mpsc.create 64 in
+  for i = 0 to 999 do
+    Oq.Mpsc.put q i;
+    check_int "fifo under CAS vetoes" i (Oq.Mpsc.get q)
+  done;
+  check_bool "vetoes were delivered" true (Oq.Fault.forced () > 0);
+  Oq.Fault.disarm ();
+  check_bool "disarmed" false (Oq.Fault.armed ())
+
+(* ------------------------------------------------------------------ *)
+(* Plan and explorer determinism *)
+
+let test_plan_deterministic () =
+  let a = Fault_inject.compile 7 and b = Fault_inject.compile 7 in
+  check_bool "same seed, same events" true
+    (a.Fault_inject.events = b.Fault_inject.events);
+  check_bool "same seed, same cas gaps" true
+    (a.Fault_inject.cas_gaps = b.Fault_inject.cas_gaps);
+  let c = Fault_inject.compile 8 in
+  check_bool "different seed, different plan" true
+    (a.Fault_inject.events <> c.Fault_inject.events)
+
+let test_explorer_deterministic () =
+  let a = E.run_queue ~kind:Kqueue.Spmc ~seed:5 () in
+  let b = E.run_queue ~kind:Kqueue.Spmc ~seed:5 () in
+  check_bool "no violations" true (a.E.x_violations = []);
+  check_int "same consumed" a.E.x_consumed b.E.x_consumed;
+  check_int "same preemptions" a.E.x_preemptions b.E.x_preemptions;
+  check_int "same injected faults" a.E.x_injected b.E.x_injected;
+  check_int "same instruction count" a.E.x_insns b.E.x_insns;
+  check_int "same cycle count" a.E.x_cycles b.E.x_cycles
+
+let test_explorer_smoke () =
+  List.iter
+    (fun r ->
+      Alcotest.(check (list string))
+        (E.kind_name r.E.x_kind ^ " invariants hold")
+        [] r.E.x_violations;
+      check_int
+        (E.kind_name r.E.x_kind ^ " all items consumed")
+        (r.E.x_producers * r.E.x_items)
+        r.E.x_consumed)
+    (E.run_all ~items:16 ~seed:2 ())
+
+(* ------------------------------------------------------------------ *)
+(* Recovery quajects *)
+
+let test_watchdog_restarts_stalled_flow () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let entry, _ =
+    Asm.assemble m [ I.Label "spin"; I.B (I.Always, I.To_label "spin") ]
+  in
+  let _t = Thread.create k ~entry () in
+  let wd = Watchdog.install k ~period_us:200.0 () in
+  let kicks = ref 0 in
+  let flow =
+    Watchdog.watch wd ~name:"stuck" ~threshold:3
+      ~read:(fun () -> 0) (* never makes progress *)
+      ~restart:(fun () -> incr kicks)
+      ()
+  in
+  (match Boot.go ~max_insns:400_000 b with
+  | Machine.Insn_limit -> ()
+  | Machine.Halted -> Alcotest.fail "spinner halted");
+  Watchdog.stop wd;
+  check_bool "restart action ran" true (!kicks >= 1);
+  check_int "flow restart count agrees" !kicks (Watchdog.restarts flow);
+  check_int "registered in kernel metrics" !kicks
+    (Metrics.read k.Kernel.metrics "watchdog.restarts")
+
+let test_disk_bad_block_fails_cleanly () =
+  let d = E.disk_fault ~seed:1 ~mode:E.Disk_bad_block () in
+  check_bool "read did not complete" false d.E.df_completed;
+  check_int "marked permanently failed" 1 d.E.df_failed;
+  check_bool "bounded retries, then gave up" true
+    (d.E.df_timeouts >= 2 && d.E.df_retries >= 1)
+
+let () =
+  Alcotest.run "fault"
+    [
+      ( "cas",
+        [
+          Alcotest.test_case "forced failure semantics" `Quick
+            test_cas_forced_failure;
+          Alcotest.test_case "past-index contract" `Quick
+            test_cas_fail_index_contract;
+          Alcotest.test_case "atomic vs interrupts" `Quick
+            test_cas_atomic_vs_interrupt;
+        ] );
+      ( "interrupts",
+        [
+          Alcotest.test_case "same-level delivery pends" `Quick
+            test_same_level_interrupt_pends;
+          Alcotest.test_case "stop_wait resumed" `Quick
+            test_interrupt_resumes_stop_wait;
+          Alcotest.test_case "stray irq preserves registers" `Quick
+            test_stray_irq_preserves_registers;
+        ] );
+      ( "double fault",
+        [
+          Alcotest.test_case "halts the machine" `Quick
+            test_double_fault_halts_machine;
+          Alcotest.test_case "logged by boot" `Quick test_boot_logs_double_fault;
+        ] );
+      ( "fault log",
+        [ Alcotest.test_case "bounded" `Quick test_fault_log_bounded ] );
+      ( "overflow",
+        [
+          Alcotest.test_case "fail policy" `Quick test_overflow_fail;
+          Alcotest.test_case "drop policy" `Quick test_overflow_drop;
+          Alcotest.test_case "block policy" `Quick test_overflow_block;
+        ] );
+      ( "kfault",
+        [
+          Alcotest.test_case "oq fault seam" `Quick test_oq_fault_seam;
+          Alcotest.test_case "plan determinism" `Quick test_plan_deterministic;
+          Alcotest.test_case "explorer determinism" `Quick
+            test_explorer_deterministic;
+          Alcotest.test_case "explorer smoke" `Quick test_explorer_smoke;
+        ] );
+      ( "recovery",
+        [
+          Alcotest.test_case "watchdog restarts a stalled flow" `Quick
+            test_watchdog_restarts_stalled_flow;
+          Alcotest.test_case "disk bad block fails cleanly" `Quick
+            test_disk_bad_block_fails_cleanly;
+        ] );
+    ]

@@ -156,15 +156,18 @@ let test_kqueue_interrupt_producer () =
   done
 
 let test_kqueue_spmc_consumer_race () =
-  (* force a consumer CAS retry: a competing consumer claims the slot
-     between our flag check and our CAS *)
+  (* force the consumer's stale-claim path: between our tail read and
+     our flag CAS, a competitor drains slot 0 and the producer laps
+     the ring and republishes it.  We then claim a publication that is
+     no longer ours (tail has moved on), must back the claim out, and
+     retry cleanly onto the real tail slot. *)
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let q = Kqueue.create ~kind:Kqueue.Spmc k ~name:"t/spmc" ~size:8 in
   ignore (run_call m ~entry:q.Kqueue.q_put ~r1:11 ());
   ignore (run_call m ~entry:q.Kqueue.q_put ~r1:22 ());
-  (* start a get, stop at its CAS, simulate the competitor *)
+  (* start a get, stop at its CAS (tail already read as 0) *)
   let rec find_cas a =
     match Machine.read_code m a with I.Cas _ -> a | _ -> find_cas (a + 1)
   in
@@ -184,15 +187,20 @@ let test_kqueue_spmc_consumer_race () =
     end
   in
   step_to_cas 1000;
-  (* the competitor claims slot 0: advance tail, read, clear its flag *)
+  (* competitor drains slot 0 (tail -> 1, flag[0] -> 0) and a lapping
+     producer republishes it (flag[0] -> 1, new item in buf[0]) *)
   let tail = Kqueue.tail_cell q in
   Machine.poke m tail 1;
-  Machine.poke m (q.Kqueue.q_flag + 0) 0;
+  Machine.poke m (q.Kqueue.q_buf + 0) 33;
   (match Machine.run ~max_insns:1000 m with
   | Machine.Halted -> ()
   | Machine.Insn_limit -> Alcotest.fail "get stuck after retry");
-  check_int "retry claimed the next item" 22 (Machine.get_reg m I.r1);
-  check_int "get succeeded" 1 (Machine.get_reg m I.r0)
+  check_int "retry claimed the real tail slot" 22 (Machine.get_reg m I.r1);
+  check_int "get succeeded" 1 (Machine.get_reg m I.r0);
+  check_int "stale claim was backed out" 1 (Machine.peek m (q.Kqueue.q_flag + 0));
+  check_int "tail advanced past the consumed slot" 2 (Machine.peek m tail);
+  (* the backed-out publication is intact for its eventual owner *)
+  check_int "republished item untouched" 33 (Machine.peek m (q.Kqueue.q_buf + 0))
 
 let test_kqueue_mpmc_flag_guard () =
   (* MP-MC: with tail advanced but the flag still set (a consumer
@@ -546,7 +554,8 @@ let test_fault_kills_thread () =
   | Machine.Halted -> ()
   | Machine.Insn_limit -> Alcotest.fail "did not halt");
   (match k.Kernel.fault_log with
-  | [ (tid, "bus_error") ] -> check_int "right thread died" t.Kernel.tid tid
+  | [ { Kernel.f_tid = tid; f_reason = "bus_error"; _ } ] ->
+    check_int "right thread died" t.Kernel.tid tid
   | _ -> Alcotest.fail "expected one bus_error in the fault log");
   check_bool "ready queue still valid" true (Ready_queue.verify k)
 
@@ -563,7 +572,7 @@ let test_div_zero_fault () =
   | Machine.Halted -> ()
   | Machine.Insn_limit -> Alcotest.fail "did not halt");
   match k.Kernel.fault_log with
-  | [ (_, "div_zero") ] -> ()
+  | [ { Kernel.f_reason = "div_zero"; _ } ] -> ()
   | _ -> Alcotest.fail "expected div_zero in the fault log"
 
 (* Error signal to self (§4.3): a user-mode error procedure emulates
