@@ -4,7 +4,9 @@
 
 DUNE ?= dune
 
-.PHONY: all build test fmt check bench bench-check bench-all faultsim clean
+.PHONY: all build test fmt check bench bench-check bench-all \
+        faultsim faultsim-queues faultsim-ready-queue faultsim-kpipe \
+        faultsim-disk clean
 
 all: build
 
@@ -38,12 +40,29 @@ bench-check:
 bench-all:
 	$(DUNE) exec bench/main.exe -- all
 
-# kfault: deterministic 32-seed fault-injection sweep — forced
-# preemption + injected faults over all four queue kinds, plus the
-# timer-loss and disk-fault recovery scenarios.  Fails on any queue
-# invariant violation or unrecovered fault.
+# kfault: deterministic seed-swept fault-injection sweeps — forced
+# preemption + injected faults over each explorer subject, plus the
+# timer-loss and disk-fault recovery scenarios.  Fails on any
+# invariant violation, unrecovered fault, nondeterministic trace, or
+# sabotage run the invariants miss.  FAULTSIM_SEEDS widens/narrows
+# every sweep; CI runs the per-subject targets as parallel jobs.
+FAULTSIM_SEEDS ?= 32
+FAULTSIM = $(DUNE) exec bin/synthesis_cli.exe -- faultsim --seed 1 --seeds $(FAULTSIM_SEEDS)
+
 faultsim:
-	$(DUNE) exec bin/synthesis_cli.exe -- faultsim --seed 1 --seeds 32
+	$(FAULTSIM) --subject all
+
+faultsim-queues:
+	$(FAULTSIM) --subject queues
+
+faultsim-ready-queue:
+	$(FAULTSIM) --subject ready-queue
+
+faultsim-kpipe:
+	$(FAULTSIM) --subject kpipe
+
+faultsim-disk:
+	$(FAULTSIM) --subject disk
 
 clean:
 	$(DUNE) clean

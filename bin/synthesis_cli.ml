@@ -142,62 +142,111 @@ let cmd_trace out =
    for one seed (or a --seeds N sweep), plus the targeted recovery
    scenarios.  Exits non-zero on any invariant violation, so CI can
    gate on `make faultsim`. *)
-let cmd_faultsim seed seeds verbose =
+let cmd_faultsim subject seed seeds verbose =
   let module E = Repro_harness.Explorer in
   let failures = ref 0 in
-  let run_seed s =
-    let results = E.run_all ~seed:s () in
-    List.iter
-      (fun (r : E.result) ->
-        let ok = r.E.x_violations = [] in
-        if not ok then incr failures;
-        if verbose || not ok then
-          Fmt.pr
-            "seed %3d %-4s %dp/%dc: %d/%d consumed, stride %d, %d preemptions, \
-             %d faults -> %s@."
-            r.E.x_seed (E.kind_name r.E.x_kind) r.E.x_producers r.E.x_consumers
-            r.E.x_consumed
-            (r.E.x_producers * r.E.x_items)
-            r.E.x_stride r.E.x_preemptions r.E.x_injected
-            (if ok then "ok" else "FAIL");
-        List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.x_violations)
-      results
-  in
   let first = seed and last = seed + seeds - 1 in
-  for s = first to last do
-    run_seed s
-  done;
-  let runs = 4 * seeds in
-  Fmt.pr "faultsim: %d runs (seeds %d..%d x 4 queue kinds), %d failed@." runs
-    first last !failures;
-  (* recovery scenarios ride along on the first seed *)
-  let tl = E.timer_loss ~seed () in
-  Fmt.pr
-    "timer-loss: dropped completion at cycle %d, watchdog restarts %d, \
-     recovered in %d cycles (stall %d)@."
-    tl.E.tl_drop_cycle tl.E.tl_restarts tl.E.tl_recovery_cycles
-    tl.E.tl_stall_cycles;
-  if tl.E.tl_restarts < 1 || tl.E.tl_recovery_cycles <= 0 then begin
-    incr failures;
-    Fmt.pr "    FAIL: timer loss not recovered@."
-  end;
-  List.iter
-    (fun (mode, name, want_completed) ->
-      let d = E.disk_fault ~seed ~mode () in
-      Fmt.pr
-        "disk-%s: completed=%b timeouts=%d retries=%d failed=%d recovery=%d \
-         cycles@."
-        name d.E.df_completed d.E.df_timeouts d.E.df_retries d.E.df_failed
-        d.E.df_recovery_cycles;
-      if d.E.df_completed <> want_completed then begin
-        incr failures;
-        Fmt.pr "    FAIL: expected completed=%b@." want_completed
-      end)
-    [
-      (E.Disk_stall, "stall", true);
-      (E.Disk_drop, "drop", true);
-      (E.Disk_bad_block, "bad-block", false);
-    ];
+  (* the four lock-free queue kinds, plus the timer-loss recovery *)
+  let run_queues () =
+    for s = first to last do
+      List.iter
+        (fun (r : E.result) ->
+          let ok = r.E.x_violations = [] in
+          if not ok then incr failures;
+          if verbose || not ok then
+            Fmt.pr
+              "seed %3d %-4s %dp/%dc: %d/%d consumed, stride %d, %d \
+               preemptions, %d faults -> %s@."
+              r.E.x_seed (E.kind_name r.E.x_kind) r.E.x_producers
+              r.E.x_consumers r.E.x_consumed
+              (r.E.x_producers * r.E.x_items)
+              r.E.x_stride r.E.x_preemptions r.E.x_injected
+              (if ok then "ok" else "FAIL");
+          List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.x_violations)
+        (E.run_all ~seed:s ())
+    done;
+    Fmt.pr "faultsim[queues]: %d runs (seeds %d..%d x 4 kinds), %d failed@."
+      (4 * seeds) first last !failures;
+    let tl = E.timer_loss ~seed () in
+    Fmt.pr
+      "timer-loss: dropped completion at cycle %d, watchdog restarts %d, \
+       recovered in %d cycles (stall %d)@."
+      tl.E.tl_drop_cycle tl.E.tl_restarts tl.E.tl_recovery_cycles
+      tl.E.tl_stall_cycles;
+    if tl.E.tl_restarts < 1 || tl.E.tl_recovery_cycles <= 0 then begin
+      incr failures;
+      Fmt.pr "    FAIL: timer loss not recovered@."
+    end
+  in
+  (* one pluggable subject: seed sweep, then a determinism re-run and
+     a sabotage run that must be caught *)
+  let run_subject_sweep sub =
+    let name = E.subject_name sub in
+    let before = !failures in
+    for s = first to last do
+      let r = E.run_subject sub ~seed:s () in
+      let ok = r.E.s_violations = [] in
+      if not ok then incr failures;
+      if verbose || not ok then
+        Fmt.pr
+          "seed %3d %-11s: %d/%d progress, stride %d, %d preemptions, %d \
+           faults, trace %x -> %s@."
+          r.E.s_seed name r.E.s_progress r.E.s_goal r.E.s_stride
+          r.E.s_preemptions r.E.s_injected r.E.s_trace_hash
+          (if ok then "ok" else "FAIL");
+      List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.s_violations
+    done;
+    let a = E.run_subject sub ~seed:first () in
+    let b = E.run_subject sub ~seed:first () in
+    if a.E.s_trace_hash <> b.E.s_trace_hash then begin
+      incr failures;
+      Fmt.pr "    FAIL: %s seed %d is nondeterministic (%x vs %x)@." name
+        first a.E.s_trace_hash b.E.s_trace_hash
+    end;
+    let n = E.run_subject sub ~sabotage:true ~seed:first () in
+    if n.E.s_violations = [] then begin
+      incr failures;
+      Fmt.pr "    FAIL: %s sabotage run reported no violation@." name
+    end;
+    Fmt.pr
+      "faultsim[%s]: seeds %d..%d + determinism + sabotage, %d failed@." name
+      first last
+      (!failures - before)
+  in
+  (* targeted disk-recovery scenarios *)
+  let run_disk_recovery () =
+    List.iter
+      (fun (mode, name, want_completed) ->
+        let d = E.disk_fault ~seed ~mode () in
+        Fmt.pr
+          "disk-%s: completed=%b timeouts=%d retries=%d failed=%d recovery=%d \
+           cycles@."
+          name d.E.df_completed d.E.df_timeouts d.E.df_retries d.E.df_failed
+          d.E.df_recovery_cycles;
+        if d.E.df_completed <> want_completed then begin
+          incr failures;
+          Fmt.pr "    FAIL: expected completed=%b@." want_completed
+        end)
+      [
+        (E.Disk_stall, "stall", true);
+        (E.Disk_drop, "drop", true);
+        (E.Disk_bad_block, "bad-block", false);
+      ]
+  in
+  (match subject with
+  | "all" ->
+    run_queues ();
+    List.iter run_subject_sweep E.subjects;
+    run_disk_recovery ()
+  | "queues" -> run_queues ()
+  | "ready-queue" -> run_subject_sweep E.ready_queue_subject
+  | "kpipe" -> run_subject_sweep E.kpipe_subject
+  | "disk" ->
+    run_subject_sweep E.disk_subject;
+    run_disk_recovery ()
+  | s ->
+    Fmt.pr "unknown subject %S (try all, queues, ready-queue, kpipe, disk)@." s;
+    exit 2);
   if !failures > 0 then begin
     Fmt.pr "faultsim FAILED (%d)@." !failures;
     exit 1
@@ -258,13 +307,22 @@ let cmds =
      let verbose =
        Arg.(value & flag & info [ "v"; "verbose" ] ~doc:"print every run")
      in
+     let subject =
+       Arg.(
+         value & opt string "all"
+         & info [ "subject" ] ~docv:"SUBJECT"
+             ~doc:
+               "workload to stress: all, queues, ready-queue, kpipe, or disk")
+     in
      Cmd.v
        (Cmd.info "faultsim"
           ~doc:
             "kfault: sweep the interleaving explorer (forced preemption + \
-             injected faults) over all four queue kinds, then run the \
-             timer-loss and disk-fault recovery scenarios")
-       Term.(const cmd_faultsim $ seed $ seeds $ verbose));
+             injected faults) over the selected subject — the four lock-free \
+             queue kinds, the executable ready queue, a kpipe pair, and the \
+             disk elevator — plus the timer-loss and disk-fault recovery \
+             scenarios")
+       Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose));
   ]
 
 let () =

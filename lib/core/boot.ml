@@ -248,25 +248,61 @@ let boot ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
   let vfs = Vfs.install k in
   Fs.register_null vfs;
   let idle = create_idle k in
+  (* crash recovery: make Thread.restart reachable from layers below
+     Thread (Kernel.restart_thread) *)
+  k.Kernel.restart_hook <- Some (fun t -> Thread.restart k t);
   { kernel = k; vfs; idle }
 
-(* Transfer control to the thread scheduler: jump into some ready
-   thread's switch-in code and run the machine. *)
-let go ?(max_insns = max_int) b =
-  let k = b.kernel in
+(* Enter the scheduler: jump into some ready thread's switch-in code
+   from a fresh boot stack. *)
+let enter_scheduler k =
   let m = k.Kernel.machine in
-  (match k.Kernel.rq_anchor with
+  match k.Kernel.rq_anchor with
   | None -> invalid_arg "Boot.go: no runnable threads"
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
     Machine.set_ipl m 7;
-    Machine.set_pc m t.Kernel.sw_in_mmu);
-  let r = Machine.run ~max_insns m in
-  (* A double fault halts the machine directly (there is no state left
-     to recover with); record it so post-mortems see why. *)
-  if Machine.double_faulted m then begin
-    let tid = match Kernel.current k with Some t -> t.Kernel.tid | None -> 0 in
-    Kernel.log_fault k ~tid ~reason:"double_fault"
-  end;
-  r
+    Machine.set_pc m t.Kernel.sw_in_mmu
+
+(* How many double-fault recoveries one [go] will attempt before
+   giving up: a thread that double-faults right back from its entry
+   point must not keep the machine alive forever. *)
+let double_fault_restart_cap = 3
+
+(* Transfer control to the thread scheduler and run the machine.
+
+   A double fault halts the machine directly (the exception entry
+   itself faulted; there is no frame left to recover with); it is
+   always recorded so post-mortems see why.  With
+   [restart_on_double_fault] the faulting thread is additionally
+   restarted through [Kernel.restart_thread] — fresh initial context,
+   front of the ready queue — and the scheduler re-entered from a
+   clean boot stack, at most [double_fault_restart_cap] times. *)
+let go ?(max_insns = max_int) ?(restart_on_double_fault = false) b =
+  let k = b.kernel in
+  let m = k.Kernel.machine in
+  let start = Machine.insns_executed m in
+  enter_scheduler k;
+  let rec drive restarts =
+    let budget = max_insns - (Machine.insns_executed m - start) in
+    let r = Machine.run ~max_insns:(max budget 0) m in
+    if not (Machine.double_faulted m) then r
+    else begin
+      let cur = Kernel.current k in
+      let tid = match cur with Some t -> t.Kernel.tid | None -> 0 in
+      Kernel.log_fault k ~tid ~reason:"double_fault";
+      match cur with
+      | Some t
+        when restart_on_double_fault
+             && restarts < double_fault_restart_cap
+             && budget > 0 ->
+        Machine.clear_double_fault m;
+        Machine.set_halted m false;
+        Kernel.restart_thread k t;
+        enter_scheduler k;
+        drive (restarts + 1)
+      | _ -> r
+    end
+  in
+  drive 0

@@ -8,7 +8,20 @@
 type t = { kernel : Kernel.t; vfs : Vfs.t; idle : Kernel.tte }
 
 val boot : ?cost:Quamachine.Cost.t -> ?mem_words:int -> unit -> t
-val go : ?max_insns:int -> t -> Quamachine.Machine.run_result
+
+(** Run the machine.  A double fault is always logged
+    ("double_fault"); with [restart_on_double_fault] the crashed
+    thread is restarted through {!Kernel.restart_thread} (bounded by
+    {!double_fault_restart_cap}) and the scheduler re-entered instead
+    of staying halted. *)
+val go :
+  ?max_insns:int ->
+  ?restart_on_double_fault:bool ->
+  t ->
+  Quamachine.Machine.run_result
+
+(** Double-fault recoveries one [go] attempts before giving up. *)
+val double_fault_restart_cap : int
 
 (** Non-zombie threads. *)
 val live_threads : Kernel.t -> Kernel.tte list

@@ -65,6 +65,7 @@ type t = {
   mutable ds_timeouts : int;
   mutable ds_retries : int;
   mutable ds_failed : int;
+  mutable ds_spurious : int; (* disk irqs with no done transfer behind them *)
   mutable ds_last_recovery_cycles : int; (* fault -> completion, for bench *)
 }
 
@@ -135,14 +136,34 @@ let issue_via_machine t req =
       | _ -> assert false)
     frag
 
+(* Take the next request in SCAN order.  The head of [ds_queue] is
+   sorted for the *current* sweep; when it lies behind the arm we have
+   exhausted that sweep, so the direction flips and the remaining
+   queue is re-sorted under the new key.  (The pre-fix code never
+   flipped [ds_direction] — a self-assignment — so a request arriving
+   above the arm during a down sweep jumped the queue ahead of the
+   sweep's remaining blocks: starvation under a stream of high-block
+   arrivals.  Found by the kfault disk-elevator audit.) *)
 let start_next t =
   match (t.ds_active, t.ds_queue) with
   | None, req :: rest ->
-    t.ds_queue <- rest;
+    let pos = t.ds_arm_position and dir = t.ds_direction in
+    let b = req.r_block in
+    if (dir > 0 && b < pos) || (dir < 0 && b > pos) then begin
+      t.ds_direction <- -dir;
+      (* the reverse run was sorted for the old sweep; re-key it *)
+      let ndir = t.ds_direction in
+      let key r =
+        let rb = r.r_block in
+        if ndir > 0 then if rb >= b then (0, rb) else (1, -rb)
+        else if rb <= b then (0, -rb)
+        else (1, rb)
+      in
+      t.ds_queue <- List.sort (fun x y -> compare (key x) (key y)) rest
+    end
+    else t.ds_queue <- rest;
     issue t req;
-    issue_via_machine t req;
-    (* reached the top: flip the sweep *)
-    if t.ds_queue = [] then t.ds_direction <- t.ds_direction
+    issue_via_machine t req
   | _ -> ()
 
 (* Submit a request; returns the descriptor so a thread can block on
@@ -165,6 +186,15 @@ let submit t ?waitq ~block ~buffer ~write () =
 (* ---------------------------------------------------------------- *)
 (* Completion interrupt *)
 
+(* Read the device's status register through the MMIO path (the hooks
+   only fire on machine loads, not host peeks). *)
+let read_disk_status m =
+  let saved = Machine.in_supervisor m in
+  Machine.set_supervisor m true;
+  let st = Machine.read_mem m Mmio_map.disk_status in
+  Machine.set_supervisor m saved;
+  st
+
 let install_irq t =
   let k = t.ds_kernel in
   let m = k.Kernel.machine in
@@ -172,20 +202,38 @@ let install_irq t =
     Machine.register_hcall m (fun m ->
         (match t.ds_active with
         | Some req ->
-          Machine.poke m (req.r_desc + 3) 1;
-          t.ds_active <- None;
-          watchdog_idle t;
-          if t.ds_tries > 1 then
-            (* a retried request finally completed: recovery latency
-               is fault (first issue) to completion *)
-            t.ds_last_recovery_cycles <-
-              Machine.cycles m - t.ds_active_since;
-          (* wake everyone sleeping on this transfer: shared wait
-             queues (e.g. a file system mount) re-check on resume *)
-          Thread.unblock_all k req.r_waitq;
-          Kalloc.free k.Kernel.alloc req.r_desc
-        | None -> ());
-        start_next t;
+          (* Completion-exactly-once: believe the interrupt only if
+             the device actually reports the transfer done (status 2).
+             The pre-fix handler completed [ds_active] on *any* disk
+             interrupt, so a spurious one marked an in-flight request
+             done with a stale buffer — and re-arming the device for
+             the next request silently dropped the transfer still in
+             flight.  Found by the kfault disk subject (spurious disk
+             irqs are in its fault mix). *)
+          if read_disk_status m = 2 then begin
+            Machine.poke m (req.r_desc + 3) 1;
+            t.ds_active <- None;
+            watchdog_idle t;
+            if t.ds_tries > 1 then
+              (* a retried request finally completed: recovery latency
+                 is fault (first issue) to completion *)
+              t.ds_last_recovery_cycles <-
+                Machine.cycles m - t.ds_active_since;
+            (* wake everyone sleeping on this transfer: shared wait
+               queues (e.g. a file system mount) re-check on resume *)
+            Thread.unblock_all k req.r_waitq;
+            Kalloc.free k.Kernel.alloc req.r_desc;
+            start_next t
+          end
+          else begin
+            t.ds_spurious <- t.ds_spurious + 1;
+            Metrics.bump k.Kernel.metrics "disk.spurious_irqs"
+          end
+        | None ->
+          (* no transfer of ours in flight (e.g. a late completion of
+             a request the watchdog already failed): just try to keep
+             the pipeline moving *)
+          start_next t);
         Machine.charge m 25)
   in
   let irq, _ =
@@ -305,6 +353,7 @@ let service_order t = List.rev t.ds_issued
 let timeouts t = t.ds_timeouts
 let retries t = t.ds_retries
 let failed t = t.ds_failed
+let spurious_irqs t = t.ds_spurious
 let last_recovery_cycles t = t.ds_last_recovery_cycles
 let active_tries t = t.ds_tries
 
@@ -338,6 +387,7 @@ let install k ?(cache_capacity = 16) ?(timeout_us = 8_000.0) ?(max_tries = 4)
       ds_timeouts = 0;
       ds_retries = 0;
       ds_failed = 0;
+      ds_spurious = 0;
       ds_last_recovery_cycles = 0;
     }
   in

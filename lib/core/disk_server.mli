@@ -54,6 +54,11 @@ val retries : t -> int
 (** Requests failed after exhausting the retry budget. *)
 val failed : t -> int
 
+(** Disk interrupts dismissed because the device did not report the
+    transfer done (completion-exactly-once guard; also counted in the
+    "disk.spurious_irqs" metric). *)
+val spurious_irqs : t -> int
+
 (** Cycles from first issue to completion of the most recent request
     that needed at least one retry; 0 if none has recovered yet. *)
 val last_recovery_cycles : t -> int

@@ -28,6 +28,12 @@ type tte = {
   mutable waiting_on : string option;
   mutable owned_blocks : int list; (* kalloc blocks freed at destroy *)
   mutable is_system : bool; (* kernel service threads don't keep the machine alive *)
+  (* enough of the creation parameters to rebuild the initial context
+     after a crash (Thread.restart): original entry point and user
+     stack extent *)
+  mutable entry : int;
+  mutable ustack : int;
+  mutable ustack_words : int;
 }
 
 (* A waiting queue for one resource (§4.1: each resource has its own
@@ -85,6 +91,9 @@ type t = {
   metrics : Metrics.t;
   (* observability: None = tracing never attached, zero overhead *)
   mutable ktrace : Ktrace.t option;
+  (* crash recovery: installed by Boot (the implementation lives in
+     Thread, which this module cannot reference) *)
+  mutable restart_hook : (tte -> unit) option;
 }
 
 (* The fault log keeps the most recent entries only: a wedged machine
@@ -133,6 +142,7 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     fault_dropped = 0;
     metrics = Metrics.create ();
     ktrace = None;
+    restart_hook = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -256,6 +266,15 @@ let current_exn k =
   match current k with
   | Some t -> t
   | None -> failwith "Kernel.current: no thread is running"
+
+(* Restart a crashed thread: rebuild its initial context and put it
+   back at the front of the ready queue.  The implementation is
+   [Thread.restart], installed as a hook at boot (Thread sits above
+   this module in the dependency order). *)
+let restart_thread k t =
+  match k.restart_hook with
+  | Some f -> f t
+  | None -> invalid_arg "Kernel.restart_thread: no restart hook (kernel not booted)"
 
 (* ------------------------------------------------------------------ *)
 (* Vector table helpers *)

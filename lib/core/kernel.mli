@@ -29,6 +29,9 @@ type tte = {
   mutable waiting_on : string option;
   mutable owned_blocks : int list;
   mutable is_system : bool;
+  mutable entry : int;  (** original entry point (crash restart) *)
+  mutable ustack : int;
+  mutable ustack_words : int;
 }
 
 (** A per-resource wait queue (§4.1: no general blocked queue). *)
@@ -70,6 +73,8 @@ type t = {
   mutable fault_dropped : int;  (** entries evicted by the bound *)
   metrics : Metrics.t;  (** kernel-wide counters/gauges *)
   mutable ktrace : Ktrace.t option;
+  mutable restart_hook : (tte -> unit) option;
+      (** [Thread.restart], installed at boot *)
 }
 
 val create : ?cost:Cost.t -> ?mem_words:int -> unit -> t
@@ -128,6 +133,11 @@ val thread_exn : t -> int -> tte
 val current : t -> tte option
 
 val current_exn : t -> tte
+
+(** Rebuild a crashed thread's initial context and reinsert it at the
+    front of the ready queue, bumping "kernel.thread_restarts_total"
+    (dispatches to [Thread.restart] through the boot-installed hook). *)
+val restart_thread : t -> tte -> unit
 
 (** {1 Vector tables} *)
 

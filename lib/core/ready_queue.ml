@@ -18,12 +18,27 @@ open Quamachine
 let entry_from a b =
   if a.Kernel.map_id = b.Kernel.map_id then b.Kernel.sw_in else b.Kernel.sw_in_mmu
 
-(* Point [a]'s switch-out jump at [b] and fix the host mirror. *)
+(* Point [a]'s switch-out jump at [b] and fix the host mirror.
+
+   Ordering matters (kfault audit): the mirror is updated first and
+   the code patch follows back-to-back, with nothing — no cycle
+   charging, no tracing — between them.  The old order patched the
+   code, then traced and charged cycles, then fixed the mirror, so a
+   preemption point landing in between observed an executable chain
+   the bookkeeping disagreed with.  Host-side callers are atomic
+   w.r.t. machine instructions, so the pair is atomic w.r.t.
+   preemption points by construction; the postcondition asserts it. *)
 let relink k a b =
-  Machine.patch_code k.Kernel.machine a.Kernel.jmp_slot
-    (Insn.Jmp (Insn.To_addr (entry_from a b)));
   a.Kernel.rq_next <- Some b;
   b.Kernel.rq_prev <- Some a;
+  Machine.patch_code k.Kernel.machine a.Kernel.jmp_slot
+    (Insn.Jmp (Insn.To_addr (entry_from a b)));
+  (* patch+mirror consistency: what the machine will execute is what
+     the host believes *)
+  assert (
+    match Machine.read_code k.Kernel.machine a.Kernel.jmp_slot with
+    | Insn.Jmp (Insn.To_addr t) -> t = entry_from a b
+    | _ -> false);
   Kernel.trace k (Ktrace.Patched a.Kernel.jmp_slot);
   Machine.charge k.Kernel.machine 6
 
@@ -39,12 +54,19 @@ let prev_exn t =
 
 let in_queue t = t.Kernel.rq_next <> None
 
-(* Insert [t] right after [a]. *)
+(* Insert [t] right after [a].
+
+   The incoming thread's own jmp is patched *first* (kfault audit):
+   linking a -> t before t -> b leaves a window where [a]'s switch-out
+   jumps into a thread whose switch-out still targets its stale (for a
+   fresh thread: the address-0 halt guard) successor.  Patching t -> b
+   first keeps the executable chain valid at every intermediate point:
+   [t] is simply not yet reachable. *)
 let insert_after k a t =
   if in_queue t then invalid_arg "Ready_queue.insert_after: already queued";
   let b = next_exn a in
-  relink k a t;
   relink k t b;
+  relink k a t;
   t.Kernel.state <- Kernel.Ready
 
 (* First insertion into an empty queue: the thread chains to itself. *)
@@ -89,12 +111,20 @@ let remove k t =
   end;
   Machine.charge k.Kernel.machine 4
 
+(* Bounded ring walk: a corrupted mirror (next chain that never closes
+   back on the anchor) must be reported, not spun on forever — the
+   explorer calls this as a live invariant. *)
 let to_list k =
   match k.Kernel.rq_anchor with
   | None -> []
   | Some a ->
-    let rec go t acc = if t == a && acc <> [] then List.rev acc else go (next_exn t) (t :: acc) in
-    go a []
+    let bound = Hashtbl.length k.Kernel.threads + 1 in
+    let rec go t acc n =
+      if t == a && acc <> [] then List.rev acc
+      else if n > bound then failwith "Ready_queue: ring does not close"
+      else go (next_exn t) (t :: acc) (n + 1)
+    in
+    go a [] 0
 
 let length k = List.length (to_list k)
 
@@ -111,6 +141,12 @@ let length k = List.length (to_list k)
 let balance_idle k =
   match k.Kernel.idle_thread with
   | None -> ()
+  (* a stopped (or destroyed) idle thread must not be re-inserted: the
+     pre-fix code put it back Ready and Thread.stop then marked the
+     in-ring thread Stopped — a dead thread the executable queue would
+     happily dispatch *)
+  | Some idle when idle.Kernel.state = Kernel.Stopped || idle.Kernel.state = Kernel.Zombie
+    -> ()
   | Some idle -> (
     match k.Kernel.rq_anchor with
     | None ->
@@ -162,20 +198,25 @@ let insert_single k t =
   insert_single k t;
   balance_idle k
 
-(* Structural invariant used by the test suite: the host mirror is a
-   consistent cycle and every patched jmp targets the right entry of
-   the right successor. *)
+(* Structural invariant used by the test suite and the explorer: the
+   host mirror is a consistent cycle (walk bounded — a ring that never
+   closes is a corruption verdict, not a hang) and every patched jmp
+   targets the right entry of the right successor. *)
 let verify k =
   match k.Kernel.rq_anchor with
   | None -> true
-  | Some _ ->
-    let ring = to_list k in
-    List.for_all
-      (fun t ->
-        let n = next_exn t in
-        prev_exn n == t
-        &&
-        match Machine.read_code k.Kernel.machine t.Kernel.jmp_slot with
-        | Insn.Jmp (Insn.To_addr a) -> a = entry_from t n
-        | _ -> false)
-      ring
+  | Some a -> (
+    in_queue a
+    &&
+    match to_list k with
+    | exception Failure _ -> false
+    | ring ->
+      List.for_all
+        (fun t ->
+          let n = next_exn t in
+          prev_exn n == t
+          &&
+          match Machine.read_code k.Kernel.machine t.Kernel.jmp_slot with
+          | Insn.Jmp (Insn.To_addr addr) -> addr = entry_from t n
+          | _ -> false)
+        ring)

@@ -99,6 +99,9 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
       waiting_on = None;
       owned_blocks = [ base; ustack ];
       is_system = system;
+      entry;
+      ustack;
+      ustack_words;
     }
   in
   Hashtbl.replace k.Kernel.threads tid t;
@@ -139,10 +142,21 @@ let destroy k t =
   (* map teardown and table bookkeeping *)
   Machine.charge k.Kernel.machine 110
 
-(* Suspend: unlink the TTE from the ready queue (§4.3). *)
+(* Suspend: unlink the TTE from the ready queue (§4.3).
+
+   Two fixes from the kfault ready-queue sweep:
+   - the state flips to Stopped *before* the unlink, so the rebalance
+     inside [Ready_queue.remove] never re-inserts a thread that is
+     being stopped (pre-fix, stopping the idle thread put it back in
+     the ring Ready and then marked the in-ring thread Stopped);
+   - stopping the *running* thread arms the quantum timer, mirroring
+     [start]: its eventual switch-out lands in the ring within
+     microseconds instead of whenever the old quantum expires. *)
 let stop k t =
-  if Ready_queue.in_queue t then Ready_queue.remove k t;
   if t.Kernel.state = Kernel.Ready then t.Kernel.state <- Kernel.Stopped;
+  let is_current = match Kernel.current k with Some c -> c == t | None -> false in
+  if Ready_queue.in_queue t then Ready_queue.remove k t;
+  if is_current then Devices.Timer.arm k.Kernel.timer ~us:2.0;
   Machine.charge k.Kernel.machine 90
 
 (* Resume: put the TTE back, at the front. *)
@@ -180,6 +194,52 @@ let step k t =
 let fully_stopped k t =
   t.Kernel.state = Kernel.Stopped
   && (match Kernel.current k with Some c -> not (c == t) | None -> true)
+
+(* -------------------------------------------------------------- *)
+(* Crash restart.
+
+   The flow-rate watchdog restarts stalled *flows*; this restarts a
+   crashed *thread*: rebuild the initial register image from the
+   creation parameters kept in the TTE (entry point, stack extents),
+   clear any half-delivered signal state, and reinsert at the front of
+   the ready queue.  The synthesized switch code, vector table, and fd
+   tables survive — only the context is re-created, so a restart costs
+   about a TTE refill, not a full create.  Exposed to lower layers as
+   [Kernel.restart_thread] (hook installed at boot). *)
+
+let restart k t =
+  if t.Kernel.state = Kernel.Zombie then
+    invalid_arg "Thread.restart: thread was destroyed";
+  let m = k.Kernel.machine in
+  let save = t.Kernel.base + L.off_regs in
+  for i = 0 to 14 do
+    Machine.poke m (save + i) 0
+  done;
+  Machine.poke m (save + 15) (t.Kernel.base + L.off_kstack + L.kstack_words);
+  (* the idle thread is the one context that starts in kernel mode *)
+  let sr =
+    match k.Kernel.idle_thread with
+    | Some i when i == t -> Ctx.kernel_sr
+    | _ -> 0
+  in
+  Machine.poke m (save + 16) sr;
+  Machine.poke m (save + 17) t.Kernel.entry;
+  Machine.poke m (save + 18) (t.Kernel.ustack + t.Kernel.ustack_words);
+  Machine.poke m (t.Kernel.base + L.off_sig_inh) 0;
+  Machine.poke m (t.Kernel.base + L.off_sig_queued) 0;
+  Machine.charge_refs m 23;
+  t.Kernel.waiting_on <- None;
+  t.Kernel.state <- Kernel.Ready;
+  if not (Ready_queue.in_queue t) then begin
+    match k.Kernel.rq_anchor with
+    | None -> Ready_queue.insert_single k t
+    | Some _ -> Ready_queue.insert_front k t
+  end;
+  Devices.Timer.arm k.Kernel.timer ~us:2.0;
+  Metrics.bump k.Kernel.metrics "kernel.thread_restarts_total";
+  Kernel.trace k (Ktrace.Fault "thread_restart");
+  (* TTE refill without allocation or code synthesis *)
+  Machine.charge m 100
 
 (* -------------------------------------------------------------- *)
 (* Signals (§4.3)
@@ -329,9 +389,13 @@ let unblock k (wq : Kernel.waitq) =
     wq.Kernel.waiters <- rest;
     t.Kernel.state <- Kernel.Ready;
     t.Kernel.waiting_on <- None;
-    (match k.Kernel.rq_anchor with
-    | None -> Ready_queue.insert_single k t
-    | Some _ -> Ready_queue.insert_front k t);
+    (* a restarted thread may have been pulled back into the ring
+       while its stale waitq entry survived; inserting again would
+       corrupt the executable chain *)
+    if not (Ready_queue.in_queue t) then
+      (match k.Kernel.rq_anchor with
+      | None -> Ready_queue.insert_single k t
+      | Some _ -> Ready_queue.insert_front k t);
     (* Minimize response time to the event (section 4.4).  The arm is
        a little longer than any interrupt handler so that a wake-up
        performed from handler context never preempts the handler

@@ -36,6 +36,14 @@ val step : Kernel.t -> Kernel.tte -> unit
     has run; wait for this before reading registers or re-stepping. *)
 val fully_stopped : Kernel.t -> Kernel.tte -> bool
 
+(** Restart a crashed thread: rebuild the initial register image from
+    the creation parameters kept in the TTE, clear pending signal
+    state, reinsert at the front of the ready queue, and bump the
+    "kernel.thread_restarts_total" metric.  The synthesized switch
+    code and fd tables survive.  Raises on a destroyed (zombie)
+    thread.  Also reachable as [Kernel.restart_thread]. *)
+val restart : Kernel.t -> Kernel.tte -> unit
+
 (** {1 Saved context access (host-side debugger)} *)
 
 val saved_sr : Kernel.t -> Kernel.tte -> int

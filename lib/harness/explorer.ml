@@ -1,20 +1,34 @@
 (* kfault interleaving explorer.
 
    The paper's robustness claim (§3.2): the optimistic, lock-free
-   queue code stays correct under arbitrary preemption and interrupt
+   kernel code stays correct under arbitrary preemption and interrupt
    timing.  This module stresses exactly that, deterministically.
 
-   [run_queue] boots a kernel, builds one Kqueue of the requested
-   kind, and runs producer/consumer threads of machine code over it
-   while the host step loop forces a context switch every k-th
-   instruction (posting the quantum-timer interrupt, which every
+   The explorer is organised around pluggable *subjects*: a subject
+   boots a kernel, builds a workload (threads of machine code plus
+   host-visible counters), and exposes invariant checks.  A shared
+   driver then runs the machine while forcing a context switch every
+   k-th instruction (posting the quantum-timer interrupt, which every
    thread's private vector table routes to its own switch-out code) —
-   so preemption points sweep across every instruction of the put/get
+   so preemption points sweep across every instruction of the kernel
    paths as seeds vary.  A seeded [Fault_inject] plan adds spurious
-   interrupts, scratch-region bit flips, and forced CAS failures on
-   top.  Afterwards the consumer logs are checked against the queue
-   invariants: no loss, no duplication, no corruption, and per-producer
-   FIFO order within each consumer.
+   interrupts, bit flips, forced CAS failures, and stalled/dropped
+   completions on top.  Invariants are checked at every forced
+   preemption and once more at the end; each run folds a deterministic
+   trace hash so CI can assert that a seed names exactly one
+   interleaving.
+
+   Subjects:
+   - the four lock-free [Kqueue] kinds (no loss / no duplication /
+     no corruption / per-producer FIFO);
+   - the executable ready queue under a storm of host-driven
+     stop/start/restart transitions (ring integrity, no dead or
+     stopped thread holding the CPU);
+   - a [Kpipe] producer/consumer pair (exact data delivery, clean
+     EOF, no premature EOF under spurious wakeups);
+   - the disk elevator under stalled, dropped, and spurious
+     completions (completion-exactly-once with the right data, SCAN
+     service order, no starvation).
 
    [timer_loss] and [disk_fault] are targeted recovery scenarios: a
    dropped quantum-timer completion (livelock recovered by the
@@ -31,6 +45,165 @@ let mix seed salt =
   let z = (seed * 0x9E3779B1) lxor (salt * 0x85EBCA6B) in
   let z = (z lxor (z lsr 15)) * 0x2545F491 in
   (z lxor (z lsr 13)) land max_int
+
+(* ---------------------------------------------------------------- *)
+(* Subject API *)
+
+type subject_result = {
+  s_subject : string;
+  s_seed : int;
+  s_stride : int; (* instructions between forced preemptions *)
+  s_preemptions : int; (* forced context switches posted *)
+  s_injected : int; (* faults delivered by the plan *)
+  s_progress : int;
+  s_goal : int;
+  s_violations : string list; (* empty = all invariants held *)
+  s_insns : int;
+  s_cycles : int;
+  s_trace_hash : int; (* seed-deterministic interleaving fingerprint *)
+}
+
+(* One built workload: a booted kernel plus the hooks the driver
+   needs.  [i_check] runs at every forced preemption, [i_final] once
+   after the run; [i_agitate] lets a subject drive host-side
+   transitions (thread stop/start/restart) at preemption points;
+   [i_sabotage] deliberately corrupts state mid-run so the negative
+   tests can prove the invariants actually bite. *)
+type instance = {
+  i_boot : Boot.t;
+  i_goal : int;
+  i_budget : int; (* instruction budget before declaring a stall *)
+  i_fault_config : Fault_inject.config option;
+  i_progress : unit -> int;
+  i_agitate : (int -> unit) option;
+  i_check : unit -> string list;
+  i_final : unit -> string list;
+  i_sabotage : (unit -> unit) option;
+}
+
+type subject = { sub_name : string; sub_build : seed:int -> instance }
+
+let subject_name s = s.sub_name
+
+let enter_scheduler k =
+  let m = k.Kernel.machine in
+  match k.Kernel.rq_anchor with
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m 7;
+    Machine.set_pc m t.Kernel.sw_in_mmu
+  | None -> invalid_arg "explorer: no runnable threads"
+
+(* The shared driver: step the machine, posting the quantum-timer
+   interrupt every [stride] instructions; at each such checkpoint run
+   the subject's agitation and invariant hooks and fold the trace
+   hash.  Stops at the first recorded violation (the final checks
+   still run), at the goal, or when the budget is exhausted. *)
+let run_instance ~name ~seed ~faults ~sabotage inst =
+  let k = inst.i_boot.Boot.kernel in
+  let m = k.Kernel.machine in
+  enter_scheduler k;
+  let fi =
+    if faults then
+      match inst.i_fault_config with
+      | Some config ->
+        Some (Fault_inject.arm m (Fault_inject.compile ~config seed))
+      | None -> None
+    else None
+  in
+  (* stride floor keeps forward progress: a forced switch costs a few
+     dozen instructions of save/restore, so anything comfortably above
+     that guarantees every thread still advances between switches *)
+  let stride = 128 + (mix seed 7 mod 256) in
+  let preemptions = ref 0 in
+  let checkpoint = ref 0 in
+  let hash = ref (mix seed 0x5eed) in
+  let fold v = hash := mix !hash (v land max_int) in
+  let nviol = ref 0 in
+  let violations = ref [] in
+  let add vs =
+    List.iter
+      (fun v ->
+        incr nviol;
+        if !nviol <= 16 then violations := v :: !violations)
+      vs
+  in
+  let sabotaged = ref false in
+  let start_insns = Machine.insns_executed m in
+  let start_cycles = Machine.cycles m in
+  (try
+     let rec loop last_post =
+       let p = inst.i_progress () in
+       if p >= inst.i_goal then ()
+       else if Machine.insns_executed m - start_insns > inst.i_budget then
+         add [ "stall: instruction budget exhausted" ]
+       else if Machine.halted m then add [ "machine halted" ]
+       else begin
+         (* sabotage triggers on progress, not on a checkpoint: subjects
+            that mostly sleep across device events (the disk burst)
+            retire work while executing almost no instructions, so a
+            stride checkpoint may never land inside the run *)
+         if sabotage && (not !sabotaged) && p * 4 >= inst.i_goal then begin
+           (match inst.i_sabotage with Some f -> f () | None -> ());
+           sabotaged := true
+         end;
+         let n = Machine.insns_executed m in
+         let last_post =
+           if n - last_post >= stride then begin
+             incr checkpoint;
+             (match inst.i_agitate with Some f -> f !checkpoint | None -> ());
+             add (inst.i_check ());
+             fold (Machine.get_pc m);
+             fold (inst.i_progress ());
+             fold (Machine.cycles m);
+             incr preemptions;
+             Machine.post_interrupt ~source:"explorer" m
+               ~level:Mmio_map.timer_level ~vector:Mmio_map.timer_vector;
+             n
+           end
+           else last_post
+         in
+         if !nviol = 0 then begin
+           Machine.step m;
+           loop last_post
+         end
+       end
+     in
+     loop start_insns
+   with
+  | Machine.Deadlock -> add [ "deadlock" ]
+  | Failure msg -> add [ "invariant: " ^ msg ]);
+  add (inst.i_final ());
+  let injected = match fi with Some f -> Fault_inject.injected f | None -> 0 in
+  (match fi with Some f -> Fault_inject.disarm m f | None -> ());
+  let insns = Machine.insns_executed m - start_insns in
+  let cycles = Machine.cycles m - start_cycles in
+  fold insns;
+  fold cycles;
+  fold injected;
+  fold !preemptions;
+  List.iter (fun v -> fold (Hashtbl.hash v)) !violations;
+  {
+    s_subject = name;
+    s_seed = seed;
+    s_stride = stride;
+    s_preemptions = !preemptions;
+    s_injected = injected;
+    s_progress = inst.i_progress ();
+    s_goal = inst.i_goal;
+    s_violations = List.rev !violations;
+    s_insns = insns;
+    s_cycles = cycles;
+    s_trace_hash = !hash;
+  }
+
+let run_subject ?(faults = true) ?(sabotage = false) subject ~seed () =
+  run_instance ~name:subject.sub_name ~seed ~faults ~sabotage
+    (subject.sub_build ~seed)
+
+(* ---------------------------------------------------------------- *)
+(* Subject 1: the four lock-free Kqueue kinds *)
 
 type result = {
   x_kind : Kqueue.kind;
@@ -137,10 +310,10 @@ let check_invariants ~producers ~consumers ~items ~peek ~logs ~counts =
   done;
   List.rev !violations
 
-(* The explorer's fault mix: spurious timer/disk interrupts (safe:
-   both handlers are idempotent) and forced CAS failures.  Bit flips
-   are aimed at the scratch region by the caller; device stalls are
-   exercised by the targeted scenarios instead. *)
+(* The queue subject's fault mix: spurious timer/disk interrupts
+   (safe: both handlers are idempotent) and forced CAS failures.  Bit
+   flips are aimed at the scratch region; device stalls are exercised
+   by the disk subject and the targeted scenarios instead. *)
 let explorer_config ~scratch =
   {
     Fault_inject.default_config with
@@ -160,7 +333,7 @@ let explorer_config ~scratch =
     flip_len = 64;
   }
 
-let run_queue ?(items = 32) ?(faults = true) ~kind ~seed () =
+let queue_instance ~items ~kind () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
@@ -194,27 +367,6 @@ let run_queue ?(items = 32) ?(faults = true) ~kind ~seed () =
     let entry, _ = Asm.assemble m code in
     ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
   done;
-  (* enter the scheduler exactly as Boot.go does, but keep stepping on
-     the host so we can post preemptions at chosen instruction counts *)
-  (match k.Kernel.rq_anchor with
-  | Some t ->
-    Machine.set_supervisor m true;
-    Machine.set_reg m I.sp Layout.boot_stack_top;
-    Machine.set_ipl m 7;
-    Machine.set_pc m t.Kernel.sw_in_mmu
-  | None -> invalid_arg "explorer: no runnable threads");
-  let fi =
-    if faults then
-      Some
-        (Fault_inject.arm m
-           (Fault_inject.compile ~config:(explorer_config ~scratch) seed))
-    else None
-  in
-  (* stride floor keeps forward progress: a forced switch costs a few
-     dozen instructions of save/restore, so anything comfortably above
-     that guarantees every thread still advances between switches *)
-  let stride = 128 + (mix seed 7 mod 256) in
-  let preemptions = ref 0 in
   let peek a = Machine.peek m a in
   let consumed () =
     let s = ref 0 in
@@ -223,58 +375,530 @@ let run_queue ?(items = 32) ?(faults = true) ~kind ~seed () =
     done;
     !s
   in
-  let start_insns = Machine.insns_executed m in
-  let start_cycles = Machine.cycles m in
-  let budget = 6_000_000 in
-  let violations = ref [] in
-  (try
-     let rec loop last_post =
-       if consumed () >= total then ()
-       else if Machine.insns_executed m - start_insns > budget then
-         violations := [ "stall: instruction budget exhausted" ]
-       else if Machine.halted m then violations := [ "machine halted" ]
-       else begin
-         let n = Machine.insns_executed m in
-         let last_post =
-           if n - last_post >= stride then begin
-             incr preemptions;
-             Machine.post_interrupt ~source:"explorer" m
-               ~level:Mmio_map.timer_level ~vector:Mmio_map.timer_vector;
-             n
-           end
-           else last_post
-         in
-         Machine.step m;
-         loop last_post
-       end
-     in
-     loop start_insns
-   with Machine.Deadlock -> violations := [ "deadlock" ]);
-  let violations =
-    !violations
-    @ check_invariants ~producers ~consumers ~items ~peek ~logs ~counts
+  let inst =
+    {
+      i_boot = b;
+      i_goal = total;
+      i_budget = 6_000_000;
+      i_fault_config = Some (explorer_config ~scratch);
+      i_progress = consumed;
+      i_agitate = None;
+      i_check = (fun () -> []);
+      i_final =
+        (fun () ->
+          check_invariants ~producers ~consumers ~items ~peek ~logs ~counts);
+      (* a phantom consume: bump one consumer's count without a
+         matching item — the presence check must notice *)
+      i_sabotage = Some (fun () -> Machine.poke m counts (peek counts + 1));
+    }
   in
-  let injected = match fi with Some f -> Fault_inject.injected f | None -> 0 in
-  (match fi with Some f -> Fault_inject.disarm m f | None -> ());
+  (inst, producers, consumers)
+
+let queue_subject kind =
+  {
+    sub_name = "queue/" ^ kind_name kind;
+    sub_build = (fun ~seed:_ -> let inst, _, _ = queue_instance ~items:32 ~kind () in inst);
+  }
+
+let run_queue ?(items = 32) ?(faults = true) ~kind ~seed () =
+  let inst, producers, consumers = queue_instance ~items ~kind () in
+  let r =
+    run_instance ~name:("queue/" ^ kind_name kind) ~seed ~faults
+      ~sabotage:false inst
+  in
   {
     x_kind = kind;
     x_seed = seed;
     x_producers = producers;
     x_consumers = consumers;
     x_items = items;
-    x_consumed = consumed ();
-    x_stride = stride;
-    x_preemptions = !preemptions;
-    x_injected = injected;
-    x_violations = violations;
-    x_insns = Machine.insns_executed m - start_insns;
-    x_cycles = Machine.cycles m - start_cycles;
+    x_consumed = r.s_progress;
+    x_stride = r.s_stride;
+    x_preemptions = r.s_preemptions;
+    x_injected = r.s_injected;
+    x_violations = r.s_violations;
+    x_insns = r.s_insns;
+    x_cycles = r.s_cycles;
   }
 
 let run_all ?(items = 32) ~seed () =
   List.map
     (fun kind -> run_queue ~items ~kind ~seed ())
     [ Kqueue.Spsc; Kqueue.Mpsc; Kqueue.Spmc; Kqueue.Mpmc ]
+
+(* ---------------------------------------------------------------- *)
+(* Subject 2: the executable ready queue under a thread-state storm *)
+
+(* Four counting workers (half of them yielding through trap 5) while
+   seeded host agitation stops, starts, and crash-restarts them at
+   preemption points — sweeping the stop/start/restart paths across
+   every instruction of the switch code.  Invariants: the patched-jmp
+   ring always matches the host mirror and closes (Ready_queue.verify,
+   whose walk is bounded), the anchor stays in the ring, no stopped or
+   dead thread sits in the ring, and no dead thread holds the CPU. *)
+let ready_queue_subject =
+  let build ~seed =
+    let b = Boot.boot () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let alloc = k.Kernel.alloc in
+    let nworkers = 4 in
+    let cells = Kalloc.alloc_zeroed alloc 8 in
+    let worker i =
+      let cell = cells + i in
+      let body =
+        if i land 1 = 0 then
+          [
+            I.Label "loop";
+            I.Alu_mem (I.Add, I.Imm 1, I.Abs cell);
+            I.B (I.Always, I.To_label "loop");
+          ]
+        else
+          [
+            I.Label "loop";
+            I.Alu_mem (I.Add, I.Imm 1, I.Abs cell);
+            I.Trap 5; (* yield *)
+            I.B (I.Always, I.To_label "loop");
+          ]
+      in
+      let entry, _ = Asm.assemble m body in
+      Thread.create k ~entry ~quantum_us:300 ~segments:[ (cells, 8) ] ()
+    in
+    let workers = Array.init nworkers worker in
+    let progress () =
+      let s = ref 0 in
+      for i = 0 to nworkers - 1 do
+        s := !s + Machine.peek m (cells + i)
+      done;
+      !s
+    in
+    let agitate step =
+      let r = mix seed (0x1000 + step) in
+      let w = workers.((r lsr 4) mod nworkers) in
+      (match r mod 6 with
+      | 0 ->
+        (* stop — but keep at least two ring members so the machine
+           always has somewhere to go *)
+        if
+          w.Kernel.state = Kernel.Ready
+          && Ready_queue.in_queue w
+          && Ready_queue.length k > 2
+        then Thread.stop k w
+      | 1 ->
+        if w.Kernel.state = Kernel.Stopped && Thread.fully_stopped k w then
+          Thread.start k w
+      | 2 ->
+        (* crash-restart: rebuild the initial context and requeue *)
+        if
+          w.Kernel.state = Kernel.Ready
+          || (w.Kernel.state = Kernel.Stopped && Thread.fully_stopped k w)
+        then Kernel.restart_thread k w
+      | _ -> ());
+      (* never leave the storm with zero runnable workers *)
+      if not (Array.exists Ready_queue.in_queue workers) then
+        Array.iter
+          (fun w ->
+            if w.Kernel.state = Kernel.Stopped && Thread.fully_stopped k w
+            then Thread.start k w)
+          workers
+    in
+    (* a Stopped/Blocked thread may hold the CPU transiently (its
+       switch-out has not run yet); flag it only if it persists *)
+    let stuck_tid = ref (-1) in
+    let stuck_for = ref 0 in
+    let check () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      if not (Ready_queue.verify k) then
+        violate "ready queue verify failed (ring/mirror mismatch)";
+      (match k.Kernel.rq_anchor with
+      | Some a ->
+        if not (Ready_queue.in_queue a) then violate "anchor not in ring"
+      | None ->
+        if Array.exists Ready_queue.in_queue workers then
+          violate "anchor lost while workers are queued");
+      (try
+         List.iter
+           (fun t ->
+             match t.Kernel.state with
+             | Kernel.Ready -> ()
+             | Kernel.Stopped ->
+               violate "stopped thread %d in ring" t.Kernel.tid
+             | Kernel.Blocked ->
+               violate "blocked thread %d in ring" t.Kernel.tid
+             | Kernel.Zombie -> violate "dead thread %d in ring" t.Kernel.tid)
+           (Ready_queue.to_list k)
+       with Failure msg -> violate "%s" msg);
+      (match Kernel.current k with
+      | Some c -> (
+        match c.Kernel.state with
+        | Kernel.Zombie -> violate "dead thread %d holds the CPU" c.Kernel.tid
+        | Kernel.Ready ->
+          stuck_tid := -1;
+          stuck_for := 0
+        | Kernel.Stopped | Kernel.Blocked ->
+          if c.Kernel.tid = !stuck_tid then incr stuck_for
+          else begin
+            stuck_tid := c.Kernel.tid;
+            stuck_for := 1
+          end;
+          if !stuck_for > 4 then
+            violate "suspended thread %d still holds the CPU" c.Kernel.tid)
+      | None -> ());
+      List.rev !v
+    in
+    {
+      i_boot = b;
+      i_goal = 4_000;
+      i_budget = 3_000_000;
+      i_fault_config =
+        Some
+          {
+            Fault_inject.default_config with
+            Fault_inject.horizon_cycles = 400_000;
+            n_irqs = 4;
+            n_flips = 0;
+            n_stalls = 0;
+            n_drops = 0;
+            n_cas_fails = 0;
+            irq_choices =
+              [
+                (Mmio_map.timer_level, Mmio_map.timer_vector);
+                (Mmio_map.disk_level, Mmio_map.disk_vector);
+              ];
+            flip_len = 0;
+          };
+      i_progress = progress;
+      i_agitate = Some agitate;
+      i_check = check;
+      i_final = check;
+      (* point one patched jmp at the address-0 halt guard: the
+         code/mirror cross-check must notice before (or as) the ring
+         wedges *)
+      i_sabotage =
+        Some
+          (fun () ->
+            match k.Kernel.rq_anchor with
+            | Some a -> Machine.patch_code m a.Kernel.jmp_slot (I.Jmp (I.To_addr 0))
+            | None -> ());
+    }
+  in
+  { sub_name = "ready-queue"; sub_build = build }
+
+(* ---------------------------------------------------------------- *)
+(* Subject 3: a Kpipe producer/consumer pair *)
+
+(* A writer streams [total] known words through a deliberately small
+   pipe (lots of full/empty blocking) and closes; the reader drains
+   into a destination buffer, counts words, and must then see a clean
+   EOF.  Invariants: the destination equals the source exactly (no
+   loss, duplication, reordering, or corruption), the count matches,
+   EOF is seen exactly once and never early — under forced preemption,
+   spurious interrupts, and forced CAS failures. *)
+let kpipe_subject =
+  let build ~seed =
+    let b = Boot.boot () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let vfs = b.Boot.vfs in
+    let alloc = k.Kernel.alloc in
+    let total = 192 in
+    let chunk = 8 in
+    let src = Kalloc.alloc_zeroed alloc total in
+    let dst = Kalloc.alloc_zeroed alloc total in
+    let cells = Kalloc.alloc_zeroed alloc 8 in
+    (* cells+0 = words received, cells+1 = EOF marker
+       (1 clean, 2 data past EOF, 3 premature EOF) *)
+    let value i = 1 + ((i * 7 + seed) land 0x7FFF) in
+    for i = 0 to total - 1 do
+      Machine.poke m (src + i) (value i)
+    done;
+    let pipe = Kpipe.create k ~cap:16 () in
+    let writer =
+      Thread.create k ~entry:0 ~quantum_us:200 ~segments:[ (src, total) ] ()
+    in
+    let reader =
+      Thread.create k ~entry:0 ~quantum_us:200
+        ~segments:[ (dst, total); (cells, 8) ] ()
+    in
+    let _, wfd = Kpipe.attach vfs pipe writer in
+    let rfd, _ = Kpipe.attach vfs pipe reader in
+    (* r9 for the position: the synthesized write path clobbers
+       r4–r8 (r8 is its remaining-count register) *)
+    let wprog =
+      [
+        I.Move (I.Imm 0, I.Reg I.r9);
+        I.Label "loop";
+        I.Move (I.Imm wfd, I.Reg I.r1);
+        I.Move (I.Imm src, I.Reg I.r2);
+        I.Alu (I.Add, I.Reg I.r9, I.r2);
+        I.Move (I.Imm chunk, I.Reg I.r3);
+        I.Trap 2; (* write: blocks while full, writes everything *)
+        I.Alu (I.Add, I.Imm chunk, I.r9);
+        I.Cmp (I.Imm total, I.Reg I.r9);
+        I.B (I.Ne, I.To_label "loop");
+        I.Move (I.Imm wfd, I.Reg I.r1);
+        I.Trap 4; (* close: EOF for the reader *)
+        I.Trap 0;
+      ]
+    in
+    let rprog =
+      [
+        I.Move (I.Imm 0, I.Reg I.r9);
+        I.Label "loop";
+        I.Move (I.Imm rfd, I.Reg I.r1);
+        I.Move (I.Imm dst, I.Reg I.r2);
+        I.Alu (I.Add, I.Reg I.r9, I.r2);
+        I.Move (I.Imm 64, I.Reg I.r3);
+        I.Trap 1; (* read: blocks while empty, 0 only at EOF *)
+        I.Tst (I.Reg I.r0);
+        I.B (I.Eq, I.To_label "early_eof");
+        I.Alu (I.Add, I.Reg I.r0, I.r9);
+        I.Alu_mem (I.Add, I.Reg I.r0, I.Abs cells);
+        I.Cmp (I.Imm total, I.Reg I.r9);
+        I.B (I.Ne, I.To_label "loop");
+        (* everything received: one more read must return EOF *)
+        I.Move (I.Imm rfd, I.Reg I.r1);
+        I.Move (I.Imm dst, I.Reg I.r2);
+        I.Move (I.Imm chunk, I.Reg I.r3);
+        I.Trap 1;
+        I.Tst (I.Reg I.r0);
+        I.B (I.Ne, I.To_label "bad_eof");
+        I.Move (I.Imm 1, I.Abs (cells + 1));
+        I.Trap 0;
+        I.Label "bad_eof";
+        I.Move (I.Imm 2, I.Abs (cells + 1));
+        I.Trap 0;
+        I.Label "early_eof";
+        I.Move (I.Imm 3, I.Abs (cells + 1));
+        I.Trap 0;
+      ]
+    in
+    let wentry, _ = Asm.assemble m wprog in
+    let rentry, _ = Asm.assemble m rprog in
+    Machine.poke m (writer.Kernel.base + Layout.Tte.off_regs + 17) wentry;
+    Machine.poke m (reader.Kernel.base + Layout.Tte.off_regs + 17) rentry;
+    writer.Kernel.entry <- wentry;
+    reader.Kernel.entry <- rentry;
+    let peek a = Machine.peek m a in
+    let progress () = peek cells + (if peek (cells + 1) = 1 then 1 else 0) in
+    (* the received prefix is stable: dst.[0, count) must already
+       equal the source *)
+    let check () =
+      let c = peek cells in
+      if c > total then
+        [ Fmt.str "pipe delivered %d of %d words" c total ]
+      else begin
+        let bad = ref [] in
+        (try
+           for i = 0 to c - 1 do
+             let want = value i and got = peek (dst + i) in
+             if got <> want then begin
+               bad :=
+                 [
+                   Fmt.str "pipe data wrong at word %d: got %#x want %#x" i
+                     got want;
+                 ];
+               raise Exit
+             end
+           done
+         with Exit -> ());
+        !bad
+      end
+    in
+    let final () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      let c = peek cells in
+      if c <> total then violate "reader counted %d of %d words" c total;
+      let bad = ref 0 in
+      for i = 0 to total - 1 do
+        if peek (dst + i) <> value i then begin
+          incr bad;
+          if !bad <= 3 then
+            violate "pipe data wrong at word %d: got %#x want %#x" i
+              (peek (dst + i)) (value i)
+        end
+      done;
+      (match peek (cells + 1) with
+      | 1 -> ()
+      | 0 -> violate "reader never reached EOF"
+      | 2 -> violate "read past EOF returned data"
+      | 3 -> violate "premature EOF: read returned 0 before the pipe drained"
+      | x -> violate "bad EOF marker %d" x);
+      List.rev !v
+    in
+    {
+      i_boot = b;
+      i_goal = total + 1; (* all words received + clean EOF observed *)
+      i_budget = 4_000_000;
+      i_fault_config =
+        Some
+          {
+            Fault_inject.default_config with
+            Fault_inject.horizon_cycles = 400_000;
+            n_irqs = 3;
+            n_flips = 0;
+            n_stalls = 0;
+            n_drops = 0;
+            n_cas_fails = 6;
+            cas_gap = 32;
+            irq_choices =
+              [
+                (Mmio_map.timer_level, Mmio_map.timer_vector);
+                (Mmio_map.disk_level, Mmio_map.disk_vector);
+              ];
+            flip_len = 0;
+          };
+      i_progress = progress;
+      i_agitate = None;
+      i_check = check;
+      i_final = final;
+      (* corrupt an already-delivered word: the prefix check must
+         notice at the next checkpoint *)
+      i_sabotage =
+        Some (fun () -> Machine.poke m (dst + 3) (value 3 lxor 0x5555));
+    }
+  in
+  { sub_name = "kpipe"; sub_build = build }
+
+(* ---------------------------------------------------------------- *)
+(* Subject 4: the disk elevator under completion faults *)
+
+(* Ten reads of seeded distinct blocks (known contents pre-written to
+   the device) submitted in one burst while spurious disk interrupts,
+   a stalled completion, and a dropped completion land on top; the
+   idle thread takes the interrupts.  Invariants: every request
+   completes exactly once with status 1 and the right data the moment
+   completion is signalled (a spurious interrupt must not mark an
+   in-flight transfer done with a stale buffer), nothing is starved or
+   failed, and the device services blocks in SCAN order. *)
+let disk_subject =
+  let build ~seed =
+    let b = Boot.boot () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let alloc = k.Kernel.alloc in
+    let ds = Disk_server.install k ~timeout_us:2_000.0 ~max_tries:6 () in
+    let nreqs = 10 in
+    let blocks =
+      let chosen = Array.make nreqs 0 in
+      let used = Hashtbl.create 16 in
+      let n = ref 0 and i = ref 0 in
+      while !n < nreqs do
+        let c = 1 + (mix seed (0x2000 + !i) mod 96) in
+        incr i;
+        if not (Hashtbl.mem used c) then begin
+          Hashtbl.add used c ();
+          chosen.(!n) <- c;
+          incr n
+        end
+      done;
+      chosen
+    in
+    let expected bno i = (bno * 1_000) + i in
+    Array.iter
+      (fun bno ->
+        Devices.Disk.write_block k.Kernel.disk bno
+          (Array.init Devices.Disk.block_words (expected bno)))
+      blocks;
+    let reqs =
+      Array.map
+        (fun bno ->
+          let buf = Kalloc.alloc_zeroed alloc Disk_server.block_words in
+          let req = Disk_server.submit ds ~block:bno ~buffer:buf ~write:false () in
+          (bno, buf, req.Disk_server.r_desc))
+        blocks
+    in
+    let peek a = Machine.peek m a in
+    let progress () =
+      Array.fold_left
+        (fun acc (_, _, desc) -> if peek (desc + 3) = 1 then acc + 1 else acc)
+        0 reqs
+    in
+    let first_done = Array.make nreqs false in
+    let check () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      Array.iteri
+        (fun idx (bno, buf, desc) ->
+          match peek (desc + 3) with
+          | 2 -> violate "block %d failed after retries" bno
+          | 1 when not first_done.(idx) ->
+            first_done.(idx) <- true;
+            (* the data must be right the moment completion is
+               signalled, not eventually *)
+            let bad = ref (-1) in
+            for i = Devices.Disk.block_words - 1 downto 0 do
+              if peek (buf + i) <> expected bno i then bad := i
+            done;
+            if !bad >= 0 then
+              violate "block %d completed with stale data at word %d" bno !bad
+          | _ -> ())
+        reqs;
+      List.rev !v
+    in
+    let final () =
+      let v = ref (check ()) in
+      let violate fmt = Fmt.kstr (fun s -> v := !v @ [ s ]) fmt in
+      Array.iter
+        (fun (bno, _, desc) ->
+          match peek (desc + 3) with
+          | 1 | 2 -> () (* 2 already reported by check *)
+          | st -> violate "block %d never completed (status %d)" bno st)
+        reqs;
+      (* SCAN: ascending from the first-issued block, then the reverse
+         sweep downward; retries must not re-enter the order *)
+      let order = Disk_server.service_order ds in
+      let first = blocks.(0) in
+      let rest = List.tl (Array.to_list blocks) in
+      let want =
+        (first
+        :: List.sort compare (List.filter (fun x -> x > first) rest))
+        @ List.sort (fun a b -> compare b a)
+            (List.filter (fun x -> x < first) rest)
+      in
+      if order <> want then
+        violate "elevator order [%s], want [%s]"
+          (String.concat ";" (List.map string_of_int order))
+          (String.concat ";" (List.map string_of_int want));
+      !v
+    in
+    {
+      i_boot = b;
+      i_goal = nreqs;
+      i_budget = 2_000_000;
+      i_fault_config =
+        Some
+          {
+            Fault_inject.default_config with
+            Fault_inject.horizon_cycles = 300_000;
+            n_irqs = 4;
+            n_flips = 0;
+            n_stalls = 1;
+            n_drops = 1;
+            n_cas_fails = 0;
+            irq_choices = [ (Mmio_map.disk_level, Mmio_map.disk_vector) ];
+            stall_devices = [ "disk" ];
+            flip_len = 0;
+          };
+      i_progress = progress;
+      i_agitate = None;
+      i_check = check;
+      i_final = final;
+      (* corrupt the first (already completed) buffer and forget we
+         checked it: the data invariant must re-notice *)
+      i_sabotage =
+        Some
+          (fun () ->
+            let _, buf, _ = reqs.(0) in
+            Machine.poke m buf (peek buf lxor 0x1111);
+            first_done.(0) <- false)
+    }
+  in
+  { sub_name = "disk"; sub_build = build }
+
+let subjects = [ ready_queue_subject; kpipe_subject; disk_subject ]
 
 (* ---------------------------------------------------------------- *)
 (* Targeted recovery scenarios *)
@@ -342,13 +966,7 @@ let timer_loss ?(seed = 1) () =
       ~restart:(fun () -> Devices.Timer.arm k.Kernel.timer ~us:200.0)
       ()
   in
-  (match k.Kernel.rq_anchor with
-  | Some t ->
-    Machine.set_supervisor m true;
-    Machine.set_reg m I.sp Layout.boot_stack_top;
-    Machine.set_ipl m 7;
-    Machine.set_pc m t.Kernel.sw_in_mmu
-  | None -> invalid_arg "timer_loss: no runnable threads");
+  enter_scheduler k;
   (* drop the timer completion somewhere inside steady-state flow *)
   let drop_after = 30_000 + (mix seed 11 mod 20_000) in
   let fi =

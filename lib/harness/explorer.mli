@@ -1,16 +1,77 @@
 (** kfault interleaving explorer.
 
-    Stresses the lock-free queue code under deterministic, seeded
-    adversity: forced context switches every k-th instruction (k swept
-    by seed), spurious interrupts, scratch bit flips, and forced CAS
-    failures, then checks the queue invariants — no loss, no
-    duplication, no corruption, per-producer FIFO within each
-    consumer — for all four {!Synthesis.Kqueue.kind}s.
+    Stresses kernel code under deterministic, seeded adversity: forced
+    context switches every k-th instruction (k swept by seed),
+    spurious interrupts, bit flips, forced CAS failures, and
+    stalled/dropped device completions — then checks subject-specific
+    invariants at every forced preemption and at the end of the run.
+
+    Workloads are pluggable {!subject}s: the four lock-free
+    {!Synthesis.Kqueue} kinds (via {!run_queue}), the executable ready
+    queue under a thread stop/start/restart storm, a
+    {!Synthesis.Kpipe} producer/consumer pair, and the disk elevator
+    under completion faults.  Every run folds a deterministic trace
+    hash, so a (subject, seed) pair names exactly one interleaving on
+    every host — CI asserts this.
 
     Also provides targeted recovery scenarios: a dropped quantum-timer
     completion recovered by the flow-rate {!Synthesis.Watchdog}, and
     stalled / dropped / permanently failing disk completions recovered
     (or cleanly failed) by the disk server's bounded retry. *)
+
+(** {1 Subjects} *)
+
+type subject_result = {
+  s_subject : string;
+  s_seed : int;
+  s_stride : int;  (** instructions between forced preemptions *)
+  s_preemptions : int;  (** forced context switches posted *)
+  s_injected : int;  (** faults delivered by the plan *)
+  s_progress : int;  (** work completed (subject-specific unit) *)
+  s_goal : int;  (** progress at which the run is complete *)
+  s_violations : string list;  (** empty = all invariants held *)
+  s_insns : int;
+  s_cycles : int;
+  s_trace_hash : int;  (** seed-deterministic interleaving fingerprint *)
+}
+
+type subject
+
+val subject_name : subject -> string
+
+val ready_queue_subject : subject
+(** Counting workers under a seeded storm of host-driven
+    stop/start/crash-restart transitions.  Invariants: the patched-jmp
+    ring matches the host mirror and closes, the anchor stays queued,
+    no stopped/blocked/dead thread sits in the ring, and no suspended
+    or dead thread keeps the CPU. *)
+
+val kpipe_subject : subject
+(** A writer streams known words through a small pipe and closes; the
+    reader drains and must see a clean EOF.  Invariants: destination
+    equals source exactly, counts match, EOF exactly once and never
+    early. *)
+
+val disk_subject : subject
+(** A burst of reads of seeded blocks while spurious disk interrupts
+    and a stalled and a dropped completion land on top.  Invariants:
+    completion-exactly-once with the right data at the moment of
+    completion, no starvation or spurious failure, SCAN service
+    order. *)
+
+val subjects : subject list
+(** The three kernel subjects above (the queue workloads keep their
+    dedicated {!run_queue} entry point). *)
+
+val run_subject :
+  ?faults:bool -> ?sabotage:bool -> subject -> seed:int -> unit -> subject_result
+(** Build and drive one subject instance.  [~faults:false] runs the
+    pure interleaving sweep with no injected faults; [~sabotage:true]
+    deliberately corrupts subject state mid-run — used by the negative
+    tests to prove the invariants bite (the result must report at
+    least one violation). *)
+
+(** {1 Queue workloads} *)
 
 type result = {
   x_kind : Synthesis.Kqueue.kind;
@@ -29,6 +90,9 @@ type result = {
 
 val kind_name : Synthesis.Kqueue.kind -> string
 
+val queue_subject : Synthesis.Kqueue.kind -> subject
+(** The queue workload as a subject (32 items per producer). *)
+
 val run_queue :
   ?items:int ->
   ?faults:bool ->
@@ -43,6 +107,8 @@ val run_queue :
 
 val run_all : ?items:int -> seed:int -> unit -> result list
 (** [run_queue] across all four kinds. *)
+
+(** {1 Targeted recovery scenarios} *)
 
 type timer_loss_result = {
   tl_seed : int;

@@ -971,6 +971,11 @@ let cas_fail_armed t = t.cas_fail_next <> max_int
 let halted t = t.halted
 let set_halted t b = t.halted <- b
 let double_faulted t = t.double_fault
+
+(* Recovery hosts (Boot.go's double-fault restart path) acknowledge a
+   double fault before re-entering the scheduler, so a *subsequent*
+   double fault is distinguishable from the one just handled. *)
+let clear_double_fault t = t.double_fault <- false
 let stopped t = t.stopped
 let last_fault_addr t = t.last_fault_addr
 let vbr t = t.vbr

@@ -207,6 +207,10 @@ val set_halted : t -> bool -> unit
     68020 double bus fault. *)
 val double_faulted : t -> bool
 
+(** Acknowledge a double fault so a recovery host can resume the
+    machine and still detect the next one. *)
+val clear_double_fault : t -> unit
+
 val stopped : t -> bool
 val cost_model : t -> Cost.t
 

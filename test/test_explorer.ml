@@ -1,0 +1,362 @@
+(* Explorer v2 subjects and the bugs they flushed out.
+
+   Determinism and sabotage coverage for the three kernel subjects
+   (ready queue, kpipe, disk elevator), plus a minimal committed repro
+   for every kernel bug the sweeps found:
+
+   - relink/insert_after patch ordering (the incoming thread's jmp
+     must be patched before its predecessor's — the old order exposed
+     a window where the ring pointed at an unlinked thread);
+   - Thread.stop of the running thread must arm a preemption (the old
+     code let a suspended thread keep the CPU for its whole quantum);
+   - Ready_queue.balance_idle must not re-queue a stopped idle thread;
+   - a spurious disk interrupt must not complete an in-flight transfer
+     with stale data (completion-exactly-once);
+   - the elevator must actually flip its sweep direction when the next
+     request is behind the arm (SCAN order);
+   - double-fault recovery through Thread.restart. *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+module E = Repro_harness.Explorer
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let enter_scheduler ?(ipl = 7) k =
+  let m = k.Kernel.machine in
+  match k.Kernel.rq_anchor with
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m ipl;
+    Machine.set_pc m t.Kernel.sw_in_mmu
+  | None -> Alcotest.fail "enter_scheduler: empty ready queue"
+
+let step_until m ~budget pred =
+  let left = ref budget in
+  while (not (pred ())) && !left > 0 do
+    Machine.step m;
+    decr left
+  done;
+  pred ()
+
+(* ------------------------------------------------------------------ *)
+(* Subject determinism: a (subject, seed) pair names exactly one
+   interleaving — same seed, same trace hash, same everything *)
+
+let test_subjects_deterministic () =
+  List.iter
+    (fun sub ->
+      let name = E.subject_name sub in
+      let a = E.run_subject sub ~seed:5 () in
+      let b = E.run_subject sub ~seed:5 () in
+      check_bool (name ^ ": identical result on re-run") true (a = b);
+      check_bool
+        (name ^ ": no violations under faults")
+        true
+        (a.E.s_violations = []);
+      check_bool (name ^ ": reached its goal") true (a.E.s_progress >= a.E.s_goal);
+      check_bool (name ^ ": preemptions forced") true (a.E.s_preemptions > 0))
+    E.subjects
+
+let test_subject_faults_off () =
+  (* the pure interleaving sweep must also hold, and inject nothing *)
+  let r = E.run_subject ~faults:false E.ready_queue_subject ~seed:3 () in
+  check_int "no faults injected" 0 r.E.s_injected;
+  check_bool "clean run" true (r.E.s_violations = [])
+
+(* Negative control: a run whose state is deliberately corrupted must
+   be caught — proves the invariant checks bite. *)
+let test_subjects_catch_sabotage () =
+  List.iter
+    (fun sub ->
+      let r = E.run_subject ~sabotage:true sub ~seed:2 () in
+      check_bool
+        (E.subject_name sub ^ ": sabotage detected")
+        true
+        (r.E.s_violations <> []))
+    E.subjects
+
+(* ------------------------------------------------------------------ *)
+(* Bug: insert_after patched the predecessor's jmp before the incoming
+   thread's.  Between the two patches the ring pointed at a thread
+   whose own jmp still held its creation-time halt guard — a forced
+   switch in that window dispatched into the guard.  The fix links the
+   incoming thread outward first; the Patched trace events prove the
+   order. *)
+
+let test_insert_patches_incoming_first () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let tr = Ktrace.create m in
+  Kernel.attach_tracing k tr;
+  let entry, _ =
+    Asm.assemble m [ I.Label "l"; I.B (I.Always, I.To_label "l") ]
+  in
+  let t1 = Thread.create k ~entry () in
+  Ktrace.clear tr;
+  let t2 = Thread.create k ~entry () in
+  let patched =
+    List.filter_map
+      (fun e ->
+        match e.Ktrace.ev_kind with Ktrace.Patched a -> Some a | _ -> None)
+      (Ktrace.events tr)
+  in
+  match patched with
+  | first :: second :: _ ->
+    check_int "incoming thread linked outward first" t2.Kernel.jmp_slot first;
+    check_int "predecessor patched second" t1.Kernel.jmp_slot second
+  | _ -> Alcotest.fail "expected two Patched events from the insertion"
+
+(* ------------------------------------------------------------------ *)
+(* Bug: stopping the *running* thread unlinked it from the ring but
+   never preempted it, so a suspended thread kept the CPU until its
+   quantum expired.  The fix arms a short preemption timer. *)
+
+let test_stop_running_thread_preempts () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let cells = Kalloc.alloc_zeroed k.Kernel.alloc 2 in
+  let mk i =
+    let entry, _ =
+      Asm.assemble m
+        [
+          I.Label "l";
+          I.Alu_mem (I.Add, I.Imm 1, I.Abs (cells + i));
+          I.B (I.Always, I.To_label "l");
+        ]
+    in
+    (* quantum far beyond the test budget: only the stop-armed
+       preemption can take the CPU away *)
+    Thread.create k ~entry ~quantum_us:100_000 ~segments:[ (cells, 2) ] ()
+  in
+  let t0 = mk 0 in
+  let t1 = mk 1 in
+  enter_scheduler k;
+  let started () = Machine.peek m cells > 0 || Machine.peek m (cells + 1) > 0 in
+  check_bool "a worker started" true (step_until m ~budget:20_000 started);
+  let ri = if Machine.peek m cells > 0 then 0 else 1 in
+  let running = if ri = 0 then t0 else t1 in
+  let other_cell = cells + 1 - ri in
+  let before = Machine.peek m other_cell in
+  Thread.stop k running;
+  check_bool "other thread ran shortly after the stop" true
+    (step_until m ~budget:3_000 (fun () -> Machine.peek m other_cell > before));
+  check_bool "stopped thread left the ring" true
+    (not (Ready_queue.in_queue running));
+  check_bool "ring verifies" true (Ready_queue.verify k)
+
+(* ------------------------------------------------------------------ *)
+(* Bug: balance_idle unconditionally re-queued the idle thread, so
+   stopping it put a Stopped thread back into the ring. *)
+
+let test_stopped_idle_not_requeued () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let idle = b.Boot.idle in
+  Thread.stop k idle;
+  check_bool "stopped idle not re-queued" false (Ready_queue.in_queue idle);
+  check_bool "ready queue empty" true (k.Kernel.rq_anchor = None);
+  Thread.start k idle;
+  check_bool "restarted idle back in the ring" true (Ready_queue.in_queue idle);
+  check_bool "idle ready again" true (idle.Kernel.state = Kernel.Ready);
+  check_bool "ring verifies" true (Ready_queue.verify k)
+
+(* ------------------------------------------------------------------ *)
+(* Bug: the disk completion handler trusted the interrupt alone.  A
+   spurious disk interrupt completed the in-flight transfer with
+   whatever stale bytes were in the buffer.  The fix reads the device
+   status register and dismisses interrupts when no transfer is done. *)
+
+let test_spurious_disk_irq_ignored () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let ds = Disk_server.install k () in
+  Devices.Disk.write_block k.Kernel.disk 7
+    (Array.init Devices.Disk.block_words (fun i -> 7_000 + i));
+  enter_scheduler ~ipl:0 k;
+  (* let the idle thread take the CPU before any interrupt arrives *)
+  for _ = 1 to 100 do
+    Machine.step m
+  done;
+  let buf = Kalloc.alloc_zeroed k.Kernel.alloc Devices.Disk.block_words in
+  let r = Disk_server.submit ds ~block:7 ~buffer:buf ~write:false () in
+  let desc = r.Disk_server.r_desc in
+  (* transfer in flight: fire a completion interrupt the device never
+     raised.  Pre-fix this marked the request done with a stale
+     buffer; now it must be dismissed and counted. *)
+  Machine.post_interrupt ~source:"test" m ~level:Mmio_map.disk_level
+    ~vector:Mmio_map.disk_vector;
+  ignore
+    (step_until m ~budget:2_000 (fun () ->
+         Disk_server.spurious_irqs ds >= 1 || Machine.peek m (desc + 3) = 1));
+  check_int "spurious interrupt not treated as completion" 0
+    (Machine.peek m (desc + 3));
+  check_int "spurious interrupt counted" 1 (Disk_server.spurious_irqs ds);
+  check_int "and exported as a metric" 1
+    (Metrics.read k.Kernel.metrics "disk.spurious_irqs");
+  check_bool "real completion still arrives" true
+    (step_until m ~budget:2_000_000 (fun () -> Machine.peek m (desc + 3) = 1));
+  for i = 0 to Devices.Disk.block_words - 1 do
+    if Machine.peek m (buf + i) <> 7_000 + i then
+      Alcotest.failf "block data wrong at word %d" i
+  done
+
+(* ------------------------------------------------------------------ *)
+(* Bug: when the elevator turned around it never recorded the new
+   direction, so requests arriving mid-sweep were sorted for the wrong
+   sweep and serviced out of SCAN order. *)
+
+let test_elevator_direction_flip () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let ds = Disk_server.install k () in
+  List.iter
+    (fun bno ->
+      Devices.Disk.write_block k.Kernel.disk bno
+        (Array.init Devices.Disk.block_words (fun i -> (bno * 1_000) + i)))
+    [ 5; 4; 3; 6 ];
+  enter_scheduler ~ipl:0 k;
+  let submit bno =
+    Disk_server.submit ds ~block:bno
+      ~buffer:(Kalloc.alloc_zeroed k.Kernel.alloc Devices.Disk.block_words)
+      ~write:false ()
+  in
+  let done_ r () = Machine.peek m (r.Disk_server.r_desc + 3) = 1 in
+  (* arm starts at 0 sweeping up: 5 is issued at once, 4 and 3 park
+     for the return sweep *)
+  let r5 = submit 5 in
+  let _r4 = submit 4 in
+  let r3 = submit 3 in
+  check_bool "first request completes" true
+    (step_until m ~budget:2_000_000 (done_ r5));
+  (* 4 is now in flight and the arm sweeps *down*; 6 arrives behind it
+     and must wait for the next upward sweep, after 3 *)
+  let r6 = submit 6 in
+  check_bool "remaining requests complete" true
+    (step_until m ~budget:8_000_000 (fun () -> done_ r3 () && done_ r6 ()));
+  Alcotest.(check (list int))
+    "SCAN service order" [ 5; 4; 3; 6 ]
+    (Disk_server.service_order ds)
+
+(* ------------------------------------------------------------------ *)
+(* Thread.restart: rebuild the creation-time context and re-queue *)
+
+let test_restart_rebuilds_context () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let cell = Kalloc.alloc_zeroed k.Kernel.alloc 1 in
+  let entry, _ =
+    Asm.assemble m
+      [
+        I.Label "l";
+        I.Alu_mem (I.Add, I.Imm 1, I.Abs cell);
+        I.B (I.Always, I.To_label "l");
+      ]
+  in
+  let t = Thread.create k ~entry ~segments:[ (cell, 1) ] () in
+  enter_scheduler k;
+  check_bool "worker ran" true
+    (step_until m ~budget:20_000 (fun () -> Machine.peek m cell > 0));
+  Thread.stop k t;
+  check_bool "worker stopped" true
+    (step_until m ~budget:20_000 (fun () -> Thread.fully_stopped k t));
+  (* simulate a crash mangling the saved context *)
+  Thread.set_saved_reg k t I.sp 0;
+  Machine.poke m (t.Kernel.base + Layout.Tte.off_regs + 17) 0xDEAD;
+  Thread.restart k t;
+  check_int "saved pc reset to the creation entry" entry (Thread.saved_pc k t);
+  check_bool "re-queued" true (Ready_queue.in_queue t);
+  check_bool "ready" true (t.Kernel.state = Kernel.Ready);
+  check_int "restart counted" 1
+    (Metrics.read k.Kernel.metrics "kernel.thread_restarts_total");
+  check_bool "ring verifies" true (Ready_queue.verify k)
+
+(* A double fault restarts the crashed thread when asked to: the first
+   pass wrecks its own supervisor stack and faults; the restarted pass
+   finds the flag cleared, takes the clean path, and exits. *)
+let test_double_fault_restart () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let cells = Kalloc.alloc_zeroed k.Kernel.alloc 2 in
+  let flag = cells and done_cell = cells + 1 in
+  Machine.poke m flag 1;
+  let wreck =
+    Machine.register_hcall m (fun mm ->
+        if Machine.peek mm flag = 1 then begin
+          Machine.poke mm flag 0;
+          Machine.set_other_sp mm 0
+        end)
+  in
+  let prog =
+    [
+      I.Move (I.Abs flag, I.Reg I.r1);
+      I.Cmp (I.Imm 0, I.Reg I.r1);
+      I.B (I.Eq, I.To_label "clean");
+      I.Hcall wreck;
+      I.Move (I.Imm 1, I.Abs 0x5_0000);
+      (* double fault: ruined stack *)
+      I.Label "clean";
+      I.Move (I.Imm 1, I.Abs done_cell);
+      I.Trap 0;
+    ]
+  in
+  let entry, _ = Asm.assemble m prog in
+  let _t = Thread.create k ~entry ~segments:[ (cells, 2) ] () in
+  (match Boot.go ~max_insns:1_000_000 ~restart_on_double_fault:true b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "did not halt");
+  check_int "restarted pass completed" 1 (Machine.peek m done_cell);
+  check_bool "double fault logged" true
+    (List.exists
+       (fun e -> e.Kernel.f_reason = "double_fault")
+       k.Kernel.fault_log);
+  check_bool "restart counted" true
+    (Metrics.read k.Kernel.metrics "kernel.thread_restarts_total" >= 1);
+  check_bool "machine recovered past the double fault" false
+    (Machine.double_faulted m)
+
+(* ------------------------------------------------------------------ *)
+
+let () =
+  Alcotest.run "explorer"
+    [
+      ( "subjects",
+        [
+          Alcotest.test_case "deterministic" `Slow test_subjects_deterministic;
+          Alcotest.test_case "faults off" `Slow test_subject_faults_off;
+          Alcotest.test_case "sabotage caught" `Slow
+            test_subjects_catch_sabotage;
+        ] );
+      ( "ready-queue bugs",
+        [
+          Alcotest.test_case "insert patches incoming first" `Quick
+            test_insert_patches_incoming_first;
+          Alcotest.test_case "stop of running thread preempts" `Quick
+            test_stop_running_thread_preempts;
+          Alcotest.test_case "stopped idle not re-queued" `Quick
+            test_stopped_idle_not_requeued;
+        ] );
+      ( "disk bugs",
+        [
+          Alcotest.test_case "spurious irq ignored" `Quick
+            test_spurious_disk_irq_ignored;
+          Alcotest.test_case "elevator direction flip" `Quick
+            test_elevator_direction_flip;
+        ] );
+      ( "restart",
+        [
+          Alcotest.test_case "rebuilds context" `Quick
+            test_restart_rebuilds_context;
+          Alcotest.test_case "double-fault restart" `Quick
+            test_double_fault_restart;
+        ] );
+    ]

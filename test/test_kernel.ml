@@ -68,6 +68,52 @@ let test_two_threads_interleave () =
   check_int "t1 counted" 1000 (Machine.peek k.Kernel.machine cell);
   check_int "t2 counted" 2000 (Machine.peek k.Kernel.machine (cell + 1))
 
+(* Anchor and self-removal edge cases in the executable ready queue:
+   removing the anchor thread must re-home the anchor to a surviving
+   thread, and removing the last worker must re-instate the idle
+   thread (never leaving a ring that points at a gone thread). *)
+
+let test_remove_anchor_rehomes () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let entry = load_program b [ I.Label "l"; I.B (I.Always, I.To_label "l") ] in
+  let _t1 = Thread.create k ~entry () in
+  let _t2 = Thread.create k ~entry () in
+  let a =
+    match k.Kernel.rq_anchor with
+    | Some a -> a
+    | None -> Alcotest.fail "no anchor"
+  in
+  Ready_queue.remove k a;
+  check_bool "removed anchor left the ring" false (Ready_queue.in_queue a);
+  (match k.Kernel.rq_anchor with
+  | Some a' ->
+    check_bool "anchor re-homed to a queued thread" true
+      (Ready_queue.in_queue a');
+    check_bool "anchor is a different thread" true
+      (a'.Kernel.tid <> a.Kernel.tid)
+  | None -> Alcotest.fail "anchor lost");
+  check_int "one thread left" 1 (Ready_queue.length k);
+  check_bool "ready queue valid" true (Ready_queue.verify k)
+
+let test_remove_last_worker_restores_idle () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let idle = b.Boot.idle in
+  let entry = load_program b [ I.Label "l"; I.B (I.Always, I.To_label "l") ] in
+  let t = Thread.create k ~entry () in
+  check_bool "idle evicted while a worker is ready" false
+    (Ready_queue.in_queue idle);
+  (* the worker is the whole ring: its jmp points at itself *)
+  Ready_queue.remove k t;
+  check_bool "removed worker left the ring" false (Ready_queue.in_queue t);
+  check_bool "idle re-instated" true (Ready_queue.in_queue idle);
+  (match k.Kernel.rq_anchor with
+  | Some a -> check_int "anchor is idle again" idle.Kernel.tid a.Kernel.tid
+  | None -> Alcotest.fail "anchor lost");
+  check_int "only idle queued" 1 (Ready_queue.length k);
+  check_bool "ready queue valid" true (Ready_queue.verify k)
+
 let test_context_switch_preserves_registers () =
   (* Property: a thread's registers survive an arbitrary number of
      involuntary context switches. *)
@@ -427,6 +473,10 @@ let () =
           Alcotest.test_case "boot creates idle" `Quick test_boot_idle;
           Alcotest.test_case "single thread runs and exits" `Quick test_single_thread_runs;
           Alcotest.test_case "two threads interleave" `Quick test_two_threads_interleave;
+          Alcotest.test_case "removing the anchor re-homes it" `Quick
+            test_remove_anchor_rehomes;
+          Alcotest.test_case "removing the last worker restores idle" `Quick
+            test_remove_last_worker_restores_idle;
           Alcotest.test_case "context switch preserves registers" `Quick
             test_context_switch_preserves_registers;
         ] );
