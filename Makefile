@@ -6,7 +6,7 @@ DUNE ?= dune
 
 .PHONY: all build test fmt check bench bench-check bench-all \
         faultsim faultsim-queues faultsim-ready-queue faultsim-kpipe \
-        faultsim-disk clean
+        faultsim-disk faultsim-codeflip clean
 
 all: build
 
@@ -63,6 +63,12 @@ faultsim-kpipe:
 
 faultsim-disk:
 	$(FAULTSIM) --subject disk
+
+# kheal: code-region flips repaired by resynthesis; every seeded flip
+# must be detected and the post-repair code state must match the
+# fault-free fingerprint.
+faultsim-codeflip:
+	$(FAULTSIM) --subject codeflip
 
 clean:
 	$(DUNE) clean

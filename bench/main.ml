@@ -21,7 +21,8 @@ let json_benches ~scale () =
   Trace_overhead.run ();
   Pmu_overhead.run ();
   Fault_overhead.run ();
-  Fault_recovery.run ()
+  Fault_recovery.run ();
+  Fault_repair.run ()
 
 let all_benches ~scale () =
   json_benches ~scale ();
@@ -130,6 +131,7 @@ let main_cmd =
       cmd_of "pmu-overhead" Pmu_overhead.run;
       cmd_of "fault-overhead" Fault_overhead.run;
       cmd_of "fault-recovery" Fault_recovery.run;
+      cmd_of "fault-repair" Fault_repair.run;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

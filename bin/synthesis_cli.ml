@@ -241,11 +241,15 @@ let cmd_faultsim subject seed seeds verbose =
   | "queues" -> run_queues ()
   | "ready-queue" -> run_subject_sweep E.ready_queue_subject
   | "kpipe" -> run_subject_sweep E.kpipe_subject
+  | "codeflip" -> run_subject_sweep E.codeflip_subject
   | "disk" ->
     run_subject_sweep E.disk_subject;
     run_disk_recovery ()
   | s ->
-    Fmt.pr "unknown subject %S (try all, queues, ready-queue, kpipe, disk)@." s;
+    Fmt.pr
+      "unknown subject %S (try all, queues, ready-queue, kpipe, disk, \
+       codeflip)@."
+      s;
     exit 2);
   if !failures > 0 then begin
     Fmt.pr "faultsim FAILED (%d)@." !failures;
@@ -312,16 +316,17 @@ let cmds =
          value & opt string "all"
          & info [ "subject" ] ~docv:"SUBJECT"
              ~doc:
-               "workload to stress: all, queues, ready-queue, kpipe, or disk")
+               "workload to stress: all, queues, ready-queue, kpipe, disk, \
+                or codeflip")
      in
      Cmd.v
        (Cmd.info "faultsim"
           ~doc:
             "kfault: sweep the interleaving explorer (forced preemption + \
              injected faults) over the selected subject — the four lock-free \
-             queue kinds, the executable ready queue, a kpipe pair, and the \
-             disk elevator — plus the timer-loss and disk-fault recovery \
-             scenarios")
+             queue kinds, the executable ready queue, a kpipe pair, the \
+             disk elevator, and the kheal code-flip/self-repair storm — plus \
+             the timer-loss and disk-fault recovery scenarios")
        Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose));
   ]
 

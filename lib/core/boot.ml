@@ -33,31 +33,51 @@ let work_remaining k =
 (* Shared handlers *)
 
 let install_fault_handlers k =
-  let kill_with reason =
-    Machine.register_hcall k.Kernel.machine (fun m ->
-        let cur = Kernel.current_exn k in
-        Kernel.log_fault k ~tid:cur.Kernel.tid ~reason;
-        let next =
-          if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else k.Kernel.rq_anchor
-        in
-        Thread.destroy k cur;
-        if not (work_remaining k) then Machine.set_halted m true
-        else
-          match (next, k.Kernel.rq_anchor) with
-          | Some n, _ when n.Kernel.state = Kernel.Ready && Ready_queue.in_queue n ->
-            Machine.set_pc m n.Kernel.sw_in_mmu
-          | _, Some a -> Machine.set_pc m a.Kernel.sw_in_mmu
-          | _, None -> Machine.set_halted m true)
+  let kill reason m =
+    let cur = Kernel.current_exn k in
+    Kernel.log_fault k ~tid:cur.Kernel.tid ~reason;
+    let next =
+      if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else k.Kernel.rq_anchor
+    in
+    Thread.destroy k cur;
+    if not (work_remaining k) then Machine.set_halted m true
+    else
+      match (next, k.Kernel.rq_anchor) with
+      | Some n, _ when n.Kernel.state = Kernel.Ready && Ready_queue.in_queue n ->
+        Machine.set_pc m n.Kernel.sw_in_mmu
+      | _, Some a -> Machine.set_pc m a.Kernel.sw_in_mmu
+      | _, None -> Machine.set_halted m true
   in
   let install vector reason =
-    let id = kill_with reason in
+    let id = Machine.register_hcall k.Kernel.machine (kill reason) in
     let entry, _ =
       Kernel.install_shared k ~name:("fault/" ^ reason) [ I.Set_ipl 7; I.Hcall id ]
     in
     k.Kernel.default_vectors.(vector) <- entry
   in
   install I.Vector.bus_error "bus_error";
-  install I.Vector.illegal "illegal";
+  (* kheal detection channel: the machine rewinds the PC to the
+     faulting instruction before taking the exception, so the frame at
+     [sp+1] names the instruction that failed to decode.  If it lies
+     inside a registered synthesized region that no longer matches its
+     checksum, the fault *is* code corruption: resynthesize the region
+     in place and Rte — the repaired instruction re-executes and the
+     thread never notices.  Anything else is a genuine illegal
+     instruction and kills the thread as before (the kill path sets
+     the PC itself, skipping the Rte). *)
+  let heal_id =
+    Machine.register_hcall k.Kernel.machine (fun m ->
+        let pc = Machine.peek m (Machine.get_reg m I.sp + 1) in
+        match Kernel.find_region k pc with
+        | Some r when Kernel.region_dirty k r ->
+          Kernel.repair_region ~origin:"trap" k r
+        | _ -> kill "illegal" m)
+  in
+  let illegal_entry, _ =
+    Kernel.install_shared k ~name:"fault/illegal"
+      [ I.Set_ipl 7; I.Hcall heal_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(I.Vector.illegal) <- illegal_entry;
   install I.Vector.div_zero "div_zero";
   install I.Vector.privilege "privilege"
 

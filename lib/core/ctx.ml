@@ -117,13 +117,20 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
       (sw_in_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_in tid)))
   in
   ignore sw_in_entry;
-  {
-    c_sw_out = sw_out;
-    c_sw_in = Asm.symbol in_syms "sw_in";
-    c_sw_in_mmu = Asm.symbol in_syms "sw_in_mmu";
-    c_jmp_slot = Asm.symbol out_syms "jmp_slot";
-    c_quantum_slot = Asm.symbol in_syms "quantum_slot";
-  }
+  let c =
+    {
+      c_sw_out = sw_out;
+      c_sw_in = Asm.symbol in_syms "sw_in";
+      c_sw_in_mmu = Asm.symbol in_syms "sw_in_mmu";
+      c_jmp_slot = Asm.symbol out_syms "jmp_slot";
+      c_quantum_slot = Asm.symbol in_syms "quantum_slot";
+    }
+  in
+  (* the ready ring and the scheduler patch these at run time: they
+     hold scheduling state, not template content *)
+  Kernel.region_mark_mutable k ~addr:c.c_jmp_slot;
+  Kernel.region_mark_mutable k ~addr:c.c_quantum_slot;
+  c
 
 (* Install freshly synthesized switch code into [t] and reconnect the
    ready queue around the new entry points. *)
@@ -185,7 +192,7 @@ let synthesize_partial_switch k ~name ~from_cell ~to_cell =
    sw_in code (fine-grain scheduling, §4.4). *)
 let set_quantum k t quantum_us =
   t.Kernel.quantum_us <- quantum_us;
-  Machine.patch_code k.Kernel.machine t.Kernel.quantum_slot
+  Kernel.patch_code k t.Kernel.quantum_slot
     (I.Move (I.Imm quantum_us, I.Abs Mmio_map.timer_alarm));
   Kernel.trace k (Ktrace.Patched t.Kernel.quantum_slot);
   Machine.charge k.Kernel.machine 4

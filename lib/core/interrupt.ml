@@ -155,7 +155,7 @@ let install_adq k ?(factor = blocking_factor) ~n_elems () =
         let base = elem_addr adq next in
         Array.iteri
           (fun i slot ->
-            Machine.patch_code m slot (I.Move (I.Reg I.r4, I.Abs (base + i))))
+            Kernel.patch_code k slot (I.Move (I.Reg I.r4, I.Abs (base + i))))
           adq.adq_store_slots;
         (* fixed element bookkeeping (flag, head, overrun and wake
            checks) plus one code patch per slot re-specialized *)
@@ -187,9 +187,14 @@ let install_adq k ?(factor = blocking_factor) ~n_elems () =
   let last = factor - 1 in
   (match Machine.read_code m (store_slots.(last) + 1) with
   | I.Move (I.Imm _, I.Abs cell) when cell = stage_cell ->
-    Machine.patch_code m (store_slots.(last) + 1)
+    Kernel.patch_code k (store_slots.(last) + 1)
       (I.Move (I.Imm stage_entries.(0), I.Abs stage_cell))
   | _ -> failwith "adq: unexpected stage layout");
+  (* the store slots are re-specialized per element at run time *)
+  Array.iter
+    (fun slot -> Kernel.region_mark_mutable k ~addr:slot)
+    store_slots;
+  Kernel.region_mark_mutable k ~addr:(store_slots.(last) + 1);
   Machine.poke m stage_cell stage_entries.(0);
   (* the shared A/D vector: one indirection through the stage cell *)
   let ad_irq, _ =

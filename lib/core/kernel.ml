@@ -53,6 +53,31 @@ let waitq ~name =
    (e.g. a machine double fault). *)
 type fault_entry = { f_cycle : int; f_tid : int; f_reason : string }
 
+(* kheal: one record per synthesized code region — everything needed
+   to regenerate the region from scratch.  The template plus the
+   recorded invariants ([cr_env], the exact bindings synthesis folded
+   into the code) make kernel code *data the kernel can rebuild*: a
+   corrupted region is detected by checksum (or by a faulting PC
+   inside it) and resynthesized in place.
+
+   [cr_patches] records every legitimate post-synthesis patch (the
+   ready queue's jmp targets, the scheduler's quantum immediates) so
+   repair restores the *live* values, not the template defaults, and
+   the checksum always describes the currently-accepted content.
+   [cr_mutable] names the slots whose content encodes scheduling
+   state rather than template content — cross-kernel code comparison
+   (the explorer's steady-state hash) skips them. *)
+type code_region = {
+  cr_name : string;
+  cr_entry : int;
+  cr_len : int;
+  cr_template : Template.t;
+  cr_env : (string * int) list;
+  mutable cr_patches : (int * Insn.insn) list;
+  mutable cr_mutable : int list;
+  mutable cr_checksum : int;
+}
+
 type t = {
   machine : Machine.t;
   alloc : Kalloc.t;
@@ -68,6 +93,9 @@ type t = {
   mutable rq_anchor : tte option;
   (* synthesized-code registry: (name, entry, instruction count) *)
   mutable registry : (string * int * int) list;
+  (* kheal region table, newest first: every registry entry also gets
+     a regenerable region record *)
+  mutable code_regions : code_region list;
   mutable synthesized_insns : int;
   (* cost of running the synthesizer: template setup + per emitted
      instruction (factorization + peephole + store).  Calibrated so
@@ -131,6 +159,7 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     next_tid = 1;
     rq_anchor = None;
     registry = [];
+    code_regions = [];
     synthesized_insns = 0;
     codegen_cycles_fixed = 120;
     codegen_cycles_per_insn = 5;
@@ -206,6 +235,37 @@ let log_src = Logs.Src.create "synthesis.kernel" ~doc:"Synthesis kernel code gen
 
 module Log = (val Logs.src_log log_src)
 
+(* ------------------------------------------------------------------ *)
+(* kheal: the synthesized-code region table.
+
+   Every synthesized fragment is recorded with its generator (template
+   + bound invariants) and a checksum of the installed instructions.
+   Checksumming is host-side arithmetic over the code store — free in
+   simulated cycles, the same discipline as the watchdog — while
+   *repair* charges the normal code-generation cost, because it runs
+   the synthesizer again. *)
+
+let checksum_region m ~entry ~len =
+  let h = ref 0x811C9DC5 in
+  for a = entry to entry + len - 1 do
+    h := ((!h * 16777619) lxor Hashtbl.hash (Machine.read_code m a)) land max_int
+  done;
+  !h
+
+let register_region k ~name ~entry ~len ~template ~env =
+  k.code_regions <-
+    {
+      cr_name = name;
+      cr_entry = entry;
+      cr_len = len;
+      cr_template = template;
+      cr_env = env;
+      cr_patches = [];
+      cr_mutable = [];
+      cr_checksum = checksum_region k.machine ~entry ~len;
+    }
+    :: k.code_regions
+
 let synthesize k ~name ~env template =
   let raw = Template.instantiate template ~env in
   let optimized = Peephole.optimize raw in
@@ -216,6 +276,7 @@ let synthesize k ~name ~env template =
       f "synthesized %s: %d insns at %d (%d before peephole)" name n entry
         (Asm.length raw));
   k.registry <- (name, entry, n) :: k.registry;
+  register_region k ~name ~entry ~len:n ~template ~env;
   k.synthesized_insns <- k.synthesized_insns + n;
   (match k.ktrace with
   | Some tr ->
@@ -232,6 +293,11 @@ let install_shared k ~name insns =
   Hashtbl.replace k.shared name entry;
   let n = Asm.length optimized in
   k.registry <- (name, entry, n) :: k.registry;
+  (* shared code has no run-time invariants: the region's generator is
+     a closed template over the optimized body *)
+  register_region k ~name ~entry ~len:n
+    ~template:(Template.make ~name ~params:[] (fun _ -> optimized))
+    ~env:[];
   (match k.ktrace with
   | Some tr ->
     ignore (Ktrace.register_owner tr ~name ~entry ~len:n);
@@ -275,6 +341,106 @@ let restart_thread k t =
   match k.restart_hook with
   | Some f -> f t
   | None -> invalid_arg "Kernel.restart_thread: no restart hook (kernel not booted)"
+
+(* ------------------------------------------------------------------ *)
+(* kheal: audit and repair-by-resynthesis.
+
+   Detection has two channels: a checksum walk over the region table
+   ([audit_code], run by the watchdog and by anyone host-side), and
+   the faulting-PC test ([find_region], run by Boot's
+   illegal-instruction path — a corrupted instruction no longer
+   decodes, and the exception frame holds its address).  Repair reruns
+   the synthesizer — instantiate the recorded template against the
+   recorded invariants, optimize, resolve at the original entry — and
+   patches the region in place, so every caller's absolute entry and
+   every quaject op slot stays valid.  Live patches (the ready ring's
+   jmp targets, quantum immediates) are reapplied over the template
+   defaults. *)
+
+let find_region k pc =
+  List.find_opt
+    (fun r -> pc >= r.cr_entry && pc < r.cr_entry + r.cr_len)
+    k.code_regions
+
+let find_region_by_name k name =
+  List.find_opt (fun r -> r.cr_name = name) k.code_regions
+
+let region_dirty k r =
+  checksum_region k.machine ~entry:r.cr_entry ~len:r.cr_len <> r.cr_checksum
+
+let code_regions k = List.rev k.code_regions
+
+let repair_region ?(origin = "audit") k r =
+  let raw = Template.instantiate r.cr_template ~env:r.cr_env in
+  let optimized = Peephole.optimize raw in
+  let n = Asm.length optimized in
+  if n <> r.cr_len then
+    failwith ("Kernel.repair_region: resynthesis length drifted for " ^ r.cr_name);
+  (* repair *is* synthesis: same charge as the original generation *)
+  Machine.charge k.machine (k.codegen_cycles_fixed + (n * k.codegen_cycles_per_insn));
+  let resolved, _ = Asm.resolve ~at:r.cr_entry optimized in
+  List.iteri
+    (fun i insn -> Machine.patch_code k.machine (r.cr_entry + i) insn)
+    resolved;
+  List.iter
+    (fun (addr, insn) -> Machine.patch_code k.machine addr insn)
+    r.cr_patches;
+  r.cr_checksum <- checksum_region k.machine ~entry:r.cr_entry ~len:r.cr_len;
+  Metrics.bump k.metrics "kernel.code_repairs_total";
+  trace k (Ktrace.Synthesized (r.cr_name, n));
+  let tid = match current k with Some t -> t.tid | None -> 0 in
+  log_fault k ~tid ~reason:(Printf.sprintf "code_repair/%s/%s" origin r.cr_name)
+
+let audit_code ?(origin = "audit") k =
+  let repaired = ref 0 in
+  List.iter
+    (fun r ->
+      if region_dirty k r then begin
+        repair_region ~origin k r;
+        incr repaired
+      end)
+    k.code_regions;
+  !repaired
+
+let code_repairs_total k = Metrics.read k.metrics "kernel.code_repairs_total"
+
+(* Route every legitimate post-synthesis patch through here: the
+   owning region re-checksums (and remembers the patch for repair), so
+   runtime patching and corruption detection coexist.  If the region
+   is already corrupted, repair it first — a patch must never bless
+   corrupted content into the checksum. *)
+let patch_code k addr insn =
+  (match find_region k addr with
+  | Some r when region_dirty k r -> repair_region ~origin:"patch" k r
+  | _ -> ());
+  Machine.patch_code k.machine addr insn;
+  match find_region k addr with
+  | Some r ->
+    r.cr_patches <- (addr, insn) :: List.remove_assoc addr r.cr_patches;
+    r.cr_checksum <- checksum_region k.machine ~entry:r.cr_entry ~len:r.cr_len
+  | None -> ()
+
+(* Slots whose content encodes scheduling state (jmp targets, quantum
+   immediates): cross-kernel code comparison must skip them. *)
+let region_mark_mutable k ~addr =
+  match find_region k addr with
+  | Some r -> if not (List.mem addr r.cr_mutable) then r.cr_mutable <- addr :: r.cr_mutable
+  | None -> ()
+
+(* Deterministic fingerprint of all regenerable code content,
+   mutable slots excluded: two kernels that booted the same way agree
+   on it, and a repaired kernel must converge back to it. *)
+let code_state_hash k =
+  List.fold_left
+    (fun acc r ->
+      let h = ref (Hashtbl.hash (r.cr_name, r.cr_entry, r.cr_len)) in
+      for a = r.cr_entry to r.cr_entry + r.cr_len - 1 do
+        if not (List.mem a r.cr_mutable) then
+          h := ((!h * 16777619) lxor Hashtbl.hash (Machine.read_code k.machine a))
+               land max_int
+      done;
+      ((acc * 131) lxor !h) land max_int)
+    0x2545F491 (code_regions k)
 
 (* ------------------------------------------------------------------ *)
 (* Vector table helpers *)

@@ -48,6 +48,24 @@ val waitq : name:string -> waitq
     attributable to a thread (e.g. a machine double fault). *)
 type fault_entry = { f_cycle : int; f_tid : int; f_reason : string }
 
+(** kheal: one record per synthesized code region — the generator
+    (template + the exact invariant bindings synthesis folded in) and
+    a checksum of the installed instructions, enough to detect
+    corruption and rebuild the region in place.  [cr_patches] holds
+    every legitimate post-synthesis patch (newest first per address)
+    so repair restores live values; [cr_mutable] names
+    scheduling-state slots that cross-kernel comparison must skip. *)
+type code_region = {
+  cr_name : string;
+  cr_entry : int;
+  cr_len : int;
+  cr_template : Template.t;
+  cr_env : (string * int) list;
+  mutable cr_patches : (int * Insn.insn) list;
+  mutable cr_mutable : int list;
+  mutable cr_checksum : int;
+}
+
 type t = {
   machine : Machine.t;
   alloc : Kalloc.t;
@@ -62,6 +80,7 @@ type t = {
   mutable next_tid : int;
   mutable rq_anchor : tte option;
   mutable registry : (string * int * int) list;
+  mutable code_regions : code_region list;  (** kheal region table, newest first *)
   mutable synthesized_insns : int;
   codegen_cycles_fixed : int;
   codegen_cycles_per_insn : int;
@@ -147,6 +166,57 @@ val get_vector : t -> tte -> int -> int
 
 (** Set a default vector and propagate to all existing threads. *)
 val set_vector_all : t -> int -> int -> unit
+
+(** {1 kheal: code-region audit and repair by resynthesis}
+
+    Kernel code is data the kernel can regenerate: every synthesized
+    region is recorded with its template and invariants, corruption is
+    detected by checksum mismatch (or a faulting PC inside a region),
+    and repair reruns the synthesizer in place.  Detection is
+    host-side and free; repair charges the normal code-generation
+    cost, bumps "kernel.code_repairs_total", and logs to
+    [fault_log]. *)
+
+(** Region containing a code address (e.g. a faulting PC). *)
+val find_region : t -> int -> code_region option
+
+(** Newest region registered under [name]. *)
+val find_region_by_name : t -> string -> code_region option
+
+(** Does the region's current content disagree with its checksum? *)
+val region_dirty : t -> code_region -> bool
+
+(** All regions, oldest first. *)
+val code_regions : t -> code_region list
+
+(** Rebuild one region from its template + recorded invariants,
+    patch it in place (entries and op slots stay valid), reapply live
+    patches, and update the checksum.  [origin] tags the fault-log
+    entry ("audit", "trap", "patch"...). *)
+val repair_region : ?origin:string -> t -> code_region -> unit
+
+(** Checksum-walk every region and repair the dirty ones; returns the
+    number repaired.  Callable from the watchdog — detection charges
+    no simulated cycles, each repair charges synthesis cost. *)
+val audit_code : ?origin:string -> t -> int
+
+(** The "kernel.code_repairs_total" metric. *)
+val code_repairs_total : t -> int
+
+(** Patch one code word through the region table: repairs the owning
+    region first if it is already corrupted (a patch must never bless
+    corruption into the checksum), records the patch for future
+    repairs, and re-checksums.  All legitimate post-synthesis patching
+    (ready-ring jmp targets, quantum slots) goes through here. *)
+val patch_code : t -> int -> Insn.insn -> unit
+
+(** Mark a scheduling-state slot (excluded from {!code_state_hash}). *)
+val region_mark_mutable : t -> addr:int -> unit
+
+(** Deterministic fingerprint of all regenerable code content, mutable
+    slots excluded: identically-booted kernels agree on it, and a
+    repaired kernel must converge back to it. *)
+val code_state_hash : t -> int
 
 (** {1 Synthesized-code accounting (§6.4)} *)
 

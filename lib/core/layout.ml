@@ -21,6 +21,13 @@ let cur_tid_cell = globals_base + 2
 (* Scratch cell used by procedure chaining. *)
 let chain_scratch_cell = globals_base + 3
 
+(* kfault scratch: a reserved data window for fault-injection bit
+   flips, so tests and explorer subjects aim flips at a Layout-derived
+   address instead of hard-coding magic numbers.  Nothing in the
+   kernel reads or writes this window. *)
+let fault_scratch_base = globals_base + 0x40
+let fault_scratch_words = 64
+
 (* Kernel heap managed by [Kalloc]. *)
 let heap_base = 0x1000
 let heap_limit = 0xE0000

@@ -14,6 +14,14 @@ val cur_tte_cell : int
 
 val cur_tid_cell : int
 val chain_scratch_cell : int
+
+(** Reserved data window for fault-injection bit flips
+    ([Fault_inject.config.flip_base/flip_len]): tests aim flips here
+    instead of hard-coding magic addresses.  Nothing in the kernel
+    reads or writes it. *)
+val fault_scratch_base : int
+
+val fault_scratch_words : int
 val heap_base : int
 val heap_limit : int
 val boot_stack_top : int

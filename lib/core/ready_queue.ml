@@ -31,7 +31,7 @@ let entry_from a b =
 let relink k a b =
   a.Kernel.rq_next <- Some b;
   b.Kernel.rq_prev <- Some a;
-  Machine.patch_code k.Kernel.machine a.Kernel.jmp_slot
+  Kernel.patch_code k a.Kernel.jmp_slot
     (Insn.Jmp (Insn.To_addr (entry_from a b)));
   (* patch+mirror consistency: what the machine will execute is what
      the host believes *)
@@ -165,7 +165,7 @@ let balance_idle k =
         idle.Kernel.rq_prev <- None;
         (* the evicted idle thread's own switch-out must still land in
            the ring *)
-        Machine.patch_code k.Kernel.machine idle.Kernel.jmp_slot
+        Kernel.patch_code k idle.Kernel.jmp_slot
           (Insn.Jmp (Insn.To_addr (entry_from idle n)));
         (* if the idle thread holds the CPU, preempt it now *)
         match Kernel.current k with
@@ -182,7 +182,7 @@ let remove k t =
   (match k.Kernel.rq_anchor with
   | Some a ->
     (* wherever [t]'s in-flight switch-out lands, it must be ready *)
-    Machine.patch_code k.Kernel.machine t.Kernel.jmp_slot
+    Kernel.patch_code k t.Kernel.jmp_slot
       (Insn.Jmp (Insn.To_addr (entry_from t a)))
   | None -> ())
 

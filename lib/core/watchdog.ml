@@ -32,6 +32,12 @@ type t = {
   wd_dev : Machine.device;
   mutable wd_flows : flow list;
   mutable wd_running : bool;
+  (* kheal: when enabled, each period also checksum-walks the
+     synthesized-code region table and resynthesizes corrupted
+     regions (Kernel.audit_code).  The walk itself is host-side and
+     free; repairs charge synthesis cost. *)
+  mutable wd_audit : bool;
+  mutable wd_audit_repairs : int;
 }
 
 let check t flow =
@@ -55,6 +61,9 @@ let check t flow =
 let tick t m =
   if t.wd_running then begin
     List.iter (check t) t.wd_flows;
+    if t.wd_audit then
+      t.wd_audit_repairs <-
+        t.wd_audit_repairs + Kernel.audit_code ~origin:"watchdog" t.wd_kernel;
     Machine.device_schedule m t.wd_dev (Machine.cycles m + t.wd_period_cycles)
   end
   else Machine.device_idle m t.wd_dev
@@ -73,9 +82,17 @@ let install k ?(period_us = 2_000.0) () =
             ~tick:(fun m -> tick (Lazy.force t) m);
         wd_flows = [];
         wd_running = true;
+        wd_audit = false;
+        wd_audit_repairs = 0;
       }
   in
   Lazy.force t
+
+(* Enable the per-period code audit (kheal's second detection
+   channel: corruption in regions that never execute still gets
+   caught and repaired within one watchdog period). *)
+let audit_code t = t.wd_audit <- true
+let audit_repairs t = t.wd_audit_repairs
 
 let watch t ~name ?(threshold = 3) ~read ~restart () =
   let flow =

@@ -35,3 +35,13 @@ val stop : t -> unit
 val restarts : flow -> int
 val flow_name : flow -> string
 val total_restarts : t -> int
+
+val audit_code : t -> unit
+(** kheal: also checksum-walk the synthesized-code region table every
+    period ([Kernel.audit_code]), resynthesizing corrupted regions —
+    catches corruption in code that never executes (the trap path
+    catches the rest).  The walk is host-side and free; each repair
+    charges synthesis cost. *)
+
+val audit_repairs : t -> int
+(** Regions repaired by this watchdog's audit so far. *)

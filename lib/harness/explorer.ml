@@ -312,9 +312,10 @@ let check_invariants ~producers ~consumers ~items ~peek ~logs ~counts =
 
 (* The queue subject's fault mix: spurious timer/disk interrupts
    (safe: both handlers are idempotent) and forced CAS failures.  Bit
-   flips are aimed at the scratch region; device stalls are exercised
-   by the disk subject and the targeted scenarios instead. *)
-let explorer_config ~scratch =
+   flips are aimed at the Layout-reserved fault scratch window; device
+   stalls are exercised by the disk subject and the targeted scenarios
+   instead. *)
+let explorer_config () =
   {
     Fault_inject.default_config with
     Fault_inject.horizon_cycles = 400_000;
@@ -329,8 +330,8 @@ let explorer_config ~scratch =
         (Mmio_map.timer_level, Mmio_map.timer_vector);
         (Mmio_map.disk_level, Mmio_map.disk_vector);
       ];
-    flip_base = scratch;
-    flip_len = 64;
+    flip_base = Layout.fault_scratch_base;
+    flip_len = Layout.fault_scratch_words;
   }
 
 let queue_instance ~items ~kind () =
@@ -344,10 +345,9 @@ let queue_instance ~items ~kind () =
   let log_words = total + 8 in
   let logs = Array.init consumers (fun _ -> Kalloc.alloc_zeroed alloc log_words) in
   let counts = Kalloc.alloc_zeroed alloc 16 in
-  let scratch = Kalloc.alloc_zeroed alloc 64 in
-  (* every thread sees the queue, the logs, the counters, the scratch *)
+  (* every thread sees the queue, the logs, the counters *)
   let segments =
-    [ (q.Kqueue.q_desc, 16); (q.Kqueue.q_buf, 8); (counts, 16); (scratch, 64) ]
+    [ (q.Kqueue.q_desc, 16); (q.Kqueue.q_buf, 8); (counts, 16) ]
     @ (if q.Kqueue.q_flag <> 0 then [ (q.Kqueue.q_flag, 8) ] else [])
     @ Array.to_list (Array.map (fun l -> (l, log_words)) logs)
   in
@@ -380,7 +380,7 @@ let queue_instance ~items ~kind () =
       i_boot = b;
       i_goal = total;
       i_budget = 6_000_000;
-      i_fault_config = Some (explorer_config ~scratch);
+      i_fault_config = Some (explorer_config ());
       i_progress = consumed;
       i_agitate = None;
       i_check = (fun () -> []);
@@ -898,7 +898,184 @@ let disk_subject =
   in
   { sub_name = "disk"; sub_build = build }
 
-let subjects = [ ready_queue_subject; kpipe_subject; disk_subject ]
+(* ---------------------------------------------------------------- *)
+(* Subject 5: kheal — code-region flips with resynthesis repair *)
+
+(* An Mpsc queue workload (hot put/get and switch code), one quaject
+   op (code that never executes during the run), and a watchdog with
+   the code audit enabled.  The fault plan aims [Bit_flip Code] events
+   at every regenerable region the workload owns — queue ops, each
+   thread's switch code, quaject ops — and the agitation hook keeps
+   flipping more at preemption points.  Executed corruption traps and
+   is repaired in place (the faulting instruction retries); dormant
+   corruption is caught by the watchdog's periodic checksum walk.  At
+   the end one last audit must leave every region clean and the code
+   state hash exactly equal to the fingerprint taken at build time —
+   i.e. the kernel converged back to the fault-free steady state.
+
+   Fault-handler regions ("fault/...") are deliberately never
+   targeted: a corrupted illegal-instruction handler would re-enter
+   itself in infinite regress.  Repairing the repairer needs a second
+   uncorrupted channel (e.g. a host-side ECC sweep) that the model
+   does not pretend to have. *)
+let codeflip_subject =
+  let has_prefix p s =
+    String.length s >= String.length p && String.sub s 0 (String.length p) = p
+  in
+  let build ~seed =
+    let b = Boot.boot () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let alloc = k.Kernel.alloc in
+    let kind = Kqueue.Mpsc in
+    let items = 24 in
+    let producers, consumers = participants kind in
+    let total = producers * items in
+    let q = Kqueue.create ~kind k ~name:"explorer/q" ~size:8 in
+    let log_words = total + 8 in
+    let logs =
+      Array.init consumers (fun _ -> Kalloc.alloc_zeroed alloc log_words)
+    in
+    let counts = Kalloc.alloc_zeroed alloc 16 in
+    let segments =
+      [ (q.Kqueue.q_desc, 16); (q.Kqueue.q_buf, 8); (counts, 16) ]
+      @ (if q.Kqueue.q_flag <> 0 then [ (q.Kqueue.q_flag, 8) ] else [])
+      @ Array.to_list (Array.map (fun l -> (l, log_words)) logs)
+    in
+    for i = 1 to producers do
+      let code =
+        producer_code ~tag:i ~items ~put:q.Kqueue.q_put
+          ~done_cell:(counts + consumers + i - 1)
+      in
+      let entry, _ = Asm.assemble m code in
+      ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
+    done;
+    for j = 0 to consumers - 1 do
+      let code =
+        consumer_code ~log_base:logs.(j) ~get:q.Kqueue.q_get
+          ~count_cell:(counts + j)
+      in
+      let entry, _ = Asm.assemble m code in
+      ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
+    done;
+    (* a quaject op: synthesized code that never runs during the
+       storm, so only the audit channel can catch its corruption *)
+    let tick_cell = Kalloc.alloc_zeroed alloc 4 in
+    let tick_template =
+      Template.make ~name:"tick" ~params:[ "cell" ] (fun p ->
+          [ I.Alu_mem (I.Add, I.Imm 1, I.Abs (p "cell")); I.Rts ])
+    in
+    ignore
+      (Synthesizer.create k ~name:"healer" ~data_words:4
+         [ ("tick", tick_template, [ ("cell", tick_cell) ]) ]);
+    (* second detection channel: periodic checksum walk *)
+    let wd = Watchdog.install k ~period_us:1_000.0 () in
+    Watchdog.audit_code wd;
+    (* target every regenerable region this workload owns — never the
+       fault handlers (see above) *)
+    let targets =
+      List.filter_map
+        (fun r ->
+          let n = r.Kernel.cr_name in
+          if
+            has_prefix "explorer/q/" n || has_prefix "ctx/" n
+            || has_prefix "quaject/" n
+          then Some (r.Kernel.cr_entry, r.Kernel.cr_len)
+          else None)
+        (Kernel.code_regions k)
+    in
+    let target_arr = Array.of_list targets in
+    (* the region set and content (minus scheduling slots) are fixed
+       from here on: this hash IS the fault-free steady state *)
+    let snapshot =
+      List.map
+        (fun r -> (r.Kernel.cr_name, r.Kernel.cr_entry))
+        (Kernel.code_regions k)
+    in
+    let reference = Kernel.code_state_hash k in
+    let peek a = Machine.peek m a in
+    let consumed () =
+      let s = ref 0 in
+      for j = 0 to consumers - 1 do
+        s := !s + peek (counts + j)
+      done;
+      !s
+    in
+    (* keep the storm dense: extra deterministic flips at preemption
+       points, beyond the compiled plan *)
+    let agitate step =
+      let r = mix seed (0xC0DE + step) in
+      if r mod 5 = 0 && Array.length target_arr > 0 then begin
+        let base, len = target_arr.((r lsr 4) mod Array.length target_arr) in
+        Fault_inject.corrupt_code m
+          ~addr:(base + (r lsr 10) mod max 1 len)
+          ~bit:((r lsr 20) mod 31)
+      end
+    in
+    let final () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      (* one last walk — the same pass the watchdog runs — then the
+         code state must be exactly the fault-free fingerprint *)
+      ignore (Kernel.audit_code ~origin:"final" k);
+      List.iter
+        (fun r ->
+          if Kernel.region_dirty k r then
+            violate "region %s still dirty after final audit" r.Kernel.cr_name)
+        (Kernel.code_regions k);
+      List.iter
+        (fun (name, entry) ->
+          match Kernel.find_region_by_name k name with
+          | Some r when r.Kernel.cr_entry = entry -> ()
+          | _ -> violate "region %s lost from the registry" name)
+        snapshot;
+      if Kernel.code_state_hash k <> reference then
+        violate "code state diverged from the fault-free fingerprint";
+      check_invariants ~producers ~consumers ~items ~peek ~logs ~counts
+      @ List.rev !v
+    in
+    {
+      i_boot = b;
+      i_goal = total;
+      i_budget = 8_000_000;
+      i_fault_config =
+        Some
+          {
+            Fault_inject.default_config with
+            Fault_inject.horizon_cycles = 400_000;
+            n_irqs = 2;
+            n_flips = 0;
+            n_stalls = 0;
+            n_drops = 0;
+            n_cas_fails = 4;
+            cas_gap = 32;
+            n_code_flips = 4;
+            code_regions = targets;
+            irq_choices = [ (Mmio_map.timer_level, Mmio_map.timer_vector) ];
+            flip_len = 0;
+          };
+      i_progress = consumed;
+      i_agitate = Some agitate;
+      i_check = (fun () -> []);
+      i_final = final;
+      (* corrupt a dormant region AND drop its registry record: the
+         audit can no longer see it, so the registry-presence and
+         fingerprint checks must both notice *)
+      i_sabotage =
+        Some
+          (fun () ->
+            match Kernel.find_region_by_name k "bad_fd" with
+            | Some r ->
+              Fault_inject.corrupt_code m ~addr:r.Kernel.cr_entry ~bit:3;
+              k.Kernel.code_regions <-
+                List.filter (fun r' -> r' != r) k.Kernel.code_regions
+            | None -> failwith "codeflip: no bad_fd region to sabotage");
+    }
+  in
+  { sub_name = "codeflip"; sub_build = build }
+
+let subjects =
+  [ ready_queue_subject; kpipe_subject; disk_subject; codeflip_subject ]
 
 (* ---------------------------------------------------------------- *)
 (* Targeted recovery scenarios *)

@@ -59,8 +59,19 @@ val disk_subject : subject
     completion, no starvation or spurious failure, SCAN service
     order. *)
 
+val codeflip_subject : subject
+(** kheal: an Mpsc queue workload plus a dormant quaject op while the
+    fault plan and the agitation hook flip bits in synthesized code
+    regions (queue ops, switch code, quaject ops — never the fault
+    handlers).  Executed corruption traps and is repaired by
+    resynthesis in place; dormant corruption is caught by the
+    watchdog's periodic checksum audit.  Invariants: the queue
+    workload stays exact, and after a final audit every region is
+    clean, still registered, and the code state hash equals the
+    fault-free fingerprint taken at build time. *)
+
 val subjects : subject list
-(** The three kernel subjects above (the queue workloads keep their
+(** The kernel subjects above (the queue workloads keep their
     dedicated {!run_queue} entry point). *)
 
 val run_subject :

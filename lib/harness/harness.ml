@@ -88,7 +88,14 @@ let synthesis_run ?(max_insns = 2_000_000_000) ?(quantum_us = 10_000) se ~progra
   (match Boot.go ~max_insns se.s_boot with
   | Machine.Halted -> ()
   | Machine.Insn_limit -> failwith "synthesis_run: instruction limit");
-  (match k.Kernel.fault_log with
+  (* code_repair entries are recoveries, not deaths: a corrupted
+     region was resynthesized and the faulting thread carried on *)
+  let fatal e =
+    let p = "code_repair/" in
+    let r = e.Kernel.f_reason in
+    not (String.length r >= String.length p && String.sub r 0 (String.length p) = p)
+  in
+  (match List.filter fatal k.Kernel.fault_log with
   | [] -> ()
   | { Kernel.f_tid = tid; f_reason = reason; _ } :: _ ->
     failwith (Fmt.str "synthesis_run: thread %d died of %s" tid reason));

@@ -45,11 +45,24 @@ let rng_int r n =
 (* ---------------------------------------------------------------- *)
 (* Plans *)
 
+type target = Data | Code
+
 type action =
   | Spurious_irq of { level : int; vector : int }
-  | Bit_flip of { addr : int; bit : int }
+  | Bit_flip of { target : target; addr : int; bit : int }
   | Stall of { device : string; delay_cycles : int }
   | Drop_completion of { device : string }
+
+(* The code store is an instruction array, so a "flipped bit" in code
+   is modelled at instruction granularity: the word no longer decodes,
+   and executing it raises an illegal-instruction fault — exactly what
+   a flipped opcode bit does on the real machine.  [Hcall] with a
+   negative id is the canonical undecodable word ([Machine] raises
+   [Cpu_fault Illegal] before any side effect), and folding [bit] in
+   keeps distinct flips distinguishable in listings. *)
+let corrupt_insn ~bit = Insn.Hcall (-1 - (bit land 31))
+
+let corrupt_code m ~addr ~bit = Machine.patch_code m addr (corrupt_insn ~bit)
 
 type event = { ev_after : int; ev_action : action }
 
@@ -71,6 +84,8 @@ type config = {
   stall_devices : string list;
   flip_base : int;
   flip_len : int;
+  n_code_flips : int;
+  code_regions : (int * int) list;
 }
 
 let default_config =
@@ -93,14 +108,22 @@ let default_config =
         (Mmio_map.alarm_level, Mmio_map.alarm_vector);
       ];
     stall_devices = [ "disk"; "tty" ];
+    (* no safe default flip target: data flips need a caller-designated
+       scratch window (Layout.fault_scratch_* is the conventional one),
+       and code flips need registered synthesized regions *)
     flip_base = 0;
     flip_len = 0;
+    n_code_flips = 0;
+    code_regions = [];
   }
 
 let describe_action = function
   | Spurious_irq { level; vector } ->
     Printf.sprintf "spurious_irq level=%d vector=%d" level vector
-  | Bit_flip { addr; bit } -> Printf.sprintf "bit_flip addr=%d bit=%d" addr bit
+  | Bit_flip { target = Data; addr; bit } ->
+    Printf.sprintf "bit_flip addr=%d bit=%d" addr bit
+  | Bit_flip { target = Code; addr; bit } ->
+    Printf.sprintf "code_flip addr=%d bit=%d" addr bit
   | Stall { device; delay_cycles } ->
     Printf.sprintf "stall %s +%d cycles" device delay_cycles
   | Drop_completion { device } -> Printf.sprintf "drop_completion %s" device
@@ -122,9 +145,19 @@ let compile ?(config = default_config) seed =
       add
         (Bit_flip
            {
+             target = Data;
              addr = config.flip_base + rng_int r config.flip_len;
              bit = rng_int r 31;
            })
+    done;
+  if config.code_regions <> [] then
+    for _ = 1 to config.n_code_flips do
+      let base, len =
+        List.nth config.code_regions (rng_int r (List.length config.code_regions))
+      in
+      add
+        (Bit_flip
+           { target = Code; addr = base + rng_int r (max 1 len); bit = rng_int r 31 })
     done;
   if config.stall_devices <> [] then begin
     for _ = 1 to config.n_stalls do
@@ -177,8 +210,9 @@ let fire t m action =
   match action with
   | Spurious_irq { level; vector } ->
     Machine.post_interrupt ~source:"kfault" m ~level ~vector
-  | Bit_flip { addr; bit } ->
+  | Bit_flip { target = Data; addr; bit } ->
     Machine.poke m addr (Machine.peek m addr lxor (1 lsl bit))
+  | Bit_flip { target = Code; addr; bit } -> corrupt_code m ~addr ~bit
   | Stall { device; delay_cycles } -> (
     match Machine.find_device m device with
     | Some d when d.Machine.next_due <> max_int ->

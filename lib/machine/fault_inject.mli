@@ -4,8 +4,8 @@
     (seed, config) pair names one exact fault schedule on every host.
     {!arm} registers a host-side machine device that fires the plan's
     events — spurious interrupts, stalled or dropped device
-    completions, bit flips in data (never code) regions — and chains
-    transient CAS failures through [Machine.set_cas_fail].
+    completions, bit flips in data regions or in the code store — and
+    chains transient CAS failures through [Machine.set_cas_fail].
 
     Everything is injected from the host side of the step loop: a
     machine that never arms a plan runs cycle- and
@@ -13,14 +13,31 @@
     zero-overhead discipline as the PMU; asserted by
     [bench fault-overhead]). *)
 
+type target =
+  | Data  (** one bit of data memory *)
+  | Code
+      (** one instruction of the code store: the word no longer
+          decodes, so executing it raises an illegal-instruction
+          fault (instruction-granularity model of a flipped opcode
+          bit) *)
+
 type action =
   | Spurious_irq of { level : int; vector : int }
       (** post an interrupt no device asked for *)
-  | Bit_flip of { addr : int; bit : int }  (** flip one bit of data memory *)
+  | Bit_flip of { target : target; addr : int; bit : int }
+      (** flip one bit of data memory or corrupt one code word *)
   | Stall of { device : string; delay_cycles : int }
       (** push an in-flight completion later *)
   | Drop_completion of { device : string }
       (** lose an in-flight completion entirely *)
+
+val corrupt_insn : bit:int -> Insn.insn
+(** The undecodable instruction a [Code] flip plants — exposed so
+    tests and subjects corrupt regions with the exact same model the
+    injector uses. *)
+
+val corrupt_code : Machine.t -> addr:int -> bit:int -> unit
+(** Apply a [Code] flip directly (outside any plan). *)
 
 type event = { ev_after : int; ev_action : action }
 (** [ev_after] is cycles after {!arm}. *)
@@ -44,13 +61,20 @@ type config = {
   stall_devices : string list;
   flip_base : int;  (** bit flips land in \[flip_base, flip_base+flip_len) *)
   flip_len : int;  (** 0 disables flips (callers aim at scratch data) *)
+  n_code_flips : int;
+  code_regions : (int * int) list;
+      (** (base, len) code-store spans code flips are aimed at —
+          typically registered synthesized regions; [[]] disables
+          code flips *)
 }
 
 val default_config : config
 (** Timer/disk/alarm spurious irqs (handlers are idempotent; tty is
     excluded because its handler reads a data register), disk/tty
     stalls and drops, 4 CAS failures, no bit flips (no safe default
-    target — set [flip_base]/[flip_len] to a scratch region). *)
+    target — aim data flips with [flip_base]/[flip_len] at a scratch
+    window such as [Layout.fault_scratch_base], and code flips with
+    [code_regions] at registered synthesized regions). *)
 
 val compile : ?config:config -> int -> plan
 (** [compile seed] deterministically expands a seed into a plan. *)

@@ -131,6 +131,66 @@ let test_acceptance_on_baseline () =
   check_flags (Machine.peek be.Repro_harness.Harness.b_kernel.Baseline.machine) flags
 
 (* ------------------------------------------------------------------ *)
+(* kheal differential: corrupt synthesized code regions, let the audit
+   repair them by resynthesis, then run the shared workloads — the
+   repaired kernel must produce exactly the outputs of an untouched
+   one (and of the baseline kernel for the shared-binary program). *)
+
+(* Corrupt one instruction in each of [n] registered regions (never
+   the fault handlers: a corrupted illegal handler can't repair
+   itself).  Returns how many were corrupted. *)
+let corrupt_regions k n =
+  let fault_handler r =
+    let name = r.Synthesis.Kernel.cr_name in
+    String.length name >= 6 && String.sub name 0 6 = "fault/"
+  in
+  let victims =
+    List.filteri
+      (fun i _ -> i < n)
+      (List.filter (fun r -> not (fault_handler r)) (Synthesis.Kernel.code_regions k))
+  in
+  List.iter
+    (fun r ->
+      Fault_inject.corrupt_code k.Synthesis.Kernel.machine
+        ~addr:(r.Synthesis.Kernel.cr_entry + (r.Synthesis.Kernel.cr_len / 2))
+        ~bit:7)
+    victims;
+  List.length victims
+
+let test_repair_then_acceptance () =
+  let se = Repro_harness.Harness.synthesis_setup () in
+  let k = se.Repro_harness.Harness.s_boot.Synthesis.Boot.kernel in
+  let n = corrupt_regions k 6 in
+  check_int "six regions corrupted" 6 n;
+  check_int "audit repaired them all" n (Synthesis.Kernel.audit_code k);
+  check_int "repairs counted" n (Synthesis.Kernel.code_repairs_total k);
+  check_int "nothing left to repair" 0 (Synthesis.Kernel.audit_code k);
+  (* the repaired kernel runs the shared acceptance binary and yields
+     exactly the outputs the baseline kernel yields *)
+  let flags = se.Repro_harness.Harness.s_env.Repro_harness.Programs.e_data + 900 in
+  let program = acceptance_program se.Repro_harness.Harness.s_env ~flags in
+  ignore (Repro_harness.Harness.synthesis_run se ~program);
+  check_flags (Machine.peek k.Synthesis.Kernel.machine) flags
+
+let test_repair_then_pipeline () =
+  let open Synthesis in
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let p = Repro_harness.Harness.Pipeline.build ~total:512 b in
+  (* corrupt every regenerable region the pipeline owns — switch code,
+     pipe code, queue templates — and repair before running *)
+  let n = corrupt_regions k 1000 in
+  check_bool "many regions corrupted" true (n > 10);
+  check_int "audit repaired them all" n (Kernel.audit_code k);
+  (* Pipeline.run verifies the consumer's exact checksum: identical
+     data delivery through the repaired pipe *)
+  Repro_harness.Harness.Pipeline.run p;
+  let m = k.Kernel.machine in
+  check_int "exact sum through repaired code" (512 * 513 / 2)
+    (Machine.peek m p.Repro_harness.Harness.Pipeline.pl_result);
+  check_int "post-run audit finds nothing" 0 (Kernel.audit_code k)
+
+(* ------------------------------------------------------------------ *)
 (* Table 1 shapes, scaled down: Synthesis must win every I/O row and
    tie (within 20%) the compute calibration row. *)
 
@@ -202,6 +262,13 @@ let () =
             test_acceptance_on_synthesis;
           Alcotest.test_case "same binary on baseline" `Quick
             test_acceptance_on_baseline;
+        ] );
+      ( "repair",
+        [
+          Alcotest.test_case "acceptance after repair cycle" `Quick
+            test_repair_then_acceptance;
+          Alcotest.test_case "pipeline after repair cycle" `Quick
+            test_repair_then_pipeline;
         ] );
       ("table1", [ Alcotest.test_case "speedup shapes" `Slow test_table1_shapes ]);
       ( "emulator",

@@ -412,6 +412,265 @@ let test_explorer_smoke () =
     (E.run_all ~items:16 ~seed:2 ())
 
 (* ------------------------------------------------------------------ *)
+(* kheal: code-region corruption, audit, and repair by resynthesis *)
+
+(* A quaject with one op: a region that never executes on its own, so
+   only the audit channel (or a direct call) can reach it. *)
+let tick_quaject k =
+  let cell = Kalloc.alloc_zeroed k.Kernel.alloc 4 in
+  let template =
+    Template.make ~name:"tick" ~params:[ "cell" ] (fun p ->
+        [ I.Alu_mem (I.Add, I.Imm 1, I.Abs (p "cell")); I.Rts ])
+  in
+  let qj =
+    Synthesizer.create k ~name:"heal" ~data_words:4
+      [ ("tick", template, [ ("cell", cell) ]) ]
+  in
+  (qj, cell)
+
+let region_exn k name =
+  match Kernel.find_region_by_name k name with
+  | Some r -> r
+  | None -> Alcotest.failf "region %s not registered" name
+
+let read_region m r =
+  Array.init r.Kernel.cr_len (fun i ->
+      Machine.read_code m (r.Kernel.cr_entry + i))
+
+let test_code_registry () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  ignore (Kqueue.create ~kind:Kqueue.Mpmc k ~name:"heal/q" ~size:8);
+  let idle, _ = Asm.assemble m [ I.Rts ] in
+  let t = Thread.create k ~entry:idle () in
+  ignore (tick_quaject k);
+  (* every emitted region kind is on the books, clean, and audited *)
+  List.iter
+    (fun name -> ignore (region_exn k name))
+    [
+      "heal/q/put";
+      "heal/q/get";
+      Printf.sprintf "ctx/t%d/sw_out" t.Kernel.tid;
+      Printf.sprintf "ctx/t%d/sw_in" t.Kernel.tid;
+      "quaject/heal/tick";
+      "fault/illegal";
+    ];
+  List.iter
+    (fun r ->
+      check_bool (r.Kernel.cr_name ^ " clean") false (Kernel.region_dirty k r))
+    (Kernel.code_regions k);
+  check_int "audit of a clean kernel repairs nothing" 0 (Kernel.audit_code k);
+  check_int "code state hash is stable" (Kernel.code_state_hash k)
+    (Kernel.code_state_hash k)
+
+let test_corrupt_detect_repair () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let q = Kqueue.create ~kind:Kqueue.Spsc k ~name:"heal/q" ~size:8 in
+  let r = region_exn k "heal/q/put" in
+  let pristine = read_region m r in
+  let h0 = Kernel.code_state_hash k in
+  Fault_inject.corrupt_code m ~addr:(r.Kernel.cr_entry + 2) ~bit:11;
+  check_bool "corruption detected by checksum" true (Kernel.region_dirty k r);
+  check_bool "hash diverges" true (Kernel.code_state_hash k <> h0);
+  check_int "audit repairs exactly one region" 1 (Kernel.audit_code k);
+  check_bool "clean again" false (Kernel.region_dirty k r);
+  check_bool "resynthesized code is byte-identical" true
+    (read_region m r = pristine);
+  check_int "hash restored" h0 (Kernel.code_state_hash k);
+  check_int "repair counted" 1 (Kernel.code_repairs_total k);
+  (match k.Kernel.fault_log with
+  | { Kernel.f_reason; _ } :: _ ->
+    check_bool "repair logged" true (f_reason = "code_repair/audit/heal/q/put")
+  | [] -> Alcotest.fail "no fault log entry");
+  (* the repaired queue still works *)
+  check_int "put through repaired code" 1
+    (fst (run_call m ~entry:q.Kqueue.q_put ~r1:42 ()));
+  let st, v = run_call m ~entry:q.Kqueue.q_get () in
+  check_int "get ok" 1 st;
+  check_int "item intact" 42 v
+
+(* A legitimate runtime patch into a dirty region must repair first:
+   patching may never bless corruption into the checksum. *)
+let test_patch_never_blesses_corruption () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let idle, _ = Asm.assemble m [ I.Rts ] in
+  let t = Thread.create k ~entry:idle () in
+  let r = region_exn k (Printf.sprintf "ctx/t%d/sw_in" t.Kernel.tid) in
+  (* corrupt an instruction that is NOT the quantum slot, then patch
+     the quantum slot through the kernel *)
+  let victim =
+    if t.Kernel.quantum_slot = r.Kernel.cr_entry then r.Kernel.cr_entry + 1
+    else r.Kernel.cr_entry
+  in
+  Fault_inject.corrupt_code m ~addr:victim ~bit:4;
+  check_bool "dirty before patch" true (Kernel.region_dirty k r);
+  Ctx.set_quantum k t 500;
+  check_bool "patch repaired the region first" false (Kernel.region_dirty k r);
+  check_int "repair counted" 1 (Kernel.code_repairs_total k);
+  check_bool "quantum patch applied" true
+    (Machine.read_code m t.Kernel.quantum_slot
+    = I.Move (I.Imm 500, I.Abs Mmio_map.timer_alarm));
+  check_int "audit finds nothing left" 0 (Kernel.audit_code k)
+
+(* Trap channel, end to end: executing corrupted code faults, the
+   illegal handler repairs the region, and the retried instruction
+   completes with the side effect happening exactly once. *)
+let test_trap_repairs_and_retries () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let exit0, _ = Asm.assemble m [ I.Trap 0 ] in
+  let t = Thread.create k ~entry:exit0 () in
+  (* boot-level vbr is 0; vector through the thread's table *)
+  Machine.set_vbr m (t.Kernel.base + Layout.Tte.off_vectors);
+  let qj, cell = tick_quaject k in
+  let r = region_exn k "quaject/heal/tick" in
+  Fault_inject.corrupt_code m ~addr:r.Kernel.cr_entry ~bit:19;
+  ignore (run_call m ~entry:(Synthesizer.op_entry qj "tick") ());
+  check_bool "region repaired by the trap path" false (Kernel.region_dirty k r);
+  check_int "op ran exactly once after the retry" 1 (Machine.peek m cell);
+  check_int "repair counted" 1 (Kernel.code_repairs_total k);
+  (match k.Kernel.fault_log with
+  | { Kernel.f_reason; _ } :: _ ->
+    check_int "trap origin logged" 0
+      (compare f_reason "code_repair/trap/quaject/heal/tick")
+  | [] -> Alcotest.fail "no fault log entry");
+  (* an illegal instruction OUTSIDE any registered region still kills
+     the thread: repair must not swallow genuine faults *)
+  let deaths_before = List.length k.Kernel.fault_log in
+  let bad, _ = Asm.assemble m [ I.Hcall (-7); I.Halt ] in
+  ignore (Thread.create k ~entry:bad ());
+  Machine.set_halted m false;
+  (match Boot.go ~max_insns:1_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "kill path did not settle");
+  check_bool "unregistered fault logged as a death" true
+    (List.length k.Kernel.fault_log > deaths_before);
+  (match k.Kernel.fault_log with
+  | { Kernel.f_reason; _ } :: _ -> check_int "reason" 0 (compare f_reason "illegal")
+  | [] -> Alcotest.fail "empty log")
+
+(* Watchdog channel: dormant corruption — code that never executes —
+   is caught and repaired within a period. *)
+let test_watchdog_audit_repairs_dormant () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  (* a spinner long enough to span several watchdog periods *)
+  let entry, _ =
+    Asm.assemble m
+      [
+        I.Move (I.Imm 60_000, I.Reg I.r9);
+        I.Label "spin";
+        I.Dbra (I.r9, I.To_label "spin");
+        I.Trap 0;
+      ]
+  in
+  ignore (Thread.create k ~entry ());
+  let wd = Watchdog.install k ~period_us:200.0 () in
+  Watchdog.audit_code wd;
+  let r = region_exn k "bad_fd" in
+  Fault_inject.corrupt_code m ~addr:r.Kernel.cr_entry ~bit:2;
+  (match Boot.go ~max_insns:2_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "spinner did not finish");
+  check_int "watchdog repaired the dormant region" 1 (Watchdog.audit_repairs wd);
+  check_bool "clean" false (Kernel.region_dirty k r);
+  check_int "kernel repair count agrees" 1 (Kernel.code_repairs_total k)
+
+(* ------------------------------------------------------------------ *)
+(* Property: every queue kind stays exact under a forced-CAS-failure
+   storm — seeded op sequences, a model queue, and exact agreement on
+   every status and item (no loss, no duplication, no reorder). *)
+
+let storm_kind_name = function
+  | Kqueue.Spsc -> "spsc"
+  | Kqueue.Mpsc -> "mpsc"
+  | Kqueue.Spmc -> "spmc"
+  | Kqueue.Mpmc -> "mpmc"
+
+let prop_queue_exact_under_cas_storm kind =
+  let gen =
+    QCheck.Gen.(pair (int_bound 0xFFFF) (list_size (int_range 20 60) (int_range 0 3)))
+  in
+  let print = QCheck.Print.(pair int (list int)) in
+  QCheck.Test.make ~count:15
+    ~name:(storm_kind_name kind ^ " queue exact under forced-CAS storm")
+    (QCheck.make gen ~print)
+    (fun (salt, ops) ->
+      let b = Boot.boot () in
+      let k = b.Boot.kernel in
+      let m = k.Kernel.machine in
+      let q = Kqueue.create ~kind k ~name:"prop/q" ~size:8 in
+      let capacity = 7 in
+      let model = Queue.create () in
+      let next = ref 100 in
+      let ok = ref true in
+      let expect msg cond = if not cond then (ok := false; ignore msg) in
+      List.iteri
+        (fun i op ->
+          (* the storm: force a failure on one of the next few CAS
+             executions before (almost) every op *)
+          if (not (Machine.cas_fail_armed m)) && (salt + i) land 3 <> 0 then
+            Machine.set_cas_fail m
+              ~at:(Machine.cas_executed m + 1 + ((salt lxor i) land 1))
+              ~hook:(fun _ -> ());
+          (* a forced CAS failure makes one attempt report "would
+             block"; the optimistic contract is that the caller
+             retries — transient interference, not queue state *)
+          let rec call_until tries entry r1 =
+            let st, v = run_call m ~entry ~r1 () in
+            if st = 1 || tries <= 1 then (st, v)
+            else call_until (tries - 1) entry r1
+          in
+          if op < 2 then begin
+            let item = !next in
+            incr next;
+            let st, _ = call_until 4 q.Kqueue.q_put item in
+            if Queue.length model < capacity then begin
+              expect "put succeeds with space" (st = 1);
+              Queue.push item model
+            end
+            else expect "put fails when full" (st = 0)
+          end
+          else begin
+            let st, v = call_until 4 q.Kqueue.q_get 0 in
+            if Queue.is_empty model then expect "get fails when empty" (st = 0)
+            else begin
+              expect "get succeeds" (st = 1);
+              expect "exact FIFO item" (v = Queue.pop model)
+            end
+          end)
+        ops;
+      (* drain and compare the tails *)
+      let rec drain () =
+        let st1, v1 = run_call m ~entry:q.Kqueue.q_get () in
+        let st, v =
+          if st1 = 1 then (st1, v1) else run_call m ~entry:q.Kqueue.q_get ()
+        in
+        ignore v1;
+        if st = 1 then begin
+          expect "drained item present in model" (not (Queue.is_empty model));
+          if not (Queue.is_empty model) then
+            expect "drained in model order" (v = Queue.pop model);
+          drain ()
+        end
+      in
+      drain ();
+      expect "model drained too" (Queue.is_empty model);
+      !ok)
+
+let storm_props =
+  List.map
+    (fun kind -> QCheck_alcotest.to_alcotest (prop_queue_exact_under_cas_storm kind))
+    [ Kqueue.Spsc; Kqueue.Mpsc; Kqueue.Spmc; Kqueue.Mpmc ]
+
+(* ------------------------------------------------------------------ *)
 (* Recovery quajects *)
 
 let test_watchdog_restarts_stalled_flow () =
@@ -489,6 +748,19 @@ let () =
             test_explorer_deterministic;
           Alcotest.test_case "explorer smoke" `Quick test_explorer_smoke;
         ] );
+      ( "kheal",
+        [
+          Alcotest.test_case "code regions registered" `Quick test_code_registry;
+          Alcotest.test_case "corrupt, detect, repair" `Quick
+            test_corrupt_detect_repair;
+          Alcotest.test_case "patch never blesses corruption" `Quick
+            test_patch_never_blesses_corruption;
+          Alcotest.test_case "trap repairs and retries" `Quick
+            test_trap_repairs_and_retries;
+          Alcotest.test_case "watchdog audit repairs dormant code" `Quick
+            test_watchdog_audit_repairs_dormant;
+        ] );
+      ("storm", storm_props);
       ( "recovery",
         [
           Alcotest.test_case "watchdog restarts a stalled flow" `Quick

@@ -540,6 +540,58 @@ let test_fp_state_preserved_across_switch () =
   check_int "fp thread completed" 1 (Machine.peek m cell);
   check_bool "f0 preserved across switches" true (Machine.get_freg m 0 = 0.0)
 
+(* Regression pinning [Ctx.resynthesize_with_fp]: the FP trap
+   resynthesizes the switch code mid-run, and every subsequent switch
+   uses the new code — twin runs must agree cycle for cycle, and the
+   kheal registry must track the replacement (newest region wins the
+   name lookup, the whole store audits clean). *)
+let test_fp_resynthesis_pins_switch_cycles () =
+  let run () =
+    let b = Boot.boot () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let cell = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+    let prog =
+      [
+        I.Fmove_imm (2.5, 0); (* traps; switch code resynthesized *)
+        I.Move (I.Imm 6_000, I.Reg I.r9);
+        I.Label "spin"; (* then crosses many quanta on the new code *)
+        I.Dbra (I.r9, I.To_label "spin");
+        I.Move (I.Imm 1, I.Abs cell);
+        I.Trap 0;
+      ]
+    in
+    let entry, _ = Asm.assemble m prog in
+    let t = Thread.create k ~quantum_us:50 ~entry ~segments:[ (cell, 16) ] () in
+    let prog2 =
+      [
+        I.Move (I.Imm 6_000, I.Reg I.r8);
+        I.Label "s";
+        I.Dbra (I.r8, I.To_label "s");
+        I.Trap 0;
+      ]
+    in
+    let entry2, _ = Asm.assemble m prog2 in
+    ignore (Thread.create k ~quantum_us:50 ~entry:entry2 ());
+    (match Boot.go ~max_insns:50_000_000 b with
+    | Machine.Halted -> ()
+    | Machine.Insn_limit -> Alcotest.fail "did not halt");
+    check_int "fp thread completed" 1 (Machine.peek m cell);
+    check_bool "switch code resynthesized" true t.Kernel.uses_fp;
+    (k, t, Machine.cycles m, Machine.insns_executed m)
+  in
+  let k1, t1, cy1, in1 = run () in
+  let _, _, cy2, in2 = run () in
+  check_int "twin runs agree on cycles" cy1 cy2;
+  check_int "twin runs agree on instructions" in1 in2;
+  let name = Printf.sprintf "ctx/t%d/sw_out" t1.Kernel.tid in
+  (match Kernel.find_region_by_name k1 name with
+  | Some r ->
+    check_int "name lookup finds the live (resynthesized) switch code"
+      t1.Kernel.sw_out r.Kernel.cr_entry
+  | None -> Alcotest.fail "switch region missing from the registry");
+  check_int "registry audits clean after resynthesis" 0 (Kernel.audit_code k1)
+
 (* ------------------------------------------------------------------ *)
 (* Error traps *)
 
@@ -1211,6 +1263,8 @@ let () =
           Alcotest.test_case "first FP insn resynthesizes" `Quick test_fp_resynthesis;
           Alcotest.test_case "FP state survives switches" `Quick
             test_fp_state_preserved_across_switch;
+          Alcotest.test_case "resynthesis pins switch cycles" `Quick
+            test_fp_resynthesis_pins_switch_cycles;
         ] );
       ( "faults",
         [
