@@ -6,7 +6,7 @@ DUNE ?= dune
 
 .PHONY: all build test fmt check bench bench-check bench-all \
         faultsim faultsim-queues faultsim-ready-queue faultsim-kpipe \
-        faultsim-disk faultsim-codeflip clean
+        faultsim-disk faultsim-codeflip faultsim-synthcache clean
 
 all: build
 
@@ -69,6 +69,12 @@ faultsim-disk:
 # fault-free fingerprint.
 faultsim-codeflip:
 	$(FAULTSIM) --subject codeflip
+
+# ksynth: flips aimed at one shared cached page while decoy churn
+# drives eviction next to it; the page must repair in place exactly
+# once for all users and keep serving post-storm instantiations.
+faultsim-synthcache:
+	$(FAULTSIM) --subject synthcache
 
 clean:
 	$(DUNE) clean

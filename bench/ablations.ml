@@ -113,7 +113,7 @@ let measure_ad_cost ~factor =
   let m = k.Kernel.machine in
   let adq = Interrupt.install_adq k ~factor ~n_elems:32 () in
   let busy, _ =
-    Kernel.install_shared k ~name:"bench/busy"
+    Ksynth.install k ~name:"bench/busy"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let _t = Thread.create k ~quantum_us:100_000 ~entry:busy () in
@@ -221,7 +221,7 @@ let ablation_peephole () =
     Fs.create_file b.Boot.vfs ~name:"/data/x" ~content:(Array.make 64 1) ()
   in
   let spin, _ =
-    Kernel.install_shared k ~name:"ab/spin" [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
+    Ksynth.install k ~name:"ab/spin" [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let t = Thread.create k ~entry:spin () in
   (match Vfs.open_named b.Boot.vfs t "/data/x" with
@@ -295,7 +295,7 @@ let ablation_collapse () =
   let n = 512 in
   (* the filter: negate the item in r1 *)
   let filter, _ =
-    Kernel.install_shared k ~name:"col/filter" [ I.Neg I.r1; I.Rts ]
+    Ksynth.install k ~name:"col/filter" [ I.Neg I.r1; I.Rts ]
   in
   let cn_call =
     Synthesizer.interface k ~name:"col/direct"

@@ -31,7 +31,7 @@ let table3_threads () =
   let b = Synthesis.Boot.boot () in
   let k = b.Synthesis.Boot.kernel in
   let spin, _ =
-    Synthesis.Kernel.install_shared k ~name:"bb/spin"
+    Synthesis.Ksynth.install k ~name:"bb/spin"
       Quamachine.Insn.[ Label "s"; B (Always, To_label "s") ]
   in
   for _ = 1 to 8 do

@@ -22,7 +22,8 @@ let json_benches ~scale () =
   Pmu_overhead.run ();
   Fault_overhead.run ();
   Fault_recovery.run ();
-  Fault_repair.run ()
+  Fault_repair.run ();
+  Synth_scale.run ()
 
 let all_benches ~scale () =
   json_benches ~scale ();
@@ -132,6 +133,7 @@ let main_cmd =
       cmd_of "fault-overhead" Fault_overhead.run;
       cmd_of "fault-recovery" Fault_recovery.run;
       cmd_of "fault-repair" Fault_repair.run;
+      cmd_of "synth-scale" Synth_scale.run;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

@@ -15,7 +15,7 @@ let measure_host_ops () =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let spin, _ =
-    Kernel.install_shared k ~name:"bench/spin"
+    Ksynth.install k ~name:"bench/spin"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let s0 = Machine.snapshot m in
@@ -40,7 +40,7 @@ let measure_step () =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let busy, _ =
-    Kernel.install_shared k ~name:"bench/busy"
+    Ksynth.install k ~name:"bench/busy"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let _runner = Thread.create k ~quantum_us:500 ~entry:busy () in
@@ -72,10 +72,10 @@ let measure_signal () =
   let mark = Repro_harness.Harness.Stamps.mark stamps in
   (* the target: spins; handler is a no-op *)
   let handler, _ =
-    Kernel.install_shared k ~name:"bench/sig_handler" [ I.Rts ]
+    Ksynth.install k ~name:"bench/sig_handler" [ I.Rts ]
   in
   let spin, _ =
-    Kernel.install_shared k ~name:"bench/spin2"
+    Ksynth.install k ~name:"bench/spin2"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let target = Thread.create k ~entry:spin () in

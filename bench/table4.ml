@@ -28,7 +28,7 @@ let measure_switch ~uses_fp ~share_map () =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let busy, _ =
-    Kernel.install_shared k ~name:"bench/busy"
+    Ksynth.install k ~name:"bench/busy"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let t1 = Thread.create k ~quantum_us:100 ~uses_fp ~entry:busy () in
@@ -97,7 +97,7 @@ let measure_block_unblock () =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let busy, _ =
-    Kernel.install_shared k ~name:"bench/busy"
+    Ksynth.install k ~name:"bench/busy"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let victim = Thread.create k ~quantum_us:500 ~entry:busy () in

@@ -18,7 +18,7 @@ let start_machine k =
 
 let busy_thread k =
   let busy, _ =
-    Kernel.install_shared k ~name:"bench/busy"
+    Ksynth.install k ~name:"bench/busy"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   Thread.create k ~quantum_us:100_000 ~entry:busy ()
@@ -64,7 +64,7 @@ let measure_alarm () =
   let m = k.Kernel.machine in
   let stamps = se.Repro_harness.Harness.s_stamps in
   let mark = Repro_harness.Harness.Stamps.mark stamps in
-  let handler, _ = Kernel.install_shared k ~name:"bench/sig_h" [ I.Rts ] in
+  let handler, _ = Ksynth.install k ~name:"bench/sig_h" [ I.Rts ] in
   let program =
     [
       (* register a handler so the alarm signal has a target *)
@@ -111,7 +111,7 @@ let measure_chain ~force_retry () =
   let chain = Interrupt.install_chain k in
   let stamps = Repro_harness.Harness.Stamps.create m in
   let mark = Repro_harness.Harness.Stamps.mark stamps in
-  let proc, _ = Kernel.install_shared k ~name:"bench/chained_proc" [ I.Rts ] in
+  let proc, _ = Ksynth.install k ~name:"bench/chained_proc" [ I.Rts ] in
   let frag =
     [
       I.Push (I.Lbl "after"); (* fake frame: PC *)
@@ -156,9 +156,9 @@ let measure_chained_signal () =
   let b = Boot.boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
-  let handler, _ = Kernel.install_shared k ~name:"bench/sig_h" [ I.Rts ] in
+  let handler, _ = Ksynth.install k ~name:"bench/sig_h" [ I.Rts ] in
   let busy, _ =
-    Kernel.install_shared k ~name:"bench/busy2"
+    Ksynth.install k ~name:"bench/busy2"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let t = Thread.create k ~entry:busy () in

@@ -242,13 +242,14 @@ let cmd_faultsim subject seed seeds verbose =
   | "ready-queue" -> run_subject_sweep E.ready_queue_subject
   | "kpipe" -> run_subject_sweep E.kpipe_subject
   | "codeflip" -> run_subject_sweep E.codeflip_subject
+  | "synthcache" -> run_subject_sweep E.synthcache_subject
   | "disk" ->
     run_subject_sweep E.disk_subject;
     run_disk_recovery ()
   | s ->
     Fmt.pr
       "unknown subject %S (try all, queues, ready-queue, kpipe, disk, \
-       codeflip)@."
+       codeflip, synthcache)@."
       s;
     exit 2);
   if !failures > 0 then begin
@@ -317,7 +318,7 @@ let cmds =
          & info [ "subject" ] ~docv:"SUBJECT"
              ~doc:
                "workload to stress: all, queues, ready-queue, kpipe, disk, \
-                or codeflip")
+                codeflip, or synthcache")
      in
      Cmd.v
        (Cmd.info "faultsim"
@@ -325,8 +326,9 @@ let cmds =
             "kfault: sweep the interleaving explorer (forced preemption + \
              injected faults) over the selected subject — the four lock-free \
              queue kinds, the executable ready queue, a kpipe pair, the \
-             disk elevator, and the kheal code-flip/self-repair storm — plus \
-             the timer-loss and disk-fault recovery scenarios")
+             disk elevator, the kheal code-flip/self-repair storm, and the \
+             ksynth shared-page repair storm — plus the timer-loss and \
+             disk-fault recovery scenarios")
        Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose));
   ]
 

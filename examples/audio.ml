@@ -40,7 +40,7 @@ let () =
     ]
     @ Interrupt.consumer_block_code k adq ~retry:"retry"
   in
-  let centry, _ = Kernel.install_shared k ~name:"audio/consumer" consumer_code in
+  let centry, _ = Ksynth.install k ~name:"audio/consumer" consumer_code in
   let consumer = Thread.create k ~quantum_us:300 ~system:true ~entry:centry () in
   Machine.poke m (consumer.Kernel.base + Layout.Tte.off_regs + 16) Ctx.kernel_sr;
 

@@ -30,7 +30,7 @@ let () =
 
   (* A busy thread keeps the machine alive while we poke at the target. *)
   let busy, _ =
-    Kernel.install_shared k ~name:"dbg/busy"
+    Ksynth.install k ~name:"dbg/busy"
       [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let _runner = Thread.create k ~quantum_us:100_000 ~entry:busy () in

@@ -91,11 +91,15 @@ let create k ~name ~size =
         | Some tte -> ignore (Thread.deliver_signal k tte)
         | None -> ())
   in
-  let put, _ =
-    Kernel.synthesize k ~name:(name ^ "/aput") ~env:[] (put_template ~q ~signal_consumer)
+  let put =
+    Ksynth.entry
+      (Ksynth.instantiate k ~name:(name ^ "/aput")
+         ~template:(put_template ~q ~signal_consumer) ~invariants:[])
   in
-  let get, _ =
-    Kernel.synthesize k ~name:(name ^ "/aget") ~env:[] (get_template ~q ~signal_producer)
+  let get =
+    Ksynth.entry
+      (Ksynth.instantiate k ~name:(name ^ "/aget")
+         ~template:(get_template ~q ~signal_producer) ~invariants:[])
   in
   (* the hcall closures captured [t]: mutate it rather than rebuild *)
   t.aq_put <- put;

@@ -51,7 +51,7 @@ let install_fault_handlers k =
   let install vector reason =
     let id = Machine.register_hcall k.Kernel.machine (kill reason) in
     let entry, _ =
-      Kernel.install_shared k ~name:("fault/" ^ reason) [ I.Set_ipl 7; I.Hcall id ]
+      Ksynth.install k ~name:("fault/" ^ reason) [ I.Set_ipl 7; I.Hcall id ]
     in
     k.Kernel.default_vectors.(vector) <- entry
   in
@@ -74,7 +74,7 @@ let install_fault_handlers k =
         | _ -> kill "illegal" m)
   in
   let illegal_entry, _ =
-    Kernel.install_shared k ~name:"fault/illegal"
+    Ksynth.install k ~name:"fault/illegal"
       [ I.Set_ipl 7; I.Hcall heal_id; I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.illegal) <- illegal_entry;
@@ -85,12 +85,12 @@ let install_shared_handlers k =
   let m = k.Kernel.machine in
   (* invalid descriptor *)
   let bad_fd, _ =
-    Kernel.install_shared k ~name:"bad_fd" [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ]
+    Ksynth.install k ~name:"bad_fd" [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ]
   in
   ignore bad_fd;
   (* default for unimplemented traps *)
   let unimpl, _ =
-    Kernel.install_shared k ~name:"unimpl_syscall"
+    Ksynth.install k ~name:"unimpl_syscall"
       [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ]
   in
   for i = 0 to I.Vector.table_size - 1 do
@@ -102,7 +102,7 @@ let install_shared_handlers k =
      thread's live register (kfault found a stray disk irq turning a
      queue op's "would block" into a phantom success).  A stray irq is
      dismissed with a bare Rte, preserving every register. *)
-  let stray_irq, _ = Kernel.install_shared k ~name:"stray_irq" [ I.Rte ] in
+  let stray_irq, _ = Ksynth.install k ~name:"stray_irq" [ I.Rte ] in
   for level = 1 to 7 do
     let v = I.Vector.autovector level in
     if k.Kernel.default_vectors.(v) = unimpl then
@@ -111,7 +111,7 @@ let install_shared_handlers k =
   install_fault_handlers k;
   (* trap 5: yield — the frame is already on the stack; just switch *)
   let yield, _ =
-    Kernel.install_shared k ~name:"syscall/yield"
+    Ksynth.install k ~name:"syscall/yield"
       [ I.Set_ipl 6; I.Jmp (I.To_mem (I.Abs Layout.cur_sw_out_cell)) ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 5) <- yield;
@@ -131,7 +131,7 @@ let install_shared_handlers k =
           | _, None -> Machine.set_halted m true)
   in
   let exit_h, _ =
-    Kernel.install_shared k ~name:"syscall/exit" [ I.Set_ipl 7; I.Hcall exit_id ]
+    Ksynth.install k ~name:"syscall/exit" [ I.Set_ipl 7; I.Hcall exit_id ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 0) <- exit_h;
   (* trace trap: the debugger's step support — stop the thread again *)
@@ -145,7 +145,7 @@ let install_shared_handlers k =
         Machine.poke mm sp (Machine.peek mm sp land lnot (1 lsl 15)))
   in
   let trace_h, _ =
-    Kernel.install_shared k ~name:"trap/trace"
+    Ksynth.install k ~name:"trap/trace"
       [
         I.Set_ipl 6;
         I.Hcall trace_stop_id;
@@ -161,7 +161,7 @@ let install_shared_handlers k =
         Machine.set_fp_enabled mm true)
   in
   let fp_h, _ =
-    Kernel.install_shared k ~name:"trap/fp_resynth" [ I.Hcall fp_id; I.Rte ]
+    Ksynth.install k ~name:"trap/fp_resynth" [ I.Hcall fp_id; I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.fp_unavailable) <- fp_h;
   (* trap 6: signal (r1 = target tid) *)
@@ -175,7 +175,7 @@ let install_shared_handlers k =
         | None -> Machine.set_reg mm I.r0 (-1))
   in
   let signal_h, _ =
-    Kernel.install_shared k ~name:"syscall/signal" [ I.Hcall signal_id; I.Rte ]
+    Ksynth.install k ~name:"syscall/signal" [ I.Hcall signal_id; I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 6) <- signal_h;
   (* trap 8: register signal handler (r1 = handler address) *)
@@ -186,7 +186,7 @@ let install_shared_handlers k =
         Machine.set_reg mm I.r0 0)
   in
   let sethandler_h, _ =
-    Kernel.install_shared k ~name:"syscall/sethandler" [ I.Hcall sethandler_id; I.Rte ]
+    Ksynth.install k ~name:"syscall/sethandler" [ I.Hcall sethandler_id; I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 8) <- sethandler_h;
   (* trap 9: sigreturn — restore the PC stashed at signal delivery,
@@ -211,18 +211,18 @@ let install_shared_handlers k =
         Machine.charge_refs mm 4)
   in
   let sigreturn, _ =
-    Kernel.install_shared k ~name:"syscall/sigreturn" [ I.Hcall sigreturn_id; I.Rte ]
+    Ksynth.install k ~name:"syscall/sigreturn" [ I.Hcall sigreturn_id; I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 9) <- sigreturn;
   (* trap 10: read the microsecond clock into r0 *)
   let gettime, _ =
-    Kernel.install_shared k ~name:"syscall/gettime"
+    Ksynth.install k ~name:"syscall/gettime"
       [ I.Move (I.Abs Mmio_map.rtc_us, I.Reg I.r0); I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 10) <- gettime;
   (* trap 7: set alarm (r1 = microseconds); Table 5 "Set alarm" *)
   let alarm_set, _ =
-    Kernel.install_shared k ~name:"syscall/alarm"
+    Ksynth.install k ~name:"syscall/alarm"
       [
         I.Move (I.Abs Layout.cur_tid_cell, I.Abs Layout.chain_scratch_cell);
         I.Move (I.Reg I.r1, I.Abs Mmio_map.alarm_set);
@@ -240,7 +240,7 @@ let install_shared_handlers k =
         | None -> ())
   in
   let alarm_irq, _ =
-    Kernel.install_shared k ~name:"irq/alarm" [ I.Hcall alarm_fired_id; I.Rte ]
+    Ksynth.install k ~name:"irq/alarm" [ I.Hcall alarm_fired_id; I.Rte ]
   in
   k.Kernel.default_vectors.(Mmio_map.alarm_vector) <- alarm_irq
 
@@ -249,7 +249,7 @@ let install_shared_handlers k =
 
 let create_idle k =
   let idle_code, _ =
-    Kernel.install_shared k ~name:"idle_loop"
+    Ksynth.install k ~name:"idle_loop"
       [ I.Label "idle"; I.Stop_wait; I.B (I.Always, I.To_label "idle") ]
   in
   let idle = Thread.create k ~quantum_us:10_000 ~system:true ~entry:idle_code () in
@@ -303,6 +303,9 @@ let go ?(max_insns = max_int) ?(restart_on_double_fault = false) b =
   let k = b.kernel in
   let m = k.Kernel.machine in
   let start = Machine.insns_executed m in
+  (* a previous [go] on this boot may have exited through the idle
+     thread's halt; new runnable work means the machine must run again *)
+  Machine.set_halted m false;
   enter_scheduler k;
   let rec drive restarts =
     let budget = max_insns - (Machine.insns_executed m - start) in

@@ -20,6 +20,7 @@ type switch_code = {
   c_sw_in_mmu : int;
   c_jmp_slot : int;
   c_quantum_slot : int;
+  c_pages : int list; (* ksynth page entries backing the code *)
 }
 
 (* SR value for kernel-mode continuations: supervisor, IPL 0. *)
@@ -96,14 +97,18 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
   let fp_save = tte_base + Layout.Tte.off_fp_save in
   let fp_save_end = fp_save + (Insn.num_fregs * 3) in
   let label = Printf.sprintf "ctx/t%d" tid in
-  let sw_out, out_syms =
-    Kernel.synthesize k ~name:(label ^ "/sw_out")
-      ~env:[ ("save", save); ("fp_save_end", fp_save_end) ]
-      (sw_out_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_out tid)))
+  let h_out =
+    Ksynth.instantiate k ~name:(label ^ "/sw_out")
+      ~template:
+        (sw_out_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_out tid)))
+      ~invariants:[ ("save", save); ("fp_save_end", fp_save_end) ]
   in
-  let sw_in_entry, in_syms =
-    Kernel.synthesize k ~name:(label ^ "/sw_in")
-      ~env:
+  let sw_out = Ksynth.entry h_out in
+  let h_in =
+    Ksynth.instantiate k ~name:(label ^ "/sw_in")
+      ~template:
+        (sw_in_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_in tid)))
+      ~invariants:
         [
           ("save", save);
           ("map_id", map_id);
@@ -114,16 +119,15 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
           ("sw_out", sw_out);
           ("fp_save", fp_save);
         ]
-      (sw_in_template ~uses_fp ~probe:(Kernel.trace_probe k (Ktrace.Switch_in tid)))
   in
-  ignore sw_in_entry;
   let c =
     {
       c_sw_out = sw_out;
-      c_sw_in = Asm.symbol in_syms "sw_in";
-      c_sw_in_mmu = Asm.symbol in_syms "sw_in_mmu";
-      c_jmp_slot = Asm.symbol out_syms "jmp_slot";
-      c_quantum_slot = Asm.symbol in_syms "quantum_slot";
+      c_sw_in = Ksynth.sym h_in "sw_in";
+      c_sw_in_mmu = Ksynth.sym h_in "sw_in_mmu";
+      c_jmp_slot = Ksynth.sym h_out "jmp_slot";
+      c_quantum_slot = Ksynth.sym h_in "quantum_slot";
+      c_pages = [ Ksynth.entry h_out; Ksynth.entry h_in ];
     }
   in
   (* the ready ring and the scheduler patch these at run time: they
@@ -135,6 +139,18 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
 (* Install freshly synthesized switch code into [t] and reconnect the
    ready queue around the new entry points. *)
 let apply_switch_code k t (c : switch_code) =
+  (* resynthesis replaces the thread's claim on its previous switch
+     pages (lazy-FP rebuild); at creation there is nothing to drop *)
+  List.iter
+    (fun e ->
+      if e <> 0 && not (List.mem e c.c_pages) then begin
+        Ksynth.release_entry k e;
+        t.Kernel.owned_pages <- List.filter (fun x -> x <> e) t.Kernel.owned_pages
+      end)
+    [ t.Kernel.sw_out; t.Kernel.sw_in_mmu ];
+  t.Kernel.owned_pages <-
+    List.filter (fun e -> not (List.mem e t.Kernel.owned_pages)) c.c_pages
+    @ t.Kernel.owned_pages;
   t.Kernel.sw_out <- c.c_sw_out;
   t.Kernel.sw_in <- c.c_sw_in;
   t.Kernel.sw_in_mmu <- c.c_sw_in_mmu;
@@ -183,10 +199,9 @@ let partial_switch_template =
       ])
 
 let synthesize_partial_switch k ~name ~from_cell ~to_cell =
-  fst
-    (Kernel.synthesize k ~name
-       ~env:[ ("from_cell", from_cell); ("to_cell", to_cell) ]
-       partial_switch_template)
+  Ksynth.entry
+    (Ksynth.instantiate k ~name ~template:partial_switch_template
+       ~invariants:[ ("from_cell", from_cell); ("to_cell", to_cell) ])
 
 (* Retune the CPU quantum by patching the immediate in the thread's
    sw_in code (fine-grain scheduling, §4.4). *)

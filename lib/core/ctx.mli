@@ -12,6 +12,7 @@ type switch_code = {
   c_sw_in_mmu : int;
   c_jmp_slot : int; (** the ready queue's patchable jmp *)
   c_quantum_slot : int; (** the scheduler's patchable quantum *)
+  c_pages : int list; (** ksynth page entries backing the code *)
 }
 
 (** SR value for kernel-mode continuations (supervisor, IPL 0). *)

@@ -159,17 +159,21 @@ let mount vfs ds =
                 end)
           in
           let tag = Printf.sprintf "dfs/t%d/fd%d/%s" tte.Kernel.tid fd f.df_name in
-          let r, _ =
-            Kernel.synthesize k ~name:(tag ^ "/read")
-              ~env:[ ("gauge", gauge) ]
-              (read_template hcall k dfs)
+          let h =
+            Ksynth.instantiate k ~name:(tag ^ "/read")
+              ~template:(read_template hcall k dfs)
+              ~invariants:[ ("gauge", gauge) ]
           in
-          let bad = Kernel.shared_entry k "bad_fd" in
+          let r = Ksynth.entry h in
+          let bad = Ksynth.lookup k "bad_fd" in
           {
             Vfs.h_read = r;
             h_write = bad; (* read-only file system *)
             h_pos_cell = Some pos_cell;
-            h_close = (fun () -> Kalloc.free k.Kernel.alloc pos_cell);
+            h_close =
+              (fun () ->
+                Ksynth.release_entry k r;
+                Kalloc.free k.Kernel.alloc pos_cell);
           }))
     files;
   dfs

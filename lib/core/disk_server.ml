@@ -237,7 +237,7 @@ let install_irq t =
         Machine.charge m 25)
   in
   let irq, _ =
-    Kernel.install_shared k ~name:"disk/irq" [ I.Hcall complete_id; I.Rte ]
+    Ksynth.install k ~name:"disk/irq" [ I.Hcall complete_id; I.Rte ]
   in
   Kernel.set_vector_all k Mmio_map.disk_vector irq
 
@@ -361,7 +361,7 @@ let active_tries t = t.ds_tries
 
 let install k ?(cache_capacity = 16) ?(timeout_us = 8_000.0) ?(max_tries = 4)
     () =
-  let bad = Kernel.shared_entry k "bad_fd" in
+  let bad = Ksynth.lookup k "bad_fd" in
   let m = k.Kernel.machine in
   let t =
     {

@@ -26,9 +26,25 @@ let register_null vfs =
   let k = vfs.Vfs.kernel in
   Vfs.register vfs ~name:"/dev/null" (fun tte ~fd ->
       let tag = Printf.sprintf "open/t%d/fd%d/null" tte.Kernel.tid fd in
-      let r, _ = Kernel.synthesize k ~name:(tag ^ "/read") ~env:[] null_read_template in
-      let w, _ = Kernel.synthesize k ~name:(tag ^ "/write") ~env:[] null_write_template in
-      { Vfs.h_read = r; h_write = w; h_pos_cell = None; h_close = (fun () -> ()) })
+      let r =
+        Ksynth.entry
+          (Ksynth.instantiate k ~name:(tag ^ "/read") ~template:null_read_template
+             ~invariants:[])
+      in
+      let w =
+        Ksynth.entry
+          (Ksynth.instantiate k ~name:(tag ^ "/write")
+             ~template:null_write_template ~invariants:[])
+      in
+      {
+        Vfs.h_read = r;
+        h_write = w;
+        h_pos_cell = None;
+        h_close =
+          (fun () ->
+            Ksynth.release_entry k r;
+            Ksynth.release_entry k w);
+      })
 
 (* -------------------------------------------------------------- *)
 (* Memory-resident files *)
@@ -146,13 +162,25 @@ let create_file vfs ~name ?(capacity = 8192) ?(content = [||]) () =
           ("gauge", gauge);
         ]
       in
-      let r, _ = Kernel.synthesize k ~name:(tag ^ "/read") ~env file_read_template in
-      let w, _ = Kernel.synthesize k ~name:(tag ^ "/write") ~env file_write_template in
+      let r =
+        Ksynth.entry
+          (Ksynth.instantiate k ~name:(tag ^ "/read") ~template:file_read_template
+             ~invariants:env)
+      in
+      let w =
+        Ksynth.entry
+          (Ksynth.instantiate k ~name:(tag ^ "/write")
+             ~template:file_write_template ~invariants:env)
+      in
       {
         Vfs.h_read = r;
         h_write = w;
         h_pos_cell = Some pos_cell;
-        h_close = (fun () -> Kalloc.free k.Kernel.alloc pos_cell);
+        h_close =
+          (fun () ->
+            Ksynth.release_entry k r;
+            Ksynth.release_entry k w;
+            Kalloc.free k.Kernel.alloc pos_cell);
       });
   file
 

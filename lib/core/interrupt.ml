@@ -35,7 +35,7 @@ let install_chain k =
      handler's Rte: drain the queue, then resume where the interrupt
      hit. *)
   let runner, _ =
-    Kernel.install_shared k ~name:"chain/runner"
+    Ksynth.install k ~name:"chain/runner"
       [
         I.Push (I.Reg I.r0);
         I.Push (I.Reg I.r1);
@@ -59,7 +59,7 @@ let install_chain k =
      exception frame is on top of the stack.  After our return address
      is pushed, the frame PC slot is at sp+2. *)
   let chain, _ =
-    Kernel.install_shared k ~name:"chain/chain"
+    Ksynth.install k ~name:"chain/chain"
       [
         I.Jsr (I.To_addr queue.Kqueue.q_put); (* optimistic insert *)
         I.Tst (I.Reg I.r0);
@@ -173,15 +173,16 @@ let install_adq k ?(factor = blocking_factor) ~n_elems () =
   for i = factor - 1 downto 0 do
     let next_stage = if i = factor - 1 then 0 else stage_entries.(i + 1) in
     let is_last = i = factor - 1 in
-    let entry, syms =
-      Kernel.synthesize k
+    let h =
+      Ksynth.instantiate k
         ~name:(Printf.sprintf "adq/stage%d" i)
-        ~env:[]
-        (stage_template ~slot_addr:(elem_addr adq 0 + i) ~next_stage ~stage_cell
-           ~is_last ~advance_hcall)
+        ~template:
+          (stage_template ~slot_addr:(elem_addr adq 0 + i) ~next_stage ~stage_cell
+             ~is_last ~advance_hcall)
+        ~invariants:[]
     in
-    stage_entries.(i) <- entry;
-    store_slots.(i) <- Asm.symbol syms "store"
+    stage_entries.(i) <- Ksynth.entry h;
+    store_slots.(i) <- Ksynth.sym h "store"
   done;
   (* close the ring: the last stage rotates back to stage 0 *)
   let last = factor - 1 in
@@ -198,12 +199,12 @@ let install_adq k ?(factor = blocking_factor) ~n_elems () =
   Machine.poke m stage_cell stage_entries.(0);
   (* the shared A/D vector: one indirection through the stage cell *)
   let ad_irq, _ =
-    Kernel.install_shared k ~name:"adq/irq" [ I.Jmp (I.To_mem (I.Abs stage_cell)) ]
+    Ksynth.install k ~name:"adq/irq" [ I.Jmp (I.To_mem (I.Abs stage_cell)) ]
   in
   Kernel.set_vector_all k Mmio_map.ad_vector ad_irq;
   (* consumer routine: r0 = status, r1 = address of a valid element *)
   let get, _ =
-    Kernel.install_shared k ~name:"adq/get"
+    Ksynth.install k ~name:"adq/get"
       [
         I.Move (I.Abs (desc + 1), I.Reg I.r4); (* tail element *)
         I.Move (I.Reg I.r4, I.Reg I.r5);

@@ -11,6 +11,12 @@ open Quamachine
 
 type block = { addr : int; len : int }
 
+(* Shared code pages: base -> (len, refcount).  Registered by the
+   synthesis cache so a stray [free] of an address inside a page that
+   other threads still execute refuses instead of silently recycling
+   the words under them. *)
+type shared_page = { sp_len : int; mutable sp_refs : int }
+
 type t = {
   machine : Machine.t;
   base : int;
@@ -20,6 +26,7 @@ type t = {
   mutable large : block list; (* sorted by address, coalesced *)
   mutable live_words : int;
   mutable allocated : (int, int) Hashtbl.t; (* addr -> len *)
+  shared_pages : (int, shared_page) Hashtbl.t; (* base -> page *)
 }
 
 let num_classes = 8
@@ -34,6 +41,7 @@ let create machine ~base ~limit =
     large = [ { addr = base; len = limit - base } ];
     live_words = 0;
     allocated = Hashtbl.create 64;
+    shared_pages = Hashtbl.create 32;
   }
 
 let class_for len =
@@ -99,9 +107,59 @@ let alloc_zeroed t len =
   Machine.charge_refs t.machine len;
   addr
 
+(* ------------------------------------------------------------------ *)
+(* Shared code pages (refcounted).
+
+   The synthesis cache hands the same code page to many owners.  The
+   registry below is how [free] learns that an address belongs to one
+   of those pages: the allocated-block table is always checked first
+   (code and data addresses overlap numerically, and a data block that
+   merely aliases a page base must still free normally), and only an
+   address that is NOT an allocated data block but IS covered by a
+   live shared page raises [Shared_page] instead of corrupting the
+   co-owners. *)
+
+exception Shared_page of int
+
+let share t ~base ~len =
+  Hashtbl.replace t.shared_pages base { sp_len = len; sp_refs = 1 }
+
+let retain t ~base =
+  match Hashtbl.find_opt t.shared_pages base with
+  | None -> invalid_arg "Kalloc.retain: not a shared page"
+  | Some p ->
+    p.sp_refs <- p.sp_refs + 1;
+    p.sp_refs
+
+let release t ~base =
+  match Hashtbl.find_opt t.shared_pages base with
+  | None -> invalid_arg "Kalloc.release: not a shared page"
+  | Some p ->
+    p.sp_refs <- max 0 (p.sp_refs - 1);
+    p.sp_refs
+
+let unshare t ~base = Hashtbl.remove t.shared_pages base
+
+(* Covering lookup: is [addr] inside any registered page?  Only runs
+   on the failure path of [free]/[arena_free], so a scan is fine. *)
+let shared_page t addr =
+  Hashtbl.fold
+    (fun base p acc ->
+      if addr >= base && addr < base + p.sp_len then Some (base, p.sp_refs)
+      else acc)
+    t.shared_pages None
+
+let shared_refs t ~base =
+  match Hashtbl.find_opt t.shared_pages base with
+  | None -> 0
+  | Some p -> p.sp_refs
+
 let free t addr =
   match Hashtbl.find_opt t.allocated addr with
-  | None -> invalid_arg "Kalloc.free: not an allocated block"
+  | None -> (
+    match shared_page t addr with
+    | Some (base, _) -> raise (Shared_page base)
+    | None -> invalid_arg "Kalloc.free: not an allocated block")
   | Some len ->
     Hashtbl.remove t.allocated addr;
     t.live_words <- t.live_words - len;
@@ -128,3 +186,106 @@ let free t addr =
 
 let live_words t = t.live_words
 let block_len t addr = Hashtbl.find_opt t.allocated addr
+
+(* ------------------------------------------------------------------ *)
+(* Arenas: per-region-kind sub-allocators for synthesized code.
+
+   An arena owns a set of chunks obtained from a [grow] callback (the
+   kernel grows code arenas with [Machine.reserve_code], so every word
+   is a patchable slot) and hands out first-fit ranges from a sorted,
+   coalesced free list.  Arenas never return space to the machine —
+   the code store is append-only — so "free" means recyclable for the
+   next instantiation of the same kind. *)
+
+type arena = {
+  ar_parent : t;
+  ar_name : string;
+  ar_chunk : int; (* minimum words per grow *)
+  ar_grow : int -> int; (* words -> base of a fresh chunk *)
+  mutable ar_free : block list; (* addr-sorted, coalesced *)
+  mutable ar_total : int; (* words ever acquired *)
+  mutable ar_live : int;
+  ar_blocks : (int, int) Hashtbl.t; (* addr -> len *)
+}
+
+let arena t ~name ?(chunk = 256) ~grow () =
+  {
+    ar_parent = t;
+    ar_name = name;
+    ar_chunk = chunk;
+    ar_grow = grow;
+    ar_free = [];
+    ar_total = 0;
+    ar_live = 0;
+    ar_blocks = Hashtbl.create 32;
+  }
+
+let arena_name a = a.ar_name
+let arena_live_words a = a.ar_live
+let arena_total_words a = a.ar_total
+
+(* Insert a block into the free list, address-sorted, coalescing. *)
+let arena_insert a addr len =
+  let rec insert = function
+    | [] -> [ { addr; len } ]
+    | b :: rest when addr + len = b.addr -> { addr; len = len + b.len } :: rest
+    | b :: rest when b.addr + b.len = addr -> insert_merge b rest
+    | b :: rest when addr < b.addr -> { addr; len } :: b :: rest
+    | b :: rest -> b :: insert rest
+  and insert_merge b rest =
+    match rest with
+    | nxt :: rest' when b.addr + b.len + len = nxt.addr ->
+      { addr = b.addr; len = b.len + len + nxt.len } :: rest'
+    | _ -> { addr = b.addr; len = b.len + len } :: rest
+  in
+  a.ar_free <- insert a.ar_free
+
+let arena_carve a len =
+  let rec go acc = function
+    | [] -> None
+    | b :: rest when b.len >= len ->
+      let remainder =
+        if b.len = len then rest
+        else { addr = b.addr + len; len = b.len - len } :: rest
+      in
+      Some (b.addr, List.rev_append acc remainder)
+    | b :: rest -> go (b :: acc) rest
+  in
+  match go [] a.ar_free with
+  | None -> None
+  | Some (addr, free) ->
+    a.ar_free <- free;
+    Some addr
+
+let arena_alloc a len =
+  if len <= 0 then invalid_arg "Kalloc.arena_alloc";
+  let addr, charged =
+    match arena_carve a len with
+    | Some addr -> (addr, 30)
+    | None ->
+      let want = max len a.ar_chunk in
+      let base = a.ar_grow want in
+      a.ar_total <- a.ar_total + want;
+      arena_insert a base want;
+      (match arena_carve a len with
+      | Some addr -> (addr, 90)
+      | None -> assert false)
+  in
+  Machine.charge a.ar_parent.machine charged;
+  Hashtbl.replace a.ar_blocks addr len;
+  a.ar_live <- a.ar_live + len;
+  addr
+
+let arena_free a addr =
+  match Hashtbl.find_opt a.ar_blocks addr with
+  | None -> invalid_arg "Kalloc.arena_free: not an arena block"
+  | Some len ->
+    (match shared_page a.ar_parent addr with
+    | Some (base, refs) when refs > 0 -> raise (Shared_page base)
+    | _ -> ());
+    Hashtbl.remove a.ar_blocks addr;
+    a.ar_live <- a.ar_live - len;
+    Machine.charge a.ar_parent.machine 15;
+    arena_insert a addr len
+
+let arena_block_len a addr = Hashtbl.find_opt a.ar_blocks addr

@@ -11,6 +11,36 @@ open Quamachine
 
 type thread_state = Ready | Blocked | Stopped | Zombie
 
+(* ksynth: one memoized code page.  A page is the unit the synthesis
+   cache hands out: instantiations with the same key share the page
+   (read-only by convention), refcounted by live handles.  Patching a
+   shared page forks a private copy ([sp_cached = false]); patching a
+   sole-owner cached page detaches it from the cache in place. *)
+type synth_page = {
+  sp_key : string; (* cache key; stable across re-instantiations *)
+  sp_name : string; (* name of the first instantiation *)
+  sp_kind : string; (* arena kind (name prefix by default) *)
+  mutable sp_entry : int;
+  sp_len : int;
+  mutable sp_syms : (string * int) list;
+  mutable sp_refs : int; (* live handles *)
+  mutable sp_hits : int;
+  mutable sp_stamp : int; (* LRU clock at last use *)
+  mutable sp_cached : bool; (* still reachable through the cache? *)
+  sp_pinned : bool; (* boot-time install: never evicted or released *)
+}
+
+(* ksynth: the recipe kept for an evicted page — kheal's generator
+   record outliving the code it generated, so a later re-miss on the
+   same key resynthesizes from the recorded template + invariants
+   (eviction is deliberate forgetting, not amnesia). *)
+type synth_recipe = {
+  rc_name : string;
+  rc_kind : string;
+  rc_template : Template.t;
+  rc_env : (string * int) list;
+}
+
 type tte = {
   tid : int;
   base : int; (* data address of the 256-word TTE block *)
@@ -27,6 +57,7 @@ type tte = {
   mutable rq_prev : tte option;
   mutable waiting_on : string option;
   mutable owned_blocks : int list; (* kalloc blocks freed at destroy *)
+  mutable owned_pages : int list; (* ksynth page entries released at destroy *)
   mutable is_system : bool; (* kernel service threads don't keep the machine alive *)
   (* enough of the creation parameters to rebuild the initial context
      after a crash (Thread.restart): original entry point and user
@@ -107,6 +138,23 @@ type t = {
   default_vectors : int array;
   (* shared kernel entry points by name *)
   shared : (string, int) Hashtbl.t;
+  (* ksynth: the synthesis cache.  [synth_cache] maps keys to live
+     pages; [page_index] covers every code address of every live page
+     (the O(1) shared-page test in [patch_code]); [synth_arenas] are
+     the per-region-kind code allocators; [synth_caps] the optional
+     per-kind word budgets that trigger LRU eviction; [synth_evicted]
+     the recipes of forgotten pages. *)
+  synth_cache : (string, synth_page) Hashtbl.t;
+  page_index : (int, synth_page) Hashtbl.t;
+  synth_arenas : (string, Kalloc.arena) Hashtbl.t;
+  synth_caps : (string, int) Hashtbl.t;
+  synth_evicted : (string, synth_recipe) Hashtbl.t;
+  mutable synth_clock : int;
+  (* recycled pipe carcasses: (cap, desc, buf, readers, writers).
+     Reusing the cells and wait queues keeps a reopened pipe's
+     synthesized code byte-identical, which is what lets the cache
+     hit (fresh wait queues would mint fresh host-call ids). *)
+  mutable pipe_carcasses : (int * int * int * waitq * waitq) list;
   mutable idle_thread : tte option;
   (* error traps and kernel-detected failures, newest first, bounded
      at [fault_log_cap] (oldest entries drop; [fault_dropped] counts
@@ -165,6 +213,13 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     codegen_cycles_per_insn = 5;
     default_vectors = Array.make Insn.Vector.table_size 0;
     shared = Hashtbl.create 32;
+    synth_cache = Hashtbl.create 64;
+    page_index = Hashtbl.create 256;
+    synth_arenas = Hashtbl.create 8;
+    synth_caps = Hashtbl.create 8;
+    synth_evicted = Hashtbl.create 32;
+    synth_clock = 0;
+    pipe_carcasses = [];
     idle_thread = None;
     fault_log = [];
     fault_log_len = 0;
@@ -227,9 +282,15 @@ let attach_tracing k tr =
     k.registry
 
 (* ------------------------------------------------------------------ *)
-(* Code synthesis entry point: factorize -> optimize -> install.
-   Generation cost is charged per emitted instruction, which is what
-   makes `open` pay for the code it synthesizes (§6.3). *)
+(* Raw code synthesis: factorize -> optimize -> append.  Generation
+   cost is charged per emitted instruction, which is what makes `open`
+   pay for the code it synthesizes (§6.3).
+
+   Deprecated as an API: [Ksynth.instantiate] is the code-generation
+   entry point — it memoizes on (template id, invariants, content) and
+   allocates from recyclable arenas.  [synthesize] remains as the
+   uncached append-path engine for callers that explicitly want a
+   fresh unshared fragment. *)
 
 let log_src = Logs.Src.create "synthesis.kernel" ~doc:"Synthesis kernel code generation"
 
@@ -285,33 +346,31 @@ let synthesize k ~name ~env template =
   | None -> ());
   (entry, syms)
 
-(* Install boot-time shared kernel code (not specialized, charged at
-   the same rate; happens once at boot). *)
-let install_shared k ~name insns =
-  let optimized = Peephole.optimize insns in
-  let entry, syms = Asm.assemble k.machine optimized in
-  Hashtbl.replace k.shared name entry;
+(* ksynth backend: install an already-optimized body at [at] — an
+   arena range whose every word is a patchable slot — with the same
+   registry, region and trace bookkeeping as [synthesize].  Charging
+   is the caller's business: the cache charges full generation cost on
+   a miss and a table probe on a hit. *)
+let install_at k ~name ~at ~template ~env optimized =
   let n = Asm.length optimized in
-  k.registry <- (name, entry, n) :: k.registry;
-  (* shared code has no run-time invariants: the region's generator is
-     a closed template over the optimized body *)
-  register_region k ~name ~entry ~len:n
-    ~template:(Template.make ~name ~params:[] (fun _ -> optimized))
-    ~env:[];
+  let resolved, syms = Asm.resolve ~at optimized in
+  List.iteri (fun i insn -> Machine.patch_code k.machine (at + i) insn) resolved;
+  k.registry <- (name, at, n) :: k.registry;
+  register_region k ~name ~entry:at ~len:n ~template ~env;
+  k.synthesized_insns <- k.synthesized_insns + n;
   (match k.ktrace with
   | Some tr ->
-    ignore (Ktrace.register_owner tr ~name ~entry ~len:n);
+    ignore (Ktrace.register_owner tr ~name ~entry:at ~len:n);
     Ktrace.emit tr (Ktrace.Synthesized (name, n))
   | None -> ());
-  (entry, syms)
+  syms
 
-let shared_entry k name =
-  match Hashtbl.find_opt k.shared name with
-  | Some a -> a
-  | None -> invalid_arg ("Kernel.shared_entry: unknown " ^ name)
-
-let register_shared k ~name entry = Hashtbl.replace k.shared name entry
-let has_shared k name = Hashtbl.mem k.shared name
+(* ksynth backend: forget a freed or evicted page's registry and
+   region records.  The generator may live on in [synth_evicted] —
+   eviction is deliberate forgetting, not amnesia. *)
+let unregister_region k ~entry =
+  k.registry <- List.filter (fun (_, e, _) -> e <> entry) k.registry;
+  k.code_regions <- List.filter (fun r -> r.cr_entry <> entry) k.code_regions
 
 (* ------------------------------------------------------------------ *)
 (* Threads *)
@@ -410,6 +469,21 @@ let code_repairs_total k = Metrics.read k.metrics "kernel.code_repairs_total"
    is already corrupted, repair it first — a patch must never bless
    corrupted content into the checksum. *)
 let patch_code k addr insn =
+  (* ksynth: writing into a cache-owned page.  A page shared by several
+     handles is read-only — callers must fork a private copy first
+     ([Ksynth.patch] does).  A sole-owner cached page detaches in
+     place: once patched its content no longer matches its cache key,
+     so the cache must never hand it to a fresh instantiation. *)
+  (match Hashtbl.find_opt k.page_index addr with
+  | Some p when p.sp_refs > 1 ->
+    invalid_arg
+      (Printf.sprintf
+         "Kernel.patch_code: page %s is shared by %d handles (copy-on-patch: fork first)"
+         p.sp_name p.sp_refs)
+  | Some p when p.sp_cached && not p.sp_pinned ->
+    p.sp_cached <- false;
+    Hashtbl.remove k.synth_cache p.sp_key
+  | _ -> ());
   (match find_region k addr with
   | Some r when region_dirty k r -> repair_region ~origin:"patch" k r
   | _ -> ());

@@ -12,6 +12,34 @@ open Quamachine
 
 type thread_state = Ready | Blocked | Stopped | Zombie
 
+(** ksynth: one memoized code page — the unit the synthesis cache
+    hands out.  Instantiations with the same key share the page
+    (read-only by convention), refcounted by live handles; patching a
+    shared page forks a private copy, patching a sole-owner cached
+    page detaches it in place ([sp_cached = false]). *)
+type synth_page = {
+  sp_key : string;  (** cache key; stable across re-instantiations *)
+  sp_name : string;  (** name of the first instantiation *)
+  sp_kind : string;  (** arena kind (name prefix by default) *)
+  mutable sp_entry : int;
+  sp_len : int;
+  mutable sp_syms : (string * int) list;
+  mutable sp_refs : int;  (** live handles *)
+  mutable sp_hits : int;
+  mutable sp_stamp : int;  (** LRU clock at last use *)
+  mutable sp_cached : bool;  (** still reachable through the cache? *)
+  sp_pinned : bool;  (** boot-time install: never evicted or released *)
+}
+
+(** ksynth: the recipe kept for an evicted page, so a later re-miss on
+    the same key resynthesizes from the recorded generator. *)
+type synth_recipe = {
+  rc_name : string;
+  rc_kind : string;
+  rc_template : Template.t;
+  rc_env : (string * int) list;
+}
+
 type tte = {
   tid : int;
   base : int; (** data address of the 256-word TTE block (Figure 3) *)
@@ -28,6 +56,8 @@ type tte = {
   mutable rq_prev : tte option;
   mutable waiting_on : string option;
   mutable owned_blocks : int list;
+  mutable owned_pages : int list;
+      (** ksynth page entries released at destroy *)
   mutable is_system : bool;
   mutable entry : int;  (** original entry point (crash restart) *)
   mutable ustack : int;
@@ -85,7 +115,19 @@ type t = {
   codegen_cycles_fixed : int;
   codegen_cycles_per_insn : int;
   default_vectors : int array;
-  shared : (string, int) Hashtbl.t;
+  shared : (string, int) Hashtbl.t;  (** named entries ([Ksynth.lookup]) *)
+  synth_cache : (string, synth_page) Hashtbl.t;  (** key → live page *)
+  page_index : (int, synth_page) Hashtbl.t;
+      (** every code address of every live page (O(1) shared test) *)
+  synth_arenas : (string, Kalloc.arena) Hashtbl.t;
+  synth_caps : (string, int) Hashtbl.t;
+      (** optional per-kind live-word budgets (LRU eviction) *)
+  synth_evicted : (string, synth_recipe) Hashtbl.t;
+  mutable synth_clock : int;
+  mutable pipe_carcasses : (int * int * int * waitq * waitq) list;
+      (** recycled (cap, desc, buf, readers, writers): reusing cells
+          and wait queues keeps a reopened pipe's code byte-identical,
+          which is what lets the synthesis cache hit *)
   mutable idle_thread : tte option;
   mutable fault_log : fault_entry list;  (** newest first, bounded *)
   mutable fault_log_len : int;
@@ -129,19 +171,45 @@ val trace_probe : t -> Ktrace.kind -> Insn.insn list
 
 val trace_probe_status : t -> (bool -> Ktrace.kind) -> Insn.insn list
 
-(** {1 Code synthesis}: factorize → optimize → install, charging
-    generation cost to the simulated clock (what makes [open] pay for
-    the code it emits, §6.3). *)
+(** {1 Code synthesis}
 
+    [Ksynth.instantiate] is the code-generation API; the functions
+    here are the raw engine underneath it. *)
+
+(** Deprecated: factorize → optimize → append, charging generation
+    cost (§6.3) — every call mints a fresh unshared fragment.  New
+    code should go through [Ksynth.instantiate], which memoizes and
+    allocates from recyclable arenas. *)
 val synthesize :
   t -> name:string -> env:(string * int) list -> Template.t -> int * Asm.symbols
 
-(** Boot-time shared kernel code, registered by name. *)
-val install_shared : t -> name:string -> Insn.insn list -> int * Asm.symbols
+(** ksynth backend: install an already-optimized body at [at] (an
+    arena range of patchable slots), with registry + kheal-region +
+    trace bookkeeping.  Charges nothing — the cache prices hits and
+    misses.  Returns the absolute symbol table. *)
+val install_at :
+  t ->
+  name:string ->
+  at:int ->
+  template:Template.t ->
+  env:(string * int) list ->
+  Insn.insn list ->
+  Asm.symbols
 
-val shared_entry : t -> string -> int
-val register_shared : t -> name:string -> int -> unit
-val has_shared : t -> string -> bool
+(** ksynth backend: drop the registry and kheal records of the page at
+    [entry] (freed or evicted). *)
+val unregister_region : t -> entry:int -> unit
+
+(** Record a kheal region for code installed outside [synthesize]
+    (checksums current content). *)
+val register_region :
+  t ->
+  name:string ->
+  entry:int ->
+  len:int ->
+  template:Template.t ->
+  env:(string * int) list ->
+  unit
 
 (** {1 Threads} *)
 
@@ -207,7 +275,13 @@ val code_repairs_total : t -> int
     region first if it is already corrupted (a patch must never bless
     corruption into the checksum), records the patch for future
     repairs, and re-checksums.  All legitimate post-synthesis patching
-    (ready-ring jmp targets, quantum slots) goes through here. *)
+    (ready-ring jmp targets, quantum slots) goes through here.
+
+    ksynth pages: raises [Invalid_argument] if [addr] lies in a page
+    shared by several handles (copy-on-patch — [Ksynth.patch] forks a
+    private copy instead); a sole-owner cached page silently detaches
+    from the cache first, so patched content is never served to a
+    fresh instantiation. *)
 val patch_code : t -> int -> Insn.insn -> unit
 
 (** Mark a scheduling-state slot (excluded from {!code_state_hash}). *)

@@ -23,6 +23,7 @@ type t = {
   p_cap : int; (* power of two *)
   p_readers : Kernel.waitq;
   p_writers : Kernel.waitq;
+  mutable p_ends : int; (* open descriptors; 0 after the last close *)
 }
 
 let head_cell p = p.p_desc
@@ -220,21 +221,66 @@ let read_template k pipe ~gauge =
 
 let next_pipe_id = ref 0
 
+(* Carcasses kept for reuse: unbounded churn must not grow the list,
+   and an overflowing carcass frees its cells normally. *)
+let carcass_cap = 8
+
+(* Return a dead pipe's cells and wait queues to the kernel.  The next
+   same-capacity pipe reuses them, which keeps its synthesized
+   read/write code — descriptor and buffer addresses, memoized
+   block/unblock host-call ids — byte-identical with this one's.
+   Byte-identity is what lets the synthesis cache hit on reopen. *)
+let recycle k pipe =
+  if List.length k.Kernel.pipe_carcasses < carcass_cap then
+    k.Kernel.pipe_carcasses <-
+      (pipe.p_cap, pipe.p_desc, pipe.p_buf, pipe.p_readers, pipe.p_writers)
+      :: k.Kernel.pipe_carcasses
+  else begin
+    Kalloc.free k.Kernel.alloc pipe.p_desc;
+    Kalloc.free k.Kernel.alloc pipe.p_buf
+  end
+
 let create k ?(cap = 8192) () =
   if cap land (cap - 1) <> 0 then invalid_arg "Kpipe.create: cap must be a power of 2";
   let id = !next_pipe_id in
   incr next_pipe_id;
   let name = Printf.sprintf "pipe%d" id in
-  let desc = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
-  let buf = Kalloc.alloc_zeroed k.Kernel.alloc cap in
-  {
-    p_name = name;
-    p_desc = desc;
-    p_buf = buf;
-    p_cap = cap;
-    p_readers = Kernel.waitq ~name:(name ^ "/readers");
-    p_writers = Kernel.waitq ~name:(name ^ "/writers");
-  }
+  let rec take acc = function
+    | [] -> None
+    | (c, desc, buf, readers, writers) :: rest when c = cap ->
+      k.Kernel.pipe_carcasses <- List.rev_append acc rest;
+      Some (desc, buf, readers, writers)
+    | carcass :: rest -> take (carcass :: acc) rest
+  in
+  match take [] k.Kernel.pipe_carcasses with
+  | Some (desc, buf, readers, writers) ->
+    (* reset the descriptor; stale buffer words are dead data *)
+    let m = k.Kernel.machine in
+    for i = 0 to 4 do
+      Machine.poke m (desc + i) 0
+    done;
+    Machine.charge_refs m 5;
+    {
+      p_name = name;
+      p_desc = desc;
+      p_buf = buf;
+      p_cap = cap;
+      p_readers = readers;
+      p_writers = writers;
+      p_ends = 0;
+    }
+  | None ->
+    let desc = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+    let buf = Kalloc.alloc_zeroed k.Kernel.alloc cap in
+    {
+      p_name = name;
+      p_desc = desc;
+      p_buf = buf;
+      p_cap = cap;
+      p_readers = Kernel.waitq ~name:(name ^ "/readers");
+      p_writers = Kernel.waitq ~name:(name ^ "/writers");
+      p_ends = 0;
+    }
 
 (* Synthesize pipe ends for [tte] and install them as descriptors.
    Returns (read_fd, write_fd). *)
@@ -242,20 +288,34 @@ let attach vfs pipe (tte : Kernel.tte) =
   let k = vfs.Vfs.kernel in
   let gauge = tte.Kernel.base + L.off_gauge in
   let tag = Printf.sprintf "pipe/%s/t%d" pipe.p_name tte.Kernel.tid in
-  let read_entry, _ =
-    Kernel.synthesize k ~name:(tag ^ "/read") ~env:[] (read_template k pipe ~gauge)
+  let read_entry =
+    Ksynth.entry
+      (Ksynth.instantiate k ~name:(tag ^ "/read")
+         ~template:(read_template k pipe ~gauge) ~invariants:[])
   in
-  let write_entry, _ =
-    Kernel.synthesize k ~name:(tag ^ "/write") ~env:[] (write_template k pipe ~gauge)
+  let write_entry =
+    Ksynth.entry
+      (Ksynth.instantiate k ~name:(tag ^ "/write")
+         ~template:(write_template k pipe ~gauge) ~invariants:[])
+  in
+  pipe.p_ends <- pipe.p_ends + 2;
+  (* closing an end drops its claim on the synthesized page; the last
+     close recycles the pipe's cells for the next [create] *)
+  let release_end entry =
+    Ksynth.release_entry k entry;
+    pipe.p_ends <- pipe.p_ends - 1;
+    if pipe.p_ends = 0 then recycle k pipe
   in
   let mk_handlers ~read ~write ~close =
     { Vfs.h_read = read; h_write = write; h_pos_cell = None; h_close = close }
   in
-  let bad = Kernel.shared_entry k "bad_fd" in
+  let bad = Ksynth.lookup k "bad_fd" in
   let rfd =
     match Vfs.free_fd vfs tte with
     | Some fd ->
-      Vfs.install_fd vfs tte ~fd (mk_handlers ~read:read_entry ~write:bad ~close:(fun () -> ()));
+      Vfs.install_fd vfs tte ~fd
+        (mk_handlers ~read:read_entry ~write:bad ~close:(fun () ->
+             release_end read_entry));
       fd
     | None -> invalid_arg "Kpipe.attach: no free read fd"
   in
@@ -266,7 +326,8 @@ let attach vfs pipe (tte : Kernel.tte) =
         (mk_handlers ~read:bad ~write:write_entry ~close:(fun () ->
              (* last writer gone: wake readers so they can see EOF *)
              Machine.poke k.Kernel.machine (weof_cell pipe) 1;
-             ignore (Thread.unblock k pipe.p_readers)));
+             ignore (Thread.unblock k pipe.p_readers);
+             release_end write_entry));
       fd
     | None -> invalid_arg "Kpipe.attach: no free write fd"
   in
@@ -287,6 +348,6 @@ let install_syscall vfs =
         Machine.charge mm 80)
   in
   let entry, _ =
-    Kernel.install_shared k ~name:"syscall/pipe" [ I.Hcall pipe_id; I.Rte ]
+    Ksynth.install k ~name:"syscall/pipe" [ I.Hcall pipe_id; I.Rte ]
   in
   Kernel.set_vector_all k (I.Vector.trap 11) entry

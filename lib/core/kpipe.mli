@@ -12,6 +12,7 @@ type t = {
   p_cap : int;
   p_readers : Kernel.waitq;
   p_writers : Kernel.waitq;
+  mutable p_ends : int;  (** open descriptors; 0 after the last close *)
 }
 
 val head_cell : t -> int

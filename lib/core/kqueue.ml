@@ -326,6 +326,13 @@ let spmc_put_template =
 (* ---------------------------------------------------------------- *)
 (* Creation *)
 
+(* Queue routines go through the synthesis cache: distinct queues fold
+   distinct descriptor/buffer addresses in and miss, but a queue
+   rebuilt over recycled cells hits and shares the page. *)
+let synth_cached k ~name ~env template =
+  let h = Ksynth.instantiate k ~name ~template ~invariants:env in
+  (Ksynth.entry h, Ksynth.syms h)
+
 let alloc_common k ~name ~size ~with_flags =
   let alloc = k.Kernel.alloc in
   let desc = Kalloc.alloc_zeroed alloc 16 in
@@ -339,8 +346,8 @@ let create_spsc_impl k ~name ~size =
   let env =
     [ ("head", desc); ("tail", desc + 1); ("buf", buf); ("size", size) ]
   in
-  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env spsc_put_template in
-  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env spsc_get_template in
+  let put, _ = synth_cached k ~name:(name ^ "/put") ~env spsc_put_template in
+  let get, _ = synth_cached k ~name:(name ^ "/get") ~env spsc_get_template in
   {
     q_kind = Spsc;
     q_name = name;
@@ -362,10 +369,10 @@ let create_mpsc_impl k ~name ~size =
       ("head", desc); ("tail", desc + 1); ("buf", buf); ("flag", flag); ("size", size);
     ]
   in
-  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env mpsc_put_template in
-  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env mpsc_get_template in
+  let put, _ = synth_cached k ~name:(name ^ "/put") ~env mpsc_put_template in
+  let get, _ = synth_cached k ~name:(name ^ "/get") ~env mpsc_get_template in
   let put_many, _ =
-    Kernel.synthesize k ~name:(name ^ "/put_many") ~env mpsc_put_many_template
+    synth_cached k ~name:(name ^ "/put_many") ~env mpsc_put_many_template
   in
   {
     q_kind = Mpsc;
@@ -388,8 +395,8 @@ let create_spmc_impl k ~name ~size =
       ("head", desc); ("tail", desc + 1); ("buf", buf); ("flag", flag); ("size", size);
     ]
   in
-  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env spmc_put_template in
-  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env spmc_get_template in
+  let put, _ = synth_cached k ~name:(name ^ "/put") ~env spmc_put_template in
+  let get, _ = synth_cached k ~name:(name ^ "/get") ~env spmc_get_template in
   {
     q_kind = Spmc;
     q_name = name;
@@ -420,8 +427,8 @@ let create_mpmc_impl k ~name ~size =
       ("head", desc); ("tail", desc + 1); ("buf", buf); ("flag", flag); ("size", size);
     ]
   in
-  let put, _ = Kernel.synthesize k ~name:(name ^ "/put") ~env mpmc_put_template in
-  let get, _ = Kernel.synthesize k ~name:(name ^ "/get") ~env spmc_get_template in
+  let put, _ = synth_cached k ~name:(name ^ "/put") ~env mpmc_put_template in
+  let get, _ = synth_cached k ~name:(name ^ "/get") ~env spmc_get_template in
   {
     q_kind = Mpmc;
     q_name = name;
@@ -478,7 +485,7 @@ let traced_entry k ~qname ~op entry =
   | probe ->
     let suffix = match op with `Put -> "/traced_put" | `Get -> "/traced_get" in
     fst
-      (Kernel.install_shared k ~name:(qname ^ suffix)
+      (Ksynth.install k ~name:(qname ^ suffix)
          ((I.Jsr (I.To_addr entry) :: probe) @ [ I.Rts ]))
 
 (* Overflow wrappers: synthesized prologues around the bare put entry
@@ -530,13 +537,13 @@ let create ?kind ?(producers = 1) ?(consumers = 1) ?(overflow = Fail) k ~name
     | Drop ->
       let cell = Kalloc.alloc_zeroed k.Kernel.alloc 1 in
       let entry, _ =
-        Kernel.install_shared k ~name:(name ^ "/drop_put")
+        Ksynth.install k ~name:(name ^ "/drop_put")
           (drop_put_wrapper ~entry:q.q_put ~cell)
       in
       (entry, cell)
     | Block ->
       let entry, _ =
-        Kernel.install_shared k ~name:(name ^ "/block_put")
+        Ksynth.install k ~name:(name ^ "/block_put")
           (block_put_wrapper ~entry:q.q_put)
       in
       (entry, 0)

@@ -18,6 +18,17 @@ let create () =
   { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; epochs = [] }
 
 (* ------------------------------------------------------------------ *)
+(* Well-known names: the ksynth cache's counters and the peak code
+   footprint gauge, spelled once so the cache, the profiler and the
+   dumps agree. *)
+
+let synth_cache_hits = "kernel.synth_cache_hits_total"
+let synth_cache_misses = "kernel.synth_cache_misses_total"
+let synth_cache_evictions = "kernel.synth_cache_evictions_total"
+let synth_cache_resynth = "kernel.synth_cache_resynth_total"
+let code_bytes_peak = "kernel.code_bytes_peak"
+
+(* ------------------------------------------------------------------ *)
 (* Counters *)
 
 let counter t name =

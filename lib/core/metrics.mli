@@ -20,6 +20,18 @@ type epoch_record = { ep_time_us : float; ep_entries : epoch_entry list }
 
 val create : unit -> t
 
+(** {1 Well-known names}
+
+    The ksynth synthesis cache's counters and the peak code-footprint
+    gauge (bytes, 4 per code word), spelled once so the cache, the
+    profiler and the dumps agree. *)
+
+val synth_cache_hits : string
+val synth_cache_misses : string
+val synth_cache_evictions : string
+val synth_cache_resynth : string
+val code_bytes_peak : string
+
 (** {1 Counters} *)
 
 (** Find-or-create by name. *)

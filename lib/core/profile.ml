@@ -29,6 +29,7 @@ type t = {
   p_sample_count : int;
   p_sampled_cycles : int;
   p_period : int; (* 0 = sampling was off *)
+  p_synth : Ksynth.stats; (* synthesis-cache counters for the run *)
 }
 
 let boot_line_name = "(boot, pre-attach)"
@@ -85,6 +86,7 @@ let collect ?(top = 24) k pmu =
     p_sample_count = Pmu.sample_count pmu;
     p_sampled_cycles = Pmu.sampled_cycles pmu;
     p_period = Pmu.sampling_period pmu;
+    p_synth = Ksynth.stats k;
   }
 
 (* The exactness invariant the CLI and tests assert. *)
@@ -109,7 +111,13 @@ let pp ?(top = 16) ppf t =
       (fun i (addr, name, w) ->
         if i < top then Fmt.pf ppf "  %10d cycles  @%-6d %s@." w addr name)
       t.p_flat
-  end
+  end;
+  let s = t.p_synth in
+  Fmt.pf ppf
+    "@.synthesis cache: %d hits, %d misses, %d evictions, %d resynthesized; %d \
+     pages cached, %d words live / %d reserved@."
+    s.Ksynth.st_hits s.Ksynth.st_misses s.Ksynth.st_evictions s.Ksynth.st_resynth
+    s.Ksynth.st_cached_pages s.Ksynth.st_live_words s.Ksynth.st_footprint_words
 
 let json_escape s =
   let b = Buffer.create (String.length s + 8) in
@@ -146,5 +154,14 @@ let to_json t =
         (Fmt.str "\n{\"addr\":%d,\"routine\":\"%s\",\"weight\":%d}" addr
            (json_escape name) w))
     t.p_flat;
-  Buffer.add_string b "\n]}\n";
+  let s = t.p_synth in
+  Buffer.add_string b
+    (Fmt.str
+       "\n\
+        ],\n\
+        \"synth_cache\":{\"hits\":%d,\"misses\":%d,\"evictions\":%d,\"resynth\":%d,\n\
+        \"cached_pages\":%d,\"live_words\":%d,\"footprint_words\":%d,\"code_bytes_peak\":%d}}\n"
+       s.Ksynth.st_hits s.Ksynth.st_misses s.Ksynth.st_evictions
+       s.Ksynth.st_resynth s.Ksynth.st_cached_pages s.Ksynth.st_live_words
+       s.Ksynth.st_footprint_words (4 * s.Ksynth.st_footprint_words));
   Buffer.contents b

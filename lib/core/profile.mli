@@ -18,6 +18,7 @@ type t = {
   p_sample_count : int;
   p_sampled_cycles : int;
   p_period : int;  (** 0 when sampling was off *)
+  p_synth : Ksynth.stats;  (** synthesis-cache counters for the run *)
 }
 
 (** Snapshot the profile of a kernel run.  Per-owner exactness needs

@@ -74,7 +74,7 @@ type monitor = { mon_lock : int; mon_enter : int; mon_exit : int }
 let create_monitor k ~name =
   let lock = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
   let enter, _ =
-    Kernel.install_shared k ~name:(name ^ "/enter")
+    Ksynth.install k ~name:(name ^ "/enter")
       [
         I.Label "spin";
         I.Move (I.Imm 0, I.Reg I.r4);
@@ -85,7 +85,7 @@ let create_monitor k ~name =
       ]
   in
   let exit, _ =
-    Kernel.install_shared k ~name:(name ^ "/exit")
+    Ksynth.install k ~name:(name ^ "/exit")
       [ I.Move (I.Imm 0, I.Abs lock); I.Rts ]
   in
   { mon_lock = lock; mon_enter = enter; mon_exit = exit }
@@ -102,9 +102,9 @@ let create_switch k ~name targets =
   let n = Array.length targets in
   let table = Kalloc.alloc_zeroed k.Kernel.alloc (max n 1) in
   Array.iteri (fun i t -> Machine.poke k.Kernel.machine (table + i) t) targets;
-  let bad = Kernel.shared_entry k "bad_fd" in
+  let bad = Ksynth.lookup k "bad_fd" in
   let entry, _ =
-    Kernel.install_shared k ~name:(name ^ "/switch")
+    Ksynth.install k ~name:(name ^ "/switch")
       [
         I.Cmp (I.Imm n, I.Reg I.r1);
         I.B (I.Cc, I.To_label "bad"); (* selector out of range *)

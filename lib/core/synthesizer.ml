@@ -52,11 +52,12 @@ let create k ~name ~data_words ops =
   (* factorization + optimization, one template per operation *)
   List.iteri
     (fun i (op_name, template, env) ->
-      let entry, _ =
-        Kernel.synthesize k
-          ~name:(Printf.sprintf "quaject/%s/%s" name op_name)
-          ~env:(("self", data) :: env)
-          template
+      let entry =
+        Ksynth.entry
+          (Ksynth.instantiate k
+             ~name:(Printf.sprintf "quaject/%s/%s" name op_name)
+             ~template
+             ~invariants:(("self", data) :: env))
       in
       q.qj_ops <- (op_name, entry) :: q.qj_ops;
       (* dynamic link of the quaject's own table *)
@@ -64,6 +65,14 @@ let create k ~name ~data_words ops =
       Machine.charge_refs k.Kernel.machine 1)
     ops;
   q
+
+(* Deallocation: drop the quaject's claim on its synthesized operation
+   pages (the cache may keep them warm for the next same-shaped
+   quaject) and free the data block. *)
+let destroy k q =
+  List.iter (fun (_, entry) -> Ksynth.release_entry k entry) q.qj_ops;
+  q.qj_ops <- [];
+  Kalloc.free k.Kernel.alloc q.qj_data
 
 (* ---------------------------------------------------------------- *)
 (* The interfacer *)
@@ -90,14 +99,14 @@ let interface k ~name ~producer ~consumer ~consumer_entry () =
     (* combine: a direct jump; factorize+optimize are trivial and the
        dynamic link is the caller using this entry *)
     let entry, _ =
-      Kernel.install_shared k ~name:(name ^ "/call")
+      Ksynth.install k ~name:(name ^ "/call")
         [ Insn.Jmp (Insn.To_addr consumer_entry) ]
     in
     { cn_connector = connector; cn_call = entry; cn_queue = None }
   | Quaject.Monitored_call ->
     let monitor = Quaject.create_monitor k ~name:(name ^ "/mon") in
     let entry, _ =
-      Kernel.install_shared k ~name:(name ^ "/call")
+      Ksynth.install k ~name:(name ^ "/call")
         [
           Insn.Jsr (Insn.To_addr monitor.Quaject.mon_enter);
           Insn.Jsr (Insn.To_addr consumer_entry);
@@ -136,7 +145,7 @@ let pump k ~name ~source_entry ~sink_entry =
       Insn.B (Insn.Always, Insn.To_label "loop");
     ]
   in
-  let entry, _ = Kernel.install_shared k ~name:(name ^ "/pump") body in
+  let entry, _ = Ksynth.install k ~name:(name ^ "/pump") body in
   let t = Thread.create k ~quantum_us:150 ~system:true ~entry () in
   Machine.poke k.Kernel.machine
     (t.Kernel.base + Layout.Tte.off_regs + 16)

@@ -28,6 +28,10 @@ val create :
   (string * Template.t * (string * int) list) list ->
   quaject
 
+(** Deallocation: release the quaject's synthesized operation pages
+    back to the synthesis cache and free its data block. *)
+val destroy : Kernel.t -> quaject -> unit
+
 type connection = {
   cn_connector : Quaject.connector;
   cn_call : int;  (** code the producer side invokes *)

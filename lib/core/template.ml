@@ -38,3 +38,7 @@ let instantiate t ~env =
 
 let name t = t.name
 let params t = t.params
+
+(* The template's identity for synthesis-cache keys: templates are
+   top-level values minted once, so the name doubles as a stable id. *)
+let id t = t.name

@@ -19,3 +19,7 @@ val instantiate : t -> env:(string * int) list -> Quamachine.Insn.insn list
 
 val name : t -> string
 val params : t -> string list
+
+(** Stable identity used in synthesis-cache keys (the name: templates
+    are top-level values minted once per generator). *)
+val id : t -> string

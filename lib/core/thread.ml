@@ -76,7 +76,7 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
   done;
   Machine.charge_refs m Insn.Vector.table_size;
   (* fd tables: all descriptors invalid *)
-  let bad_fd = Kernel.shared_entry k "bad_fd" in
+  let bad_fd = Ksynth.lookup k "bad_fd" in
   for i = 0 to (2 * L.max_fds) - 1 do
     Machine.poke m (base + L.off_fd_read + i) bad_fd
   done;
@@ -98,6 +98,7 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
       rq_prev = None;
       waiting_on = None;
       owned_blocks = [ base; ustack ];
+      owned_pages = [];
       is_system = system;
       entry;
       ustack;
@@ -109,20 +110,18 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
   (* synthesize the thread's private kernel code *)
   let c = Ctx.synthesize k ~tte_base:base ~tid ~map_id ~quantum_us ~uses_fp in
   Ctx.apply_switch_code k t c;
-  let read_dispatch, _ =
-    Kernel.synthesize k
-      ~name:(Printf.sprintf "thread/t%d/read_dispatch" tid)
-      ~env:[ ("fdtab", base + L.off_fd_read) ]
-      dispatcher_template
+  let dispatcher which off =
+    let h =
+      Ksynth.instantiate k
+        ~name:(Printf.sprintf "thread/t%d/%s_dispatch" tid which)
+        ~template:dispatcher_template
+        ~invariants:[ ("fdtab", base + off) ]
+    in
+    t.Kernel.owned_pages <- Ksynth.entry h :: t.Kernel.owned_pages;
+    Ksynth.entry h
   in
-  let write_dispatch, _ =
-    Kernel.synthesize k
-      ~name:(Printf.sprintf "thread/t%d/write_dispatch" tid)
-      ~env:[ ("fdtab", base + L.off_fd_write) ]
-      dispatcher_template
-  in
-  Kernel.set_vector k t (Insn.Vector.trap 1) read_dispatch;
-  Kernel.set_vector k t (Insn.Vector.trap 2) write_dispatch;
+  Kernel.set_vector k t (Insn.Vector.trap 1) (dispatcher "read" L.off_fd_read);
+  Kernel.set_vector k t (Insn.Vector.trap 2) (dispatcher "write" L.off_fd_write);
   (* make it runnable *)
   (match k.Kernel.rq_anchor with
   | None -> Ready_queue.insert_single k t
@@ -139,6 +138,11 @@ let destroy k t =
   Hashtbl.remove k.Kernel.by_base t.Kernel.base;
   List.iter (fun b -> Kalloc.free k.Kernel.alloc b) t.Kernel.owned_blocks;
   t.Kernel.owned_blocks <- [];
+  (* drop the thread's claims on its synthesized pages: detached pages
+     (switch code, patched by the ready ring) free and recycle, cached
+     ones stay warm for the next same-shape thread *)
+  List.iter (fun e -> Ksynth.release_entry k e) t.Kernel.owned_pages;
+  t.Kernel.owned_pages <- [];
   (* map teardown and table bookkeeping *)
   Machine.charge k.Kernel.machine 110
 
@@ -300,13 +304,20 @@ let set_signal_handler k t handler =
           I.Trap 9; (* sigreturn *)
         ])
   in
-  let tramp, _ =
-    Kernel.synthesize k
+  let h =
+    Ksynth.instantiate k
       ~name:(Printf.sprintf "signal/t%d/tramp" t.Kernel.tid)
-      ~env:[ ("handler", handler) ]
-      tramp_template
+      ~template:tramp_template
+      ~invariants:[ ("handler", handler) ]
   in
-  Machine.poke k.Kernel.machine (t.Kernel.base + L.off_sig_handler) tramp
+  (* re-registering drops the claim on the previous trampoline *)
+  let old = Machine.peek k.Kernel.machine (t.Kernel.base + L.off_sig_handler) in
+  if old <> 0 then begin
+    Ksynth.release_entry k old;
+    t.Kernel.owned_pages <- List.filter (fun e -> e <> old) t.Kernel.owned_pages
+  end;
+  t.Kernel.owned_pages <- Ksynth.entry h :: t.Kernel.owned_pages;
+  Machine.poke k.Kernel.machine (t.Kernel.base + L.off_sig_handler) (Ksynth.entry h)
 
 (* -------------------------------------------------------------- *)
 (* Error traps (§4.3).
@@ -339,12 +350,14 @@ let error_trap_template =
 (* Install a user-mode error procedure for [t]: synthesizes the trap
    handler once and points the thread's error vectors at it. *)
 let set_error_handler k t ~user_proc =
-  let entry, _ =
-    Kernel.synthesize k
+  let h =
+    Ksynth.instantiate k
       ~name:(Printf.sprintf "error/t%d/trap" t.Kernel.tid)
-      ~env:[ ("user_proc", user_proc) ]
-      error_trap_template
+      ~template:error_trap_template
+      ~invariants:[ ("user_proc", user_proc) ]
   in
+  let entry = Ksynth.entry h in
+  t.Kernel.owned_pages <- entry :: t.Kernel.owned_pages;
   List.iter
     (fun v -> Kernel.set_vector k t v entry)
     [

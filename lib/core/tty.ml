@@ -261,10 +261,10 @@ let install vfs =
   let wake_filter = Thread.unblock_hcall k srv.srv_filter_wq in
   (* the filter and pump service threads (run in supervisor state) *)
   let filter_entry, _ =
-    Kernel.install_shared k ~name:"tty/filter"
+    Ksynth.install k ~name:"tty/filter"
       (filter_code k srv ~wake_reader ~wake_pump)
   in
-  let pump_entry, _ = Kernel.install_shared k ~name:"tty/pump" (pump_code k srv) in
+  let pump_entry, _ = Ksynth.install k ~name:"tty/pump" (pump_code k srv) in
   let mk_system entry =
     let t = Thread.create k ~quantum_us:300 ~system:true ~entry () in
     Machine.poke k.Kernel.machine (t.Kernel.base + L.off_regs + 16) Ctx.kernel_sr;
@@ -273,9 +273,10 @@ let install vfs =
   srv.srv_filter <- Some (mk_system filter_entry);
   srv.srv_pump <- Some (mk_system pump_entry);
   (* the raw interrupt handler, shared by every thread's vector table *)
-  let irq, _ =
-    Kernel.synthesize k ~name:"tty/irq" ~env:[ ("unblock", wake_filter) ]
-      (irq_template srv)
+  let irq =
+    Ksynth.entry
+      (Ksynth.instantiate k ~name:"tty/irq" ~template:(irq_template srv)
+         ~invariants:[ ("unblock", wake_filter) ])
   in
   Kernel.set_vector_all k Mmio_map.tty_vector irq;
   (* the /dev/tty node: open synthesizes reader/writer code (the extra
@@ -283,13 +284,23 @@ let install vfs =
   Vfs.register vfs ~name:"/dev/tty" (fun tte ~fd ->
       let gauge = tte.Kernel.base + L.off_gauge in
       let tag = Printf.sprintf "open/t%d/fd%d/tty" tte.Kernel.tid fd in
-      let r, _ =
-        Kernel.synthesize k ~name:(tag ^ "/read") ~env:[]
-          (tty_read_template k srv ~gauge)
+      let r =
+        Ksynth.entry
+          (Ksynth.instantiate k ~name:(tag ^ "/read")
+             ~template:(tty_read_template k srv ~gauge) ~invariants:[])
       in
-      let w, _ =
-        Kernel.synthesize k ~name:(tag ^ "/write") ~env:[]
-          (tty_write_template srv ~gauge ~wake_pump)
+      let w =
+        Ksynth.entry
+          (Ksynth.instantiate k ~name:(tag ^ "/write")
+             ~template:(tty_write_template srv ~gauge ~wake_pump) ~invariants:[])
       in
-      { Vfs.h_read = r; h_write = w; h_pos_cell = None; h_close = (fun () -> ()) });
+      {
+        Vfs.h_read = r;
+        h_write = w;
+        h_pos_cell = None;
+        h_close =
+          (fun () ->
+            Ksynth.release_entry k r;
+            Ksynth.release_entry k w);
+      });
   srv

@@ -60,7 +60,7 @@ let read_string k addr =
    shared bad_fd entry. *)
 let free_fd t (tte : Kernel.tte) =
   let m = t.kernel.Kernel.machine in
-  let bad = Kernel.shared_entry t.kernel "bad_fd" in
+  let bad = Ksynth.lookup t.kernel "bad_fd" in
   let rec scan i =
     if i >= L.max_fds then None
     else if Machine.peek m (tte.Kernel.base + L.off_fd_read + i) = bad then Some i
@@ -95,7 +95,7 @@ let close_fd t (tte : Kernel.tte) fd =
   | Some h ->
     h.h_close ();
     let m = t.kernel.Kernel.machine in
-    let bad = Kernel.shared_entry t.kernel "bad_fd" in
+    let bad = Ksynth.lookup t.kernel "bad_fd" in
     Machine.poke m (tte.Kernel.base + L.off_fd_read + fd) bad;
     Machine.poke m (tte.Kernel.base + L.off_fd_write + fd) bad;
     Machine.charge_refs m 2;
@@ -141,7 +141,7 @@ let install k =
         Machine.set_reg m Insn.r0 (if ok then 0 else -1))
   in
   let handler name id =
-    let entry, _ = Kernel.install_shared k ~name [ Insn.Hcall id; Insn.Rte ] in
+    let entry, _ = Ksynth.install k ~name [ Insn.Hcall id; Insn.Rte ] in
     entry
   in
   Kernel.set_vector_all k (Insn.Vector.trap 3) (handler "vfs/open" open_id);

@@ -17,7 +17,7 @@ let install vfs =
   let m = k.Kernel.machine in
   (* pipe(2) needs its syscall installed on the native side *)
   Kpipe.install_syscall vfs;
-  let stub name body = fst (Kernel.install_shared k ~name:("unix/" ^ name) body) in
+  let stub name body = fst (Ksynth.install k ~name:("unix/" ^ name) body) in
   let bad = stub "badcall" [ I.Move (I.Imm (-1), I.Reg I.r0); I.Rte ] in
   let table = Kalloc.alloc_zeroed k.Kernel.alloc Unix_abi.table_size in
   for i = 0 to Unix_abi.table_size - 1 do

@@ -1074,8 +1074,198 @@ let codeflip_subject =
   in
   { sub_name = "codeflip"; sub_build = build }
 
+(* ---------------------------------------------------------------- *)
+(* Subject 6: synthcache — a corrupted shared page repairs once for
+   all users *)
+
+(* Several threads call the same memoized op: one [Ksynth] page,
+   refcount = users.  The fault plan aims [Bit_flip Code] events at
+   that single shared page while a decoy churn (instantiate + release
+   of throwaway ops under a tight per-kind cap) keeps the eviction
+   path hot around it.  The claims under storm:
+
+   - corruption is repaired *in place*, exactly once for all users —
+     the page never forks, moves, or gets re-instantiated per caller
+     (handle identity, entry address, and refcount all stay fixed);
+   - eviction never touches a page with live references — the decoy
+     churn must evict decoys, never the hot page;
+   - the kernel converges back to the fault-free code fingerprint.
+
+   The sabotage hook mirrors codeflip: corrupt the shared page AND
+   drop its region record, so repair is blind to it and only the
+   registry-presence / fingerprint checks can notice. *)
+let synthcache_subject =
+  let build ~seed =
+    let b = Boot.boot () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    let alloc = k.Kernel.alloc in
+    let users = 4 in
+    let items = 32 in
+    let count_cell = Kalloc.alloc_zeroed alloc 4 in
+    let dones = Kalloc.alloc_zeroed alloc users in
+    let bump_template =
+      Template.make ~name:"cachehot/bump" ~params:[ "cell" ] (fun p ->
+          [ I.Alu_mem (I.Add, I.Imm 1, I.Abs (p "cell")); I.Rts ])
+    in
+    (* every user instantiates the same template with the same
+       invariants: one page, refcount = users *)
+    let handles =
+      List.init users (fun _ ->
+          Ksynth.instantiate k ~template:bump_template
+            ~invariants:[ ("cell", count_cell) ])
+    in
+    let h0 = List.hd handles in
+    let entry0 = Ksynth.entry h0 in
+    let page0 = Ksynth.page h0 in
+    List.iter
+      (fun h ->
+        if Ksynth.entry h <> entry0 then
+          failwith "synthcache: identical instantiations did not share")
+      handles;
+    for i = 0 to users - 1 do
+      let code =
+        [
+          I.Move (I.Imm 0, I.Reg I.r8);
+          I.Label "loop";
+          I.Jsr (I.To_addr entry0);
+          I.Alu (I.Add, I.Imm 1, I.r8);
+          I.Cmp (I.Imm items, I.Reg I.r8);
+          I.B (I.Ne, I.To_label "loop");
+          I.Alu_mem (I.Add, I.Imm 1, I.Abs (dones + i));
+          I.Label "park";
+          I.B (I.Always, I.To_label "park");
+        ]
+      in
+      let entry, _ = Asm.assemble m code in
+      ignore
+        (Thread.create k ~entry ~quantum_us:1_000
+           ~segments:[ (count_cell, 4); (dones, users) ]
+           ())
+    done;
+    (* second detection channel for dormant corruption *)
+    let wd = Watchdog.install k ~period_us:1_000.0 () in
+    Watchdog.audit_code wd;
+    let hot_region =
+      match Kernel.find_region k entry0 with
+      | Some r -> (r.Kernel.cr_entry, r.Kernel.cr_len)
+      | None -> failwith "synthcache: shared page has no region record"
+    in
+    let reference = Kernel.code_state_hash k in
+    let evictions0 = (Ksynth.stats k).Ksynth.st_evictions in
+    let peek a = Machine.peek m a in
+    (* decoy churn: throwaway ops under a tight cap, so eviction and
+       resynthesis run right next to the hot page all storm long *)
+    Ksynth.set_cap k ~kind:"cachecold" 32;
+    let decoy =
+      Template.make ~name:"cachecold/decoy" ~params:[ "v" ] (fun p ->
+          [ I.Move (I.Imm (p "v"), I.Reg I.r0); I.Rts ])
+    in
+    let churn v =
+      let h = Ksynth.instantiate k ~template:decoy ~invariants:[ ("v", v) ] in
+      Ksynth.release k h
+    in
+    (* a fresh invariant binding every checkpoint: every churn is a
+       miss, so the cap keeps evicting right through the storm *)
+    let agitate step = churn (1 + (mix seed (0xCA5E + step) mod 4096)) in
+    let check () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      if Ksynth.page h0 != page0 then
+        violate "shared page forked or detached under repair";
+      if Ksynth.entry h0 <> entry0 then
+        violate "shared page moved from %#x to %#x" entry0 (Ksynth.entry h0);
+      if Ksynth.refs h0 <> users then
+        violate "shared page refcount %d, want %d" (Ksynth.refs h0) users;
+      List.rev !v
+    in
+    let final () =
+      let v = ref (check ()) in
+      let violate fmt = Fmt.kstr (fun s -> v := !v @ [ s ]) fmt in
+      (* flush the decoys (at least one exists: churn it in now), so
+         the surviving code content is exactly the build-time set;
+         eviction must leave the referenced hot page alone *)
+      churn 0;
+      Ksynth.set_cap k ~kind:"cachecold" 0;
+      if (Ksynth.stats k).Ksynth.st_evictions = evictions0 then
+        violate "decoy churn drove no evictions";
+      (* the same walk the watchdog runs, then exact convergence *)
+      ignore (Kernel.audit_code ~origin:"final" k);
+      List.iter
+        (fun r ->
+          if Kernel.region_dirty k r then
+            violate "region %s still dirty after final audit" r.Kernel.cr_name)
+        (Kernel.code_regions k);
+      (match Kernel.find_region k entry0 with
+      | Some r when (r.Kernel.cr_entry, r.Kernel.cr_len) = hot_region -> ()
+      | _ -> violate "shared page lost from the registry");
+      if Kernel.code_state_hash k <> reference then
+        violate "code state diverged from the fault-free fingerprint";
+      (* one more instantiation must be a pure hit on the same page:
+         the repaired page, not a resynthesized copy, serves new users *)
+      let h = Ksynth.instantiate k ~template:bump_template
+          ~invariants:[ ("cell", count_cell) ] in
+      if Ksynth.entry h <> entry0 then
+        violate "post-storm instantiation missed the repaired page";
+      Ksynth.release k h;
+      for i = 0 to users - 1 do
+        if peek (dones + i) <> 1 then violate "user %d never finished" i
+      done;
+      !v
+    in
+    (* done flags count toward the goal: the run only ends once every
+       user has parked, so the per-user finished check can bite *)
+    let progress () =
+      let d = ref (peek count_cell) in
+      for i = 0 to users - 1 do
+        d := !d + peek (dones + i)
+      done;
+      !d
+    in
+    {
+      i_boot = b;
+      i_goal = users * (items + 1);
+      i_budget = 4_000_000;
+      i_fault_config =
+        Some
+          {
+            Fault_inject.default_config with
+            Fault_inject.horizon_cycles = 400_000;
+            n_irqs = 2;
+            n_flips = 0;
+            n_stalls = 0;
+            n_drops = 0;
+            n_cas_fails = 0;
+            n_code_flips = 4;
+            code_regions = [ hot_region ];
+            irq_choices = [ (Mmio_map.timer_level, Mmio_map.timer_vector) ];
+            flip_len = 0;
+          };
+      i_progress = progress;
+      i_agitate = Some agitate;
+      i_check = check;
+      i_final = final;
+      i_sabotage =
+        Some
+          (fun () ->
+            match Kernel.find_region k entry0 with
+            | Some r ->
+              Fault_inject.corrupt_code m ~addr:r.Kernel.cr_entry ~bit:3;
+              k.Kernel.code_regions <-
+                List.filter (fun r' -> r' != r) k.Kernel.code_regions
+            | None -> failwith "synthcache: no region to sabotage");
+    }
+  in
+  { sub_name = "synthcache"; sub_build = build }
+
 let subjects =
-  [ ready_queue_subject; kpipe_subject; disk_subject; codeflip_subject ]
+  [
+    ready_queue_subject;
+    kpipe_subject;
+    disk_subject;
+    codeflip_subject;
+    synthcache_subject;
+  ]
 
 (* ---------------------------------------------------------------- *)
 (* Targeted recovery scenarios *)

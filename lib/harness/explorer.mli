@@ -70,6 +70,16 @@ val codeflip_subject : subject
     clean, still registered, and the code state hash equals the
     fault-free fingerprint taken at build time. *)
 
+val synthcache_subject : subject
+(** ksynth: several threads call the same memoized op — one cached
+    page, refcount = users — while code flips land on that page and a
+    decoy churn under a tight per-kind cap keeps eviction running next
+    to it.  Invariants: corruption repairs in place exactly once for
+    all users (the page never forks, moves, or re-instantiates),
+    eviction never touches the referenced page, a post-storm
+    instantiation is a pure hit on the repaired page, and the code
+    state hash converges back to the fault-free fingerprint. *)
+
 val subjects : subject list
 (** The kernel subjects above (the queue workloads keep their
     dedicated {!run_queue} entry point). *)

@@ -229,6 +229,13 @@ let test_emulation_overhead_small () =
   let env = se.Repro_harness.Harness.s_env in
   let program =
     [
+      (* warm-up open/close so both measured opens hit the synthesis
+         cache: this isolates the emulator's trap overhead from the
+         one-time synthesis cost *)
+      I.Move (I.Imm env.Repro_harness.Programs.e_name_null, I.Reg I.r1);
+      I.Trap 3;
+      I.Move (I.Reg I.r0, I.Reg I.r1);
+      I.Trap 4;
       (* native open, then the same through the emulator *)
       mark;
       I.Move (I.Imm env.Repro_harness.Programs.e_name_null, I.Reg I.r1);

@@ -105,7 +105,7 @@ let test_adq_data_integrity () =
   let code =
     List.map (function I.Hcall 0 -> I.Hcall done_id | i -> i) consumer_code
   in
-  let entry, _ = Kernel.install_shared k ~name:"t/adconsumer" code in
+  let entry, _ = Ksynth.install k ~name:"t/adconsumer" code in
   let t = Thread.create k ~quantum_us:300 ~system:true ~entry () in
   Machine.poke m (t.Kernel.base + Layout.Tte.off_regs + 16) Ctx.kernel_sr;
   (* At 44.1 kHz the inter-sample gap (22.7 us) is barely longer than a
@@ -170,7 +170,7 @@ let test_adq_full_rate_subsequence () =
     ]
     @ Interrupt.consumer_block_code k adq ~retry:"retry"
   in
-  let entry, _ = Kernel.install_shared k ~name:"t/adconsumer2" consumer_code in
+  let entry, _ = Ksynth.install k ~name:"t/adconsumer2" consumer_code in
   let t = Thread.create k ~quantum_us:300 ~system:true ~entry () in
   Machine.poke m (t.Kernel.base + Layout.Tte.off_regs + 16) Ctx.kernel_sr;
   Devices.Ad.set_rate k.Kernel.ad 44_100;
@@ -214,10 +214,10 @@ let test_chain_runs_after_handler () =
   let chain = Interrupt.install_chain k in
   let cell = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
   let proc1, _ =
-    Kernel.install_shared k ~name:"t/p1" [ I.Alu_mem (I.Add, I.Imm 1, I.Abs cell); I.Rts ]
+    Ksynth.install k ~name:"t/p1" [ I.Alu_mem (I.Add, I.Imm 1, I.Abs cell); I.Rts ]
   in
   let proc2, _ =
-    Kernel.install_shared k ~name:"t/p2" [ I.Alu_mem (I.Add, I.Imm 10, I.Abs cell); I.Rts ]
+    Ksynth.install k ~name:"t/p2" [ I.Alu_mem (I.Add, I.Imm 10, I.Abs cell); I.Rts ]
   in
   (* a fake handler chains two procedures, then returns; the runner
      must execute both, in order, before resuming the frame *)
@@ -253,7 +253,7 @@ let test_chain_overflow_drops () =
   let chain = Interrupt.install_chain k in
   let cell = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
   let proc, _ =
-    Kernel.install_shared k ~name:"t/ovproc"
+    Ksynth.install k ~name:"t/ovproc"
       [ I.Alu_mem (I.Add, I.Imm 1, I.Abs cell); I.Rts ]
   in
   let frag =
@@ -458,8 +458,8 @@ let test_monitor_and_switch () =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let mon = Quaject.create_monitor k ~name:"t/mon" in
-  let sw_t1, _ = Kernel.install_shared k ~name:"t/sw1" [ I.Move (I.Imm 11, I.Reg I.r0); I.Rts ] in
-  let sw_t2, _ = Kernel.install_shared k ~name:"t/sw2" [ I.Move (I.Imm 22, I.Reg I.r0); I.Rts ] in
+  let sw_t1, _ = Ksynth.install k ~name:"t/sw1" [ I.Move (I.Imm 11, I.Reg I.r0); I.Rts ] in
+  let sw_t2, _ = Ksynth.install k ~name:"t/sw2" [ I.Move (I.Imm 22, I.Reg I.r0); I.Rts ] in
   let sw = Quaject.create_switch k ~name:"t/sw" [| sw_t1; sw_t2 |] in
   let frag =
     [

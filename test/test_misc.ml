@@ -117,7 +117,7 @@ let test_scheduler_history () =
   let m = k.Kernel.machine in
   let sched = Scheduler.install k ~epoch_us:500 () in
   let spin, _ =
-    Kernel.install_shared k ~name:"m/spin" [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
+    Ksynth.install k ~name:"m/spin" [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let _t = Thread.create k ~quantum_us:100 ~entry:spin () in
   (match k.Kernel.rq_anchor with
