@@ -47,7 +47,10 @@ bench-all:
 # sabotage run the invariants miss.  FAULTSIM_SEEDS widens/narrows
 # every sweep; CI runs the per-subject targets as parallel jobs.
 FAULTSIM_SEEDS ?= 32
-FAULTSIM = $(DUNE) exec bin/synthesis_cli.exe -- faultsim --seed 1 --seeds $(FAULTSIM_SEEDS)
+# Extra flags for the sweep, e.g. FAULTSIM_FLAGS="--postmortem-dir forensics"
+# to save each failing run's flight-recorder dump + black-box trace.
+FAULTSIM_FLAGS ?=
+FAULTSIM = $(DUNE) exec bin/synthesis_cli.exe -- faultsim --seed 1 --seeds $(FAULTSIM_SEEDS) $(FAULTSIM_FLAGS)
 
 faultsim:
 	$(FAULTSIM) --subject all

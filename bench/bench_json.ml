@@ -16,7 +16,13 @@
 
    Direction is encoded in the metric name: metrics ending in "ratio"
    or "mbps" are better when higher; everything else (us, s, cycles)
-   is better when lower. *)
+   is better when lower.
+
+   Tolerance is per-row: tail percentiles are inherently noisier than
+   medians (one recovered fault lands entirely in p999), so the base
+   tolerance is scaled by a class derived from the metric name — p999
+   4x, p99 2.5x, p90 2x, everything else 1x.  `compare` prints the
+   class whenever it is not 1x. *)
 
 type row = {
   bj_table : string;
@@ -43,6 +49,18 @@ let higher_is_better metric =
     l >= ls && String.sub s (l - ls) ls = suf
   in
   ends_with "ratio" metric || ends_with "mbps" metric
+
+(* Per-row tolerance class: how much wider than the base tolerance
+   this metric is allowed to swing before it counts as a regression. *)
+let tolerance_scale metric =
+  let has_prefix p =
+    String.length metric >= String.length p
+    && String.sub metric 0 (String.length p) = p
+  in
+  if has_prefix "p999" then 4.0
+  else if has_prefix "p99" then 2.5
+  else if has_prefix "p90" then 2.0
+  else 1.0
 
 (* ---------------------------------------------------------------- *)
 (* Serialization *)
@@ -151,10 +169,11 @@ let compare_rows ~baseline ~current ~tolerance =
             if base = 0.0 then (if v = 0.0 then 0.0 else infinity)
             else (v -. base) /. Float.abs base
           in
+          let tol = tolerance *. tolerance_scale b.bj_metric in
           (* sign of "worse": lower-better metrics regress upward *)
           let worse = if higher_is_better b.bj_metric then -.rel else rel in
-          if worse > tolerance then (b, Regressed rel)
-          else if -.worse > tolerance then (b, Improved rel)
+          if worse > tol then (b, Regressed rel)
+          else if -.worse > tol then (b, Improved rel)
           else (b, Ok_same))
       baseline
   in
@@ -175,12 +194,17 @@ let compare_rows ~baseline ~current ~tolerance =
       | Missing -> Fmt.pr "%-44s %12.6g %12s %9s@." (key b) b.bj_value "-" "MISSING"
       | Regressed rel | Improved rel ->
         let cur_v = Option.get (Hashtbl.find_opt cur (key b)) in
-        Fmt.pr "%-44s %12.6g %12.6g %+8.1f%%%s@." (key b) b.bj_value cur_v
+        let scale = tolerance_scale b.bj_metric in
+        Fmt.pr "%-44s %12.6g %12.6g %+8.1f%%%s%s@." (key b) b.bj_value cur_v
           (100.0 *. rel)
+          (if scale <> 1.0 then Fmt.str " [tol x%.1f]" scale else "")
           (match v with Regressed _ -> "  REGRESSION" | _ -> ""))
     verdicts;
   let within = List.length verdicts - List.length regressions - List.length improved in
-  Fmt.pr "@.%d metrics within %.0f%%, %d improved, %d regressed/missing@." within
+  Fmt.pr
+    "@.%d metrics within %.0f%% (x their class), %d improved, %d \
+     regressed/missing@."
+    within
     (100.0 *. tolerance)
     (List.length improved) (List.length regressions);
   if improved <> [] then

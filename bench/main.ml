@@ -19,6 +19,8 @@ let json_benches ~scale () =
   Table4.run ();
   Table5.run ();
   Trace_overhead.run ();
+  Span_overhead.run ();
+  Latency.run ();
   Pmu_overhead.run ();
   Fault_overhead.run ();
   Fault_recovery.run ();
@@ -129,6 +131,8 @@ let main_cmd =
       cmd_of "host-queues" Host_queues.run;
       cmd_of "ablations" Ablations.run;
       cmd_of "trace-overhead" Trace_overhead.run;
+      cmd_of "span-overhead" Span_overhead.run;
+      cmd_of "latency" Latency.run;
       cmd_of "pmu-overhead" Pmu_overhead.run;
       cmd_of "fault-overhead" Fault_overhead.run;
       cmd_of "fault-recovery" Fault_recovery.run;

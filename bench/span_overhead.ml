@@ -1,0 +1,54 @@
+(* Span overhead: like ktrace, the probes kspan splices into
+   synthesized code exist only when the span layer is enabled at
+   synthesis time — with spans off the probe fragments are empty, so a
+   span-capable kernel and a plain kernel run *identical* instruction
+   streams.  Same three-way proof as trace_overhead:
+
+     plain            no span layer attached at all
+     attached-off     spans attached but disabled before synthesis
+     attached-on      spans attached and enabled (probes compiled in)
+
+   plain and attached-off must agree to the cycle (and `bench compare`
+   additionally pins the plain number against the committed pre-kspan
+   baseline); attached-on pays one Hcall (2 cycles) per probe site the
+   workload crosses. *)
+
+open Quamachine
+open Synthesis
+
+let workload_cycles ~spans () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  (match spans with
+  | `None -> ()
+  | `Off -> ignore (Kernel.attach_spans ~enabled:false k)
+  | `On -> ignore (Kernel.attach_spans k));
+  let pl = Repro_harness.Harness.Pipeline.build ~total:2048 b in
+  Repro_harness.Harness.Pipeline.run pl;
+  Machine.cycles m
+
+let run () =
+  Repro_harness.Harness.header
+    "kspan overhead: span probes are synthesized, not branched over";
+  let plain = workload_cycles ~spans:`None () in
+  let off = workload_cycles ~spans:`Off () in
+  let on = workload_cycles ~spans:`On () in
+  Fmt.pr "%-44s %12s@." "configuration" "cycles";
+  Fmt.pr "%-44s %12d@." "plain kernel (no kspan)" plain;
+  Fmt.pr "%-44s %12d@." "kspan attached, disabled at synthesis" off;
+  Fmt.pr "%-44s %12d@." "kspan attached, probes compiled in" on;
+  Fmt.pr "spans-off overhead: %d cycles%s@." (off - plain)
+    (if off = plain then " (exactly zero: identical instruction streams)"
+     else "");
+  Fmt.pr "spans-on overhead:  %d cycles (%.2f%%)@." (on - plain)
+    (100.0 *. float_of_int (on - plain) /. float_of_int plain);
+  Bench_json.record ~table:"overhead" ~row:"span_off" ~metric:"extra_cycles"
+    (float_of_int (off - plain));
+  Bench_json.record ~table:"overhead" ~row:"span_on" ~metric:"extra_cycles"
+    (float_of_int (on - plain));
+  if off <> plain then failwith "span_overhead: spans-off overhead is not zero";
+  (* the plain pipeline itself must not have drifted either: the same
+     number is recorded by trace_overhead and gated by bench compare
+     against the pre-kspan baseline *)
+  ()

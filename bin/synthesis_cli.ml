@@ -62,6 +62,7 @@ let cmd_profile out =
   let m = k.Kernel.machine in
   let tr = Ktrace.create m in
   Kernel.attach_tracing k tr;
+  ignore (Kernel.attach_spans k);
   let pmu = Pmu.create m in
   (* prime period so sampling never locks onto a loop's cycle pattern *)
   Pmu.enable_sampling pmu ~period:251;
@@ -142,10 +143,39 @@ let cmd_trace out =
    for one seed (or a --seeds N sweep), plus the targeted recovery
    scenarios.  Exits non-zero on any invariant violation, so CI can
    gate on `make faultsim`. *)
-let cmd_faultsim subject seed seeds verbose =
+let cmd_faultsim subject seed seeds verbose postmortem_dir =
   let module E = Repro_harness.Explorer in
   let failures = ref 0 in
   let first = seed and last = seed + seeds - 1 in
+  (* flight-recorder forensics: when a run fails, print its postmortem
+     and (with --postmortem-dir) drop the dump plus the black-box ring
+     as Chrome trace JSON, one pair per failing (subject, seed) *)
+  let save_forensics (r : E.subject_result) =
+    (match r.E.s_postmortem with
+    | Some pm -> Fmt.pr "%s@." pm
+    | None -> ());
+    match postmortem_dir with
+    | None -> ()
+    | Some dir ->
+      (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+       with Sys_error _ -> ());
+      let base =
+        Fmt.str "%s/%s-seed%d"
+          dir
+          (String.map (fun c -> if c = '/' then '_' else c) r.E.s_subject)
+          r.E.s_seed
+      in
+      let write path contents =
+        match open_out path with
+        | oc ->
+          output_string oc contents;
+          close_out oc;
+          Fmt.pr "    wrote %s@." path
+        | exception Sys_error msg -> Fmt.epr "cannot write %s: %s@." path msg
+      in
+      Option.iter (write (base ^ ".postmortem.txt")) r.E.s_postmortem;
+      Option.iter (write (base ^ ".blackbox.json")) r.E.s_blackbox_json
+  in
   (* the four lock-free queue kinds, plus the timer-loss recovery *)
   let run_queues () =
     for s = first to last do
@@ -194,7 +224,8 @@ let cmd_faultsim subject seed seeds verbose =
           r.E.s_seed name r.E.s_progress r.E.s_goal r.E.s_stride
           r.E.s_preemptions r.E.s_injected r.E.s_trace_hash
           (if ok then "ok" else "FAIL");
-      List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.s_violations
+      List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.s_violations;
+      if not ok then save_forensics r
     done;
     let a = E.run_subject sub ~seed:first () in
     let b = E.run_subject sub ~seed:first () in
@@ -320,6 +351,15 @@ let cmds =
                "workload to stress: all, queues, ready-queue, kpipe, disk, \
                 codeflip, or synthcache")
      in
+     let postmortem_dir =
+       Arg.(
+         value
+         & opt (some string) None
+         & info [ "postmortem-dir" ] ~docv:"DIR"
+             ~doc:
+               "write each failing run's flight-recorder postmortem and \
+                black-box Chrome trace JSON into DIR")
+     in
      Cmd.v
        (Cmd.info "faultsim"
           ~doc:
@@ -329,7 +369,7 @@ let cmds =
              disk elevator, the kheal code-flip/self-repair storm, and the \
              ksynth shared-page repair storm — plus the timer-loss and \
              disk-fault recovery scenarios")
-       Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose));
+       Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose $ postmortem_dir));
   ]
 
 let () =

@@ -71,7 +71,17 @@ let install_fault_handlers k =
         match Kernel.find_region k pc with
         | Some r when Kernel.region_dirty k r ->
           Kernel.repair_region ~origin:"trap" k r
-        | _ -> kill "illegal" m)
+        | Some _ ->
+          (* In a region that checksums clean.  A clean region is the
+             synthesizer's own output plus recorded patches, which
+             never contains an undecodable instruction — so the
+             corruption that trapped was already repaired by the other
+             detection channel (the watchdog's checksum walk runs on
+             device ticks, which can land between the trap and this
+             check).  Rte retries the healed instruction; killing here
+             would shoot a thread whose code is already correct. *)
+          ()
+        | None -> kill (Printf.sprintf "illegal@%d(no region)" pc) m)
   in
   let illegal_entry, _ =
     Ksynth.install k ~name:"fault/illegal"
@@ -315,6 +325,9 @@ let go ?(max_insns = max_int) ?(restart_on_double_fault = false) b =
       let cur = Kernel.current k in
       let tid = match cur with Some t -> t.Kernel.tid | None -> 0 in
       Kernel.log_fault k ~tid ~reason:"double_fault";
+      (* flight recorder: capture the black box while the wreckage is
+         fresh (retrievable from [Kernel.last_postmortem]) *)
+      ignore (Kernel.postmortem ~reason:(Fmt.str "double fault (tid %d)" tid) k);
       match cur with
       | Some t
         when restart_on_double_fault

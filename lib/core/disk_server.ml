@@ -67,6 +67,9 @@ type t = {
   mutable ds_failed : int;
   mutable ds_spurious : int; (* disk irqs with no done transfer behind them *)
   mutable ds_last_recovery_cycles : int; (* fault -> completion, for bench *)
+  (* kspan: request descriptor -> open span id (host-side; empty
+     unless a span layer is attached) *)
+  ds_spans : (int, int) Hashtbl.t;
 }
 
 let block_words = Devices.Disk.block_words
@@ -107,7 +110,13 @@ let issue t req =
   t.ds_arm_position <- req.r_block;
   t.ds_tries <- 1;
   t.ds_active_since <- Machine.cycles t.ds_kernel.Kernel.machine;
-  watchdog_arm t
+  watchdog_arm t;
+  (* cycles spent queued in the elevator end here *)
+  match Hashtbl.find_opt t.ds_spans req.r_desc with
+  | Some id ->
+    Kernel.span t.ds_kernel (fun sp ->
+        Kspan.hop sp id ~stage:"elevator" ~phase:Kspan.Queue_wait)
+  | None -> ()
 
 (* The MMIO registers are only reachable through machine loads/stores;
    drive them with a tiny supervisor fragment. *)
@@ -179,6 +188,10 @@ let submit t ?waitq ~block ~buffer ~write () =
   Machine.charge_refs m 4;
   let wq = match waitq with Some w -> w | None -> Kernel.waitq ~name:"disk/req" in
   let req = { r_desc = desc; r_block = block; r_waitq = wq } in
+  Kernel.span k (fun sp ->
+      Hashtbl.replace t.ds_spans desc
+        (Kspan.open_span sp ~pipeline:"disk"
+           ~detail:(Fmt.str "block=%d/%s" block (if write then "w" else "r"))));
   elevator_insert t req;
   start_next t;
   req
@@ -200,6 +213,7 @@ let install_irq t =
   let m = k.Kernel.machine in
   let complete_id =
     Machine.register_hcall m (fun m ->
+        let finished = ref None in
         (match t.ds_active with
         | Some req ->
           (* Completion-exactly-once: believe the interrupt only if
@@ -219,6 +233,15 @@ let install_irq t =
                  is fault (first issue) to completion *)
               t.ds_last_recovery_cycles <-
                 Machine.cycles m - t.ds_active_since;
+            (* device service (issue -> completion irq) ends here;
+               the handler's own cycles become the interrupt phase *)
+            (match Hashtbl.find_opt t.ds_spans req.r_desc with
+            | Some id ->
+              Hashtbl.remove t.ds_spans req.r_desc;
+              Kernel.span k (fun sp ->
+                  Kspan.hop sp id ~stage:"transfer" ~phase:Kspan.Service);
+              finished := Some id
+            | None -> ());
             (* wake everyone sleeping on this transfer: shared wait
                queues (e.g. a file system mount) re-check on resume *)
             Thread.unblock_all k req.r_waitq;
@@ -234,7 +257,13 @@ let install_irq t =
              a request the watchdog already failed): just try to keep
              the pipeline moving *)
           start_next t);
-        Machine.charge m 25)
+        Machine.charge m 25;
+        match !finished with
+        | Some id ->
+          Kernel.span k (fun sp ->
+              Kspan.hop sp id ~stage:"irq" ~phase:Kspan.Interrupt;
+              Kspan.close sp id)
+        | None -> ())
   in
   let irq, _ =
     Ksynth.install k ~name:"disk/irq" [ I.Hcall complete_id; I.Rte ]
@@ -339,6 +368,13 @@ let watchdog_tick t m =
         Metrics.bump k.Kernel.metrics "disk.failed";
         Kernel.log_fault k ~tid:0
           ~reason:(Fmt.str "disk_failed block=%d" req.r_block);
+        (match Hashtbl.find_opt t.ds_spans req.r_desc with
+        | Some id ->
+          Hashtbl.remove t.ds_spans req.r_desc;
+          Kernel.span k (fun sp ->
+              Kspan.fail sp id
+                ~reason:(Fmt.str "disk_failed block=%d" req.r_block))
+        | None -> ());
         Machine.poke m (req.r_desc + 3) 2;
         t.ds_active <- None;
         watchdog_idle t;
@@ -389,6 +425,7 @@ let install k ?(cache_capacity = 16) ?(timeout_us = 8_000.0) ?(max_tries = 4)
       ds_failed = 0;
       ds_spurious = 0;
       ds_last_recovery_cycles = 0;
+      ds_spans = Hashtbl.create 8;
     }
   in
   t.ds_watchdog <-

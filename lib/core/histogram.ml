@@ -1,0 +1,109 @@
+(* Log-bucketed mergeable histograms.  Layout: values 0..15 get exact
+   buckets; a value with most-significant bit p >= 4 lands in group
+   p with 16 sub-buckets of width 2^(p-4), so relative error <= 1/16.
+   OCaml ints give p <= 62, hence 16 + 16*59 = 960 buckets. *)
+
+let n_buckets = 960
+
+type t = {
+  counts : int array;
+  mutable total : int;
+  mutable vmin : int;
+  mutable vmax : int;
+  mutable sum : float;
+}
+
+let create () =
+  { counts = Array.make n_buckets 0; total = 0; vmin = 0; vmax = 0; sum = 0.0 }
+
+let msb v =
+  let rec go v p = if v <= 1 then p else go (v lsr 1) (p + 1) in
+  go v 0
+
+let index_of v =
+  if v < 16 then v
+  else
+    let p = msb v in
+    (16 * (p - 3)) + ((v lsr (p - 4)) land 15)
+
+(* Inverse of [index_of]: the smallest value mapping to bucket [i],
+   nudged to the sub-bucket midpoint for wide buckets. *)
+let representative i =
+  if i < 16 then i
+  else
+    let p = (i / 16) + 3 in
+    let lower = (16 + (i land 15)) lsl (p - 4) in
+    let width = 1 lsl (p - 4) in
+    lower + (width asr 1)
+
+let sat_add a b = if a > max_int - b then max_int else a + b
+
+let record_n t v n =
+  if n > 0 then begin
+    let v = if v < 0 then 0 else v in
+    let i = index_of v in
+    t.counts.(i) <- sat_add t.counts.(i) n;
+    if t.total = 0 || v < t.vmin then t.vmin <- v;
+    if v > t.vmax then t.vmax <- v;
+    t.total <- sat_add t.total n;
+    t.sum <- t.sum +. (float_of_int v *. float_of_int n)
+  end
+
+let record t v = record_n t v 1
+let count t = t.total
+let min_value t = if t.total = 0 then 0 else t.vmin
+let max_value t = if t.total = 0 then 0 else t.vmax
+let mean t = if t.total = 0 then 0.0 else t.sum /. float_of_int t.total
+
+let quantile t q =
+  if t.total = 0 then 0
+  else begin
+    let q = if q < 0.0 then 0.0 else if q > 1.0 then 1.0 else q in
+    let target = int_of_float (ceil (q *. float_of_int t.total)) in
+    let target = if target < 1 then 1 else target in
+    let acc = ref 0 and hit = ref t.vmax in
+    (try
+       for i = 0 to n_buckets - 1 do
+         acc := sat_add !acc t.counts.(i);
+         if !acc >= target then begin
+           hit := representative i;
+           raise Exit
+         end
+       done
+     with Exit -> ());
+    let v = !hit in
+    if v < t.vmin then t.vmin else if v > t.vmax then t.vmax else v
+  end
+
+let merge a b =
+  let t = create () in
+  for i = 0 to n_buckets - 1 do
+    t.counts.(i) <- sat_add a.counts.(i) b.counts.(i)
+  done;
+  t.total <- sat_add a.total b.total;
+  t.sum <- a.sum +. b.sum;
+  (t.vmin <-
+     (match (a.total, b.total) with
+     | 0, _ -> b.vmin
+     | _, 0 -> a.vmin
+     | _ -> min a.vmin b.vmin));
+  t.vmax <- max a.vmax b.vmax;
+  t
+
+let buckets t =
+  let out = ref [] in
+  for i = n_buckets - 1 downto 0 do
+    if t.counts.(i) > 0 then out := (representative i, t.counts.(i)) :: !out
+  done;
+  !out
+
+let equal a b =
+  a.total = b.total
+  && min_value a = min_value b
+  && max_value a = max_value b
+  && a.counts = b.counts
+
+let pp fmt t =
+  Format.fprintf fmt "n=%d min=%d p50=%d p90=%d p99=%d p999=%d max=%d"
+    (count t) (min_value t) (quantile t 0.50) (quantile t 0.90)
+    (quantile t 0.99) (quantile t 0.999) (max_value t)

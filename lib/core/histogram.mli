@@ -1,0 +1,50 @@
+(** Mergeable log-bucketed cycle histograms (HDR-style).
+
+    Values are non-negative integers (cycles).  Small values (< 16)
+    get exact buckets; larger values share 16 sub-buckets per power of
+    two, bounding the relative quantile error at 1/16 ≈ 6%.  Counts
+    saturate at [max_int] instead of wrapping, so a histogram never
+    reports a negative count no matter how long it runs.
+
+    Histograms are plain host-side data: recording never charges
+    simulated cycles, so they obey the same discipline as the metrics
+    registry they live in ({!Metrics.histogram}). *)
+
+type t
+
+val create : unit -> t
+
+(** [record t v] adds one observation.  Negative values clamp to 0. *)
+val record : t -> int -> unit
+
+(** [record_n t v n] adds [n] observations of [v] ([n <= 0] is a
+    no-op); bucket counts saturate at [max_int]. *)
+val record_n : t -> int -> int -> unit
+
+val count : t -> int
+
+(** Exact smallest / largest recorded value; 0 when empty. *)
+val min_value : t -> int
+
+val max_value : t -> int
+
+(** Mean of recorded values (0.0 when empty). *)
+val mean : t -> float
+
+(** [quantile t q] for [q] in [0,1]: smallest bucket representative
+    with cumulative count >= ceil(q * count), clamped to
+    [[min_value, max_value]] (so a single-sample histogram reports
+    that exact value at every quantile).  0 when empty. *)
+val quantile : t -> float -> int
+
+(** Pointwise saturating sum; inputs are not modified. *)
+val merge : t -> t -> t
+
+(** Non-empty buckets as [(representative, count)], ascending. *)
+val buckets : t -> (int * int) list
+
+(** Structural equality on bucket counts and min/max/count. *)
+val equal : t -> t -> bool
+
+(** "n=… min=… p50=… p90=… p99=… p999=… max=…" *)
+val pp : Format.formatter -> t -> unit

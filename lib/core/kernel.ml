@@ -170,6 +170,10 @@ type t = {
   (* crash recovery: installed by Boot (the implementation lives in
      Thread, which this module cannot reference) *)
   mutable restart_hook : (tte -> unit) option;
+  (* observability: request-scoped spans; None = never attached *)
+  mutable kspan : Kspan.t option;
+  (* most recent flight-recorder dump (see [postmortem]) *)
+  mutable last_postmortem : string option;
 }
 
 (* The fault log keeps the most recent entries only: a wedged machine
@@ -227,6 +231,8 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     metrics = Metrics.create ();
     ktrace = None;
     restart_hook = None;
+    kspan = None;
+    last_postmortem = None;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -243,6 +249,18 @@ let trace_probe k kind =
 
 let trace_probe_status k f =
   match k.ktrace with Some tr -> Ktrace.probe_status tr f | None -> []
+
+(* ------------------------------------------------------------------ *)
+(* Spans *)
+
+(* Run [f] on the span layer if one is attached; free otherwise. *)
+let span k f = match k.kspan with Some sp -> f sp | None -> ()
+
+(* Span probe fragment for synthesized code: empty unless a span layer
+   is attached and enabled at synthesis time — the same zero-overhead
+   discipline as [trace_probe]. *)
+let span_probe k f =
+  match k.kspan with Some sp -> Kspan.probe sp (f sp) | None -> []
 
 (* ------------------------------------------------------------------ *)
 (* Fault log *)
@@ -281,16 +299,20 @@ let attach_tracing k tr =
     (fun (name, entry, n) -> ignore (Ktrace.register_owner tr ~name ~entry ~len:n))
     k.registry
 
-(* ------------------------------------------------------------------ *)
-(* Raw code synthesis: factorize -> optimize -> append.  Generation
-   cost is charged per emitted instruction, which is what makes `open`
-   pay for the code it synthesizes (§6.3).
+(* Attach the span layer.  Histograms land in the kernel-wide metrics
+   registry; span events flow into the attached trace (and its black
+   box) when there is one.  Attach before synthesizing the pipelines
+   to be observed — probes are spliced at synthesis time. *)
+let attach_spans ?(enabled = true) k =
+  let sp = Kspan.create ~enabled ?trace:k.ktrace ~metrics:k.metrics k.machine in
+  k.kspan <- Some sp;
+  sp
 
-   Deprecated as an API: [Ksynth.instantiate] is the code-generation
-   entry point — it memoizes on (template id, invariants, content) and
-   allocates from recyclable arenas.  [synthesize] remains as the
-   uncached append-path engine for callers that explicitly want a
-   fresh unshared fragment. *)
+(* ------------------------------------------------------------------ *)
+(* Code installation backends.  [Ksynth.instantiate] is the
+   code-generation entry point — it memoizes on (template id,
+   invariants, content), allocates from recyclable arenas, and calls
+   [install_at] below to place the optimized body. *)
 
 let log_src = Logs.Src.create "synthesis.kernel" ~doc:"Synthesis kernel code generation"
 
@@ -327,33 +349,15 @@ let register_region k ~name ~entry ~len ~template ~env =
     }
     :: k.code_regions
 
-let synthesize k ~name ~env template =
-  let raw = Template.instantiate template ~env in
-  let optimized = Peephole.optimize raw in
-  let n = Asm.length optimized in
-  Machine.charge k.machine (k.codegen_cycles_fixed + (n * k.codegen_cycles_per_insn));
-  let entry, syms = Asm.assemble k.machine optimized in
-  Log.debug (fun f ->
-      f "synthesized %s: %d insns at %d (%d before peephole)" name n entry
-        (Asm.length raw));
-  k.registry <- (name, entry, n) :: k.registry;
-  register_region k ~name ~entry ~len:n ~template ~env;
-  k.synthesized_insns <- k.synthesized_insns + n;
-  (match k.ktrace with
-  | Some tr ->
-    ignore (Ktrace.register_owner tr ~name ~entry ~len:n);
-    Ktrace.emit tr (Ktrace.Synthesized (name, n))
-  | None -> ());
-  (entry, syms)
-
 (* ksynth backend: install an already-optimized body at [at] — an
-   arena range whose every word is a patchable slot — with the same
-   registry, region and trace bookkeeping as [synthesize].  Charging
-   is the caller's business: the cache charges full generation cost on
-   a miss and a table probe on a hit. *)
+   arena range whose every word is a patchable slot — with registry,
+   region and trace bookkeeping.  Charging is the caller's business:
+   the cache charges full generation cost on a miss and a table probe
+   on a hit. *)
 let install_at k ~name ~at ~template ~env optimized =
   let n = Asm.length optimized in
   let resolved, syms = Asm.resolve ~at optimized in
+  Log.debug (fun f -> f "installed %s: %d insns at %d" name n at);
   List.iteri (fun i insn -> Machine.patch_code k.machine (at + i) insn) resolved;
   k.registry <- (name, at, n) :: k.registry;
   register_region k ~name ~entry:at ~len:n ~template ~env;
@@ -429,12 +433,72 @@ let region_dirty k r =
 
 let code_regions k = List.rev k.code_regions
 
+(* ------------------------------------------------------------------ *)
+(* Flight recorder: assemble the crash black box into one readable
+   dump — last events, open spans, fault log, kheal registry state,
+   metrics.  Pure host-side formatting, callable from any failure path
+   (double fault, failed repair, watchdog escalation, a harness
+   invariant trip); the dump is also kept in [last_postmortem] so the
+   harness and the CLI can retrieve it after the run. *)
+
+let postmortem ?(reason = "unspecified") k =
+  let buf = Buffer.create 4096 in
+  let ppf = Format.formatter_of_buffer buf in
+  let m = k.machine in
+  Fmt.pf ppf "=== postmortem: %s ===@." reason;
+  Fmt.pf ppf "cycle %d  insns %d  current tid %s@." (Machine.cycles m)
+    (Machine.insns_executed m)
+    (match current k with Some t -> string_of_int t.tid | None -> "-");
+  (match k.kspan with
+  | None -> ()
+  | Some sp ->
+    Fmt.pf ppf "@.open spans (%d in flight):@." (Kspan.open_count sp);
+    Kspan.pp_open ppf sp);
+  (match k.ktrace with
+  | None -> Fmt.pf ppf "@.black box: no trace attached@."
+  | Some tr ->
+    let evs = Ktrace.blackbox_events tr in
+    Fmt.pf ppf "@.black box (last %d events):@." (List.length evs);
+    List.iter (fun e -> Fmt.pf ppf "  %a@." Ktrace.pp_event e) evs);
+  Fmt.pf ppf "@.fault log (newest first%s):@."
+    (if k.fault_dropped > 0 then Fmt.str ", %d dropped" k.fault_dropped else "");
+  (match k.fault_log with
+  | [] -> Fmt.pf ppf "  (empty)@."
+  | log ->
+    List.iteri
+      (fun i e ->
+        if i < 16 then
+          Fmt.pf ppf "  cycle %-10d tid %-3d %s@." e.f_cycle e.f_tid e.f_reason)
+      log);
+  let dirty =
+    List.filter_map
+      (fun r -> if region_dirty k r then Some r.cr_name else None)
+      k.code_regions
+  in
+  Fmt.pf ppf "@.kheal: %d regions, %d dirty%s, %d repairs, %d insns synthesized@."
+    (List.length k.code_regions) (List.length dirty)
+    (match dirty with [] -> "" | l -> " (" ^ String.concat ", " l ^ ")")
+    (Metrics.read k.metrics "kernel.code_repairs_total")
+    k.synthesized_insns;
+  Fmt.pf ppf "@.metrics:@.%a" Metrics.pp k.metrics;
+  Format.pp_print_flush ppf ();
+  Metrics.bump k.metrics "kernel.postmortems_total";
+  let s = Buffer.contents buf in
+  k.last_postmortem <- Some s;
+  s
+
 let repair_region ?(origin = "audit") k r =
   let raw = Template.instantiate r.cr_template ~env:r.cr_env in
   let optimized = Peephole.optimize raw in
   let n = Asm.length optimized in
-  if n <> r.cr_len then
-    failwith ("Kernel.repair_region: resynthesis length drifted for " ^ r.cr_name);
+  if n <> r.cr_len then begin
+    (* unrepairable: the generator no longer reproduces the region —
+       dump the black box before giving up *)
+    let tid = match current k with Some t -> t.tid | None -> 0 in
+    log_fault k ~tid ~reason:("repair_failed/" ^ r.cr_name);
+    ignore (postmortem ~reason:("failed repair: " ^ r.cr_name) k);
+    failwith ("Kernel.repair_region: resynthesis length drifted for " ^ r.cr_name)
+  end;
   (* repair *is* synthesis: same charge as the original generation *)
   Machine.charge k.machine (k.codegen_cycles_fixed + (n * k.codegen_cycles_per_insn));
   let resolved, _ = Asm.resolve ~at:r.cr_entry optimized in

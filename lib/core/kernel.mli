@@ -136,6 +136,10 @@ type t = {
   mutable ktrace : Ktrace.t option;
   mutable restart_hook : (tte -> unit) option;
       (** [Thread.restart], installed at boot *)
+  mutable kspan : Kspan.t option;
+      (** request-scoped spans; None = never attached *)
+  mutable last_postmortem : string option;
+      (** most recent {!postmortem} dump *)
 }
 
 val create : ?cost:Cost.t -> ?mem_words:int -> unit -> t
@@ -171,17 +175,40 @@ val trace_probe : t -> Ktrace.kind -> Insn.insn list
 
 val trace_probe_status : t -> (bool -> Ktrace.kind) -> Insn.insn list
 
+(** {1 Spans}
+
+    Request-scoped causal tracing ({!Kspan}).  With no span layer
+    attached every call below is free and synthesized code is
+    byte-identical to a span-less kernel. *)
+
+(** Attach a span layer sharing the kernel metrics registry and the
+    attached trace (attach tracing first if events are wanted).
+    [~enabled:false] attaches a disabled layer: probes stay empty, so
+    the instruction stream is unchanged. *)
+val attach_spans : ?enabled:bool -> t -> Kspan.t
+
+(** Run a host-side span action if a layer is attached; free
+    otherwise. *)
+val span : t -> (Kspan.t -> unit) -> unit
+
+(** Span probe fragment for synthesized code; [[]] unless a span layer
+    is attached and enabled at synthesis time.  Compute outside
+    [Template.make] (kheal repair must reproduce identical code). *)
+val span_probe : t -> (Kspan.t -> Machine.t -> unit) -> Insn.insn list
+
+(** {1 Flight recorder}
+
+    Assemble the crash black box — last trace events, open spans,
+    fault log, kheal registry state, metrics — into one readable dump,
+    remembered in [last_postmortem].  Called on double fault, failed
+    repair, watchdog escalation, and by the harness when an invariant
+    trips; host-side only, charges nothing. *)
+val postmortem : ?reason:string -> t -> string
+
 (** {1 Code synthesis}
 
     [Ksynth.instantiate] is the code-generation API; the functions
-    here are the raw engine underneath it. *)
-
-(** Deprecated: factorize → optimize → append, charging generation
-    cost (§6.3) — every call mints a fresh unshared fragment.  New
-    code should go through [Ksynth.instantiate], which memoizes and
-    allocates from recyclable arenas. *)
-val synthesize :
-  t -> name:string -> env:(string * int) list -> Template.t -> int * Asm.symbols
+    here are the backends underneath it. *)
 
 (** ksynth backend: install an already-optimized body at [at] (an
     arena range of patchable slots), with registry + kheal-region +
@@ -200,7 +227,7 @@ val install_at :
     [entry] (freed or evicted). *)
 val unregister_region : t -> entry:int -> unit
 
-(** Record a kheal region for code installed outside [synthesize]
+(** Record a kheal region for code installed outside [install_at]
     (checksums current content). *)
 val register_region :
   t ->

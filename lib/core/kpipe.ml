@@ -62,10 +62,25 @@ let burst_copy ~prefix =
 let write_template k pipe ~gauge =
   let mask = pipe.p_cap - 1 in
   (* Ktrace probe, synthesized in only when tracing is enabled: fires
-     after the writer publishes head, i.e. once per successful burst. *)
+     after the writer publishes head, i.e. once per successful burst.
+     All probe fragments live outside Template.make so kheal repair
+     regenerates byte-identical code. *)
   let probe = Kernel.trace_probe k (Ktrace.Queue_put (pipe.p_name, true)) in
+  (* kspan: a request is one published burst.  Entry stamps where
+     writer service starts; the publish probe opens the span back at
+     that stamp, books the service hop, and parks it in the side-table
+     weighted by the burst's word count (r6 at the publish point). *)
+  let span_enter =
+    Kernel.span_probe k (fun sp _ -> Kspan.stage_enter sp ~queue:pipe.p_desc)
+  in
+  let span_publish =
+    Kernel.span_probe k (fun sp m ->
+        Kspan.enqueue sp ~queue:pipe.p_desc ~pipeline:"pipe" ~detail:pipe.p_name
+          ~stage:"write" ~weight:(Machine.get_reg m I.r6))
+  in
   Template.make ~name:"pipe_write" ~params:[] (fun _ ->
-      [
+      span_enter
+      @ [
         I.Move (I.Reg I.r3, I.Reg I.r8); (* remaining *)
         I.Move (I.Reg I.r3, I.Reg I.r0); (* return value *)
         I.Tst (I.Reg I.r8);
@@ -130,7 +145,7 @@ let write_template k pipe ~gauge =
           I.Move (I.Reg I.r7, I.Abs (head_cell pipe)); (* publish *)
           I.Alu_mem (I.Add, I.Imm 1, I.Abs gauge);
         ]
-      @ probe
+      @ probe @ span_publish
       @ [
           (* wake a waiting reader *)
           I.Tst (I.Abs (rwait_cell pipe));
@@ -150,6 +165,13 @@ let write_template k pipe ~gauge =
 let read_template k pipe ~gauge =
   let mask = pipe.p_cap - 1 in
   let probe = Kernel.trace_probe k (Ktrace.Queue_get (pipe.p_name, true)) in
+  (* kspan: the drain side.  r6 holds the word count just copied; every
+     parked burst it covers gets its queue-wait hop and closes. *)
+  let span_drain =
+    Kernel.span_probe k (fun sp m ->
+        Kspan.dequeue sp ~queue:pipe.p_desc ~stage:"read"
+          ~phase:Kspan.Queue_wait ~weight:(Machine.get_reg m I.r6))
+  in
   Template.make ~name:"pipe_read" ~params:[] (fun _ ->
       [
         I.Label "retry";
@@ -159,9 +181,19 @@ let read_template k pipe ~gauge =
         I.Alu (I.Sub, I.Reg I.r5, I.r6);
         I.Alu (I.And, I.Imm mask, I.r6); (* r6 = available *)
         I.B (I.Ne, I.To_label "avail");
-        (* empty: EOF if no writers remain *)
+        (* empty: EOF if no writers remain.  The availability above is
+           stale by the time weof is tested — a writer may publish its
+           last burst and close in between.  weof is monotonic and set
+           only after the final publish, so re-reading head/tail after
+           observing it closes the race: data seen now is final. *)
         I.Tst (I.Abs (weof_cell pipe));
         I.B (I.Eq, I.To_label "do_block");
+        I.Move (I.Abs (head_cell pipe), I.Reg I.r4);
+        I.Move (I.Abs (tail_cell pipe), I.Reg I.r5);
+        I.Move (I.Reg I.r4, I.Reg I.r6);
+        I.Alu (I.Sub, I.Reg I.r5, I.r6);
+        I.Alu (I.And, I.Imm mask, I.r6);
+        I.B (I.Ne, I.To_label "avail");
         I.Move (I.Imm 0, I.Reg I.r0);
         I.Rte;
         I.Label "do_block";
@@ -207,7 +239,7 @@ let read_template k pipe ~gauge =
           I.Move (I.Reg I.r7, I.Abs (tail_cell pipe)); (* publish *)
           I.Alu_mem (I.Add, I.Imm 1, I.Abs gauge);
         ]
-      @ probe
+      @ probe @ span_drain
       @ [
           I.Tst (I.Abs (wwait_cell pipe));
           I.B (I.Eq, I.To_label "nowake");
@@ -231,6 +263,9 @@ let carcass_cap = 8
    block/unblock host-call ids — byte-identical with this one's.
    Byte-identity is what lets the synthesis cache hit on reopen. *)
 let recycle k pipe =
+  (* any spans still parked in this pipe's side-table are going away
+     with it *)
+  Kernel.span k (fun sp -> Kspan.slot_reset sp ~queue:pipe.p_desc);
   if List.length k.Kernel.pipe_carcasses < carcass_cap then
     k.Kernel.pipe_carcasses <-
       (pipe.p_cap, pipe.p_desc, pipe.p_buf, pipe.p_readers, pipe.p_writers)

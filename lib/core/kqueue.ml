@@ -488,6 +488,27 @@ let traced_entry k ~qname ~op entry =
       (Ksynth.install k ~name:(qname ^ suffix)
          ((I.Jsr (I.To_addr entry) :: probe) @ [ I.Rts ]))
 
+(* When spans are enabled at synthesis time, wrap an entry so each
+   successful call carries the item's span across the queue: put opens
+   a span and parks it in the (queue, index) side-table, get pops and
+   closes it.  Wraps the *bare* entries, inside any overflow policy,
+   so the probe sees the honest slot status — an item discarded by a
+   Drop queue never opens a span it could leak. *)
+let span_entry k ~qname ~qdesc ~op entry =
+  let action sp m =
+    if Machine.get_reg m I.r0 <> 0 then
+      match op with
+      | `Put -> Kspan.queue_put sp ~queue:qdesc ~pipeline:qname ~detail:qname
+      | `Get -> Kspan.queue_take sp ~queue:qdesc
+  in
+  match Kernel.span_probe k action with
+  | [] -> entry
+  | probe ->
+    let suffix = match op with `Put -> "/span_put" | `Get -> "/span_get" in
+    fst
+      (Ksynth.install k ~name:(qname ^ suffix)
+         ((I.Jsr (I.To_addr entry) :: probe) @ [ I.Rts ]))
+
 (* Overflow wrappers: synthesized prologues around the bare put entry
    that implement the queue's creation-time policy.  The bare put
    reads r1 without modifying it, so calling it again (Block) or
@@ -530,6 +551,13 @@ let create ?kind ?(producers = 1) ?(consumers = 1) ?(overflow = Fail) k ~name
     | Mpsc -> create_mpsc_impl k ~name ~size
     | Spmc -> create_spmc_impl k ~name ~size
     | Mpmc -> create_mpmc_impl k ~name ~size
+  in
+  let q =
+    {
+      q with
+      q_put = span_entry k ~qname:name ~qdesc:q.q_desc ~op:`Put q.q_put;
+      q_get = span_entry k ~qname:name ~qdesc:q.q_desc ~op:`Get q.q_get;
+    }
   in
   let put, dropped_cell =
     match overflow with

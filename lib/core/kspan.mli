@@ -1,0 +1,109 @@
+(** kspan: request-scoped causal tracing.
+
+    A span is one request's journey through a synthesized pipeline — a
+    kpipe write burst, a disk transfer, a tty character, a kqueue
+    item.  Spans are minted when the request enters the pipeline,
+    carried across queue boundaries by a host-side side-table keyed by
+    (queue descriptor, arrival index), and closed at completion.  Each
+    hop attributes the cycles since the previous hop to a (stage,
+    phase) pair and records them in per-stage histograms in the
+    metrics registry ("kspan.<pipeline>.<stage>.<phase>_cycles",
+    plus "kspan.<pipeline>.total_cycles" at close), so p50/p99/p999
+    tail latency per pipeline stage falls out of any run.
+
+    Overhead discipline matches ktrace: machine-visible span probes
+    are instruction fragments spliced into synthesized code only when
+    spans are enabled at synthesis time — disabled, the fragments are
+    empty and the instruction stream is byte-identical, so spans-off
+    runs are cycle-identical ([bench span-overhead] proves it).  All
+    span bookkeeping is host-side and charges no simulated cycles.
+
+    Sits below {!Kernel} (like {!Ktrace}); [Kernel.attach_spans] wires
+    one in and call sites go through [Kernel.span_probe]. *)
+
+open Quamachine
+
+type t
+
+(** Where a hop's cycles went. *)
+type phase = Queue_wait | Service | Interrupt
+
+val phase_name : phase -> string
+
+(** Span events are emitted into [trace] (and its always-on black
+    box) when given; histograms land in [metrics].  [enabled] is the
+    synthesis-time switch for probes. *)
+val create :
+  ?enabled:bool -> ?trace:Ktrace.t -> metrics:Metrics.t -> Machine.t -> t
+
+val enabled : t -> bool
+
+(** Spans opened and not yet closed. *)
+val open_count : t -> int
+
+(** Open spans as (id, pipeline, detail, opened-at-cycles), oldest
+    first — the postmortem's "what was in flight". *)
+val open_spans : t -> (int * string * string * int) list
+
+val pp_open : Format.formatter -> t -> unit
+
+(** {1 Direct span lifecycle (host-side servers, e.g. disk)} *)
+
+(** Mint a span: emits [Span_open], returns its id. *)
+val open_span : t -> pipeline:string -> detail:string -> int
+
+(** Attribute the cycles since the span's previous hop (or open) to
+    [stage]/[phase]; emits [Span_hop].  Unknown ids are ignored (the
+    side-table may have been reset under the caller). *)
+val hop : t -> int -> stage:string -> phase:phase -> unit
+
+(** Close: records "kspan.<pipeline>.total_cycles", emits
+    [Span_close]. *)
+val close : t -> int -> unit
+
+(** Close a failed request; counts "kspan.failed" and tags the close
+    event with [reason] instead of the pipeline name. *)
+val fail : t -> int -> reason:string -> unit
+
+(** {1 Queue carriage}
+
+    The side-table: a FIFO of (span id, cumulative weight) per queue
+    descriptor address.  Weights let byte-stream pipes match one
+    drain against several bursts: a take closes every span whose
+    cumulative enqueue weight the cumulative take weight has
+    covered. *)
+
+(** Stamp stage entry for [queue] (pipe write entry): the next
+    [enqueue] counts service cycles from here. *)
+val stage_enter : t -> queue:int -> unit
+
+(** Open a span covering writer service since [stage_enter] (or the
+    previous enqueue on this queue), record the service hop, and park
+    it in the side-table with [weight] (words published). *)
+val enqueue :
+  t -> queue:int -> pipeline:string -> detail:string -> stage:string ->
+  weight:int -> unit
+
+(** Pop every span covered by [weight] more drained units: each gets
+    a [stage]/[phase] hop (its queue residency) and closes. *)
+val dequeue : t -> queue:int -> stage:string -> phase:phase -> weight:int -> unit
+
+(** Unit-weight carriage for discrete queues: open-at-put (no service
+    hop) / close-at-get. *)
+val queue_put : t -> queue:int -> pipeline:string -> detail:string -> unit
+
+val queue_take : t -> queue:int -> unit
+
+(** Drop a queue's parked spans (pipe teardown/recycle); dropped spans
+    close with reason ["reset"]. *)
+val slot_reset : t -> queue:int -> unit
+
+(** {1 Probes for synthesized code}
+
+    [probe t f]: an instruction fragment running host closure [f]
+    (which may read machine registers, e.g. the published word count)
+    — [[]] when spans are disabled, a single [Hcall] (2 cycles) when
+    enabled.  Splice at synthesis time only; compute the fragment
+    outside [Template.make] so kheal resynthesis reproduces identical
+    code. *)
+val probe : t -> (Machine.t -> unit) -> Insn.insn list

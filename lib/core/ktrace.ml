@@ -36,6 +36,10 @@ type kind =
   | Irq_enter of int * int (* level, vector *)
   | Device_tick of string
   | Fault of string
+  | Span_open of int * string (* span id, pipeline name *)
+  | Span_hop of int * string (* span id, "stage/phase" *)
+  | Span_close of int * string (* span id, pipeline name *)
+  | Retune of int * int (* tid, new quantum (us) *)
 
 type event = { ev_cycles : int; ev_kind : kind }
 
@@ -46,13 +50,22 @@ type t = {
   ring : event option array;
   mutable pos : int;
   mutable count : int; (* total emitted, including dropped *)
+  (* The flight-recorder black box: a small ring that records every
+     event reaching [emit] even while collection is disabled.  It is
+     pure host-side state — writing it charges no simulated cycles —
+     so it can stay on for the life of the kernel and still leave
+     disabled runs cycle-identical. *)
+  bb_ring : event option array;
+  mutable bb_pos : int;
+  mutable bb_count : int;
   mutable owners : (string * int) list; (* name, owner id; newest first *)
   mutable next_owner : int;
   mutable base_cycles : int; (* machine cycles when tracing was installed *)
 }
 
-let create ?(capacity = 65536) ?(enabled = true) machine =
+let create ?(capacity = 65536) ?(blackbox = 256) ?(enabled = true) machine =
   if capacity <= 0 then invalid_arg "Ktrace.create: capacity";
+  if blackbox <= 0 then invalid_arg "Ktrace.create: blackbox";
   {
     machine;
     metrics = Metrics.create ();
@@ -60,6 +73,9 @@ let create ?(capacity = 65536) ?(enabled = true) machine =
     ring = Array.make capacity None;
     pos = 0;
     count = 0;
+    bb_ring = Array.make blackbox None;
+    bb_pos = 0;
+    bb_count = 0;
     owners = [];
     next_owner = Machine.owner_first;
     base_cycles = Machine.cycles machine;
@@ -84,10 +100,18 @@ let kind_name = function
   | Irq_enter _ -> "irq_enter"
   | Device_tick _ -> "device_tick"
   | Fault _ -> "fault"
+  | Span_open _ -> "span_open"
+  | Span_hop _ -> "span_hop"
+  | Span_close _ -> "span_close"
+  | Retune _ -> "retune"
 
 let emit t kind =
+  let e = { ev_cycles = Machine.cycles t.machine; ev_kind = kind } in
+  t.bb_ring.(t.bb_pos) <- Some e;
+  t.bb_pos <- (t.bb_pos + 1) mod Array.length t.bb_ring;
+  t.bb_count <- t.bb_count + 1;
   if t.enabled then begin
-    t.ring.(t.pos) <- Some { ev_cycles = Machine.cycles t.machine; ev_kind = kind };
+    t.ring.(t.pos) <- Some e;
     t.pos <- (t.pos + 1) mod Array.length t.ring;
     t.count <- t.count + 1;
     Metrics.bump t.metrics ("ktrace.events." ^ kind_name kind)
@@ -99,17 +123,19 @@ let clear t =
   t.count <- 0
 
 (* Oldest first. *)
-let events t =
-  let cap = Array.length t.ring in
-  let n = min t.count cap in
+let ring_events ring pos count =
+  let cap = Array.length ring in
+  let n = min count cap in
   let out = ref [] in
   for i = n - 1 downto 0 do
-    match t.ring.((t.pos - n + i + (2 * cap)) mod cap) with
+    match ring.((pos - n + i + (2 * cap)) mod cap) with
     | Some e -> out := e :: !out
     | None -> ()
   done;
   !out
 
+let events t = ring_events t.ring t.pos t.count
+let blackbox_events t = ring_events t.bb_ring t.bb_pos t.bb_count
 let event_count t = t.count
 let dropped t = max 0 (t.count - Array.length t.ring)
 
@@ -261,6 +287,27 @@ let probe_status t f =
 (* ------------------------------------------------------------------ *)
 (* Text summary *)
 
+let pp_kind ppf = function
+  | Switch_out tid -> Fmt.pf ppf "switch_out tid=%d" tid
+  | Switch_in tid -> Fmt.pf ppf "switch_in tid=%d" tid
+  | Queue_put (q, ok) -> Fmt.pf ppf "queue_put %s ok=%b" q ok
+  | Queue_get (q, ok) -> Fmt.pf ppf "queue_get %s ok=%b" q ok
+  | Block (wq, tid) -> Fmt.pf ppf "block %s tid=%d" wq tid
+  | Unblock (wq, tid) -> Fmt.pf ppf "unblock %s tid=%d" wq tid
+  | Synthesized (name, n) -> Fmt.pf ppf "synthesized %s insns=%d" name n
+  | Patched addr -> Fmt.pf ppf "patched @%d" addr
+  | Rebalance n -> Fmt.pf ppf "rebalance epoch=%d" n
+  | Irq_posted (src, level) -> Fmt.pf ppf "irq_posted %s L%d" src level
+  | Irq_enter (level, vector) -> Fmt.pf ppf "irq_enter L%d vec=%d" level vector
+  | Device_tick name -> Fmt.pf ppf "device_tick %s" name
+  | Fault name -> Fmt.pf ppf "fault %s" name
+  | Span_open (id, p) -> Fmt.pf ppf "span_open #%d %s" id p
+  | Span_hop (id, stage) -> Fmt.pf ppf "span_hop #%d %s" id stage
+  | Span_close (id, p) -> Fmt.pf ppf "span_close #%d %s" id p
+  | Retune (tid, q) -> Fmt.pf ppf "retune tid=%d quantum=%dus" tid q
+
+let pp_event ppf e = Fmt.pf ppf "%10d  %a" e.ev_cycles pp_kind e.ev_kind
+
 let pp_summary ppf t =
   Fmt.pf ppf "ktrace: %d events (%d dropped), %d cycles traced@."
     t.count (dropped t) (traced_cycles t);
@@ -345,9 +392,26 @@ let chrome_event t b e =
     instant (Fmt.str "irq L%d" level) "irq" ~args:(Fmt.str "\"vector\":%d" vector)
   | Device_tick name -> instant (Fmt.str "tick %s" name) "device"
   | Fault name -> instant (Fmt.str "fault %s" name) "fault"
+  (* Spans render as async begin/end pairs keyed by span id, so
+     Perfetto draws each request as one horizontal bar with hop
+     instants on it. *)
+  | Span_open (id, p) ->
+    Buffer.add_string b
+      (Fmt.str
+         "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"b\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":0}"
+         (json_escape p) id ts)
+  | Span_hop (id, stage) ->
+    instant (Fmt.str "hop %s" stage) "span" ~args:(Fmt.str "\"span\":%d" id)
+  | Span_close (id, p) ->
+    Buffer.add_string b
+      (Fmt.str
+         "{\"name\":\"%s\",\"cat\":\"span\",\"ph\":\"e\",\"id\":%d,\"ts\":%.3f,\"pid\":0,\"tid\":0}"
+         (json_escape p) id ts)
+  | Retune (tid, q) ->
+    instant ~tid (Fmt.str "retune t%d" tid) "scheduler"
+      ~args:(Fmt.str "\"quantum_us\":%d" q)
 
-let to_chrome_json t =
-  let b = Buffer.create 65536 in
+let add_trace_events t b evs =
   Buffer.add_string b "{\"traceEvents\":[";
   let first = ref true in
   List.iter
@@ -355,7 +419,11 @@ let to_chrome_json t =
       if !first then first := false else Buffer.add_char b ',';
       Buffer.add_char b '\n';
       chrome_event t b e)
-    (events t);
+    evs
+
+let to_chrome_json t =
+  let b = Buffer.create 65536 in
+  add_trace_events t b (events t);
   Buffer.add_string b "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
   Buffer.add_string b (Fmt.str "\"traced_cycles\":%d" (traced_cycles t));
   Buffer.add_string b (Fmt.str ",\"attributed_cycles\":%d" (attributed_total t));
@@ -369,4 +437,16 @@ let to_chrome_json t =
       Buffer.add_string b (Fmt.str "\"%s\":%d" (json_escape q) cy))
     (quaject_cycles t);
   Buffer.add_string b "}}}\n";
+  Buffer.contents b
+
+(* Chrome JSON of just the flight-recorder black box: small, always
+   available, and what CI attaches to a failing faultsim run. *)
+let blackbox_to_chrome_json t =
+  let b = Buffer.create 8192 in
+  add_trace_events t b (blackbox_events t);
+  Buffer.add_string b "\n],\n\"displayTimeUnit\":\"ms\",\n\"otherData\":{";
+  Buffer.add_string b
+    (Fmt.str "\"blackbox_events\":%d,\"machine_cycles\":%d" t.bb_count
+       (Machine.cycles t.machine));
+  Buffer.add_string b "}}\n";
   Buffer.contents b

@@ -38,10 +38,16 @@ type kind =
   | Irq_enter of int * int  (** level, vector *)
   | Device_tick of string
   | Fault of string
+  | Span_open of int * string  (** span id, pipeline name (see {!Kspan}) *)
+  | Span_hop of int * string  (** span id, "stage/phase" *)
+  | Span_close of int * string  (** span id, pipeline name *)
+  | Retune of int * int  (** scheduler quantum retune: tid, new quantum (µs) *)
 
 type event = { ev_cycles : int; ev_kind : kind }
 
-val create : ?capacity:int -> ?enabled:bool -> Machine.t -> t
+(** [blackbox] sizes the always-on flight-recorder ring (see
+    {!blackbox_events}). *)
+val create : ?capacity:int -> ?blackbox:int -> ?enabled:bool -> Machine.t -> t
 val machine : t -> Machine.t
 val metrics : t -> Metrics.t
 val enabled : t -> bool
@@ -62,6 +68,17 @@ val event_count : t -> int
 
 val dropped : t -> int
 val clear : t -> unit
+
+(** {1 Flight recorder}
+
+    A second, small ring that records every event reaching {!emit}
+    even while collection is disabled — the crash black box dumped by
+    [Kernel.postmortem].  Host-side state only: keeping it on does not
+    change simulated cycle counts, so disabled runs stay
+    cycle-identical. *)
+
+(** Black-box contents, oldest first. *)
+val blackbox_events : t -> event list
 
 (** {1 Owners and cycle attribution} *)
 
@@ -114,6 +131,12 @@ val probe_status : t -> (bool -> kind) -> Insn.insn list
 
 val pp_summary : Format.formatter -> t -> unit
 
+(** One event as "cycles  kind detail" (postmortem dumps). *)
+val pp_event : Format.formatter -> event -> unit
+
 (** The whole ring as Chrome [chrome://tracing] JSON ([traceEvents]
     plus an [otherData] block with the per-quaject cycle totals). *)
 val to_chrome_json : t -> string
+
+(** Just the flight-recorder black box as Chrome JSON. *)
+val blackbox_to_chrome_json : t -> string

@@ -11,11 +11,17 @@ type epoch_record = { ep_time_us : float; ep_entries : epoch_entry list }
 type t = {
   counters : (string, counter) Hashtbl.t;
   gauges : (string, gauge) Hashtbl.t;
+  hists : (string, Histogram.t) Hashtbl.t;
   mutable epochs : epoch_record list; (* newest first *)
 }
 
 let create () =
-  { counters = Hashtbl.create 32; gauges = Hashtbl.create 8; epochs = [] }
+  {
+    counters = Hashtbl.create 32;
+    gauges = Hashtbl.create 8;
+    hists = Hashtbl.create 8;
+    epochs = [];
+  }
 
 (* ------------------------------------------------------------------ *)
 (* Well-known names: the ksynth cache's counters and the peak code
@@ -73,6 +79,23 @@ let read_gauge t name =
   | None -> None
 
 (* ------------------------------------------------------------------ *)
+(* Histograms *)
+
+let histogram t name =
+  match Hashtbl.find_opt t.hists name with
+  | Some h -> h
+  | None ->
+    let h = Histogram.create () in
+    Hashtbl.replace t.hists name h;
+    h
+
+let observe t name v = Histogram.record (histogram t name) v
+
+let histograms t =
+  Hashtbl.fold (fun n h acc -> (n, h) :: acc) t.hists []
+  |> List.sort (fun (a, _) (b, _) -> compare a b)
+
+(* ------------------------------------------------------------------ *)
 (* Scheduler epochs *)
 
 let record_epoch t r = t.epochs <- r :: t.epochs
@@ -93,5 +116,7 @@ let gauges t =
 let pp ppf t =
   List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %d@." n v) (counters t);
   List.iter (fun (n, v) -> Fmt.pf ppf "%-40s %g@." n v) (gauges t);
+  List.iter (fun (n, h) -> Fmt.pf ppf "%-40s %a@." n Histogram.pp h)
+    (histograms t);
   if t.epochs <> [] then
     Fmt.pf ppf "%-40s %d@." "scheduler.epochs.recorded" (List.length t.epochs)

@@ -55,6 +55,21 @@ val gauge_value : gauge -> float
 val gauge_name : gauge -> string
 val read_gauge : t -> string -> float option
 
+(** {1 Histograms}
+
+    Latency histograms live in the same registry as counters and
+    gauges so one dump (and one profile JSON) shows counts next to
+    tails.  See {!Histogram}. *)
+
+(** Find-or-create by name. *)
+val histogram : t -> string -> Histogram.t
+
+(** Find-or-create and record one observation. *)
+val observe : t -> string -> int -> unit
+
+(** All histograms, sorted by name. *)
+val histograms : t -> (string * Histogram.t) list
+
 (** {1 Scheduler epochs} *)
 
 val record_epoch : t -> epoch_record -> unit

@@ -30,6 +30,7 @@ type t = {
   p_sampled_cycles : int;
   p_period : int; (* 0 = sampling was off *)
   p_synth : Ksynth.stats; (* synthesis-cache counters for the run *)
+  p_hist : (string * Histogram.t) list; (* kspan latency histograms *)
 }
 
 let boot_line_name = "(boot, pre-attach)"
@@ -87,6 +88,7 @@ let collect ?(top = 24) k pmu =
     p_sampled_cycles = Pmu.sampled_cycles pmu;
     p_period = Pmu.sampling_period pmu;
     p_synth = Ksynth.stats k;
+    p_hist = Metrics.histograms k.Kernel.metrics;
   }
 
 (* The exactness invariant the CLI and tests assert. *)
@@ -111,6 +113,12 @@ let pp ?(top = 16) ppf t =
       (fun i (addr, name, w) ->
         if i < top then Fmt.pf ppf "  %10d cycles  @%-6d %s@." w addr name)
       t.p_flat
+  end;
+  if t.p_hist <> [] then begin
+    Fmt.pf ppf "@.latency histograms (kspan):@.";
+    List.iter
+      (fun (n, h) -> Fmt.pf ppf "  %-40s %a@." n Histogram.pp h)
+      t.p_hist
   end;
   let s = t.p_synth in
   Fmt.pf ppf
@@ -146,6 +154,18 @@ let to_json t =
         (Fmt.str "\n{\"name\":\"%s\",\"cycles\":%d,\"share\":%.3f}"
            (json_escape l.l_name) l.l_cycles l.l_share))
     t.p_owners;
+  Buffer.add_string b "\n],\n\"histograms\":[";
+  List.iteri
+    (fun i (n, h) ->
+      if i > 0 then Buffer.add_char b ',';
+      Buffer.add_string b
+        (Fmt.str
+           "\n{\"name\":\"%s\",\"count\":%d,\"min\":%d,\"mean\":%.1f,\"p50\":%d,\"p90\":%d,\"p99\":%d,\"p999\":%d,\"max\":%d}"
+           (json_escape n) (Histogram.count h) (Histogram.min_value h)
+           (Histogram.mean h) (Histogram.quantile h 0.50)
+           (Histogram.quantile h 0.90) (Histogram.quantile h 0.99)
+           (Histogram.quantile h 0.999) (Histogram.max_value h)))
+    t.p_hist;
   Buffer.add_string b "\n],\n\"flat\":[";
   List.iteri
     (fun i (addr, name, w) ->

@@ -19,6 +19,8 @@ type t = {
   p_sampled_cycles : int;
   p_period : int;  (** 0 when sampling was off *)
   p_synth : Ksynth.stats;  (** synthesis-cache counters for the run *)
+  p_hist : (string * Histogram.t) list;
+      (** kspan latency histograms from the metrics registry *)
 }
 
 (** Snapshot the profile of a kernel run.  Per-owner exactness needs

@@ -18,6 +18,7 @@ type t = {
   min_quantum : int;
   max_quantum : int;
   last_gauge : (int, int) Hashtbl.t; (* tid -> gauge at last epoch *)
+  last_cpu : (int, int) Hashtbl.t; (* tid -> traced CPU cycles at last epoch *)
   metrics : Metrics.t;
       (* epoch records and counters; shared with the kernel's ktrace
          registry when tracing is attached *)
@@ -47,13 +48,50 @@ let rebalance t =
   in
   let max_rate = List.fold_left (fun a (_, r) -> max a r) 1 snapshot in
   let span = t.max_quantum - t.min_quantum in
+  (* §4.4 made observable: before retuning, compare the CPU share each
+     ready thread was *promised* by its quantum over the epoch just
+     ended against the share it *got* (per the trace's switch events).
+     Drift is half the L1 distance between the two distributions:
+     0 = perfect proportionality, 1 = completely elsewhere. *)
+  let drift =
+    match k.Kernel.ktrace with
+    | None -> 0.0
+    | Some tr ->
+      let ready = Ready_queue.to_list k in
+      let total_q =
+        List.fold_left (fun a (x : Kernel.tte) -> a + x.Kernel.quantum_us) 0 ready
+      in
+      let cpu = Ktrace.thread_cycles tr in
+      let deltas =
+        List.map
+          (fun (x : Kernel.tte) ->
+            let now = try List.assoc x.Kernel.tid cpu with Not_found -> 0 in
+            let last = try Hashtbl.find t.last_cpu x.Kernel.tid with Not_found -> 0 in
+            Hashtbl.replace t.last_cpu x.Kernel.tid now;
+            (x, now - last))
+          ready
+      in
+      let total_c = List.fold_left (fun a (_, d) -> a + d) 0 deltas in
+      if total_q = 0 || total_c <= 0 then 0.0
+      else
+        0.5
+        *. List.fold_left
+             (fun acc ((x : Kernel.tte), d) ->
+               acc
+               +. abs_float
+                    ((float_of_int x.Kernel.quantum_us /. float_of_int total_q)
+                    -. (float_of_int d /. float_of_int total_c)))
+             0.0 deltas
+  in
+  Metrics.set_gauge (Metrics.gauge t.metrics "sched.share_drift") drift;
   let entries =
     List.map
       (fun ((tte : Kernel.tte), rate) ->
         let quantum = t.min_quantum + (span * rate / max_rate) in
         if quantum <> tte.Kernel.quantum_us then begin
           Ctx.set_quantum k tte quantum;
-          Metrics.bump t.metrics "sched.retunes"
+          Metrics.bump t.metrics "sched.retunes";
+          Kernel.trace k (Ktrace.Retune (tte.Kernel.tid, quantum))
         end;
         Machine.charge k.Kernel.machine 10;
         { Metrics.ep_tid = tte.Kernel.tid; ep_rate = rate; ep_quantum = quantum })
@@ -80,6 +118,7 @@ let install k ?(epoch_us = 5_000) ?(min_quantum = 100) ?(max_quantum = 1_000) ()
       min_quantum;
       max_quantum;
       last_gauge = Hashtbl.create 16;
+      last_cpu = Hashtbl.create 16;
       metrics;
     }
   in

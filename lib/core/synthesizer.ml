@@ -11,7 +11,7 @@
    of the connecting code, and dynamic link (store the synthesized
    entry points into the quajects' operation tables).
 
-   [Kernel.synthesize] is the factorize+optimize+install engine; this
+   [Ksynth.instantiate] is the factorize+optimize+install engine; this
    module adds the allocation, combination and dynamic-link stages and
    the quaject record itself.  The concrete servers (files, ttys,
    pipes, queues) were built before this vocabulary existed in the

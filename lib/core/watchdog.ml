@@ -21,9 +21,11 @@ type flow = {
   w_read : unit -> int; (* monotone progress counter *)
   w_restart : unit -> unit;
   w_threshold : int; (* consecutive zero-delta periods before restart *)
+  w_escalate : int; (* restarts without progress before escalating *)
   mutable w_last : int;
   mutable w_zeros : int;
   mutable w_restarts : int;
+  mutable w_stuck : int; (* consecutive restarts with no progress between *)
 }
 
 type t = {
@@ -44,16 +46,32 @@ let check t flow =
   let v = flow.w_read () in
   if v <> flow.w_last then begin
     flow.w_last <- v;
-    flow.w_zeros <- 0
+    flow.w_zeros <- 0;
+    flow.w_stuck <- 0
   end
   else begin
     flow.w_zeros <- flow.w_zeros + 1;
     if flow.w_zeros >= flow.w_threshold then begin
       flow.w_zeros <- 0;
       flow.w_restarts <- flow.w_restarts + 1;
+      flow.w_stuck <- flow.w_stuck + 1;
       let k = t.wd_kernel in
       Metrics.bump k.Kernel.metrics "watchdog.restarts";
       Kernel.trace k (Ktrace.Fault ("watchdog/" ^ flow.w_name));
+      (* escalation: restarting is not helping — the flow has been
+         restarted [w_escalate] times in a row without a single unit
+         of progress in between.  Dump the flight recorder once per
+         stuck streak so the wreckage is captured while fresh. *)
+      if flow.w_stuck = flow.w_escalate then begin
+        Kernel.log_fault k ~tid:0
+          ~reason:("watchdog_escalation/" ^ flow.w_name);
+        ignore
+          (Kernel.postmortem
+             ~reason:
+               (Fmt.str "watchdog escalation: %s stalled through %d restarts"
+                  flow.w_name flow.w_stuck)
+             k)
+      end;
       flow.w_restart ()
     end
   end
@@ -94,16 +112,18 @@ let install k ?(period_us = 2_000.0) () =
 let audit_code t = t.wd_audit <- true
 let audit_repairs t = t.wd_audit_repairs
 
-let watch t ~name ?(threshold = 3) ~read ~restart () =
+let watch t ~name ?(threshold = 3) ?(escalate = 3) ~read ~restart () =
   let flow =
     {
       w_name = name;
       w_read = read;
       w_restart = restart;
       w_threshold = max 1 threshold;
+      w_escalate = max 1 escalate;
       w_last = read ();
       w_zeros = 0;
       w_restarts = 0;
+      w_stuck = 0;
     }
   in
   t.wd_flows <- flow :: t.wd_flows;

@@ -22,12 +22,17 @@ val watch :
   t ->
   name:string ->
   ?threshold:int ->
+  ?escalate:int ->
   read:(unit -> int) ->
   restart:(unit -> unit) ->
   unit ->
   flow
 (** Register a flow: [read] is its monotone progress counter,
-    [restart] runs after [threshold] (default 3) zero-delta periods. *)
+    [restart] runs after [threshold] (default 3) zero-delta periods.
+    After [escalate] (default 3) consecutive restarts with no progress
+    between them the watchdog escalates: it logs
+    "watchdog_escalation/<name>" and dumps the flight recorder
+    ([Kernel.postmortem]) — restarting is evidently not helping. *)
 
 val stop : t -> unit
 (** Idle the device; the machine may deadlock/halt normally again. *)

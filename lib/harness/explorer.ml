@@ -61,6 +61,8 @@ type subject_result = {
   s_insns : int;
   s_cycles : int;
   s_trace_hash : int; (* seed-deterministic interleaving fingerprint *)
+  s_postmortem : string option; (* flight-recorder dump when checks failed *)
+  s_blackbox_json : string option; (* black-box ring as Chrome trace JSON *)
 }
 
 (* One built workload: a booted kernel plus the hooks the driver
@@ -84,6 +86,18 @@ type instance = {
 type subject = { sub_name : string; sub_build : seed:int -> instance }
 
 let subject_name s = s.sub_name
+
+(* Every subject boots with the flight recorder armed: a *disabled*
+   trace (the always-on black-box ring, but zero probes) plus the span
+   layer, attached before the subject synthesizes its pipelines so the
+   span probes splice in.  A failing check can then dump a postmortem
+   whose open-span set names the requests that were in flight. *)
+let observed_boot () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  Kernel.attach_tracing k (Ktrace.create ~enabled:false k.Kernel.machine);
+  ignore (Kernel.attach_spans k);
+  b
 
 let enter_scheduler k =
   let m = k.Kernel.machine in
@@ -184,6 +198,12 @@ let run_instance ~name ~seed ~faults ~sabotage inst =
   fold injected;
   fold !preemptions;
   List.iter (fun v -> fold (Hashtbl.hash v)) !violations;
+  let postmortem, blackbox =
+    if !violations = [] then (None, None)
+    else
+      ( Some (Kernel.postmortem ~reason:("subject_check/" ^ name) k),
+        Option.map Ktrace.blackbox_to_chrome_json k.Kernel.ktrace )
+  in
   {
     s_subject = name;
     s_seed = seed;
@@ -196,6 +216,8 @@ let run_instance ~name ~seed ~faults ~sabotage inst =
     s_insns = insns;
     s_cycles = cycles;
     s_trace_hash = !hash;
+    s_postmortem = postmortem;
+    s_blackbox_json = blackbox;
   }
 
 let run_subject ?(faults = true) ?(sabotage = false) subject ~seed () =
@@ -335,7 +357,7 @@ let explorer_config () =
   }
 
 let queue_instance ~items ~kind () =
-  let b = Boot.boot () in
+  let b = observed_boot () in
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let producers, consumers = participants kind in
@@ -438,7 +460,7 @@ let run_all ?(items = 32) ~seed () =
    dead thread sits in the ring, and no dead thread holds the CPU. *)
 let ready_queue_subject =
   let build ~seed =
-    let b = Boot.boot () in
+    let b = observed_boot () in
     let k = b.Boot.kernel in
     let m = k.Kernel.machine in
     let alloc = k.Kernel.alloc in
@@ -597,7 +619,7 @@ let ready_queue_subject =
    spurious interrupts, and forced CAS failures. *)
 let kpipe_subject =
   let build ~seed =
-    let b = Boot.boot () in
+    let b = observed_boot () in
     let k = b.Boot.kernel in
     let m = k.Kernel.machine in
     let vfs = b.Boot.vfs in
@@ -775,7 +797,7 @@ let kpipe_subject =
    failed, and the device services blocks in SCAN order. *)
 let disk_subject =
   let build ~seed =
-    let b = Boot.boot () in
+    let b = observed_boot () in
     let k = b.Boot.kernel in
     let m = k.Kernel.machine in
     let alloc = k.Kernel.alloc in
@@ -923,7 +945,7 @@ let codeflip_subject =
     String.length s >= String.length p && String.sub s 0 (String.length p) = p
   in
   let build ~seed =
-    let b = Boot.boot () in
+    let b = observed_boot () in
     let k = b.Boot.kernel in
     let m = k.Kernel.machine in
     let alloc = k.Kernel.alloc in
@@ -1027,7 +1049,12 @@ let codeflip_subject =
         (fun (name, entry) ->
           match Kernel.find_region_by_name k name with
           | Some r when r.Kernel.cr_entry = entry -> ()
-          | _ -> violate "region %s lost from the registry" name)
+          | Some r ->
+            violate "region %s lost from the registry (was @%d, now @%d)" name
+              entry r.Kernel.cr_entry
+          | None ->
+            violate "region %s lost from the registry (was @%d, now absent)"
+              name entry)
         snapshot;
       if Kernel.code_state_hash k <> reference then
         violate "code state diverged from the fault-free fingerprint";
@@ -1096,7 +1123,7 @@ let codeflip_subject =
    registry-presence / fingerprint checks can notice. *)
 let synthcache_subject =
   let build ~seed =
-    let b = Boot.boot () in
+    let b = observed_boot () in
     let k = b.Boot.kernel in
     let m = k.Kernel.machine in
     let alloc = k.Kernel.alloc in

@@ -33,6 +33,11 @@ type subject_result = {
   s_insns : int;
   s_cycles : int;
   s_trace_hash : int;  (** seed-deterministic interleaving fingerprint *)
+  s_postmortem : string option;
+      (** flight-recorder dump ({!Synthesis.Kernel.postmortem}) when
+          any check failed: open spans name the in-flight requests *)
+  s_blackbox_json : string option;
+      (** the black-box ring as Chrome trace JSON, same condition *)
 }
 
 type subject
