@@ -6,7 +6,8 @@ DUNE ?= dune
 
 .PHONY: all build test fmt check bench bench-check bench-all \
         faultsim faultsim-queues faultsim-ready-queue faultsim-kpipe \
-        faultsim-disk faultsim-codeflip faultsim-synthcache clean
+        faultsim-disk faultsim-codeflip faultsim-synthcache \
+        faultsim-crash clean
 
 all: build
 
@@ -78,6 +79,15 @@ faultsim-codeflip:
 # once for all users and keep serving post-storm instantiations.
 faultsim-synthcache:
 	$(FAULTSIM) --subject synthcache
+
+# kcrash: enumerate every legal power-cut state of the journaled FS
+# workloads (journal prefixes + torn-write variants + a live
+# device-level cut), reboot each through at-boot recovery, and check
+# the crash-consistency litmus predicates.  Also proves the
+# mechanisms are load-bearing: with barriers or the intent log
+# disabled the litmus tests must fail.
+faultsim-crash:
+	$(FAULTSIM) --subject crash
 
 clean:
 	$(DUNE) clean

@@ -25,6 +25,7 @@ let json_benches ~scale () =
   Fault_overhead.run ();
   Fault_recovery.run ();
   Fault_repair.run ();
+  Fs_crash.run ();
   Synth_scale.run ()
 
 let all_benches ~scale () =

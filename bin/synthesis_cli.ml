@@ -244,6 +244,75 @@ let cmd_faultsim subject seed seeds verbose postmortem_dir =
       first last
       (!failures - before)
   in
+  (* kcrash: the crash-point explorer — per litmus family, a seed
+     sweep with all mechanisms on (must pass), a determinism re-run,
+     and a mechanism-disabled negative run (must fail: the litmus has
+     to bite when its mechanism is off) *)
+  let run_crash_sweep () =
+    let before = !failures in
+    let save_crash_report (r : E.crash_result) =
+      match (r.E.c_report, postmortem_dir) with
+      | Some report, Some dir ->
+        (try if not (Sys.file_exists dir) then Sys.mkdir dir 0o755
+         with Sys_error _ -> ());
+        let path = Fmt.str "%s/crash-%s-seed%d.report.txt" dir r.E.c_family r.E.c_seed in
+        (match open_out path with
+        | oc ->
+          output_string oc report;
+          close_out oc;
+          Fmt.pr "    wrote %s@." path
+        | exception Sys_error msg -> Fmt.epr "cannot write %s: %s@." path msg)
+      | _ -> ()
+    in
+    List.iter
+      (fun family ->
+        let name = E.crash_family_name family in
+        for s = first to last do
+          let r = E.run_crash family ~seed:s () in
+          let ok = r.E.c_violations = [] in
+          if not ok then incr failures;
+          if verbose || not ok then
+            Fmt.pr
+              "seed %3d crash/%-13s: %d states (%d torn, %d writes), %d \
+               replays, live-cut=%b, trace %x -> %s@."
+              r.E.c_seed name r.E.c_states r.E.c_torn r.E.c_journal_len
+              r.E.c_replays r.E.c_live_cut r.E.c_trace_hash
+              (if ok then "ok" else "FAIL");
+          List.iter (fun v -> Fmt.pr "    violation: %s@." v) r.E.c_violations;
+          if not ok then save_crash_report r
+        done;
+        let a = E.run_crash family ~seed:first () in
+        let b = E.run_crash family ~seed:first () in
+        if a.E.c_trace_hash <> b.E.c_trace_hash then begin
+          incr failures;
+          Fmt.pr "    FAIL: crash/%s seed %d is nondeterministic (%x vs %x)@."
+            name first a.E.c_trace_hash b.E.c_trace_hash
+        end;
+        let mech, label =
+          match family with
+          | E.Replace ->
+            ({ Synthesis.Dfs.m_barriers = true; m_journal = false }, "intent log off")
+          | E.Create_rename | E.Prefix_append ->
+            ({ Synthesis.Dfs.m_barriers = false; m_journal = true }, "barriers off")
+        in
+        let n = E.run_crash ~mechanisms:mech family ~seed:first () in
+        if n.E.c_violations = [] then begin
+          incr failures;
+          Fmt.pr "    FAIL: crash/%s litmus held with %s — mechanism not load-bearing@."
+            name label
+        end
+        else if verbose then
+          Fmt.pr "crash/%-13s negative (%s): %d violating states found, as \
+                  expected@."
+            name label
+            (List.length n.E.c_violations))
+      E.crash_families;
+    Fmt.pr
+      "faultsim[crash]: %d families x seeds %d..%d + determinism + negative, \
+       %d failed@."
+      (List.length E.crash_families)
+      first last (!failures - before)
+  in
   (* targeted disk-recovery scenarios *)
   let run_disk_recovery () =
     List.iter
@@ -268,19 +337,21 @@ let cmd_faultsim subject seed seeds verbose postmortem_dir =
   | "all" ->
     run_queues ();
     List.iter run_subject_sweep E.subjects;
-    run_disk_recovery ()
+    run_disk_recovery ();
+    run_crash_sweep ()
   | "queues" -> run_queues ()
   | "ready-queue" -> run_subject_sweep E.ready_queue_subject
   | "kpipe" -> run_subject_sweep E.kpipe_subject
   | "codeflip" -> run_subject_sweep E.codeflip_subject
   | "synthcache" -> run_subject_sweep E.synthcache_subject
+  | "crash" -> run_crash_sweep ()
   | "disk" ->
     run_subject_sweep E.disk_subject;
     run_disk_recovery ()
   | s ->
     Fmt.pr
       "unknown subject %S (try all, queues, ready-queue, kpipe, disk, \
-       codeflip, synthcache)@."
+       codeflip, synthcache, crash)@."
       s;
     exit 2);
   if !failures > 0 then begin
@@ -349,7 +420,7 @@ let cmds =
          & info [ "subject" ] ~docv:"SUBJECT"
              ~doc:
                "workload to stress: all, queues, ready-queue, kpipe, disk, \
-                codeflip, or synthcache")
+                codeflip, synthcache, or crash")
      in
      let postmortem_dir =
        Arg.(
@@ -366,8 +437,9 @@ let cmds =
             "kfault: sweep the interleaving explorer (forced preemption + \
              injected faults) over the selected subject — the four lock-free \
              queue kinds, the executable ready queue, a kpipe pair, the \
-             disk elevator, the kheal code-flip/self-repair storm, and the \
-             ksynth shared-page repair storm — plus the timer-loss and \
+             disk elevator, the kheal code-flip/self-repair storm, the \
+             ksynth shared-page repair storm, and the kcrash power-cut \
+             crash-consistency litmus families — plus the timer-loss and \
              disk-fault recovery scenarios")
        Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose $ postmortem_dir));
   ]

@@ -12,7 +12,13 @@ type t = {
   kernel : Kernel.t;
   vfs : Vfs.t;
   idle : Kernel.tte;
+  mutable at_boot : (unit -> unit) list;
+      (* run (in registration order) by [go] once the scheduler is
+         entered, before user threads get the machine — file-system
+         recovery hooks live here *)
 }
+
+let at_boot b f = b.at_boot <- b.at_boot @ [ f ]
 
 (* ---------------------------------------------------------------- *)
 (* Termination policy: when the last non-idle thread exits, halt the
@@ -281,7 +287,7 @@ let boot ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
   (* crash recovery: make Thread.restart reachable from layers below
      Thread (Kernel.restart_thread) *)
   k.Kernel.restart_hook <- Some (fun t -> Thread.restart k t);
-  { kernel = k; vfs; idle }
+  { kernel = k; vfs; idle; at_boot = [] }
 
 (* Enter the scheduler: jump into some ready thread's switch-in code
    from a fresh boot stack. *)
@@ -316,6 +322,24 @@ let go ?(max_insns = max_int) ?(restart_on_double_fault = false) b =
   (* a previous [go] on this boot may have exited through the idle
      thread's halt; new runnable work means the machine must run again *)
   Machine.set_halted m false;
+  (* boot-time hooks (log replay, mounts) may step the machine through
+     [read_block_sync]-style waits, so they run parked on the idle
+     thread: recovery must finish before any user thread can look at
+     the file system *)
+  (match b.at_boot with
+  | [] -> ()
+  | hooks ->
+    b.at_boot <- [];
+    (match k.Kernel.idle_thread with
+    | Some idle ->
+      Machine.set_supervisor m true;
+      Machine.set_reg m I.sp Layout.boot_stack_top;
+      Machine.set_ipl m 0;
+      Machine.set_pc m idle.Kernel.sw_in_mmu
+    | None -> ());
+    List.iter (fun f -> f ()) hooks;
+    (* a boot that exists only to recover has no user work to run *)
+    if not (work_remaining k) then Machine.set_halted m true);
   enter_scheduler k;
   let rec drive restarts =
     let budget = max_insns - (Machine.insns_executed m - start) in

@@ -5,9 +5,23 @@
 
     The machine halts when the last non-system thread exits. *)
 
-type t = { kernel : Kernel.t; vfs : Vfs.t; idle : Kernel.tte }
+type t = {
+  kernel : Kernel.t;
+  vfs : Vfs.t;
+  idle : Kernel.tte;
+  mutable at_boot : (unit -> unit) list;
+}
 
 val boot : ?cost:Quamachine.Cost.t -> ?mem_words:int -> unit -> t
+
+(** Register a hook run by the next [go], once the scheduler is
+    entered but before user threads get the machine.  Hooks may step
+    the machine (synchronous disk reads); file-system recovery — the
+    intent-log replay in {!Dfs.mount} — registers itself here so a
+    reboot replays before anything can look at the disk.  Hooks run
+    once and are cleared; if afterwards no user work remains, [go]
+    returns [Halted] cleanly. *)
+val at_boot : t -> (unit -> unit) -> unit
 
 (** Run the machine.  A double fault is always logged
     ("double_fault"); with [restart_on_double_fault] the crashed

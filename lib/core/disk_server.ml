@@ -36,6 +36,8 @@ type request = {
   r_desc : int; (* descriptor address *)
   r_block : int;
   r_waitq : Kernel.waitq;
+  r_epoch : int; (* barrier epoch: the elevator never reorders across epochs *)
+  r_write : bool;
 }
 
 type t = {
@@ -53,6 +55,20 @@ type t = {
   mutable ds_dirty : (int, unit) Hashtbl.t;
   mutable ds_hits : int;
   mutable ds_misses : int;
+  (* write barriers: requests carry the epoch current at submission;
+     a barrier request sits alone in its own epoch and a plain
+     [barrier] call just fences by bumping the counter *)
+  mutable ds_epoch : int;
+  mutable ds_barriers : int;
+  (* in-flight write-backs: descriptor -> (block, buffer).  The dirty
+     bit stays set until the completion reports status 1, so a crash
+     or a failed write-back never silently drops the block. *)
+  ds_wb : (int, int * int) Hashtbl.t;
+  (* in-flight cache-fill reads: block -> request, so a caller whose
+     sync read timed out can re-await the same transfer instead of
+     double-issuing or hitting a not-yet-filled cache slot *)
+  ds_inflight : (int, request) Hashtbl.t;
+  mutable ds_sync_timeouts : int;
   (* the switch through which file systems attach (§5.1) *)
   ds_switch : Quaject.switch;
   ds_monitor : Quaject.monitor;
@@ -78,13 +94,18 @@ let block_words = Devices.Disk.block_words
 (* Disk scheduler: elevator (SCAN) order *)
 
 let elevator_insert t req =
-  (* keep two sorted runs: the current sweep, then the reverse sweep *)
+  (* keep two sorted runs per epoch: the current sweep, then the
+     reverse sweep.  Epochs are the major key — SCAN never moves a
+     request across a barrier. *)
   let pos = t.ds_arm_position and dir = t.ds_direction in
   let key r =
     let b = r.r_block in
-    if dir > 0 then if b >= pos then (0, b) else (1, -b)
-    else if b <= pos then (0, -b)
-    else (1, b)
+    let sweep =
+      if dir > 0 then if b >= pos then (0, b) else (1, -b)
+      else if b <= pos then (0, -b)
+      else (1, b)
+    in
+    (r.r_epoch, sweep)
   in
   t.ds_queue <-
     List.sort (fun a b -> compare (key a) (key b)) (req :: t.ds_queue);
@@ -160,7 +181,9 @@ let start_next t =
     let b = req.r_block in
     if (dir > 0 && b < pos) || (dir < 0 && b > pos) then begin
       t.ds_direction <- -dir;
-      (* the reverse run was sorted for the old sweep; re-key it *)
+      (* the reverse run was sorted for the old sweep; re-key it —
+         but only within the head's epoch.  Later epochs keep their
+         position behind the barrier whatever the sweep does. *)
       let ndir = t.ds_direction in
       let key r =
         let rb = r.r_block in
@@ -168,7 +191,8 @@ let start_next t =
         else if rb <= b then (0, -rb)
         else (1, rb)
       in
-      t.ds_queue <- List.sort (fun x y -> compare (key x) (key y)) rest
+      let same, later = List.partition (fun r -> r.r_epoch = req.r_epoch) rest in
+      t.ds_queue <- List.sort (fun x y -> compare (key x) (key y)) same @ later
     end
     else t.ds_queue <- rest;
     issue t req;
@@ -176,8 +200,11 @@ let start_next t =
   | _ -> ()
 
 (* Submit a request; returns the descriptor so a thread can block on
-   its wait queue (or the host can poll its status word). *)
-let submit t ?waitq ~block ~buffer ~write () =
+   its wait queue (or the host can poll its status word).  A
+   [~barrier:true] request gets a private epoch: it is serviced
+   strictly after everything already queued and strictly before
+   anything submitted later. *)
+let submit t ?(barrier = false) ?waitq ~block ~buffer ~write () =
   let k = t.ds_kernel in
   let desc = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
   let m = k.Kernel.machine in
@@ -186,8 +213,18 @@ let submit t ?waitq ~block ~buffer ~write () =
   Machine.poke m (desc + 2) (if write then 2 else 1);
   Machine.poke m (desc + 3) 0;
   Machine.charge_refs m 4;
+  let epoch =
+    if barrier then begin
+      t.ds_barriers <- t.ds_barriers + 1;
+      Metrics.bump k.Kernel.metrics "disk.barriers";
+      let e = t.ds_epoch + 1 in
+      t.ds_epoch <- e + 1;
+      e
+    end
+    else t.ds_epoch
+  in
   let wq = match waitq with Some w -> w | None -> Kernel.waitq ~name:"disk/req" in
-  let req = { r_desc = desc; r_block = block; r_waitq = wq } in
+  let req = { r_desc = desc; r_block = block; r_waitq = wq; r_epoch = epoch; r_write = write } in
   Kernel.span k (fun sp ->
       Hashtbl.replace t.ds_spans desc
         (Kspan.open_span sp ~pipeline:"disk"
@@ -195,6 +232,84 @@ let submit t ?waitq ~block ~buffer ~write () =
   elevator_insert t req;
   start_next t;
   req
+
+(* A write barrier with no transfer attached: everything submitted
+   before the fence is serviced before anything submitted after it.
+   Pure queue bookkeeping — no I/O, a few cycles. *)
+let barrier t =
+  t.ds_epoch <- t.ds_epoch + 1;
+  t.ds_barriers <- t.ds_barriers + 1;
+  Metrics.bump t.ds_kernel.Kernel.metrics "disk.barriers";
+  Machine.charge t.ds_kernel.Kernel.machine 4
+
+(* ---------------------------------------------------------------- *)
+(* Write-back bookkeeping shared by the completion interrupt and the
+   watchdog's permanent-failure path.  The dirty bit was kept set at
+   eviction time; only a status-1 completion may clear it. *)
+
+let writeback_done t req =
+  let k = t.ds_kernel in
+  match Hashtbl.find_opt t.ds_wb req.r_desc with
+  | None -> ()
+  | Some (block, buf) ->
+    Hashtbl.remove t.ds_wb req.r_desc;
+    (match Hashtbl.find_opt t.ds_cache block with
+    | Some cbuf when cbuf = buf ->
+      (* a flush of a still-resident block: the platter now matches
+         the cache, so the block is clean *)
+      Hashtbl.remove t.ds_dirty block
+    | Some _ ->
+      (* re-read into a fresh buffer while the write-back flew; that
+         copy's own dirty state stands — just drop the old buffer *)
+      Kalloc.free k.Kernel.alloc buf
+    | None ->
+      Hashtbl.remove t.ds_dirty block;
+      Kalloc.free k.Kernel.alloc buf)
+
+let writeback_failed t req =
+  let k = t.ds_kernel in
+  let m = k.Kernel.machine in
+  match Hashtbl.find_opt t.ds_wb req.r_desc with
+  | None -> ()
+  | Some (block, buf) ->
+    Hashtbl.remove t.ds_wb req.r_desc;
+    (* the block never reached the platter: re-mark it dirty and make
+       sure the data survives in the cache for another try *)
+    Hashtbl.replace t.ds_dirty block ();
+    Metrics.bump k.Kernel.metrics "disk.writeback_failed";
+    Kernel.log_fault k ~tid:0
+      ~reason:(Fmt.str "disk_writeback_failed block=%d" block);
+    (match Hashtbl.find_opt t.ds_cache block with
+    | None ->
+      Hashtbl.replace t.ds_cache block buf;
+      t.ds_lru <- t.ds_lru @ [ block ] (* coldest: next eviction retries *)
+    | Some cbuf when cbuf = buf -> ()
+    | Some cbuf ->
+      (* a stale re-read shadows the unwritten data: restore it *)
+      for i = 0 to block_words - 1 do
+        Machine.poke m (cbuf + i) (Machine.peek m (buf + i))
+      done;
+      Machine.charge_refs m (2 * block_words);
+      Kalloc.free k.Kernel.alloc buf)
+
+(* A cache-fill read that failed permanently must not leave a garbage
+   buffer behind as a future "hit". *)
+let inflight_read_failed t req =
+  match Hashtbl.find_opt t.ds_inflight req.r_block with
+  | Some r when r == req ->
+    Hashtbl.remove t.ds_inflight req.r_block;
+    (match Hashtbl.find_opt t.ds_cache req.r_block with
+    | Some buf ->
+      Hashtbl.remove t.ds_cache req.r_block;
+      t.ds_lru <- List.filter (fun b -> b <> req.r_block) t.ds_lru;
+      Kalloc.free t.ds_kernel.Kernel.alloc buf
+    | None -> ())
+  | _ -> ()
+
+let inflight_read_done t req =
+  match Hashtbl.find_opt t.ds_inflight req.r_block with
+  | Some r when r == req -> Hashtbl.remove t.ds_inflight req.r_block
+  | _ -> ()
 
 (* ---------------------------------------------------------------- *)
 (* Completion interrupt *)
@@ -242,6 +357,9 @@ let install_irq t =
                   Kspan.hop sp id ~stage:"transfer" ~phase:Kspan.Service);
               finished := Some id
             | None -> ());
+            (* settle the cache books before anyone can observe them *)
+            if req.r_write then writeback_done t req
+            else inflight_read_done t req;
             (* wake everyone sleeping on this transfer: shared wait
                queues (e.g. a file system mount) re-check on resume *)
             Thread.unblock_all k req.r_waitq;
@@ -273,19 +391,50 @@ let install_irq t =
 (* ---------------------------------------------------------------- *)
 (* Cache manager *)
 
+(* Is a write-back of exactly this (block, buffer) pair already in
+   flight?  Guards against submitting a second transfer from the same
+   buffer — both completions would free it. *)
+let wb_inflight t block buf =
+  Hashtbl.fold
+    (fun _ (b, bf) acc -> acc || (b = block && bf = buf))
+    t.ds_wb false
+
+(* The buffer of an in-flight write-back of [block], if any. *)
+let wb_buffer t block =
+  Hashtbl.fold
+    (fun _ (b, bf) acc -> if b = block then Some bf else acc)
+    t.ds_wb None
+
 let evict_if_needed t =
   if Hashtbl.length t.ds_cache > t.ds_cache_capacity then begin
-    match List.rev t.ds_lru with
-    | [] -> ()
-    | victim :: _ ->
+    (* never evict a slot whose fill is still in flight: the DMA would
+       land in a freed buffer *)
+    match
+      List.find_opt
+        (fun b -> not (Hashtbl.mem t.ds_inflight b))
+        (List.rev t.ds_lru)
+    with
+    | None -> ()
+    | Some victim ->
       t.ds_lru <- List.filter (fun b -> b <> victim) t.ds_lru;
       (match Hashtbl.find_opt t.ds_cache victim with
       | Some buf ->
-        (* write back dirty blocks before reuse *)
+        (* Write back dirty blocks before reuse.  The dirty bit stays
+           set until the completion reports status 1 — clearing it
+           here (as the pre-fix code did) meant a crash or a failed
+           write-back silently dropped the block.  The buffer is
+           freed by the completion path, not here. *)
         if Hashtbl.mem t.ds_dirty victim then begin
-          Hashtbl.remove t.ds_dirty victim;
-          let req = submit t ~block:victim ~buffer:buf ~write:true () in
-          ignore req
+          (* A flush may have already put this buffer on the wire
+             (found by the crash-model qcheck property: flush then
+             evict submitted two transfers from one buffer and both
+             completions freed it).  The in-flight completion clears
+             the dirty bit and frees the buffer once the slot is
+             gone — just drop the slot. *)
+          if not (wb_inflight t victim buf) then begin
+            let req = submit t ~block:victim ~buffer:buf ~write:true () in
+            Hashtbl.replace t.ds_wb req.r_desc (victim, buf)
+          end
         end
         else Kalloc.free t.ds_kernel.Kernel.alloc buf
       | None -> ());
@@ -302,42 +451,117 @@ let touch t block =
 let get_block t ?waitq block =
   let k = t.ds_kernel in
   match Hashtbl.find_opt t.ds_cache block with
-  | Some buf ->
-    t.ds_hits <- t.ds_hits + 1;
-    touch t block;
-    (buf, None)
-  | None ->
-    t.ds_misses <- t.ds_misses + 1;
-    let buf = Kalloc.alloc k.Kernel.alloc block_words in
-    Hashtbl.replace t.ds_cache block buf;
-    touch t block;
-    evict_if_needed t;
-    let req = submit t ?waitq ~block ~buffer:buf ~write:false () in
-    (buf, Some req)
+  | Some buf -> (
+    match Hashtbl.find_opt t.ds_inflight block with
+    | Some req ->
+      (* the fill is still on its way (e.g. an earlier sync read timed
+         out): hand back the same transfer to re-await — no
+         double-issue, no premature "hit" *)
+      touch t block;
+      (buf, Some req)
+    | None ->
+      t.ds_hits <- t.ds_hits + 1;
+      touch t block;
+      (buf, None))
+  | None -> (
+    match wb_buffer t block with
+    | Some buf ->
+      (* An evicted block whose write-back is still in flight: the
+         data is still in memory, so resurrect that buffer as the
+         cache slot instead of racing a device read against the
+         in-flight write (the read could be serviced first and hand
+         back pre-write-back platter contents). *)
+      t.ds_hits <- t.ds_hits + 1;
+      Hashtbl.replace t.ds_cache block buf;
+      touch t block;
+      evict_if_needed t;
+      (buf, None)
+    | None ->
+      t.ds_misses <- t.ds_misses + 1;
+      let buf = Kalloc.alloc k.Kernel.alloc block_words in
+      Hashtbl.replace t.ds_cache block buf;
+      touch t block;
+      evict_if_needed t;
+      let req = submit t ?waitq ~block ~buffer:buf ~write:false () in
+      Hashtbl.replace t.ds_inflight block req;
+      (buf, Some req))
 
 let mark_dirty t block = Hashtbl.replace t.ds_dirty block ()
 
-(* Host-side synchronous read: drives the machine until the request
-   completes (for servers running outside a thread, and for tests). *)
-let read_block_sync t block ~max_insns =
+(* Submit write-backs for every dirty resident block (async; the dirty
+   bits clear as each completion lands).  With [barrier] the flushed
+   group is fenced off from everything submitted afterwards. *)
+let barrier_fence = barrier
+
+let flush t ?(barrier = false) () =
+  let dirty = Hashtbl.fold (fun b () acc -> b :: acc) t.ds_dirty [] in
+  let submitted =
+    List.fold_left
+      (fun n block ->
+        match Hashtbl.find_opt t.ds_cache block with
+        | Some buf when not (Hashtbl.mem t.ds_inflight block) ->
+          if
+            (* this buffer already on the wire? (the DMA copies at
+               completion, so it carries the current contents) *)
+            wb_inflight t block buf
+          then n
+          else begin
+            let req = submit t ~block ~buffer:buf ~write:true () in
+            Hashtbl.replace t.ds_wb req.r_desc (block, buf);
+            n + 1
+          end
+        | _ -> n)
+      0 (List.sort compare dirty)
+  in
+  if barrier && submitted > 0 then
+    (barrier_fence t : unit);
+  submitted
+
+(* Nothing queued, nothing active, no write-back in flight. *)
+let quiescent t =
+  t.ds_active = None && t.ds_queue = [] && Hashtbl.length t.ds_wb = 0
+
+(* Host-side: step the machine until the pipeline drains. *)
+let drain t ~max_insns =
   let m = t.ds_kernel.Kernel.machine in
+  let rec go n =
+    if quiescent t then true
+    else if n <= 0 then false
+    else begin
+      Machine.step m;
+      go (n - 1)
+    end
+  in
+  go max_insns
+
+(* Host-side synchronous read: drives the machine until the request
+   completes (for servers running outside a thread, and for tests).
+   On [max_insns] exhaustion the request stays registered in
+   [ds_inflight], so a later call re-awaits the same transfer — no
+   double-issue, no half-filled cache slot mistaken for a hit. *)
+let read_block_sync t block ~max_insns =
+  let k = t.ds_kernel in
+  let m = k.Kernel.machine in
   match get_block t block with
   | buf, None -> Some buf
   | buf, Some req ->
-    let ok =
-      let rec go n =
-        if n <= 0 then false
-        else
-          match Machine.peek m (req.r_desc + 3) with
-          | 1 -> true
-          | s when s >= 2 -> false (* failed after bounded retries *)
-          | _ ->
-            Machine.step m;
-            go (n - 1)
-      in
-      go max_insns
+    (* completion (success or permanent failure) unregisters the
+       in-flight entry; a failed fill also drops the cache slot *)
+    let rec go n =
+      if not (Hashtbl.mem t.ds_inflight block) then
+        if Hashtbl.mem t.ds_cache block then Some buf else None
+      else if n <= 0 then begin
+        t.ds_sync_timeouts <- t.ds_sync_timeouts + 1;
+        Metrics.bump k.Kernel.metrics "disk.sync_timeouts";
+        None
+      end
+      else begin
+        Machine.step m;
+        go (n - 1)
+      end
     in
-    if ok then Some buf else None
+    ignore req;
+    go max_insns
 
 (* ---------------------------------------------------------------- *)
 (* Watchdog: bounded retry with backoff *)
@@ -378,6 +602,10 @@ let watchdog_tick t m =
         Machine.poke m (req.r_desc + 3) 2;
         t.ds_active <- None;
         watchdog_idle t;
+        (* a failed write-back re-dirties its block; a failed
+           cache-fill read must not leave a garbage "hit" behind *)
+        if req.r_write then writeback_failed t req
+        else inflight_read_failed t req;
         Thread.unblock_all k req.r_waitq;
         Kalloc.free k.Kernel.alloc req.r_desc;
         start_next t
@@ -386,6 +614,9 @@ let watchdog_tick t m =
 
 let stats t = (t.ds_hits, t.ds_misses)
 let service_order t = List.rev t.ds_issued
+let barriers t = t.ds_barriers
+let sync_timeouts t = t.ds_sync_timeouts
+let dirty_blocks t = Hashtbl.fold (fun b () acc -> b :: acc) t.ds_dirty []
 let timeouts t = t.ds_timeouts
 let retries t = t.ds_retries
 let failed t = t.ds_failed
@@ -413,6 +644,11 @@ let install k ?(cache_capacity = 16) ?(timeout_us = 8_000.0) ?(max_tries = 4)
       ds_dirty = Hashtbl.create 16;
       ds_hits = 0;
       ds_misses = 0;
+      ds_epoch = 0;
+      ds_barriers = 0;
+      ds_wb = Hashtbl.create 8;
+      ds_inflight = Hashtbl.create 8;
+      ds_sync_timeouts = 0;
       ds_switch = Quaject.create_switch k ~name:"disk/fs_switch" [| bad; bad; bad; bad |];
       ds_monitor = Quaject.create_monitor k ~name:"disk/monitor";
       ds_timeout_cycles = Cost.cycles_of_us (Machine.cost_model m) timeout_us;

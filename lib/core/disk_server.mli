@@ -3,10 +3,18 @@
     dirty write-back.  Additional file systems attach through the
     exposed switch and monitor. *)
 
-type request = { r_desc : int; r_block : int; r_waitq : Kernel.waitq }
+type request = {
+  r_desc : int;
+  r_block : int;
+  r_waitq : Kernel.waitq;
+  r_epoch : int;
+  r_write : bool;
+}
 (** Request descriptors live in kernel memory:
     [0]=block [1]=buffer [2]=direction
-    [3]=status (0 pending, 1 done, 2 failed after bounded retries). *)
+    [3]=status (0 pending, 1 done, 2 failed after bounded retries).
+    [r_epoch] is the barrier epoch the request was submitted in; the
+    elevator never reorders requests across epochs. *)
 
 type t
 
@@ -24,9 +32,16 @@ val install :
 
 (** Queue a transfer in elevator order; completion sets the status
     word and wakes everyone on [r_waitq] (pass [waitq] to share one,
-    e.g. per file-system mount). *)
+    e.g. per file-system mount).  [~barrier:true] gives the request a
+    private epoch: serviced strictly after everything already queued,
+    strictly before anything submitted later. *)
 val submit :
-  t -> ?waitq:Kernel.waitq -> block:int -> buffer:int -> write:bool -> unit -> request
+  t -> ?barrier:bool -> ?waitq:Kernel.waitq -> block:int -> buffer:int ->
+  write:bool -> unit -> request
+
+(** A write barrier with no transfer attached: requests submitted
+    before the fence are serviced before any submitted after it. *)
+val barrier : t -> unit
 
 (** Cache lookup: [None] as second component means a hit; on a miss
     the returned request completes asynchronously. *)
@@ -34,8 +49,23 @@ val get_block : t -> ?waitq:Kernel.waitq -> int -> int * request option
 
 val mark_dirty : t -> int -> unit
 
+(** Submit write-backs for every dirty resident block; returns how
+    many were submitted.  The dirty bit of each block clears only
+    when its completion reports success.  [~barrier:true] fences the
+    flushed group off from later submissions. *)
+val flush : t -> ?barrier:bool -> unit -> int
+
+(** Nothing queued, nothing active, no write-back in flight. *)
+val quiescent : t -> bool
+
+(** Host-side: step the machine until {!quiescent} (or give up). *)
+val drain : t -> max_insns:int -> bool
+
 (** Host-side synchronous read: steps the machine until the block is
-    resident (tests and host-driven servers). *)
+    resident (tests and host-driven servers).  On [max_insns]
+    exhaustion a "disk.sync_timeouts" metric is recorded and the
+    request stays re-awaitable: a later call for the same block joins
+    the same transfer instead of double-issuing. *)
 val read_block_sync : t -> int -> max_insns:int -> int option
 
 (** (hits, misses) *)
@@ -43,6 +73,15 @@ val stats : t -> int * int
 
 (** Block numbers in the order the device serviced them. *)
 val service_order : t -> int list
+
+(** Barriers issued (standalone fences and barrier requests). *)
+val barriers : t -> int
+
+(** Synchronous reads that exhausted their instruction budget. *)
+val sync_timeouts : t -> int
+
+(** Blocks currently marked dirty (diagnostics/tests). *)
+val dirty_blocks : t -> int list
 
 (** {1 Recovery counters} *)
 

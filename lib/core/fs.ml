@@ -44,6 +44,7 @@ let register_null vfs =
           (fun () ->
             Ksynth.release_entry k r;
             Ksynth.release_entry k w);
+        h_fsync = (fun () -> ()); (* no backing store *)
       })
 
 (* -------------------------------------------------------------- *)
@@ -181,6 +182,7 @@ let create_file vfs ~name ?(capacity = 8192) ?(content = [||]) () =
             Ksynth.release_entry k r;
             Ksynth.release_entry k w;
             Kalloc.free k.Kernel.alloc pos_cell);
+        h_fsync = (fun () -> ()); (* memory-resident: always durable-as-built *)
       });
   file
 

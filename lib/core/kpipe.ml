@@ -342,7 +342,13 @@ let attach vfs pipe (tte : Kernel.tte) =
     if pipe.p_ends = 0 then recycle k pipe
   in
   let mk_handlers ~read ~write ~close =
-    { Vfs.h_read = read; h_write = write; h_pos_cell = None; h_close = close }
+    {
+      Vfs.h_read = read;
+      h_write = write;
+      h_pos_cell = None;
+      h_close = close;
+      h_fsync = (fun () -> ()); (* pipes have no backing store *)
+    }
   in
   let bad = Ksynth.lookup k "bad_fd" in
   let rfd =

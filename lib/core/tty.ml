@@ -70,6 +70,13 @@ let guarded_block k q ~flag ~wq ~retry ~prefix =
 let irq_template srv =
   Template.make ~name:"tty_irq" ~params:[ "unblock" ] (fun p ->
       [
+        (* The dedicated queue's put is lock-free only against its one
+           consumer.  The scheduler (timer, level 6) nesting over this
+           handler can switch threads mid-put and let a later tty
+           interrupt run a complete put first; the suspended put then
+           resumes with a stale head and overwrites the newer item.
+           Mask the scheduler for the handler body; Rte restores SR. *)
+        I.Set_ipl 6;
         I.Push (I.Reg I.r0);
         I.Push (I.Reg I.r1);
         I.Push (I.Reg I.r4);
@@ -302,5 +309,6 @@ let install vfs =
           (fun () ->
             Ksynth.release_entry k r;
             Ksynth.release_entry k w);
+        h_fsync = (fun () -> ()); (* character device: nothing to write back *)
       });
   srv

@@ -15,6 +15,7 @@ type handlers = {
   h_write : int; (* code address of the synthesized write routine *)
   h_pos_cell : int option; (* seek position cell, when seekable *)
   h_close : unit -> unit; (* release per-open resources *)
+  h_fsync : unit -> unit; (* initiate write-back of this open's dirty state *)
 }
 
 type open_fn = Kernel.tte -> fd:int -> handlers
@@ -23,6 +24,7 @@ type t = {
   kernel : Kernel.t;
   names : (string, open_fn) Hashtbl.t; (* keyed by the reversed name *)
   opens : (int * int, handlers) Hashtbl.t; (* (tid, fd) -> handlers *)
+  mutable syncs : (unit -> unit) list; (* file-system sync hooks (trap 14) *)
 }
 
 let reverse s = String.init (String.length s) (fun i -> s.[String.length s - 1 - i])
@@ -33,6 +35,12 @@ let lookup_charge k name =
   Machine.charge k.Kernel.machine (60 + (45 * String.length name))
 
 let register t ~name open_fn = Hashtbl.replace t.names (reverse name) open_fn
+let unregister t ~name = Hashtbl.remove t.names (reverse name)
+
+(* File systems register a hook that initiates write-back of their
+   dirty state; `sync` (trap 14) runs them all. *)
+let on_sync t f = t.syncs <- f :: t.syncs
+let sync t = List.iter (fun f -> f ()) t.syncs
 
 let lookup t name =
   lookup_charge t.kernel name;
@@ -103,6 +111,14 @@ let close_fd t (tte : Kernel.tte) fd =
     Hashtbl.remove t.opens (tte.Kernel.tid, fd);
     true
 
+let fsync_fd t (tte : Kernel.tte) fd =
+  match Hashtbl.find_opt t.opens (tte.Kernel.tid, fd) with
+  | None -> false
+  | Some h ->
+    h.h_fsync ();
+    Machine.charge t.kernel.Kernel.machine 30; (* descriptor lookup + dispatch *)
+    true
+
 let seek t (tte : Kernel.tte) fd pos =
   match Hashtbl.find_opt t.opens (tte.Kernel.tid, fd) with
   | Some { h_pos_cell = Some cell; _ } ->
@@ -113,10 +129,23 @@ let seek t (tte : Kernel.tte) fd pos =
 
 (* -------------------------------------------------------------- *)
 (* Trap handlers: open = trap 3 (r1 = name ptr), close = trap 4
-   (r1 = fd), lseek = trap 12 (r1 = fd, r2 = position). *)
+   (r1 = fd), lseek = trap 12 (r1 = fd, r2 = position), fsync =
+   trap 13 (r1 = fd), sync = trap 14.
+
+   fsync/sync initiate write-back from inside the trap (submitting
+   transfers is pure queue work); the completions land through the
+   ordinary disk interrupt as the machine keeps running, ordered
+   ahead of any later write by the submission barrier. *)
 
 let install k =
-  let t = { kernel = k; names = Hashtbl.create 32; opens = Hashtbl.create 64 } in
+  let t =
+    {
+      kernel = k;
+      names = Hashtbl.create 32;
+      opens = Hashtbl.create 64;
+      syncs = [];
+    }
+  in
   let m = k.Kernel.machine in
   let open_id =
     Machine.register_hcall m (fun m ->
@@ -140,6 +169,18 @@ let install k =
         let ok = seek t tte (Machine.get_reg m Insn.r1) (Machine.get_reg m Insn.r2) in
         Machine.set_reg m Insn.r0 (if ok then 0 else -1))
   in
+  let fsync_id =
+    Machine.register_hcall m (fun m ->
+        let tte = Kernel.current_exn k in
+        let ok = fsync_fd t tte (Machine.get_reg m Insn.r1) in
+        Machine.set_reg m Insn.r0 (if ok then 0 else -1))
+  in
+  let sync_id =
+    Machine.register_hcall m (fun m ->
+        sync t;
+        Machine.charge m 40;
+        Machine.set_reg m Insn.r0 0)
+  in
   let handler name id =
     let entry, _ = Ksynth.install k ~name [ Insn.Hcall id; Insn.Rte ] in
     entry
@@ -147,4 +188,6 @@ let install k =
   Kernel.set_vector_all k (Insn.Vector.trap 3) (handler "vfs/open" open_id);
   Kernel.set_vector_all k (Insn.Vector.trap 4) (handler "vfs/close" close_id);
   Kernel.set_vector_all k (Insn.Vector.trap 12) (handler "vfs/lseek" seek_id);
+  Kernel.set_vector_all k (Insn.Vector.trap 13) (handler "vfs/fsync" fsync_id);
+  Kernel.set_vector_all k (Insn.Vector.trap 14) (handler "vfs/sync" sync_id);
   t

@@ -11,6 +11,10 @@ type handlers = {
   h_write : int;
   h_pos_cell : int option; (** seek-position cell when seekable *)
   h_close : unit -> unit;
+  h_fsync : unit -> unit;
+      (** initiate write-back of this open's dirty state (trap 13);
+          completions land through the disk interrupt, ordered by the
+          submission barrier *)
 }
 
 type open_fn = Kernel.tte -> fd:int -> handlers
@@ -19,20 +23,29 @@ type t = {
   kernel : Kernel.t;
   names : (string, open_fn) Hashtbl.t; (** keyed by the reversed name *)
   opens : (int * int, handlers) Hashtbl.t; (** (tid, fd) -> handlers *)
+  mutable syncs : (unit -> unit) list; (** file-system sync hooks *)
 }
 
 (** Install the name space and the trap handlers (open = trap 3,
-    close = trap 4, lseek = trap 12). *)
+    close = trap 4, lseek = trap 12, fsync = trap 13, sync = trap 14). *)
 val install : Kernel.t -> t
 
 val register : t -> name:string -> open_fn -> unit
+val unregister : t -> name:string -> unit
 val lookup : t -> string -> open_fn option
+
+(** Register a file-system-wide write-back hook run by [sync]. *)
+val on_sync : t -> (unit -> unit) -> unit
+
+(** Run every registered sync hook (what trap 14 does). *)
+val sync : t -> unit
 
 (** Host-side equivalents of the system calls (used by servers that
     hand descriptors to other threads, and by tests). *)
 val open_named : t -> Kernel.tte -> string -> int option
 
 val close_fd : t -> Kernel.tte -> int -> bool
+val fsync_fd : t -> Kernel.tte -> int -> bool
 val seek : t -> Kernel.tte -> int -> int -> bool
 val free_fd : t -> Kernel.tte -> int option
 val install_fd : t -> Kernel.tte -> fd:int -> handlers -> unit

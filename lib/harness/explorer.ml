@@ -1295,6 +1295,457 @@ let subjects =
   ]
 
 (* ---------------------------------------------------------------- *)
+(* kcrash: the crash-point explorer *)
+
+(* Power-cut crash consistency of the disk file system, explored
+   exhaustively.  One *recording* run executes a seeded workload on a
+   journaling device (every write that reaches the platter is logged
+   in commit order).  Because the disk server keeps exactly one
+   request in flight, the legal completion subsets at a power cut are
+   precisely the prefixes of that journal — including every reordering
+   the elevator actually chose — plus a prefix-torn variant of the
+   next write.  Each such crash state is then loaded into a fresh
+   machine, rebooted through [Boot.at_boot] (so intent-log recovery
+   runs as part of boot), and checked against the family's litmus
+   predicate.  A final device-level cut ([Fault_inject.Power_cut] at a
+   seeded cycle mid-workload) exercises the same states end to end
+   through the powered-off device.
+
+   Litmus families:
+   - create-rename: write new content to a temp file, rename over the
+     old — the renamed file must be exactly old or new, never
+     zero-length, never garbage;
+   - prefix-append: append twice — the old prefix stays intact and the
+     length never runs ahead of the data (no garbage past the old
+     size);
+   - replace: overwrite a multi-block file with same-length different
+     content — readers see exactly old or new, never a torn mix.
+
+   The [Dfs.mechanisms] toggles make the runs falsifiable: with
+   barriers off the first two families must fail (metadata outruns
+   data still dirty in the cache); with the intent log off, replace
+   must fail (in-place tearing).  The CLI asserts both directions. *)
+
+type crash_family = Create_rename | Prefix_append | Replace
+
+let crash_families = [ Create_rename; Prefix_append; Replace ]
+
+let crash_family_name = function
+  | Create_rename -> "create-rename"
+  | Prefix_append -> "prefix-append"
+  | Replace -> "replace"
+
+type crash_result = {
+  c_family : string;
+  c_seed : int;
+  c_barriers : bool;
+  c_journal : bool;
+  c_states : int; (* crash states explored (cut points + torn + live cut) *)
+  c_torn : int; (* of which torn-write variants *)
+  c_journal_len : int; (* platter writes recorded by the workload *)
+  c_replays : int; (* intent-log replays across all reboots *)
+  c_live_cut : bool; (* the device-level power cut actually fired *)
+  c_violations : string list;
+  c_trace_hash : int;
+  c_report : string option; (* forensic text when any litmus failed *)
+}
+
+let bwords = Disk_server.block_words
+
+(* Nonzero seeded words, so fresh-run zeros and torn garbage can never
+   masquerade as real content. *)
+let crash_content seed salt n =
+  Array.init n (fun i -> 1 + (mix seed (salt + i) land 0x3FFF))
+
+type crash_workload = {
+  w_files : (string * int array) list;
+  w_caps : (string * int) list;
+  w_ops : Dfs.t -> unit;
+  w_check : Dfs.t -> string list;
+  w_final_file : string; (* read from a thread in the final state *)
+  w_final_content : int array;
+}
+
+let slice_eq c ~at expect =
+  let bad = ref (-1) in
+  Array.iteri
+    (fun i v -> if !bad < 0 && c.(at + i) <> v then bad := at + i)
+    expect;
+  !bad
+
+let crash_workload family ~seed =
+  match family with
+  | Create_rename ->
+    let na = bwords + 1 + (mix seed 3 mod bwords) in
+    let nb = bwords + 1 + (mix seed 5 mod bwords) in
+    let a = crash_content seed 0x1000 na in
+    let b = crash_content seed 0x2000 nb in
+    {
+      w_files = [ ("f", a) ];
+      w_caps = [];
+      w_ops =
+        (fun dfs ->
+          ignore
+            (Dfs.create dfs "f.tmp" ~capacity_blocks:((nb + bwords - 1) / bwords));
+          Dfs.append dfs "f.tmp" b;
+          Dfs.rename dfs ~from_:"f.tmp" ~to_:"f";
+          Dfs.sync dfs);
+      w_check =
+        (fun dfs ->
+          match Dfs.read_file dfs "f" with
+          | None -> [ "\"f\" unreadable after reboot" ]
+          | Some c when Array.length c = 0 -> [ "renamed file has zero length" ]
+          | Some c when c <> a && c <> b ->
+            [ Fmt.str "\"f\" is neither old nor new (%d words)" (Array.length c) ]
+          | Some _ -> []);
+      w_final_file = "f";
+      w_final_content = b;
+    }
+  | Prefix_append ->
+    (* old length deliberately not block-aligned: the tail block is
+       rewritten by the first append, the classic torn spot *)
+    let na = bwords + 7 + (mix seed 3 mod (bwords / 2)) in
+    let n1 = (bwords / 2) + (mix seed 5 mod bwords) in
+    let n2 = (bwords / 2) + (mix seed 7 mod bwords) in
+    let a = crash_content seed 0x1000 na in
+    let b1 = crash_content seed 0x2000 n1 in
+    let b2 = crash_content seed 0x3000 n2 in
+    {
+      w_files = [ ("log", a) ];
+      w_caps = [ ("log", (na + n1 + n2 + bwords - 1) / bwords) ];
+      w_ops =
+        (fun dfs ->
+          Dfs.append dfs "log" b1;
+          Dfs.append dfs "log" b2;
+          Dfs.sync dfs);
+      w_check =
+        (fun dfs ->
+          match Dfs.find dfs "log" with
+          | None -> [ "\"log\" missing after reboot" ]
+          | Some f ->
+            let l = f.Dfs.df_words in
+            if l <> na && l <> na + n1 && l <> na + n1 + n2 then
+              [ Fmt.str "impossible length %d (legal: %d/%d/%d)" l na (na + n1)
+                  (na + n1 + n2) ]
+            else (
+              match Dfs.read_file dfs "log" with
+              | None -> [ "\"log\" unreadable after reboot" ]
+              | Some c ->
+                let p = slice_eq c ~at:0 a in
+                if p >= 0 then [ Fmt.str "old prefix damaged at word %d" p ]
+                else
+                  let p1 =
+                    if l >= na + n1 then slice_eq c ~at:na b1 else -1
+                  in
+                  if p1 >= 0 then
+                    [ Fmt.str "garbage past the old size at word %d" p1 ]
+                  else
+                    let p2 =
+                      if l = na + n1 + n2 then slice_eq c ~at:(na + n1) b2
+                      else -1
+                    in
+                    if p2 >= 0 then
+                      [ Fmt.str "garbage past the old size at word %d" p2 ]
+                    else []));
+      w_final_file = "log";
+      w_final_content = Array.concat [ a; b1; b2 ];
+    }
+  | Replace ->
+    let n = (2 * bwords) + 37 + (mix seed 3 mod bwords) in
+    let a = crash_content seed 0x1000 n in
+    let b = crash_content seed 0x2000 n in
+    {
+      w_files = [ ("cfg", a) ];
+      w_caps = [];
+      w_ops =
+        (fun dfs ->
+          Dfs.replace dfs "cfg" b;
+          Dfs.sync dfs);
+      w_check =
+        (fun dfs ->
+          match Dfs.read_file dfs "cfg" with
+          | None -> [ "\"cfg\" unreadable after reboot" ]
+          | Some c when c <> a && c <> b ->
+            [ "torn mix: \"cfg\" is neither old nor new" ]
+          | Some _ -> []);
+      w_final_file = "cfg";
+      w_final_content = b;
+    }
+
+(* Start the idle thread so host-driven synchronous disk waits can
+   take completion interrupts. *)
+let start_idle k =
+  let m = k.Kernel.machine in
+  match k.Kernel.rq_anchor with
+  | Some t ->
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp Layout.boot_stack_top;
+    Machine.set_ipl m 0;
+    Machine.set_pc m t.Kernel.sw_in_mmu
+  | None -> invalid_arg "crash explorer: no idle thread"
+
+(* The recording run: format, mount, settle, then execute the workload
+   on a journaling device.  Returns the pre-workload platter image,
+   the commit-ordered write journal, and the cycles the workload took
+   (the live-cut run aims its power cut inside that window). *)
+let crash_record family ~seed ~mech =
+  let w = crash_workload family ~seed in
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  Dfs.format k ~capacities:w.w_caps ~files:w.w_files ();
+  let ds = Disk_server.install k () in
+  start_idle k;
+  let dfs = Dfs.mount ~mechanisms:mech ~budget:20_000_000 b.Boot.vfs ds in
+  Dfs.sync dfs;
+  let disk = k.Kernel.disk in
+  let img0 = Devices.Disk.image disk in
+  Devices.Disk.set_journaling disk true;
+  let c0 = Machine.cycles k.Kernel.machine in
+  w.w_ops dfs;
+  let op_cycles = Machine.cycles k.Kernel.machine - c0 in
+  (w, img0, Devices.Disk.journal disk, op_cycles)
+
+(* Boot a fresh machine on a crash-state image; recovery and the mount
+   run through [Boot.at_boot], then the litmus predicate examines the
+   file system host-side.  [expect_read] additionally runs a user
+   thread that opens the file through the vfs and streams it through
+   the re-synthesized read path — proof that Ksynth rebuilds the fast
+   path from its recipes after a crash.  Returns (violations,
+   intent-log replays). *)
+let crash_reboot ~img ~check ?expect_read () =
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  Devices.Disk.load_image k.Kernel.disk img;
+  let ds = Disk_server.install k () in
+  let get = Dfs.mount_at_boot ~budget:20_000_000 b b.Boot.vfs ds in
+  let reader =
+    match expect_read with
+    | None -> None
+    | Some (name, content) ->
+      let len = Array.length content in
+      let region = Kalloc.alloc_zeroed k.Kernel.alloc (128 + len + bwords) in
+      let count_cell = region + 32 in
+      let buf = region + 64 in
+      String.iteri
+        (fun i c -> Machine.poke m (region + i) (Char.code c))
+        ("/disk/" ^ name);
+      let prog =
+        [
+          I.Move (I.Imm region, I.Reg I.r1);
+          I.Trap 3;
+          I.Move (I.Reg I.r0, I.Reg I.r13);
+          I.Move (I.Imm 0, I.Reg I.r12);
+          I.Label "loop";
+          I.Move (I.Reg I.r13, I.Reg I.r1);
+          I.Move (I.Imm buf, I.Reg I.r2);
+          I.Alu (I.Add, I.Reg I.r12, I.r2);
+          I.Move (I.Imm 128, I.Reg I.r3);
+          I.Trap 1; (* blocks on cache misses, EOF returns 0 *)
+          I.Tst (I.Reg I.r0);
+          I.B (I.Eq, I.To_label "done");
+          I.Alu (I.Add, I.Reg I.r0, I.r12);
+          I.B (I.Always, I.To_label "loop");
+          I.Label "done";
+          I.Move (I.Reg I.r12, I.Abs count_cell);
+          I.Trap 0;
+        ]
+      in
+      let entry, _ = Asm.assemble m prog in
+      ignore
+        (Thread.create k ~entry ~segments:[ (region, 128 + len + bwords) ] ());
+      Some (count_cell, buf, content)
+  in
+  let viol = ref [] in
+  (try
+     match Boot.go ~max_insns:400_000_000 b with
+     | Machine.Halted -> ()
+     | Machine.Insn_limit -> viol := [ "reboot did not settle" ]
+   with Failure msg -> viol := [ "mount: " ^ msg ]);
+  (* [go] leaves the machine halted; un-halt so the host-side litmus
+     reads can take completion interrupts through the idle thread *)
+  Machine.set_halted m false;
+  let replays = Metrics.read k.Kernel.metrics "dfs.replays" in
+  (match get () with
+  | None -> if !viol = [] then viol := [ "mount never ran at boot" ]
+  | Some dfs ->
+    viol := !viol @ check dfs;
+    (match reader with
+    | None -> ()
+    | Some (count_cell, buf, content) ->
+      let n = Machine.peek m count_cell in
+      if n <> Array.length content then
+        viol :=
+          !viol
+          @ [
+              Fmt.str "synthesized read returned %d of %d words" n
+                (Array.length content);
+            ]
+      else
+        let bad = ref (-1) in
+        for i = Array.length content - 1 downto 0 do
+          if Machine.peek m (buf + i) <> content.(i) then bad := i
+        done;
+        if !bad >= 0 then
+          viol :=
+            !viol
+            @ [ Fmt.str "synthesized read data mismatch at word %d" !bad ]));
+  (List.rev (List.rev !viol), replays)
+
+(* Enumerate crash states: every journal prefix, plus one seeded
+   prefix-torn variant of each next write.  [(tag, image, torn,
+   final)]; the final full-journal state carries the thread-read
+   check. *)
+let crash_states img0 journal ~seed =
+  let arr = Array.of_list journal in
+  let len = Array.length arr in
+  let base i =
+    let img = Array.map Array.copy img0 in
+    for j = 0 to i - 1 do
+      let blk, data = arr.(j) in
+      img.(blk) <- Array.copy data
+    done;
+    img
+  in
+  let cuts =
+    List.init (len + 1) (fun i ->
+        (Fmt.str "cut@%d" i, base i, false, i = len))
+  in
+  let torn =
+    List.init len (fun i ->
+        let blk, data = arr.(i) in
+        let img = base i in
+        let tw = 1 + (mix seed (0x700 + i) mod (bwords - 1)) in
+        let cur = img.(blk) in
+        img.(blk) <-
+          Array.init bwords (fun j -> if j < tw then data.(j) else cur.(j));
+        (Fmt.str "cut@%d+torn%d" i tw, img, true, false))
+  in
+  cuts @ torn
+
+(* The device-level run: same workload, but a [Power_cut] fault fires
+   at a seeded cycle inside the workload window — in-flight request
+   partitioned into platter/lost by the device itself, then reboot and
+   litmus as above. *)
+let crash_live_cut family ~seed ~mech ~op_cycles =
+  let w = crash_workload family ~seed in
+  let b = Boot.boot () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  Dfs.format k ~capacities:w.w_caps ~files:w.w_files ();
+  let ds = Disk_server.install k () in
+  start_idle k;
+  (* a short budget: once the device is dead, synchronous waits must
+     give up quickly instead of spinning out the full default *)
+  let dfs = Dfs.mount ~mechanisms:mech ~budget:3_000_000 b.Boot.vfs ds in
+  Dfs.sync dfs;
+  let cut_after = 1 + (mix seed 17 mod max 1 op_cycles) in
+  let torn_words = (mix seed 23 mod (bwords + 2)) - 1 in
+  let fi =
+    Fault_inject.arm m
+      (Fault_inject.make_plan ~seed
+         [
+           {
+             Fault_inject.ev_after = cut_after;
+             ev_action = Fault_inject.Power_cut { device = "disk"; torn_words };
+           };
+         ])
+  in
+  (try w.w_ops dfs with Failure _ | Invalid_argument _ -> ());
+  Fault_inject.disarm m fi;
+  let fired = not (Devices.Disk.powered k.Kernel.disk) in
+  (w, Devices.Disk.image k.Kernel.disk, fired)
+
+let run_crash ?(mechanisms = Dfs.all_mechanisms) family ~seed () =
+  let name = crash_family_name family in
+  let w, img0, journal, op_cycles = crash_record family ~seed ~mech:mechanisms in
+  let hash = ref (mix seed 0xC4A5) in
+  let fold v = hash := mix !hash (v land max_int) in
+  fold (List.length journal);
+  List.iter
+    (fun (blk, data) ->
+      fold blk;
+      fold data.(0);
+      fold data.(bwords - 1))
+    journal;
+  let nviol = ref 0 in
+  let violations = ref [] in
+  let add tag vs =
+    List.iter
+      (fun v ->
+        incr nviol;
+        if !nviol <= 16 then violations := Fmt.str "%s: %s" tag v :: !violations)
+      vs
+  in
+  let states = crash_states img0 journal ~seed in
+  let explored = ref 0 in
+  let torn = ref 0 in
+  let replays = ref 0 in
+  List.iter
+    (fun (tag, img, is_torn, is_final) ->
+      (* a mechanism-disabled run only needs the existence of a
+         violating state; cap the reboots once the verdict is in *)
+      if !nviol < 5 then begin
+        incr explored;
+        if is_torn then incr torn;
+        let expect_read =
+          if is_final then Some (w.w_final_file, w.w_final_content) else None
+        in
+        let vs, rp = crash_reboot ~img ~check:w.w_check ?expect_read () in
+        replays := !replays + rp;
+        add tag vs;
+        fold (Hashtbl.hash tag);
+        fold (List.length vs);
+        fold rp
+      end)
+    states;
+  let live_fired =
+    if !nviol < 5 then begin
+      let w2, limg, fired =
+        crash_live_cut family ~seed ~mech:mechanisms ~op_cycles
+      in
+      incr explored;
+      let vs, rp = crash_reboot ~img:limg ~check:w2.w_check () in
+      replays := !replays + rp;
+      add "live-cut" vs;
+      fold (List.length vs);
+      fold (Bool.to_int fired);
+      fired
+    end
+    else false
+  in
+  let violations = List.rev !violations in
+  let report =
+    if violations = [] then None
+    else
+      Some
+        (Fmt.str
+           "kcrash litmus failure@.family: %s@.seed: %d@.mechanisms: \
+            barriers=%b journal=%b@.journal (%d platter writes, commit \
+            order): %s@.states explored: %d (%d torn)@.violations:@.%s@."
+           name seed mechanisms.Dfs.m_barriers mechanisms.Dfs.m_journal
+           (List.length journal)
+           (String.concat " "
+              (List.map (fun (blk, _) -> string_of_int blk) journal))
+           !explored !torn
+           (String.concat "\n" (List.map (fun v -> "  " ^ v) violations)))
+  in
+  {
+    c_family = name;
+    c_seed = seed;
+    c_barriers = mechanisms.Dfs.m_barriers;
+    c_journal = mechanisms.Dfs.m_journal;
+    c_states = !explored;
+    c_torn = !torn;
+    c_journal_len = List.length journal;
+    c_replays = !replays;
+    c_live_cut = live_fired;
+    c_violations = violations;
+    c_trace_hash = !hash;
+    c_report = report;
+  }
+
+(* ---------------------------------------------------------------- *)
 (* Targeted recovery scenarios *)
 
 type timer_loss_result = {

@@ -134,6 +134,54 @@ val run_queue :
 val run_all : ?items:int -> seed:int -> unit -> result list
 (** [run_queue] across all four kinds. *)
 
+(** {1 kcrash: the crash-point explorer} *)
+
+type crash_family =
+  | Create_rename
+      (** write new content to a temp file and rename over the old:
+          the renamed file must be exactly old or new — never
+          zero-length, never garbage *)
+  | Prefix_append
+      (** append twice: the old prefix stays intact and the length
+          never runs ahead of the data *)
+  | Replace
+      (** overwrite a multi-block file with same-length different
+          content: readers see exactly old or new, never a torn mix *)
+
+val crash_families : crash_family list
+val crash_family_name : crash_family -> string
+
+type crash_result = {
+  c_family : string;
+  c_seed : int;
+  c_barriers : bool;
+  c_journal : bool;
+  c_states : int;  (** crash states explored (cut points + torn + live cut) *)
+  c_torn : int;  (** of which prefix-torn write variants *)
+  c_journal_len : int;  (** platter writes the workload committed *)
+  c_replays : int;  (** intent-log replays observed across reboots *)
+  c_live_cut : bool;  (** the device-level power cut actually fired *)
+  c_violations : string list;
+  c_trace_hash : int;  (** seed-deterministic fingerprint *)
+  c_report : string option;  (** forensic text when any litmus failed *)
+}
+
+val run_crash :
+  ?mechanisms:Synthesis.Dfs.mechanisms ->
+  crash_family ->
+  seed:int ->
+  unit ->
+  crash_result
+(** Record the workload's platter-write journal on a journaling
+    device, enumerate every legal crash state (journal prefixes plus a
+    seeded prefix-torn variant of each next write — exactly the
+    completion subsets the one-request-deep elevator permits), reboot
+    each into a fresh machine through {!Synthesis.Boot.at_boot}
+    recovery, and run the family's litmus predicate; ends with a
+    device-level {!Quamachine.Fault_inject.Power_cut} run mid-workload.
+    With [mechanisms] partially disabled the violations demonstrate
+    what each mechanism buys (the CLI asserts they appear). *)
+
 (** {1 Targeted recovery scenarios} *)
 
 type timer_loss_result = {

@@ -97,6 +97,7 @@ module Tty = struct
     input : char Queue.t; (* characters not yet delivered *)
     output : Buffer.t;
     mutable data_in : int; (* last delivered character *)
+    mutable data_taken : bool; (* data_in consumed by an MMIO read *)
     mutable char_interval_us : float; (* inter-arrival time *)
     dev : Machine.device;
   }
@@ -109,6 +110,7 @@ module Tty = struct
         input = Queue.create ();
         output = Buffer.create 256;
         data_in = 0;
+        data_taken = true;
         char_interval_us;
         dev;
       }
@@ -116,8 +118,18 @@ module Tty = struct
     dev.Machine.dev_tick <-
       (fun m ->
         if Queue.is_empty t.input then Machine.device_idle m dev
+        else if not t.data_taken then
+          (* The previous character is still in the holding register:
+             overwriting it here would make the pending interrupt's
+             handler read the wrong character (and re-deliver it for
+             the overwriting one).  Hold this character until the
+             register is consumed. *)
+          Machine.device_schedule m dev
+            (Machine.cycles m
+            + Cost.cycles_of_us (Machine.cost_model m) t.char_interval_us)
         else begin
           t.data_in <- Char.code (Queue.pop t.input);
+          t.data_taken <- false;
           Machine.post_interrupt ~source:"tty" m ~level:Mmio_map.tty_level
             ~vector:Mmio_map.tty_vector;
           if Queue.is_empty t.input then Machine.device_idle m dev
@@ -126,7 +138,9 @@ module Tty = struct
               (Machine.cycles m
               + Cost.cycles_of_us (Machine.cost_model m) t.char_interval_us)
         end);
-    Machine.map_mmio_read m ~addr:Mmio_map.tty_data_in (fun () -> t.data_in);
+    Machine.map_mmio_read m ~addr:Mmio_map.tty_data_in (fun () ->
+        t.data_taken <- true;
+        t.data_in);
     Machine.map_mmio_read m ~addr:Mmio_map.tty_status (fun () ->
         if Queue.is_empty t.input then 0 else 1);
     Machine.map_mmio_write m ~addr:Mmio_map.tty_data_out (fun v ->
@@ -162,6 +176,10 @@ module Disk = struct
     mutable transfer_us_per_word : float;
     mutable pending : [ `Read of int * int | `Write of int * int ] option;
     dev : Machine.device;
+    (* kcrash: persistence model *)
+    mutable powered : bool;
+    mutable journaling : bool;
+    mutable journal : (int * int array) list; (* committed writes, newest first *)
   }
 
   let install ?(blocks = 1024) ?(seek_us = 2000.0) ?(transfer_us_per_word = 1.0) m =
@@ -177,31 +195,40 @@ module Disk = struct
         transfer_us_per_word;
         pending = None;
         dev;
+        powered = true;
+        journaling = false;
+        journal = [];
       }
     in
     dev.Machine.dev_tick <-
       (fun m ->
         Machine.device_idle m dev;
-        (match t.pending with
-        | None -> ()
-        | Some (`Read (blk, buf)) ->
-          for i = 0 to block_words - 1 do
-            Machine.poke m (buf + i) t.store.(blk).(i)
-          done;
-          t.status <- 2
-        | Some (`Write (blk, buf)) ->
-          for i = 0 to block_words - 1 do
-            t.store.(blk).(i) <- Machine.peek m (buf + i)
-          done;
-          t.status <- 2);
-        t.pending <- None;
-        Machine.post_interrupt ~source:"disk" m ~level:Mmio_map.disk_level
-          ~vector:Mmio_map.disk_vector);
+        if t.powered then begin
+          (match t.pending with
+          | None -> ()
+          | Some (`Read (blk, buf)) ->
+            for i = 0 to block_words - 1 do
+              Machine.poke m (buf + i) t.store.(blk).(i)
+            done;
+            t.status <- 2
+          | Some (`Write (blk, buf)) ->
+            for i = 0 to block_words - 1 do
+              t.store.(blk).(i) <- Machine.peek m (buf + i)
+            done;
+            if t.journaling then
+              t.journal <- (blk, Array.copy t.store.(blk)) :: t.journal;
+            t.status <- 2);
+          t.pending <- None;
+          Machine.post_interrupt ~source:"disk" m ~level:Mmio_map.disk_level
+            ~vector:Mmio_map.disk_vector
+        end);
     Machine.map_mmio_write m ~addr:Mmio_map.disk_block (fun v -> t.reg_block <- v);
     Machine.map_mmio_write m ~addr:Mmio_map.disk_buffer (fun v -> t.reg_buffer <- v);
     Machine.map_mmio_read m ~addr:Mmio_map.disk_status (fun () -> t.status);
     Machine.map_mmio_write m ~addr:Mmio_map.disk_command (fun cmd ->
-        if t.reg_block < 0 || t.reg_block >= Array.length t.store then t.status <- 3
+        if not t.powered then ()
+        else if t.reg_block < 0 || t.reg_block >= Array.length t.store then
+          t.status <- 3
         else begin
           t.status <- 1;
           t.pending <-
@@ -219,6 +246,24 @@ module Disk = struct
               (Machine.cycles m + Cost.cycles_of_us (Machine.cost_model m) latency)
           end
         end);
+    (* kcrash: a power cut freezes the platter at this instant.  An
+       in-flight read is simply lost; an in-flight write either
+       vanishes whole (torn_words < 0) or lands its first [torn_words]
+       words — the prefix-torn sector model.  No completion interrupt
+       is ever posted and the controller goes dead until power_on. *)
+    Machine.register_power_hook m ~device:"disk" (fun torn_words ->
+        (match t.pending with
+        | Some (`Write (blk, buf)) when torn_words >= 0 ->
+          let n = min torn_words block_words in
+          for i = 0 to n - 1 do
+            t.store.(blk).(i) <- Machine.peek m (buf + i)
+          done;
+          if t.journaling && n > 0 then
+            t.journal <- (blk, Array.copy t.store.(blk)) :: t.journal
+        | _ -> ());
+        t.pending <- None;
+        t.powered <- false;
+        Machine.device_idle m dev);
     t
 
   (* Host-side access for populating disk images in tests/examples. *)
@@ -227,6 +272,38 @@ module Disk = struct
 
   let read_block t blk = Array.copy t.store.(blk)
   let blocks t = Array.length t.store
+
+  (* ---- kcrash: power and persistence --------------------------- *)
+
+  let power_cut ?(torn_words = -1) t =
+    Machine.power_cut t.machine ~device:"disk" ~torn_words
+
+  let power_on t =
+    t.powered <- true;
+    t.status <- 0
+
+  let powered t = t.powered
+
+  (* Commit journal: every write that reached the platter, in commit
+     order, as (block, post-write image).  Crash states are exactly
+     the prefixes of this list applied to a base image (the elevator
+     admits no other orders — the server keeps one request in
+     flight). *)
+  let set_journaling t on =
+    t.journaling <- on;
+    if on then t.journal <- []
+
+  let journal t = List.rev t.journal
+  let clear_journal t = t.journal <- []
+
+  (* Whole-platter snapshots for reboot-and-recover exploration. *)
+  let image t = Array.map Array.copy t.store
+
+  let load_image t img =
+    let n = min (Array.length img) (Array.length t.store) in
+    for b = 0 to n - 1 do
+      Array.blit img.(b) 0 t.store.(b) 0 (min block_words (Array.length img.(b)))
+    done
 end
 
 (* ------------------------------------------------------------------ *)

@@ -54,6 +54,30 @@ module Disk : sig
 
   val read_block : t -> int -> int array
   val blocks : t -> int
+
+  (** {2 Power cuts and persistence (kcrash)} *)
+
+  (** Freeze the platter now: an in-flight read is lost; an in-flight
+      write vanishes ([torn_words] absent) or lands exactly its first
+      [torn_words] words (prefix-torn).  No completion interrupt fires
+      and commands are ignored until {!power_on}. *)
+  val power_cut : ?torn_words:int -> t -> unit
+
+  val power_on : t -> unit
+  val powered : t -> bool
+
+  (** Record every write that reaches the platter, in commit order,
+      as [(block, post-write image)] — the crash-point explorer's
+      ground truth for legal completion prefixes. *)
+  val set_journaling : t -> bool -> unit
+
+  val journal : t -> (int * int array) list
+  val clear_journal : t -> unit
+
+  (** Whole-platter snapshot / restore (reboot-and-recover runs). *)
+  val image : t -> int array array
+
+  val load_image : t -> int array array -> unit
 end
 
 module Ad : sig

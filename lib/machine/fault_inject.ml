@@ -52,6 +52,7 @@ type action =
   | Bit_flip of { target : target; addr : int; bit : int }
   | Stall of { device : string; delay_cycles : int }
   | Drop_completion of { device : string }
+  | Power_cut of { device : string; torn_words : int }
 
 (* The code store is an instruction array, so a "flipped bit" in code
    is modelled at instruction granularity: the word no longer decodes,
@@ -86,6 +87,11 @@ type config = {
   flip_len : int;
   n_code_flips : int;
   code_regions : (int * int) list;
+  (* kcrash: power cuts to persistent devices.  torn bound is drawn in
+     [-1, cut_torn_words]; -1 loses the in-flight write whole. *)
+  n_cuts : int;
+  cut_devices : string list;
+  cut_torn_words : int;
 }
 
 let default_config =
@@ -115,6 +121,9 @@ let default_config =
     flip_len = 0;
     n_code_flips = 0;
     code_regions = [];
+    n_cuts = 0;
+    cut_devices = [ "disk" ];
+    cut_torn_words = 64;
   }
 
 let describe_action = function
@@ -127,6 +136,8 @@ let describe_action = function
   | Stall { device; delay_cycles } ->
     Printf.sprintf "stall %s +%d cycles" device delay_cycles
   | Drop_completion { device } -> Printf.sprintf "drop_completion %s" device
+  | Power_cut { device; torn_words } ->
+    Printf.sprintf "power_cut %s torn=%d" device torn_words
 
 let compile ?(config = default_config) seed =
   let r = rng_make seed in
@@ -173,6 +184,13 @@ let compile ?(config = default_config) seed =
       add (Drop_completion { device })
     done
   end;
+  if config.cut_devices <> [] then
+    for _ = 1 to config.n_cuts do
+      let device =
+        List.nth config.cut_devices (rng_int r (List.length config.cut_devices))
+      in
+      add (Power_cut { device; torn_words = rng_int r (config.cut_torn_words + 2) - 1 })
+    done;
   let cas_gaps =
     List.init config.n_cas_fails (fun _ -> 1 + rng_int r config.cas_gap)
   in
@@ -222,6 +240,7 @@ let fire t m action =
     match Machine.find_device m device with
     | Some d when d.Machine.next_due <> max_int -> Machine.device_idle m d
     | _ -> ())
+  | Power_cut { device; torn_words } -> Machine.power_cut m ~device ~torn_words
 
 let rec schedule t m dev =
   match t.fi_pending with

@@ -30,6 +30,11 @@ type action =
       (** push an in-flight completion later *)
   | Drop_completion of { device : string }
       (** lose an in-flight completion entirely *)
+  | Power_cut of { device : string; torn_words : int }
+      (** cut power to a persistent device: the platter freezes, an
+          in-flight write lands at most its first [torn_words] words
+          (-1 = lost whole), and the controller goes dead until the
+          host powers it back on (kcrash) *)
 
 val corrupt_insn : bit:int -> Insn.insn
 (** The undecodable instruction a [Code] flip plants — exposed so
@@ -66,6 +71,10 @@ type config = {
       (** (base, len) code-store spans code flips are aimed at —
           typically registered synthesized regions; [[]] disables
           code flips *)
+  n_cuts : int;  (** power cuts (0 in the default mix) *)
+  cut_devices : string list;
+  cut_torn_words : int;
+      (** torn bound drawn uniformly from \[-1, cut_torn_words\] *)
 }
 
 val default_config : config

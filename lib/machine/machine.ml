@@ -91,6 +91,10 @@ and t = {
   (* devices *)
   mutable devices : device list;
   mutable next_device_due : int;
+  (* power-cut hooks: device name -> cut handler.  The argument is the
+     torn-word count for an in-flight write (-1 = the transfer is lost
+     whole).  Registered by devices that model persistence (kcrash). *)
+  mutable power_hooks : (string * (int -> unit)) list;
   (* memory-mapped I/O: address -> handlers *)
   mmio_read : (int, unit -> int) Hashtbl.t;
   mmio_write : (int, int -> unit) Hashtbl.t;
@@ -158,6 +162,7 @@ let create ?(mem_words = 1 lsl 20) cost =
     pending = Array.make 8 (-1);
     devices = [];
     next_device_due = max_int;
+    power_hooks = [];
     mmio_read = Hashtbl.create 16;
     mmio_write = Hashtbl.create 16;
     maps = Hashtbl.create 16;
@@ -391,6 +396,19 @@ let find_device t name = List.find_opt (fun d -> d.dev_name = name) t.devices
 let remove_device t d =
   t.devices <- List.filter (fun d' -> d' != d) t.devices;
   recompute_device_due t
+
+let register_power_hook t ~device f =
+  t.power_hooks <-
+    (device, f) :: List.remove_assoc device t.power_hooks
+
+(* Cut power to [device] at the current cycle.  [torn_words] bounds
+   how much of an in-flight write reaches the platter: -1 loses the
+   transfer whole, [k >= 0] lands exactly the first [k] words (the
+   prefix-torn write model).  Unknown devices ignore the cut. *)
+let power_cut t ~device ~torn_words =
+  match List.assoc_opt device t.power_hooks with
+  | Some f -> f torn_words
+  | None -> ()
 
 let post_interrupt ?(source = "") t ~level ~vector =
   if level < 1 || level > 7 then invalid_arg "post_interrupt: level";

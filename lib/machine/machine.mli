@@ -150,6 +150,19 @@ val remove_device : t -> device -> unit
 (** [source] labels the posting device for the observability hooks. *)
 val post_interrupt : ?source:string -> t -> level:int -> vector:int -> unit
 
+(** {1 Power cuts (kcrash)}
+
+    Devices that model persistence register a cut handler; the
+    argument is the torn-word bound for an in-flight write (-1 = the
+    transfer is lost whole, [k >= 0] = exactly the first [k] words
+    land). *)
+
+val register_power_hook : t -> device:string -> (int -> unit) -> unit
+
+(** Cut power to the named device at the current cycle; cuts to
+    devices with no registered handler are ignored. *)
+val power_cut : t -> device:string -> torn_words:int -> unit
+
 (** {1 Observability hooks} *)
 
 val set_hooks : t -> hooks option -> unit

@@ -138,7 +138,7 @@ let test_dfs_thread_read () =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let content = Array.init 600 (fun i -> i * 7) in
-  Dfs.format k ~files:[ ("notes", content) ];
+  Dfs.format k ~files:[ ("notes", content) ] ();
   let ds = Disk_server.install k () in
   (* the superblock read needs a running machine: start the idle
      thread first *)
@@ -193,7 +193,7 @@ let test_dfs_thread_read () =
 
 let test_dfs_mount_lists_files () =
   let b, k, ds = setup () in
-  Dfs.format k ~files:[ ("a", [| 1 |]); ("b", Array.make 300 9) ];
+  Dfs.format k ~files:[ ("a", [| 1 |]); ("b", Array.make 300 9) ] ();
   let dfs = Dfs.mount b.Boot.vfs ds in
   match Dfs.files dfs with
   | [ fa; fb ] ->
