@@ -7,7 +7,7 @@ DUNE ?= dune
 .PHONY: all build test fmt check bench bench-check bench-all \
         faultsim faultsim-queues faultsim-ready-queue faultsim-kpipe \
         faultsim-disk faultsim-codeflip faultsim-synthcache \
-        faultsim-crash clean
+        faultsim-smp faultsim-crash clean
 
 all: build
 
@@ -79,6 +79,14 @@ faultsim-codeflip:
 # once for all users and keep serving post-storm instantiations.
 faultsim-synthcache:
 	$(FAULTSIM) --subject synthcache
+
+# kSMP: the multi-core work-stealing storm — a queue workload pinned
+# across 2-4 cores (picked per seed) with per-core stealers, under
+# core-clock skews, forced steals/migrations, cross-core preemptions,
+# and core-targeted spurious interrupts.  The sabotage leg skips the
+# steal dispatch guard and must be caught.
+faultsim-smp:
+	$(FAULTSIM) --subject smp
 
 # kcrash: enumerate every legal power-cut state of the journaled FS
 # workloads (journal prefixes + torn-write variants + a live

@@ -61,7 +61,7 @@ let table5_interrupts () =
   let k = b.Synthesis.Boot.kernel in
   let _adq = Synthesis.Interrupt.install_adq k ~n_elems:16 () in
   let m = k.Synthesis.Kernel.machine in
-  (match k.Synthesis.Kernel.rq_anchor with
+  (match Synthesis.Kernel.anchor k 0 with
   | Some t ->
     Quamachine.Machine.set_supervisor m true;
     Quamachine.Machine.set_reg m Quamachine.Insn.sp Synthesis.Layout.boot_stack_top;

@@ -34,6 +34,7 @@ let workload ~fault () =
               ev_action =
                 Fault_inject.Spurious_irq
                   {
+                    cpu = None;
                     level = Mmio_map.timer_level;
                     vector = Mmio_map.timer_vector;
                   };

@@ -42,7 +42,7 @@ let timed_burst mech =
     ~files:[ ("log", chunk_data 99) ]
     ();
   let ds = Disk_server.install k () in
-  (match k.Kernel.idle_thread with
+  (match Kernel.idle_of k 0 with
   | Some t ->
     let m = k.Kernel.machine in
     Machine.set_supervisor m true;
@@ -109,7 +109,7 @@ let run () =
       ~files:[ ("log", chunk_data 99) ]
       ();
     let ds = Disk_server.install k () in
-    (match k.Kernel.idle_thread with
+    (match Kernel.idle_of k 0 with
     | Some t ->
       let m = k.Kernel.machine in
       Machine.set_supervisor m true;

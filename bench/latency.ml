@@ -97,7 +97,7 @@ let disk_run ~storm =
         (Array.init Devices.Disk.block_words (fun i -> (bno * 1_000) + i)))
     blocks;
   (* idle thread takes the completion interrupts *)
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

@@ -26,7 +26,8 @@ let json_benches ~scale () =
   Fault_recovery.run ();
   Fault_repair.run ();
   Fs_crash.run ();
-  Synth_scale.run ()
+  Synth_scale.run ();
+  Smp_bench.run ()
 
 let all_benches ~scale () =
   json_benches ~scale ();
@@ -139,6 +140,7 @@ let main_cmd =
       cmd_of "fault-recovery" Fault_recovery.run;
       cmd_of "fault-repair" Fault_repair.run;
       cmd_of "synth-scale" Synth_scale.run;
+      cmd_of "smp" Smp_bench.run;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

@@ -1,0 +1,90 @@
+(* kSMP throughput scaling: one fixed compute workload, run to
+   completion on 1, 2, and 4 cores.
+
+   Eight independent compute-bound workers (4000 memory increments
+   each) are pinned round-robin across the cores; completion time is
+   the frontier — the busiest core's cycle count — so the speedup over
+   the 1-core run is the real parallel scaling of the machine model
+   plus the per-CPU scheduler (switch overhead, per-core timers, ring
+   maintenance), not an idealised work/cores quotient.
+
+   A second variant starts all eight workers homed on core 0 with only
+   work-stealer devices on the other three cores: the speedup it
+   recovers is what the stealing path buys, and the steal count proves
+   the balancing actually ran.  Both variants are deterministic, so
+   the rows gate in `bench compare`. *)
+
+open Quamachine
+open Synthesis
+module I = Insn
+
+let workers = 8
+let per_worker = 4_000
+
+let worker_prog cell =
+  [
+    I.Move (I.Imm (per_worker - 1), I.Reg I.r9);
+    I.Label "loop";
+    I.Alu_mem (I.Add, I.Imm 1, I.Abs cell);
+    I.Dbra (I.r9, I.To_label "loop");
+    I.Trap 0;
+  ]
+
+(* Run the workload and return the completion frontier in cycles.
+   [home] picks each worker's home core; [stealers] adds a stealer
+   device per non-zero core. *)
+let run_workload ~cores ~home ~stealers =
+  let b = Boot.boot ~cores () in
+  let k = b.Boot.kernel in
+  let m = k.Kernel.machine in
+  let cells = Kalloc.alloc_zeroed k.Kernel.alloc 16 in
+  for i = 0 to workers - 1 do
+    let entry, _ = Asm.assemble m (worker_prog (cells + i)) in
+    ignore
+      (Thread.create k ~cpu:(home i) ~entry ~quantum_us:500
+         ~segments:[ (cells, 16) ] ())
+  done;
+  if stealers then
+    for c = 1 to cores - 1 do
+      ignore (Smp.install_stealer k ~cpu:c ~period_us:300 ())
+    done;
+  (match Boot.go ~max_insns:50_000_000 b with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> failwith "smp bench: workload did not complete");
+  for i = 0 to workers - 1 do
+    if Machine.peek m (cells + i) <> per_worker then
+      failwith "smp bench: lost increments"
+  done;
+  (Machine.max_core_cycles m, Smp.steals k)
+
+let run () =
+  Repro_harness.Harness.header "kSMP throughput scaling";
+  Fmt.pr "%d workers x %d increments, pinned round-robin@." workers per_worker;
+  let base = ref 0 in
+  List.iter
+    (fun cores ->
+      let cycles, _ =
+        run_workload ~cores ~home:(fun i -> i mod cores) ~stealers:false
+      in
+      if cores = 1 then base := cycles;
+      let speedup = float_of_int !base /. float_of_int cycles in
+      Fmt.pr "%-32s %10d cycles  %6.2fx@."
+        (Fmt.str "pinned, %d core%s" cores (if cores = 1 then "" else "s"))
+        cycles speedup;
+      let row = Fmt.str "cores_%d" cores in
+      Bench_json.record ~table:"smp" ~row ~metric:"cycles"
+        (float_of_int cycles);
+      if cores > 1 then
+        Bench_json.record ~table:"smp" ~row ~metric:"speedup_ratio" speedup)
+    [ 1; 2; 4 ];
+  (* all work starts on core 0; stealers must spread it *)
+  let cycles, steals =
+    run_workload ~cores:4 ~home:(fun _ -> 0) ~stealers:true
+  in
+  let speedup = float_of_int !base /. float_of_int cycles in
+  Fmt.pr "%-32s %10d cycles  %6.2fx  (%d steals)@." "stolen, 4 cores" cycles
+    speedup steals;
+  if steals < 1 then failwith "smp bench: stealers never stole";
+  Bench_json.record ~table:"smp" ~row:"steal_4" ~metric:"cycles"
+    (float_of_int cycles);
+  Bench_json.record ~table:"smp" ~row:"steal_4" ~metric:"speedup_ratio" speedup

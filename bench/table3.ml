@@ -47,7 +47,7 @@ let measure_step () =
   let target = Thread.create k ~entry:busy () in
   Thread.stop k target;
   (* start the machine on the runner *)
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

@@ -8,7 +8,7 @@ module U = Unix_emulator.Unix_abi
 
 let start_machine k =
   let m = k.Kernel.machine in
-  match k.Kernel.rq_anchor with
+  match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
@@ -84,7 +84,7 @@ let measure_alarm () =
   let entry, _ = Asm.assemble m program in
   let _t = Thread.create k ~entry () in
   (* run until the alarm interrupt is vectored, then measure it *)
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

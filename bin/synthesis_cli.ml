@@ -143,7 +143,7 @@ let cmd_trace out =
    for one seed (or a --seeds N sweep), plus the targeted recovery
    scenarios.  Exits non-zero on any invariant violation, so CI can
    gate on `make faultsim`. *)
-let cmd_faultsim subject seed seeds verbose postmortem_dir =
+let cmd_faultsim subject cores seed seeds verbose postmortem_dir =
   let module E = Repro_harness.Explorer in
   let failures = ref 0 in
   let first = seed and last = seed + seeds - 1 in
@@ -344,6 +344,7 @@ let cmd_faultsim subject seed seeds verbose postmortem_dir =
   | "kpipe" -> run_subject_sweep E.kpipe_subject
   | "codeflip" -> run_subject_sweep E.codeflip_subject
   | "synthcache" -> run_subject_sweep E.synthcache_subject
+  | "smp" -> run_subject_sweep (E.smp_subject ?cores ())
   | "crash" -> run_crash_sweep ()
   | "disk" ->
     run_subject_sweep E.disk_subject;
@@ -351,7 +352,7 @@ let cmd_faultsim subject seed seeds verbose postmortem_dir =
   | s ->
     Fmt.pr
       "unknown subject %S (try all, queues, ready-queue, kpipe, disk, \
-       codeflip, synthcache, crash)@."
+       codeflip, synthcache, smp, crash)@."
       s;
     exit 2);
   if !failures > 0 then begin
@@ -420,7 +421,16 @@ let cmds =
          & info [ "subject" ] ~docv:"SUBJECT"
              ~doc:
                "workload to stress: all, queues, ready-queue, kpipe, disk, \
-                codeflip, synthcache, or crash")
+                codeflip, synthcache, smp, or crash")
+     in
+     let cores =
+       Arg.(
+         value
+         & opt (some int) None
+         & info [ "cores" ] ~docv:"N"
+             ~doc:
+               "core count for the smp subject (default: 2-4 picked by \
+                seed)")
      in
      let postmortem_dir =
        Arg.(
@@ -438,10 +448,13 @@ let cmds =
              injected faults) over the selected subject — the four lock-free \
              queue kinds, the executable ready queue, a kpipe pair, the \
              disk elevator, the kheal code-flip/self-repair storm, the \
-             ksynth shared-page repair storm, and the kcrash power-cut \
+             ksynth shared-page repair storm, the kSMP multi-core \
+             work-stealing storm, and the kcrash power-cut \
              crash-consistency litmus families — plus the timer-loss and \
              disk-fault recovery scenarios")
-       Term.(const cmd_faultsim $ subject $ seed $ seeds $ verbose $ postmortem_dir));
+       Term.(
+         const cmd_faultsim $ subject $ cores $ seed $ seeds $ verbose
+         $ postmortem_dir));
   ]
 
 let () =

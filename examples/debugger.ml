@@ -36,7 +36,7 @@ let () =
   let _runner = Thread.create k ~quantum_us:100_000 ~entry:busy () in
 
   (* Start the machine, let the target run a little, then stop it. *)
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

@@ -11,7 +11,7 @@ module I = Insn
 type t = {
   kernel : Kernel.t;
   vfs : Vfs.t;
-  idle : Kernel.tte;
+  idle : Kernel.tte; (* core 0's idle thread *)
   mutable at_boot : (unit -> unit) list;
       (* run (in registration order) by [go] once the scheduler is
          entered, before user threads get the machine — file-system
@@ -40,15 +40,19 @@ let work_remaining k =
 
 let install_fault_handlers k =
   let kill reason m =
+    (* everything here keys off the *executing* core: its current
+       thread dies and its own ready ring supplies the successor *)
+    let cpu = Kernel.this_cpu k in
     let cur = Kernel.current_exn k in
     Kernel.log_fault k ~tid:cur.Kernel.tid ~reason;
     let next =
-      if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else k.Kernel.rq_anchor
+      if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur)
+      else Kernel.anchor k cpu
     in
     Thread.destroy k cur;
     if not (work_remaining k) then Machine.set_halted m true
     else
-      match (next, k.Kernel.rq_anchor) with
+      match (next, Kernel.anchor k cpu) with
       | Some n, _ when n.Kernel.state = Kernel.Ready && Ready_queue.in_queue n ->
         Machine.set_pc m n.Kernel.sw_in_mmu
       | _, Some a -> Machine.set_pc m a.Kernel.sw_in_mmu
@@ -125,15 +129,18 @@ let install_shared_handlers k =
       k.Kernel.default_vectors.(v) <- stray_irq
   done;
   install_fault_handlers k;
-  (* trap 5: yield — the frame is already on the stack; just switch *)
+  (* trap 5: yield — the frame is already on the stack; just switch.
+     Shared code, so the switch-out address comes through the per-core
+     MMIO window: whichever core yields switches its own thread out. *)
   let yield, _ =
     Ksynth.install k ~name:"syscall/yield"
-      [ I.Set_ipl 6; I.Jmp (I.To_mem (I.Abs Layout.cur_sw_out_cell)) ]
+      [ I.Set_ipl 6; I.Jmp (I.To_mem (I.Abs Mmio_map.cur_sw_out)) ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 5) <- yield;
   (* trap 0: exit — destroy the calling thread and run the next one *)
   let exit_id =
     Machine.register_hcall m (fun m ->
+        let cpu = Kernel.this_cpu k in
         let cur = Kernel.current_exn k in
         let next =
           if Ready_queue.in_queue cur then Some (Ready_queue.next_exn cur) else None
@@ -141,7 +148,7 @@ let install_shared_handlers k =
         Thread.destroy k cur;
         if not (work_remaining k) then Machine.set_halted m true
         else
-          match (next, k.Kernel.rq_anchor) with
+          match (next, Kernel.anchor k cpu) with
           | Some n, _ when Ready_queue.in_queue n -> Machine.set_pc m n.Kernel.sw_in_mmu
           | _, Some a -> Machine.set_pc m a.Kernel.sw_in_mmu
           | _, None -> Machine.set_halted m true)
@@ -165,7 +172,7 @@ let install_shared_handlers k =
       [
         I.Set_ipl 6;
         I.Hcall trace_stop_id;
-        I.Jmp (I.To_mem (I.Abs Layout.cur_sw_out_cell));
+        I.Jmp (I.To_mem (I.Abs Mmio_map.cur_sw_out));
       ]
   in
   k.Kernel.default_vectors.(I.Vector.trace) <- trace_h;
@@ -236,11 +243,15 @@ let install_shared_handlers k =
       [ I.Move (I.Abs Mmio_map.rtc_us, I.Reg I.r0); I.Rte ]
   in
   k.Kernel.default_vectors.(I.Vector.trap 10) <- gettime;
-  (* trap 7: set alarm (r1 = microseconds); Table 5 "Set alarm" *)
+  (* trap 7: set alarm (r1 = microseconds); Table 5 "Set alarm".
+     The arming thread's tid is read through the per-core window
+     (whichever core traps) but stashed in the single global chain
+     cell: there is one alarm register, so last-armer-wins applies to
+     the chained tid exactly as it does to the deadline. *)
   let alarm_set, _ =
     Ksynth.install k ~name:"syscall/alarm"
       [
-        I.Move (I.Abs Layout.cur_tid_cell, I.Abs Layout.chain_scratch_cell);
+        I.Move (I.Abs Mmio_map.cur_tid, I.Abs Layout.chain_scratch_cell);
         I.Move (I.Reg I.r1, I.Abs Mmio_map.alarm_set);
         I.Move (I.Imm 0, I.Reg I.r0);
         I.Rte;
@@ -258,42 +269,78 @@ let install_shared_handlers k =
   let alarm_irq, _ =
     Ksynth.install k ~name:"irq/alarm" [ I.Hcall alarm_fired_id; I.Rte ]
   in
-  k.Kernel.default_vectors.(Mmio_map.alarm_vector) <- alarm_irq
+  k.Kernel.default_vectors.(Mmio_map.alarm_vector) <- alarm_irq;
+  (* cross-core signal IPI: re-deliver queued signals on the home core *)
+  let sig_ipi_id =
+    Machine.register_hcall m (fun _ -> Thread.drain_cross_signals k)
+  in
+  let sig_ipi_h, _ =
+    Ksynth.install k ~name:"irq/sig_ipi" [ I.Hcall sig_ipi_id; I.Rte ]
+  in
+  k.Kernel.default_vectors.(Thread.sig_ipi_vector) <- sig_ipi_h
 
 (* ---------------------------------------------------------------- *)
 (* The idle thread: waits for interrupts in supervisor mode. *)
 
-let create_idle k =
+(* Each core gets its own idle thread, pinned there; the idle *code*
+   is one shared page ([Ksynth.install] memoizes on name + body). *)
+let create_idle ?(cpu = 0) k =
   let idle_code, _ =
     Ksynth.install k ~name:"idle_loop"
       [ I.Label "idle"; I.Stop_wait; I.B (I.Always, I.To_label "idle") ]
   in
-  let idle = Thread.create k ~quantum_us:10_000 ~system:true ~entry:idle_code () in
+  let idle =
+    Thread.create k ~cpu ~quantum_us:10_000 ~system:true ~entry:idle_code ()
+  in
   (* the idle loop needs supervisor state for Stop_wait *)
   Machine.poke k.Kernel.machine
     (idle.Kernel.base + Layout.Tte.off_regs + 16)
     Ctx.kernel_sr;
-  k.Kernel.idle_thread <- Some idle;
+  Kernel.set_idle k cpu idle;
   idle
 
 (* ---------------------------------------------------------------- *)
 
-let boot ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
-  let k = Kernel.create ~cost ~mem_words () in
+let boot ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) ?(cores = 1) () =
+  let k = Kernel.create ~cost ~mem_words ~cores () in
   install_shared_handlers k;
   let vfs = Vfs.install k in
   Fs.register_null vfs;
   let idle = create_idle k in
+  for c = 1 to cores - 1 do
+    ignore (create_idle ~cpu:c k)
+  done;
   (* crash recovery: make Thread.restart reachable from layers below
      Thread (Kernel.restart_thread) *)
   k.Kernel.restart_hook <- Some (fun t -> Thread.restart k t);
   { kernel = k; vfs; idle; at_boot = [] }
 
-(* Enter the scheduler: jump into some ready thread's switch-in code
-   from a fresh boot stack. *)
+(* Bring one secondary core up: stage its supervisor context on a
+   private boot stack, aim it at its ring's switch-in, and wake it. *)
+let start_secondary k cpu =
+  let m = k.Kernel.machine in
+  match Kernel.anchor k cpu with
+  | None -> invalid_arg "Boot.start_secondary: empty ready ring"
+  | Some t ->
+    let stack = Kalloc.alloc k.Kernel.alloc 64 in
+    Machine.set_active_core m cpu;
+    Machine.set_supervisor m true;
+    Machine.set_reg m I.sp (stack + 64);
+    Machine.set_ipl m 7;
+    Machine.set_pc m t.Kernel.sw_in_mmu;
+    Machine.start_core m cpu
+
+(* Enter the scheduler: each secondary core is staged and woken on its
+   own ready ring, then core 0 jumps into its ring's switch-in from a
+   fresh boot stack. *)
 let enter_scheduler k =
   let m = k.Kernel.machine in
-  match k.Kernel.rq_anchor with
+  for c = 1 to Kernel.cores k - 1 do
+    if (not (Machine.core_started m c)) && Kernel.anchor k c <> None then
+      start_secondary k c
+  done;
+  Machine.set_active_core m 0;
+  match Kernel.anchor k 0 with
   | None -> invalid_arg "Boot.go: no runnable threads"
   | Some t ->
     Machine.set_supervisor m true;
@@ -330,7 +377,7 @@ let go ?(max_insns = max_int) ?(restart_on_double_fault = false) b =
   | [] -> ()
   | hooks ->
     b.at_boot <- [];
-    (match k.Kernel.idle_thread with
+    (match Kernel.idle_of k 0 with
     | Some idle ->
       Machine.set_supervisor m true;
       Machine.set_reg m I.sp Layout.boot_stack_top;

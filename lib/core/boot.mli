@@ -8,11 +8,19 @@
 type t = {
   kernel : Kernel.t;
   vfs : Vfs.t;
-  idle : Kernel.tte;
+  idle : Kernel.tte;  (** core 0's idle thread *)
   mutable at_boot : (unit -> unit) list;
 }
 
-val boot : ?cost:Quamachine.Cost.t -> ?mem_words:int -> unit -> t
+(** [cores] boots an SMP kernel: every core gets a pinned idle thread
+    and, once [go] enters the scheduler, runs its own ready ring
+    (secondaries wake via {!Quamachine.Machine.start_core}). *)
+val boot :
+  ?cost:Quamachine.Cost.t -> ?mem_words:int -> ?cores:int -> unit -> t
+
+(** Stage and wake one secondary core on its ready ring (normally done
+    by [go]; exposed for tests and the explorer). *)
+val start_secondary : Kernel.t -> int -> unit
 
 (** Register a hook run by the next [go], once the scheduler is
     entered but before user threads get the machine.  Hooks may step

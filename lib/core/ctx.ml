@@ -58,11 +58,19 @@ let sw_out_template ~uses_fp ~probe =
         ])
 
 (* sw_in restores a thread.  Entered at "sw_in_mmu" when the address
-   space must change, at "sw_in" otherwise. *)
+   space must change, at "sw_in" otherwise.
+
+   SMP: the quantum-timer register and the current-thread kernel cells
+   are invariants bound to the thread's home core — on core 0 they are
+   exactly the uniprocessor's constants, so one-core switch code is
+   byte-identical to what the uniprocessor synthesized. *)
 let sw_in_template ~uses_fp ~probe =
   Template.make ~name:"sw_in"
     ~params:
-      [ "save"; "map_id"; "quantum"; "vtable"; "tte_base"; "tid"; "sw_out"; "fp_save" ]
+      [
+        "save"; "map_id"; "quantum"; "vtable"; "tte_base"; "tid"; "sw_out";
+        "fp_save"; "timer_reg"; "tte_cell"; "tid_cell"; "sw_out_cell";
+      ]
     (fun p ->
       let save = p "save" in
       List.concat
@@ -71,11 +79,11 @@ let sw_in_template ~uses_fp ~probe =
           probe;
           [
             I.Label "quantum_slot";
-            I.Move (I.Imm (p "quantum"), I.Abs Mmio_map.timer_alarm);
+            I.Move (I.Imm (p "quantum"), I.Abs (p "timer_reg"));
             I.Move_vbr (I.Imm (p "vtable"));
-            I.Move (I.Imm (p "tte_base"), I.Abs Layout.cur_tte_cell);
-            I.Move (I.Imm (p "tid"), I.Abs Layout.cur_tid_cell);
-            I.Move (I.Imm (p "sw_out"), I.Abs Layout.cur_sw_out_cell);
+            I.Move (I.Imm (p "tte_base"), I.Abs (p "tte_cell"));
+            I.Move (I.Imm (p "tid"), I.Abs (p "tid_cell"));
+            I.Move (I.Imm (p "sw_out"), I.Abs (p "sw_out_cell"));
             I.Move (I.Imm (if uses_fp then 1 else 0), I.Abs Mmio_map.fp_control);
             I.Move (I.Abs (save + 18), I.Abs Mmio_map.usp); (* user SP *)
             I.Move (I.Abs (save + 15), I.Reg I.sp); (* kernel SP *)
@@ -91,7 +99,8 @@ let sw_in_template ~uses_fp ~probe =
 (* -------------------------------------------------------------- *)
 (* Synthesis *)
 
-let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
+let synthesize k ?(cpu = 0) ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp
+    () =
   let save = tte_base + Layout.Tte.off_regs in
   let vtable = tte_base + Layout.Tte.off_vectors in
   let fp_save = tte_base + Layout.Tte.off_fp_save in
@@ -118,6 +127,10 @@ let synthesize k ~(tte_base : int) ~tid ~map_id ~quantum_us ~uses_fp =
           ("tid", tid);
           ("sw_out", sw_out);
           ("fp_save", fp_save);
+          ("timer_reg", Mmio_map.timer_alarm_for cpu);
+          ("tte_cell", Layout.cur_tte_cell_for cpu);
+          ("tid_cell", Layout.cur_tid_cell_for cpu);
+          ("sw_out_cell", Layout.cur_sw_out_cell_for cpu);
         ]
   in
   let c =
@@ -167,16 +180,32 @@ let apply_switch_code k t (c : switch_code) =
    instruction trapped: from now on this thread pays for FP state. *)
 let resynthesize_with_fp k t =
   t.Kernel.uses_fp <- true;
+  let cpu = t.Kernel.cpu in
   let c =
-    synthesize k ~tte_base:t.Kernel.base ~tid:t.Kernel.tid ~map_id:t.Kernel.map_id
-      ~quantum_us:t.Kernel.quantum_us ~uses_fp:true
+    synthesize k ~cpu ~tte_base:t.Kernel.base ~tid:t.Kernel.tid
+      ~map_id:t.Kernel.map_id ~quantum_us:t.Kernel.quantum_us ~uses_fp:true ()
   in
   apply_switch_code k t c;
-  (* the running thread's cur_sw_out global must track the new code *)
-  (match Kernel.current k with
+  (* the running thread's cur_sw_out cell must track the new code *)
+  (match Kernel.current ~cpu k with
   | Some cur when cur == t ->
-    Machine.poke k.Kernel.machine Layout.cur_sw_out_cell c.c_sw_out
+    Machine.poke k.Kernel.machine (Layout.cur_sw_out_cell_for cpu) c.c_sw_out
   | _ -> ())
+
+(* SMP migration: rebuild the switch code with the destination core's
+   cell addresses and quantum-timer register bound in.  The thread
+   must be off every ready ring — the caller removes it, rehomes it
+   here, and reinserts it on the new core's ring. *)
+let resynthesize_for_cpu k t ~cpu =
+  if Ready_queue.in_queue t then
+    invalid_arg "Ctx.resynthesize_for_cpu: thread still queued";
+  t.Kernel.cpu <- cpu;
+  let c =
+    synthesize k ~cpu ~tte_base:t.Kernel.base ~tid:t.Kernel.tid
+      ~map_id:t.Kernel.map_id ~quantum_us:t.Kernel.quantum_us
+      ~uses_fp:t.Kernel.uses_fp ()
+  in
+  apply_switch_code k t c
 
 (* -------------------------------------------------------------- *)
 (* Partial context switch (§4.2, Table 4: ~3 us).
@@ -204,10 +233,11 @@ let synthesize_partial_switch k ~name ~from_cell ~to_cell =
        ~invariants:[ ("from_cell", from_cell); ("to_cell", to_cell) ])
 
 (* Retune the CPU quantum by patching the immediate in the thread's
-   sw_in code (fine-grain scheduling, §4.4). *)
+   sw_in code (fine-grain scheduling, §4.4).  The patched instruction
+   must keep targeting the thread's home-core timer register. *)
 let set_quantum k t quantum_us =
   t.Kernel.quantum_us <- quantum_us;
   Kernel.patch_code k t.Kernel.quantum_slot
-    (I.Move (I.Imm quantum_us, I.Abs Mmio_map.timer_alarm));
+    (I.Move (I.Imm quantum_us, I.Abs (Mmio_map.timer_alarm_for t.Kernel.cpu)));
   Kernel.trace k (Ktrace.Patched t.Kernel.quantum_slot);
   Machine.charge k.Kernel.machine 4

@@ -18,13 +18,19 @@ type switch_code = {
 (** SR value for kernel-mode continuations (supervisor, IPL 0). *)
 val kernel_sr : int
 
+(** [cpu] is the thread's home core: its cur_* kernel cells and its
+    quantum-timer register are folded in as invariants (core 0 binds
+    exactly the uniprocessor's constants, so one-core switch code is
+    byte-identical). *)
 val synthesize :
   Kernel.t ->
+  ?cpu:int ->
   tte_base:int ->
   tid:int ->
   map_id:int ->
   quantum_us:int ->
   uses_fp:bool ->
+  unit ->
   switch_code
 
 (** Install switch code into a thread and reconnect the ready queue
@@ -34,6 +40,11 @@ val apply_switch_code : Kernel.t -> Kernel.tte -> switch_code -> unit
 (** Lazy-FP: rebuild the switch code with FP save/restore after the
     first FP instruction trapped. *)
 val resynthesize_with_fp : Kernel.t -> Kernel.tte -> unit
+
+(** SMP migration: rebuild the switch code with the destination core's
+    invariants and rehome the thread there.  The thread must be off
+    every ready ring; raises [Invalid_argument] otherwise. *)
+val resynthesize_for_cpu : Kernel.t -> Kernel.tte -> cpu:int -> unit
 
 (** Partial context switch (Table 4, ~3 µs): a synthesized coroutine
     transfer saving only callee-context registers and the stack

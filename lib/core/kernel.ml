@@ -45,6 +45,7 @@ type tte = {
   tid : int;
   base : int; (* data address of the 256-word TTE block *)
   map_id : int;
+  mutable cpu : int; (* home core: whose ready ring, cells, timer *)
   mutable state : thread_state;
   mutable sw_out : int; (* code entries of the synthesized switch code *)
   mutable sw_in : int;
@@ -80,9 +81,10 @@ let waitq ~name =
   { wq_name = name; waiters = []; wq_block_hcall = -1; wq_unblock_hcall = -1 }
 
 (* One entry in the bounded fault log: when (simulated cycles), who,
-   and why.  [f_tid] is 0 for faults not attributable to a thread
-   (e.g. a machine double fault). *)
-type fault_entry = { f_cycle : int; f_tid : int; f_reason : string }
+   where, and why.  [f_tid] is 0 for faults not attributable to a
+   thread (e.g. a machine double fault); [f_cpu] is the core the fault
+   was recorded on. *)
+type fault_entry = { f_cycle : int; f_tid : int; f_cpu : int; f_reason : string }
 
 (* kheal: one record per synthesized code region — everything needed
    to regenerate the region from scratch.  The template plus the
@@ -112,7 +114,10 @@ type code_region = {
 type t = {
   machine : Machine.t;
   alloc : Kalloc.t;
-  timer : Devices.Timer.t;
+  timer : Devices.Timer.t; (* core 0's quantum timer *)
+  (* SMP: one private quantum timer per core ([timers.(0) == timer]);
+     each posts its interrupt to its own core only *)
+  timers : Devices.Timer.t array;
   alarm : Devices.Timer.t;
   tty : Devices.Tty.t;
   disk : Devices.Disk.t;
@@ -121,7 +126,9 @@ type t = {
   threads : (int, tte) Hashtbl.t;
   by_base : (int, tte) Hashtbl.t;
   mutable next_tid : int;
-  mutable rq_anchor : tte option;
+  (* per-core executable ready rings: [rq_anchors.(c)] is core [c]'s
+     anchor thread (None = empty ring) *)
+  rq_anchors : tte option array;
   (* synthesized-code registry: (name, entry, instruction count) *)
   mutable registry : (string * int * int) list;
   (* kheal region table, newest first: every registry entry also gets
@@ -155,7 +162,11 @@ type t = {
      synthesized code byte-identical, which is what lets the cache
      hit (fresh wait queues would mint fresh host-call ids). *)
   mutable pipe_carcasses : (int * int * int * waitq * waitq) list;
-  mutable idle_thread : tte option;
+  (* per-core idle threads ([idle_threads.(0)] is the boot idle) *)
+  idle_threads : tte option array;
+  (* threads with a cross-core signal awaiting their home core's
+     signal IPI (drained by the boot-installed IPI handler) *)
+  mutable sig_xc : tte list;
   (* error traps and kernel-detected failures, newest first, bounded
      at [fault_log_cap] (oldest entries drop; [fault_dropped] counts
      them, and "kernel.faults_total" in [metrics] never loses any) *)
@@ -180,11 +191,52 @@ type t = {
    retrying forever must not grow an unbounded list. *)
 let fault_log_cap = 64
 
-let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
-  let machine = Machine.create ~mem_words cost in
+(* ------------------------------------------------------------------ *)
+(* Cores *)
+
+let cores k = Array.length k.rq_anchors
+let timer_for k c = k.timers.(c)
+let anchor k c = k.rq_anchors.(c)
+let set_anchor k c v = k.rq_anchors.(c) <- v
+let idle_of k c = k.idle_threads.(c)
+let set_idle k c t = k.idle_threads.(c) <- Some t
+
+let is_idle k t =
+  Array.exists (function Some i -> i == t | None -> false) k.idle_threads
+
+(* The core the caller is executing on — home of the ready ring and
+   quantum timer that host services should act on by default. *)
+let this_cpu k = Machine.current_core k.machine
+
+let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) ?(cores = 1) () =
+  let machine = Machine.create ~mem_words ~cores cost in
   Devices.Rtc.install machine;
   Devices.Cpu_control.install machine;
   let timer = Devices.Timer.install machine in
+  (* Each core gets a private quantum timer posting to itself; core 0
+     keeps the historical register and device name, so a one-core
+     kernel builds an identical machine. *)
+  let timers =
+    Array.init cores (fun c ->
+        if c = 0 then timer
+        else
+          Devices.Timer.install
+            ~name:(Printf.sprintf "timer%d" c)
+            ~addr:(Mmio_map.timer_alarm_for c) ~cpu:c machine)
+  in
+  (* The per-core register window: shared kernel paths read/write the
+     *executing* core's current-thread cells through these, at the
+     same one-reference cost as touching the cell directly. *)
+  let percpu_window cell_for addr =
+    Machine.map_mmio_read machine ~addr (fun () ->
+        Machine.peek machine (cell_for (Machine.current_core machine)));
+    Machine.map_mmio_write machine ~addr (fun v ->
+        Machine.poke machine (cell_for (Machine.current_core machine)) v)
+  in
+  percpu_window Layout.cur_sw_out_cell_for Mmio_map.cur_sw_out;
+  percpu_window Layout.cur_tte_cell_for Mmio_map.cur_tte;
+  percpu_window Layout.cur_tid_cell_for Mmio_map.cur_tid;
+  percpu_window Layout.chain_scratch_cell_for Mmio_map.chain_scratch;
   let alarm =
     Devices.Timer.install ~name:"alarm" ~addr:Mmio_map.alarm_set
       ~level:Mmio_map.alarm_level ~vector:Mmio_map.alarm_vector machine
@@ -201,6 +253,7 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     machine;
     alloc;
     timer;
+    timers;
     alarm;
     tty;
     disk;
@@ -209,7 +262,7 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     threads = Hashtbl.create 32;
     by_base = Hashtbl.create 32;
     next_tid = 1;
-    rq_anchor = None;
+    rq_anchors = Array.make cores None;
     registry = [];
     code_regions = [];
     synthesized_insns = 0;
@@ -224,7 +277,8 @@ let create ?(cost = Cost.sun3_emulation) ?(mem_words = 1 lsl 20) () =
     synth_evicted = Hashtbl.create 32;
     synth_clock = 0;
     pipe_carcasses = [];
-    idle_thread = None;
+    idle_threads = Array.make cores None;
+    sig_xc = [];
     fault_log = [];
     fault_log_len = 0;
     fault_dropped = 0;
@@ -283,7 +337,12 @@ let log_fault k ~tid ~reason =
     k.fault_dropped <- k.fault_dropped + 1
   end;
   k.fault_log <-
-    { f_cycle = Machine.cycles k.machine; f_tid = tid; f_reason = reason }
+    {
+      f_cycle = Machine.cycles k.machine;
+      f_tid = tid;
+      f_cpu = Machine.current_core k.machine;
+      f_reason = reason;
+    }
     :: k.fault_log;
   k.fault_log_len <- k.fault_log_len + 1
 
@@ -386,13 +445,15 @@ let thread_exn k tid =
   | Some t -> t
   | None -> invalid_arg ("Kernel.thread: no thread " ^ string_of_int tid)
 
-(* The running thread, as recorded by synthesized sw_in code. *)
-let current k =
-  let base = Machine.peek k.machine Layout.cur_tte_cell in
+(* The running thread, as recorded by synthesized sw_in code — by
+   default on the executing core, or on an explicit [cpu]. *)
+let current ?cpu k =
+  let c = match cpu with Some c -> c | None -> this_cpu k in
+  let base = Machine.peek k.machine (Layout.cur_tte_cell_for c) in
   Hashtbl.find_opt k.by_base base
 
-let current_exn k =
-  match current k with
+let current_exn ?cpu k =
+  match current ?cpu k with
   | Some t -> t
   | None -> failwith "Kernel.current: no thread is running"
 

@@ -44,6 +44,7 @@ type tte = {
   tid : int;
   base : int; (** data address of the 256-word TTE block (Figure 3) *)
   map_id : int;
+  mutable cpu : int; (** home core: which ready ring it runs on *)
   mutable state : thread_state;
   mutable sw_out : int;
   mutable sw_in : int;
@@ -75,8 +76,9 @@ type waitq = {
 val waitq : name:string -> waitq
 
 (** One entry in the bounded fault log; [f_tid] is 0 for faults not
-    attributable to a thread (e.g. a machine double fault). *)
-type fault_entry = { f_cycle : int; f_tid : int; f_reason : string }
+    attributable to a thread (e.g. a machine double fault); [f_cpu] is
+    the core that was executing when the fault was logged. *)
+type fault_entry = { f_cycle : int; f_tid : int; f_cpu : int; f_reason : string }
 
 (** kheal: one record per synthesized code region — the generator
     (template + the exact invariant bindings synthesis folded in) and
@@ -99,7 +101,8 @@ type code_region = {
 type t = {
   machine : Machine.t;
   alloc : Kalloc.t;
-  timer : Devices.Timer.t;
+  timer : Devices.Timer.t;  (** core 0's quantum timer, [= timers.(0)] *)
+  timers : Devices.Timer.t array;  (** per-core quantum timers *)
   alarm : Devices.Timer.t;
   tty : Devices.Tty.t;
   disk : Devices.Disk.t;
@@ -108,7 +111,7 @@ type t = {
   threads : (int, tte) Hashtbl.t;
   by_base : (int, tte) Hashtbl.t;
   mutable next_tid : int;
-  mutable rq_anchor : tte option;
+  rq_anchors : tte option array;  (** per-core executable ready rings *)
   mutable registry : (string * int * int) list;
   mutable code_regions : code_region list;  (** kheal region table, newest first *)
   mutable synthesized_insns : int;
@@ -128,7 +131,10 @@ type t = {
       (** recycled (cap, desc, buf, readers, writers): reusing cells
           and wait queues keeps a reopened pipe's code byte-identical,
           which is what lets the synthesis cache hit *)
-  mutable idle_thread : tte option;
+  idle_threads : tte option array;  (** per-core pinned idle threads *)
+  mutable sig_xc : tte list;
+      (** threads with a cross-core signal awaiting their home core's
+          signal IPI (drained by the boot-installed IPI handler) *)
   mutable fault_log : fault_entry list;  (** newest first, bounded *)
   mutable fault_log_len : int;
   mutable fault_dropped : int;  (** entries evicted by the bound *)
@@ -142,7 +148,28 @@ type t = {
       (** most recent {!postmortem} dump *)
 }
 
-val create : ?cost:Cost.t -> ?mem_words:int -> unit -> t
+val create : ?cost:Cost.t -> ?mem_words:int -> ?cores:int -> unit -> t
+
+(** {1 Cores}
+
+    A one-core kernel is byte- and cycle-identical to the uniprocessor
+    kernel it replaces; with [create ~cores:n] each core owns a
+    quantum timer, an executable ready ring, an idle thread, and a
+    private copy of the current-thread kernel cells. *)
+
+val cores : t -> int
+
+(** The core whose instruction (or hcall) is executing. *)
+val this_cpu : t -> int
+
+val timer_for : t -> int -> Devices.Timer.t
+val anchor : t -> int -> tte option
+val set_anchor : t -> int -> tte option -> unit
+val idle_of : t -> int -> tte option
+val set_idle : t -> int -> tte -> unit
+
+(** Is [t] one of the per-core idle threads? *)
+val is_idle : t -> tte -> bool
 
 (** {1 Fault log} *)
 
@@ -243,10 +270,11 @@ val register_region :
 val thread : t -> int -> tte option
 val thread_exn : t -> int -> tte
 
-(** The running thread, per the cur_tte kernel global. *)
-val current : t -> tte option
+(** The thread running on a core ([cpu] defaults to the executing
+    core), per that core's cur_tte kernel cell. *)
+val current : ?cpu:int -> t -> tte option
 
-val current_exn : t -> tte
+val current_exn : ?cpu:int -> t -> tte
 
 (** Rebuild a crashed thread's initial context and reinsert it at the
     front of the ready queue, bumping "kernel.thread_restarts_total"

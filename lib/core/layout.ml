@@ -21,6 +21,28 @@ let cur_tid_cell = globals_base + 2
 (* Scratch cell used by procedure chaining. *)
 let chain_scratch_cell = globals_base + 3
 
+(* SMP: every core owns a private copy of the four cells above.  Core
+   0 keeps the historical addresses (a one-core kernel lays out memory
+   byte-identically to the uniprocessor); secondary core [c] gets a
+   4-word block in the gap before the fault scratch window — room for
+   7 secondaries, matching [Machine.max_cores].  Shared kernel code
+   reaches the *executing* core's cells through the MMIO register
+   window ([Mmio_map.cur_sw_out] &c); per-thread synthesized code
+   binds its home core's cell addresses as invariants. *)
+let percpu_cells_base = globals_base + 4
+
+let cur_sw_out_cell_for c =
+  if c = 0 then cur_sw_out_cell else percpu_cells_base + (4 * (c - 1))
+
+let cur_tte_cell_for c =
+  if c = 0 then cur_tte_cell else percpu_cells_base + (4 * (c - 1)) + 1
+
+let cur_tid_cell_for c =
+  if c = 0 then cur_tid_cell else percpu_cells_base + (4 * (c - 1)) + 2
+
+let chain_scratch_cell_for c =
+  if c = 0 then chain_scratch_cell else percpu_cells_base + (4 * (c - 1)) + 3
+
 (* kfault scratch: a reserved data window for fault-injection bit
    flips, so tests and explorer subjects aim flips at a Layout-derived
    address instead of hard-coding magic numbers.  Nothing in the

@@ -15,6 +15,18 @@ val cur_tte_cell : int
 val cur_tid_cell : int
 val chain_scratch_cell : int
 
+(** {1 SMP per-core cells} — core 0 keeps the historical four cells
+    above (a one-core kernel lays memory out byte-identically to the
+    uniprocessor); secondary core [c] owns a private 4-word block at
+    [percpu_cells_base + 4*(c-1)].  Shared code reaches the executing
+    core's copy through the MMIO window ({!Mmio_map.cur_sw_out} &c). *)
+
+val percpu_cells_base : int
+val cur_sw_out_cell_for : int -> int
+val cur_tte_cell_for : int -> int
+val cur_tid_cell_for : int -> int
+val chain_scratch_cell_for : int -> int
+
 (** Reserved data window for fault-injection bit flips
     ([Fault_inject.config.flip_base/flip_len]): tests aim flips here
     instead of hard-coding magic addresses.  Nothing in the kernel

@@ -6,9 +6,12 @@
     and removal are O(1) code patches; the host keeps a doubly-linked
     mirror for bookkeeping and assertions.
 
-    The idle thread occupies the ring only when nothing else is ready;
-    the public mutators maintain that invariant and, when they evict
-    an idle thread holding the CPU, preempt it immediately. *)
+    SMP: each core owns one ring ([Kernel.anchor]); a thread lives on
+    its home core's ring ([Kernel.tte.cpu]) and every mutator keys off
+    that field.  A core's idle thread occupies its ring only when
+    nothing else is ready there; the public mutators maintain that
+    invariant and, when they evict an idle thread holding its CPU,
+    preempt it immediately via that core's quantum timer. *)
 
 (** Entry point of [b] when entered from [a]: switch-in-with-MMU only
     when the quaspace changes. *)
@@ -21,18 +24,25 @@ val relink : Kernel.t -> Kernel.tte -> Kernel.tte -> unit
 val in_queue : Kernel.tte -> bool
 val next_exn : Kernel.tte -> Kernel.tte
 val prev_exn : Kernel.tte -> Kernel.tte
+
+(** Insert after [a], adopting [a]'s home core. *)
 val insert_after : Kernel.t -> Kernel.tte -> Kernel.tte -> unit
 
-(** Insert right after the running thread: next access to the CPU
-    (§4.4). *)
+(** Insert right after the thread running on the new thread's home
+    core: next access to that CPU (§4.4). *)
 val insert_front : Kernel.t -> Kernel.tte -> unit
 
 val insert_single : Kernel.t -> Kernel.tte -> unit
 val remove : Kernel.t -> Kernel.tte -> unit
-val to_list : Kernel.t -> Kernel.tte list
+
+(** Core [cpu]'s ring (default 0), anchor first. *)
+val to_list : ?cpu:int -> Kernel.t -> Kernel.tte list
+
+(** Ready threads summed over every core's ring. *)
 val length : Kernel.t -> int
 
-(** Re-establish the idle-thread invariant after external changes. *)
+(** Re-establish the idle-thread invariant on every core after
+    external changes. *)
 val balance_idle : Kernel.t -> unit
 
 (** Structural check: the mirror is a consistent cycle and every

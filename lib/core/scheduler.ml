@@ -26,6 +26,11 @@ type t = {
 
 let gauge_cell (tte : Kernel.tte) = tte.Kernel.base + Layout.Tte.off_gauge
 
+(* Ready threads across every core's ring (SMP: proportionality is
+   judged over the whole machine). *)
+let all_ready k =
+  List.concat (List.init (Kernel.cores k) (fun c -> Ready_queue.to_list ~cpu:c k))
+
 let read_gauge k tte = Machine.peek k.Kernel.machine (gauge_cell tte)
 
 (* One rebalancing pass: quantum grows linearly with the epoch's I/O
@@ -57,7 +62,7 @@ let rebalance t =
     match k.Kernel.ktrace with
     | None -> 0.0
     | Some tr ->
-      let ready = Ready_queue.to_list k in
+      let ready = all_ready k in
       let total_q =
         List.fold_left (fun a (x : Kernel.tte) -> a + x.Kernel.quantum_us) 0 ready
       in
@@ -136,8 +141,7 @@ let cpu_share t (tte : Kernel.tte) =
   let total =
     List.fold_left
       (fun acc (x : Kernel.tte) -> acc + x.Kernel.quantum_us)
-      0
-      (Ready_queue.to_list t.kernel)
+      0 (all_ready t.kernel)
   in
   if total = 0 then 0.0 else float_of_int tte.Kernel.quantum_us /. float_of_int total
 

@@ -1,0 +1,115 @@
+(* SMP load balancing: thread migration and work stealing.
+
+   A thread's home core is baked into its synthesized switch code (the
+   per-core current-thread cells and the quantum-timer register are
+   invariants), so migration is resynthesis: pull the TTE off its old
+   ring, rebuild the switch code with the destination core's
+   invariants (a synthesis-cache hit when a same-shape thread migrated
+   this way before), and splice it into the new ring.
+
+   The dispatch guard is the subtle part.  A ready thread is *not*
+   stealable while its home core is dispatching it: if that core's PC
+   is inside the thread's own synthesized pages (switch-out half done,
+   registers half-saved) or the thread is the core's current one, its
+   context is split between the TTE and that core's registers, and
+   moving the TTE corrupts it.  The explorer's smp sabotage mode
+   disables this guard to prove the invariants catch the corruption. *)
+
+open Quamachine
+
+(* Sabotage lever (tests/explorer only): skip the dispatch guard. *)
+let unsafe_skip_guard = ref false
+
+(* Is [t]'s home core executing inside one of [t]'s own synthesized
+   pages (switch code, dispatchers) right now? *)
+let mid_dispatch k (t : Kernel.tte) =
+  let pc = Machine.core_pc k.Kernel.machine t.Kernel.cpu in
+  match Hashtbl.find_opt k.Kernel.page_index pc with
+  | Some p -> List.mem p.Kernel.sp_entry t.Kernel.owned_pages
+  | None -> false
+
+(* May [t] be pulled off its home ring right now? *)
+let stealable k (t : Kernel.tte) =
+  t.Kernel.state = Kernel.Ready
+  && Ready_queue.in_queue t
+  && (not (Kernel.is_idle k t))
+  && (!unsafe_skip_guard
+     ||
+     ((match Kernel.current ~cpu:t.Kernel.cpu k with
+      | Some c -> not (c == t)
+      | None -> true)
+     && not (mid_dispatch k t)))
+
+(* Move [t] to [cpu]: off the old ring, switch code resynthesized with
+   the new core's invariants, onto the new ring (front — it is as
+   fresh an arrival there as an unblocked thread).  [false] if the
+   dispatch guard refuses.  Idle threads are pinned. *)
+let migrate k (t : Kernel.tte) ~cpu =
+  if cpu < 0 || cpu >= Kernel.cores k then invalid_arg "Smp.migrate: bad cpu";
+  if Kernel.is_idle k t then invalid_arg "Smp.migrate: idle threads are pinned";
+  if t.Kernel.cpu = cpu then true
+  else if not (stealable k t) then false
+  else begin
+    Ready_queue.remove k t;
+    Ctx.resynthesize_for_cpu k t ~cpu;
+    Ready_queue.insert_front k t;
+    Metrics.bump k.Kernel.metrics "smp.migrations_total";
+    (* ring unlink + relink bookkeeping beyond the synthesis cost *)
+    Machine.charge k.Kernel.machine 40;
+    true
+  end
+
+(* Non-idle ready threads on core [c]'s ring. *)
+let load k c =
+  List.length
+    (List.filter
+       (fun t -> not (Kernel.is_idle k t))
+       (Ready_queue.to_list ~cpu:c k))
+
+(* Steal one thread for [thief]: victim is the other core with the
+   most non-idle ready threads (at least 2, so stealing never leaves a
+   core with work worse off than the thief), first stealable thread
+   walking the victim ring from its anchor. *)
+let steal k ~thief =
+  let victim = ref (-1) and best = ref 1 in
+  for c = 0 to Kernel.cores k - 1 do
+    if c <> thief then begin
+      let l = load k c in
+      if l > !best then begin
+        victim := c;
+        best := l
+      end
+    end
+  done;
+  if !victim < 0 then None
+  else
+    let ring = Ready_queue.to_list ~cpu:!victim k in
+    match List.find_opt (fun t -> stealable k t) ring with
+    | None -> None
+    | Some t ->
+      if migrate k t ~cpu:thief then begin
+        Metrics.bump k.Kernel.metrics "smp.steals_total";
+        Some t
+      end
+      else None
+
+(* Periodic stealer for one core: when [cpu]'s ring holds no real
+   work, try to steal some.  Runs as a machine device (host-side, like
+   an inter-processor scheduling interrupt's top half). *)
+let install_stealer k ~cpu ?(period_us = 500) () =
+  let m = k.Kernel.machine in
+  let period () = Cost.cycles_of_us (Machine.cost_model m) (float_of_int period_us) in
+  let dev =
+    Machine.add_device m
+      ~name:(Printf.sprintf "stealer%d" cpu)
+      ~due:(Machine.cycles m + period ())
+      ~tick:(fun _ -> ())
+  in
+  dev.Machine.dev_tick <-
+    (fun m ->
+      if load k cpu = 0 then ignore (steal k ~thief:cpu);
+      Machine.device_schedule m dev (Machine.cycles m + period ()));
+  dev
+
+let migrations k = Metrics.counter_value (Metrics.counter k.Kernel.metrics "smp.migrations_total")
+let steals k = Metrics.counter_value (Metrics.counter k.Kernel.metrics "smp.steals_total")

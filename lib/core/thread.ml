@@ -37,9 +37,17 @@ let dispatcher_template = Template.make ~name:"fd_dispatch" ~params:[ "fdtab" ]
 (* Creation (Table 3: ~142 us — ~100 us to fill the TTE, the rest is
    code synthesis) *)
 
-let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
+let create k ?cpu ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
     ?(ustack_words = 512) ?(system = false) ?share_map ~entry () =
   let m = k.Kernel.machine in
+  (* home core: the creating core unless pinned explicitly *)
+  let cpu =
+    match cpu with
+    | Some c ->
+      if c < 0 || c >= Kernel.cores k then invalid_arg "Thread.create: bad cpu";
+      c
+    | None -> Kernel.this_cpu k
+  in
   let tid = k.Kernel.next_tid in
   k.Kernel.next_tid <- tid + 1;
   let base = Kalloc.alloc_zeroed k.Kernel.alloc L.size_words in
@@ -86,6 +94,7 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
       Kernel.tid;
       base;
       map_id;
+      cpu;
       state = Kernel.Stopped;
       sw_out = 0;
       sw_in = 0;
@@ -108,7 +117,7 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
   Hashtbl.replace k.Kernel.threads tid t;
   Hashtbl.replace k.Kernel.by_base base t;
   (* synthesize the thread's private kernel code *)
-  let c = Ctx.synthesize k ~tte_base:base ~tid ~map_id ~quantum_us ~uses_fp in
+  let c = Ctx.synthesize k ~cpu ~tte_base:base ~tid ~map_id ~quantum_us ~uses_fp () in
   Ctx.apply_switch_code k t c;
   let dispatcher which off =
     let h =
@@ -122,10 +131,8 @@ let create k ?(quantum_us = 200) ?(uses_fp = false) ?(segments = [])
   in
   Kernel.set_vector k t (Insn.Vector.trap 1) (dispatcher "read" L.off_fd_read);
   Kernel.set_vector k t (Insn.Vector.trap 2) (dispatcher "write" L.off_fd_write);
-  (* make it runnable *)
-  (match k.Kernel.rq_anchor with
-  | None -> Ready_queue.insert_single k t
-  | Some _ -> Ready_queue.insert_front k t);
+  (* make it runnable on its home core's ring *)
+  Ready_queue.insert_front k t;
   t
 
 (* -------------------------------------------------------------- *)
@@ -158,20 +165,22 @@ let destroy k t =
      microseconds instead of whenever the old quantum expires. *)
 let stop k t =
   if t.Kernel.state = Kernel.Ready then t.Kernel.state <- Kernel.Stopped;
-  let is_current = match Kernel.current k with Some c -> c == t | None -> false in
+  let is_current =
+    match Kernel.current ~cpu:t.Kernel.cpu k with
+    | Some c -> c == t
+    | None -> false
+  in
   if Ready_queue.in_queue t then Ready_queue.remove k t;
-  if is_current then Devices.Timer.arm k.Kernel.timer ~us:2.0;
+  if is_current then Devices.Timer.arm (Kernel.timer_for k t.Kernel.cpu) ~us:2.0;
   Machine.charge k.Kernel.machine 90
 
 (* Resume: put the TTE back, at the front. *)
 let start k t =
   if not (Ready_queue.in_queue t) then begin
-    (match k.Kernel.rq_anchor with
-    | None -> Ready_queue.insert_single k t
-    | Some _ -> Ready_queue.insert_front k t);
+    Ready_queue.insert_front k t;
     t.Kernel.state <- Kernel.Ready;
-    (* front of the queue means immediate access to the CPU (section 4.4) *)
-    Devices.Timer.arm k.Kernel.timer ~us:2.0
+    (* front of the queue means immediate access to the home CPU (§4.4) *)
+    Devices.Timer.arm (Kernel.timer_for k t.Kernel.cpu) ~us:2.0
   end;
   Machine.charge k.Kernel.machine 90
 
@@ -197,7 +206,10 @@ let step k t =
    stepping again. *)
 let fully_stopped k t =
   t.Kernel.state = Kernel.Stopped
-  && (match Kernel.current k with Some c -> not (c == t) | None -> true)
+  &&
+  match Kernel.current ~cpu:t.Kernel.cpu k with
+  | Some c -> not (c == t)
+  | None -> true
 
 (* -------------------------------------------------------------- *)
 (* Crash restart.
@@ -220,12 +232,9 @@ let restart k t =
     Machine.poke m (save + i) 0
   done;
   Machine.poke m (save + 15) (t.Kernel.base + L.off_kstack + L.kstack_words);
-  (* the idle thread is the one context that starts in kernel mode *)
-  let sr =
-    match k.Kernel.idle_thread with
-    | Some i when i == t -> Ctx.kernel_sr
-    | _ -> 0
-  in
+  (* the idle threads are the one kind of context that starts in
+     kernel mode *)
+  let sr = if Kernel.is_idle k t then Ctx.kernel_sr else 0 in
   Machine.poke m (save + 16) sr;
   Machine.poke m (save + 17) t.Kernel.entry;
   Machine.poke m (save + 18) (t.Kernel.ustack + t.Kernel.ustack_words);
@@ -234,12 +243,8 @@ let restart k t =
   Machine.charge_refs m 23;
   t.Kernel.waiting_on <- None;
   t.Kernel.state <- Kernel.Ready;
-  if not (Ready_queue.in_queue t) then begin
-    match k.Kernel.rq_anchor with
-    | None -> Ready_queue.insert_single k t
-    | Some _ -> Ready_queue.insert_front k t
-  end;
-  Devices.Timer.arm k.Kernel.timer ~us:2.0;
+  if not (Ready_queue.in_queue t) then Ready_queue.insert_front k t;
+  Devices.Timer.arm (Kernel.timer_for k t.Kernel.cpu) ~us:2.0;
   Metrics.bump k.Kernel.metrics "kernel.thread_restarts_total";
   Kernel.trace k (Ktrace.Fault "thread_restart");
   (* TTE refill without allocation or code synthesis *)
@@ -259,7 +264,17 @@ let deepest_frame_pc_slot t =
   (* the first trap on an empty kernel stack pushed PC then SR *)
   t.Kernel.base + L.off_kstack + L.kstack_words - 1
 
-let deliver_signal k t =
+(* SMP: interrupt level of the cross-core signal IPI.  A thread that
+   is running on another core *right now* has its context in that
+   core's registers — neither its TTE save area nor the signalling
+   core's live frame is valid to rewrite.  Delivery queues the target
+   on [k.sig_xc] and interrupts the home core; the boot-installed IPI
+   handler re-runs delivery there, where the target is current with a
+   live exception frame. *)
+let sig_ipi_level = 1
+let sig_ipi_vector = I.Vector.autovector sig_ipi_level
+
+let rec deliver_signal k t =
   let m = k.Kernel.machine in
   let tramp = Machine.peek m (t.Kernel.base + L.off_sig_handler) in
   if tramp = 0 then false (* no handler registered: ignored *)
@@ -273,6 +288,24 @@ let deliver_signal k t =
     true
   end
   else begin
+    let home = t.Kernel.cpu in
+    let running_on_home =
+      match Kernel.current ~cpu:home k with Some c -> c == t | None -> false
+    in
+    if running_on_home && home <> Kernel.this_cpu k then begin
+      if not (List.memq t k.Kernel.sig_xc) then
+        k.Kernel.sig_xc <- t :: k.Kernel.sig_xc;
+      Machine.post_interrupt ~source:"sig_ipi" ~cpu:home m ~level:sig_ipi_level
+        ~vector:sig_ipi_vector;
+      Machine.charge m 30;
+      true
+    end
+    else deliver_here k t tramp
+  end
+
+and deliver_here k t tramp =
+  let m = k.Kernel.machine in
+  begin
     let is_current = match Kernel.current k with Some c -> c == t | None -> false in
     let slot =
       if is_current then
@@ -291,6 +324,17 @@ let deliver_signal k t =
     Machine.charge m 90;
     true
   end
+
+(* IPI drain, run by the boot-installed handler on the interrupted
+   core: re-deliver every queued signal whose target calls this core
+   home.  By now the target is either current here (live-frame path)
+   or switched out (save-area path) — both valid. *)
+let drain_cross_signals k =
+  let mine, rest =
+    List.partition (fun t -> t.Kernel.cpu = Kernel.this_cpu k) k.Kernel.sig_xc
+  in
+  k.Kernel.sig_xc <- rest;
+  List.iter (fun t -> ignore (deliver_signal k t)) mine
 
 (* Register a signal handler for thread [t]: synthesizes the user-mode
    trampoline with the handler address folded in. *)
@@ -405,15 +449,12 @@ let unblock k (wq : Kernel.waitq) =
     (* a restarted thread may have been pulled back into the ring
        while its stale waitq entry survived; inserting again would
        corrupt the executable chain *)
-    if not (Ready_queue.in_queue t) then
-      (match k.Kernel.rq_anchor with
-      | None -> Ready_queue.insert_single k t
-      | Some _ -> Ready_queue.insert_front k t);
+    if not (Ready_queue.in_queue t) then Ready_queue.insert_front k t;
     (* Minimize response time to the event (section 4.4).  The arm is
        a little longer than any interrupt handler so that a wake-up
        performed from handler context never preempts the handler
-       itself mid-flight. *)
-    Devices.Timer.arm k.Kernel.timer ~us:30.0;
+       itself mid-flight; it targets the woken thread's home core. *)
+    Devices.Timer.arm (Kernel.timer_for k t.Kernel.cpu) ~us:30.0;
     Kernel.trace k (Ktrace.Unblock (wq.Kernel.wq_name, t.Kernel.tid));
     Machine.charge k.Kernel.machine 20;
     Some t
@@ -439,5 +480,7 @@ let block_code k wq ~retry =
     I.Hcall (block_hcall k wq);
     I.Push (I.Lbl retry);
     I.Push (I.Imm Ctx.kernel_sr);
-    I.Jmp (I.To_mem (I.Abs Layout.cur_sw_out_cell));
+    (* through the MMIO window: this fragment is shared kernel code and
+       must switch out whichever core is executing it *)
+    I.Jmp (I.To_mem (I.Abs Mmio_map.cur_sw_out));
   ]

@@ -10,6 +10,7 @@
     ~142 µs of simulated time (Table 3). *)
 val create :
   Kernel.t ->
+  ?cpu:int ->
   ?quantum_us:int ->
   ?uses_fp:bool ->
   ?segments:(int * int) list ->
@@ -56,8 +57,20 @@ val set_saved_reg : Kernel.t -> Kernel.tte -> Quamachine.Insn.reg -> int -> unit
 (** Rewrite a return address to run the thread's signal trampoline:
     the TTE's saved PC for a thread suspended in user mode, the
     deepest kernel-stack frame for one inside a kernel operation
-    (Procedure Chaining).  [false] if no handler is registered. *)
+    (Procedure Chaining).  A thread running on {e another} core right
+    now is queued on [k.sig_xc] and its home core is interrupted at
+    {!sig_ipi_level}; the IPI handler re-delivers there.  [false] if
+    no handler is registered. *)
 val deliver_signal : Kernel.t -> Kernel.tte -> bool
+
+(** Interrupt level / autovector of the cross-core signal IPI. *)
+val sig_ipi_level : int
+
+val sig_ipi_vector : int
+
+(** Re-deliver queued cross-core signals targeting the executing core
+    (the body of the IPI handler Boot installs). *)
+val drain_cross_signals : Kernel.t -> unit
 
 (** Synthesize the user-mode trampoline with [handler] folded in. *)
 val set_signal_handler : Kernel.t -> Kernel.tte -> int -> unit

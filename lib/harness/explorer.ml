@@ -92,8 +92,8 @@ let subject_name s = s.sub_name
    layer, attached before the subject synthesizes its pipelines so the
    span probes splice in.  A failing check can then dump a postmortem
    whose open-span set names the requests that were in flight. *)
-let observed_boot () =
-  let b = Boot.boot () in
+let observed_boot ?(cores = 1) () =
+  let b = Boot.boot ~cores () in
   let k = b.Boot.kernel in
   Kernel.attach_tracing k (Ktrace.create ~enabled:false k.Kernel.machine);
   ignore (Kernel.attach_spans k);
@@ -101,7 +101,12 @@ let observed_boot () =
 
 let enter_scheduler k =
   let m = k.Kernel.machine in
-  match k.Kernel.rq_anchor with
+  for c = 1 to Kernel.cores k - 1 do
+    if (not (Machine.core_started m c)) && Kernel.anchor k c <> None then
+      Boot.start_secondary k c
+  done;
+  Machine.set_active_core m 0;
+  match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
@@ -128,7 +133,12 @@ let run_instance ~name ~seed ~faults ~sabotage inst =
   in
   (* stride floor keeps forward progress: a forced switch costs a few
      dozen instructions of save/restore, so anything comfortably above
-     that guarantees every thread still advances between switches *)
+     that guarantees every thread still advances between switches.
+     The stride is measured in core-0 instructions, not global ones
+     (identical on a uniprocessor): the forced timer interrupt lands
+     on core 0, and on an SMP boot core 0 only executes ~1/cores of
+     the global stream — a globally-paced stride would interrupt it
+     below the switch cost and livelock whatever is pinned there. *)
   let stride = 128 + (mix seed 7 mod 256) in
   let preemptions = ref 0 in
   let checkpoint = ref 0 in
@@ -162,7 +172,7 @@ let run_instance ~name ~seed ~faults ~sabotage inst =
            (match inst.i_sabotage with Some f -> f () | None -> ());
            sabotaged := true
          end;
-         let n = Machine.insns_executed m in
+         let n = Machine.core_insns m 0 in
          let last_post =
            if n - last_post >= stride then begin
              incr checkpoint;
@@ -184,7 +194,7 @@ let run_instance ~name ~seed ~faults ~sabotage inst =
          end
        end
      in
-     loop start_insns
+     loop (Machine.core_insns m 0)
    with
   | Machine.Deadlock -> add [ "deadlock" ]
   | Failure msg -> add [ "invariant: " ^ msg ]);
@@ -356,8 +366,12 @@ let explorer_config () =
     flip_len = Layout.fault_scratch_words;
   }
 
-let queue_instance ~items ~kind () =
-  let b = observed_boot () in
+(* Build the queue workload into an already-booted kernel: producers
+   and consumers pinned round-robin across [cores] (all on core 0 for
+   a uniprocessor boot), so on an SMP boot the queue code really is
+   entered from several cores at once.  Returns the progress and
+   final-check closures. *)
+let queue_workload b ~items ~kind ~cores =
   let k = b.Boot.kernel in
   let m = k.Kernel.machine in
   let producers, consumers = participants kind in
@@ -379,7 +393,9 @@ let queue_instance ~items ~kind () =
         ~done_cell:(counts + consumers + i - 1)
     in
     let entry, _ = Asm.assemble m code in
-    ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
+    ignore
+      (Thread.create k ~cpu:((i - 1) mod cores) ~entry ~quantum_us:1_000
+         ~segments ())
   done;
   for j = 0 to consumers - 1 do
     let code =
@@ -387,7 +403,9 @@ let queue_instance ~items ~kind () =
         ~count_cell:(counts + j)
     in
     let entry, _ = Asm.assemble m code in
-    ignore (Thread.create k ~entry ~quantum_us:1_000 ~segments ())
+    ignore
+      (Thread.create k ~cpu:((producers + j) mod cores) ~entry
+         ~quantum_us:1_000 ~segments ())
   done;
   let peek a = Machine.peek m a in
   let consumed () =
@@ -397,6 +415,20 @@ let queue_instance ~items ~kind () =
     done;
     !s
   in
+  let final () =
+    check_invariants ~producers ~consumers ~items ~peek ~logs ~counts
+  in
+  (* a phantom consume: bump one consumer's count without a matching
+     item — the presence check must notice *)
+  let sabotage () = Machine.poke m counts (peek counts + 1) in
+  (consumed, final, sabotage, producers, consumers)
+
+let queue_instance ?(cores = 1) ~items ~kind () =
+  let b = observed_boot ~cores () in
+  let consumed, final, sabotage, producers, consumers =
+    queue_workload b ~items ~kind ~cores
+  in
+  let total = producers * items in
   let inst =
     {
       i_boot = b;
@@ -406,12 +438,8 @@ let queue_instance ~items ~kind () =
       i_progress = consumed;
       i_agitate = None;
       i_check = (fun () -> []);
-      i_final =
-        (fun () ->
-          check_invariants ~producers ~consumers ~items ~peek ~logs ~counts);
-      (* a phantom consume: bump one consumer's count without a
-         matching item — the presence check must notice *)
-      i_sabotage = Some (fun () -> Machine.poke m counts (peek counts + 1));
+      i_final = final;
+      i_sabotage = Some sabotage;
     }
   in
   (inst, producers, consumers)
@@ -422,8 +450,8 @@ let queue_subject kind =
     sub_build = (fun ~seed:_ -> let inst, _, _ = queue_instance ~items:32 ~kind () in inst);
   }
 
-let run_queue ?(items = 32) ?(faults = true) ~kind ~seed () =
-  let inst, producers, consumers = queue_instance ~items ~kind () in
+let run_queue ?(items = 32) ?(faults = true) ?(cores = 1) ~kind ~seed () =
+  let inst, producers, consumers = queue_instance ~cores ~items ~kind () in
   let r =
     run_instance ~name:("queue/" ^ kind_name kind) ~seed ~faults
       ~sabotage:false inst
@@ -533,7 +561,7 @@ let ready_queue_subject =
       let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
       if not (Ready_queue.verify k) then
         violate "ready queue verify failed (ring/mirror mismatch)";
-      (match k.Kernel.rq_anchor with
+      (match Kernel.anchor k 0 with
       | Some a ->
         if not (Ready_queue.in_queue a) then violate "anchor not in ring"
       | None ->
@@ -600,7 +628,7 @@ let ready_queue_subject =
       i_sabotage =
         Some
           (fun () ->
-            match k.Kernel.rq_anchor with
+            match Kernel.anchor k 0 with
             | Some a -> Machine.patch_code m a.Kernel.jmp_slot (I.Jmp (I.To_addr 0))
             | None -> ());
     }
@@ -1285,6 +1313,152 @@ let synthcache_subject =
   in
   { sub_name = "synthcache"; sub_build = build }
 
+(* ---------------------------------------------------------------- *)
+(* Subject 6: kSMP — several cores over one shared memory *)
+
+(* A seed-picked queue kind with its producers/consumers pinned
+   round-robin across 2–4 cores, one spinning filler thread per core,
+   and a work-stealer device on every core.  Agitation skews core
+   clocks ([Machine.stall_core]), forces steals and migrations, and
+   posts cross-core quantum-timer preemptions; the fault plan adds
+   core-targeted spurious interrupts and core stalls on top.
+
+   Invariants, checked at every forced preemption: every per-core
+   ready ring closes and matches the host mirror ([Ready_queue.verify]
+   walks all rings), each core's current thread is homed on that core
+   and alive, and each core's idle thread stays pinned.  The final
+   check adds the full queue ledger (no loss, no duplication, no
+   corruption, per-producer FIFO) — now asserted across genuinely
+   concurrent cores rather than interleaved threads on one.
+
+   Sabotage arms a rogue migration: at the next agitation point the
+   dispatch guard is skipped ([Smp.unsafe_skip_guard]) and another
+   core's *current* thread is migrated while its context lives in that
+   core's registers — the per-core current-consistency check must
+   catch it. *)
+let smp_subject ?cores () =
+  let build ~seed =
+    let cores =
+      match cores with
+      | Some c -> max 2 (min c Machine.max_cores)
+      | None -> 2 + (mix seed 0x51ed mod 3)
+    in
+    let kind =
+      List.nth
+        [ Kqueue.Spsc; Kqueue.Mpsc; Kqueue.Spmc; Kqueue.Mpmc ]
+        (mix seed 0x4b mod 4)
+    in
+    let items = 24 in
+    let b = observed_boot ~cores () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    Machine.set_schedule_seed m seed;
+    let consumed, queue_final, _, producers, _ =
+      queue_workload b ~items ~kind ~cores
+    in
+    (* one spinning filler per core: ready work for the stealers and a
+       non-idle current thread on every core *)
+    let alloc = k.Kernel.alloc in
+    let fill_cells = Kalloc.alloc_zeroed alloc Machine.max_cores in
+    let fillers =
+      Array.init cores (fun c ->
+          let body =
+            [
+              I.Label "loop";
+              I.Alu_mem (I.Add, I.Imm 1, I.Abs (fill_cells + c));
+              I.B (I.Always, I.To_label "loop");
+            ]
+          in
+          let entry, _ = Asm.assemble m body in
+          Thread.create k ~cpu:c ~entry ~quantum_us:400
+            ~segments:[ (fill_cells, Machine.max_cores) ] ())
+    in
+    for c = 0 to cores - 1 do
+      ignore (Smp.install_stealer k ~cpu:c ())
+    done;
+    (* sabotage arms the rogue migration; the next agitation point
+       fires it (it needs a victim core whose current thread is a real
+       ready thread, which one agitation step may not have) *)
+    let sab_pending = ref false in
+    let rogue_migrate () =
+      let fired = ref false in
+      for c = 0 to cores - 1 do
+        if not !fired then
+          match Kernel.current ~cpu:c k with
+          | Some t
+            when t.Kernel.state = Kernel.Ready
+                 && Ready_queue.in_queue t
+                 && not (Kernel.is_idle k t) ->
+            Smp.unsafe_skip_guard := true;
+            let moved = Smp.migrate k t ~cpu:((c + 1) mod cores) in
+            Smp.unsafe_skip_guard := false;
+            if moved then fired := true
+          | _ -> ()
+      done;
+      !fired
+    in
+    let agitate step =
+      if !sab_pending then begin
+        if rogue_migrate () then sab_pending := false
+      end
+      else begin
+        let r = mix seed (0x2000 + step) in
+        let c = r mod cores in
+        match (r lsr 8) mod 6 with
+        | 0 -> Machine.stall_core m ~cpu:c ~cycles:(200 + ((r lsr 16) mod 2_000))
+        | 1 -> ignore (Smp.steal k ~thief:c)
+        | 2 ->
+          Machine.post_interrupt ~source:"explorer" ~cpu:c m
+            ~level:Mmio_map.timer_level ~vector:Mmio_map.timer_vector
+        | 3 ->
+          ignore (Smp.migrate k fillers.((r lsr 12) mod cores) ~cpu:c)
+        | _ -> ()
+      end
+    in
+    let check () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      if not (Ready_queue.verify k) then
+        violate "ready ring verify failed (ring/mirror mismatch)";
+      for c = 0 to cores - 1 do
+        (match Kernel.current ~cpu:c k with
+        | Some t ->
+          if t.Kernel.state = Kernel.Zombie then
+            violate "dead thread %d holds cpu %d" t.Kernel.tid c
+          else if t.Kernel.cpu <> c then
+            violate "cpu %d is running thread %d homed on cpu %d" c
+              t.Kernel.tid t.Kernel.cpu
+        | None -> ());
+        match Kernel.idle_of k c with
+        | Some i ->
+          if i.Kernel.cpu <> c then
+            violate "idle thread of cpu %d migrated to cpu %d" c i.Kernel.cpu
+        | None -> violate "cpu %d lost its idle thread" c
+      done;
+      List.rev !v
+    in
+    {
+      i_boot = b;
+      i_goal = producers * items;
+      i_budget = 12_000_000;
+      i_fault_config =
+        Some
+          {
+            (explorer_config ()) with
+            Fault_inject.irq_cpus = List.init cores (fun c -> c);
+            n_core_stalls = 2;
+            core_stall_cpus = List.init cores (fun c -> c);
+            core_stall_cycles = 10_000;
+          };
+      i_progress = consumed;
+      i_agitate = Some agitate;
+      i_check = check;
+      i_final = (fun () -> check () @ queue_final ());
+      i_sabotage = Some (fun () -> sab_pending := true);
+    }
+  in
+  { sub_name = "smp"; sub_build = build }
+
 let subjects =
   [
     ready_queue_subject;
@@ -1292,6 +1466,7 @@ let subjects =
     disk_subject;
     codeflip_subject;
     synthcache_subject;
+    smp_subject ();
   ]
 
 (* ---------------------------------------------------------------- *)
@@ -1476,7 +1651,7 @@ let crash_workload family ~seed =
    take completion interrupts. *)
 let start_idle k =
   let m = k.Kernel.machine in
-  match k.Kernel.rq_anchor with
+  match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
@@ -1885,7 +2060,7 @@ let disk_fault ?(seed = 1) ~mode () =
   Devices.Disk.write_block k.Kernel.disk 7
     (Array.init Devices.Disk.block_words (fun i -> 7_000 + i));
   (* idle thread must be resumable so completion interrupts are taken *)
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

@@ -85,6 +85,19 @@ val synthcache_subject : subject
     instantiation is a pure hit on the repaired page, and the code
     state hash converges back to the fault-free fingerprint. *)
 
+val smp_subject : ?cores:int -> unit -> subject
+(** kSMP: a seed-picked queue kind with producers/consumers pinned
+    round-robin across [cores] (default: 2–4 picked by seed, clamped
+    to \[2, [Machine.max_cores]\]), a spinning filler thread and a
+    work-stealer device per core, under core-clock skews, forced
+    steals and migrations, cross-core preemptions, and core-targeted
+    spurious interrupts.  Invariants: every per-core ready ring closes
+    and matches the mirror, each core's current thread is homed there
+    and alive, idle threads stay pinned, and the queue ledger is exact
+    across cores.  Sabotage migrates another core's running thread
+    with the dispatch guard skipped ({!Synthesis.Smp.unsafe_skip_guard});
+    the current-consistency check must catch it. *)
+
 val subjects : subject list
 (** The kernel subjects above (the queue workloads keep their
     dedicated {!run_queue} entry point). *)
@@ -122,6 +135,7 @@ val queue_subject : Synthesis.Kqueue.kind -> subject
 val run_queue :
   ?items:int ->
   ?faults:bool ->
+  ?cores:int ->
   kind:Synthesis.Kqueue.kind ->
   seed:int ->
   unit ->
@@ -129,7 +143,9 @@ val run_queue :
 (** One boot, one queue of [kind], 1–3 producers × 1–3 consumers of
     machine code, preemption forced every seed-derived stride.
     [~faults:false] runs the pure interleaving sweep with no injected
-    faults. *)
+    faults.  [~cores] (default 1) boots an SMP kernel and pins the
+    participants round-robin across the cores, so the queue code is
+    entered from several cores at once. *)
 
 val run_all : ?items:int -> seed:int -> unit -> result list
 (** [run_queue] across all four kinds. *)

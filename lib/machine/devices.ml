@@ -41,15 +41,17 @@ module Timer = struct
     machine : Machine.t;
   }
 
+  (* [cpu] pins the posted interrupt to a core (each core's private
+     quantum timer); without it the machine's level route applies. *)
   let install ?(name = "timer") ?(addr = Mmio_map.timer_alarm)
-      ?(level = Mmio_map.timer_level) ?(vector = Mmio_map.timer_vector) m =
+      ?(level = Mmio_map.timer_level) ?(vector = Mmio_map.timer_vector) ?cpu m =
     let dev = Machine.add_device m ~name ~due:max_int ~tick:(fun _ -> ()) in
     let t = { armed_at = max_int; dev; machine = m } in
     dev.Machine.dev_tick <-
       (fun m ->
         t.armed_at <- max_int;
         Machine.device_idle m dev;
-        Machine.post_interrupt ~source:name m ~level ~vector);
+        Machine.post_interrupt ~source:name ?cpu m ~level ~vector);
     Machine.map_mmio_write m ~addr (fun us ->
         if us = 0 then begin
           t.armed_at <- max_int;

@@ -17,9 +17,11 @@ module Timer : sig
   type t
 
   (** One-shot interval timer: write microseconds to [addr] to arm,
-      0 to cancel, read for the remainder. *)
+      0 to cancel, read for the remainder.  [cpu] routes the alarm
+      interrupt to a specific core (per-core quantum timers). *)
   val install :
-    ?name:string -> ?addr:int -> ?level:int -> ?vector:int -> Machine.t -> t
+    ?name:string ->
+    ?addr:int -> ?level:int -> ?vector:int -> ?cpu:int -> Machine.t -> t
 
   val armed : t -> bool
 

@@ -48,11 +48,15 @@ let rng_int r n =
 type target = Data | Code
 
 type action =
-  | Spurious_irq of { level : int; vector : int }
+  | Spurious_irq of { cpu : int option; level : int; vector : int }
+      (* [cpu = None] follows the machine's per-level route *)
   | Bit_flip of { target : target; addr : int; bit : int }
   | Stall of { device : string; delay_cycles : int }
   | Drop_completion of { device : string }
   | Power_cut of { device : string; torn_words : int }
+  | Core_stall of { cpu : int; stall_cycles : int }
+      (* skew one core's local clock: forces a different cross-core
+         interleaving without touching any architectural state *)
 
 (* The code store is an instruction array, so a "flipped bit" in code
    is modelled at instruction granularity: the word no longer decodes,
@@ -92,6 +96,12 @@ type config = {
   n_cuts : int;
   cut_devices : string list;
   cut_torn_words : int;
+  (* kSMP: cores eligible for cpu-targeted spurious interrupts (empty =
+     follow the machine's routes) and for local-clock stalls. *)
+  irq_cpus : int list;
+  n_core_stalls : int;
+  core_stall_cpus : int list;
+  core_stall_cycles : int;
 }
 
 let default_config =
@@ -124,11 +134,17 @@ let default_config =
     n_cuts = 0;
     cut_devices = [ "disk" ];
     cut_torn_words = 64;
+    irq_cpus = [];
+    n_core_stalls = 0;
+    core_stall_cpus = [];
+    core_stall_cycles = 20_000;
   }
 
 let describe_action = function
-  | Spurious_irq { level; vector } ->
+  | Spurious_irq { cpu = None; level; vector } ->
     Printf.sprintf "spurious_irq level=%d vector=%d" level vector
+  | Spurious_irq { cpu = Some c; level; vector } ->
+    Printf.sprintf "spurious_irq cpu=%d level=%d vector=%d" c level vector
   | Bit_flip { target = Data; addr; bit } ->
     Printf.sprintf "bit_flip addr=%d bit=%d" addr bit
   | Bit_flip { target = Code; addr; bit } ->
@@ -138,6 +154,8 @@ let describe_action = function
   | Drop_completion { device } -> Printf.sprintf "drop_completion %s" device
   | Power_cut { device; torn_words } ->
     Printf.sprintf "power_cut %s torn=%d" device torn_words
+  | Core_stall { cpu; stall_cycles } ->
+    Printf.sprintf "core_stall cpu=%d +%d cycles" cpu stall_cycles
 
 let compile ?(config = default_config) seed =
   let r = rng_make seed in
@@ -149,7 +167,22 @@ let compile ?(config = default_config) seed =
       let level, vector =
         List.nth config.irq_choices (rng_int r (List.length config.irq_choices))
       in
-      add (Spurious_irq { level; vector })
+      let cpu =
+        match config.irq_cpus with
+        | [] -> None
+        | cs -> Some (List.nth cs (rng_int r (List.length cs)))
+      in
+      add (Spurious_irq { cpu; level; vector })
+    done;
+  if config.core_stall_cpus <> [] then
+    for _ = 1 to config.n_core_stalls do
+      let cpu =
+        List.nth config.core_stall_cpus
+          (rng_int r (List.length config.core_stall_cpus))
+      in
+      add
+        (Core_stall
+           { cpu; stall_cycles = 1000 + rng_int r config.core_stall_cycles })
     done;
   if config.flip_len > 0 then
     for _ = 1 to config.n_flips do
@@ -226,8 +259,8 @@ let fire t m action =
   t.fi_injected <- t.fi_injected + 1;
   log t m (describe_action action);
   match action with
-  | Spurious_irq { level; vector } ->
-    Machine.post_interrupt ~source:"kfault" m ~level ~vector
+  | Spurious_irq { cpu; level; vector } ->
+    Machine.post_interrupt ?cpu ~source:"kfault" m ~level ~vector
   | Bit_flip { target = Data; addr; bit } ->
     Machine.poke m addr (Machine.peek m addr lxor (1 lsl bit))
   | Bit_flip { target = Code; addr; bit } -> corrupt_code m ~addr ~bit
@@ -241,6 +274,9 @@ let fire t m action =
     | Some d when d.Machine.next_due <> max_int -> Machine.device_idle m d
     | _ -> ())
   | Power_cut { device; torn_words } -> Machine.power_cut m ~device ~torn_words
+  | Core_stall { cpu; stall_cycles } ->
+    if cpu >= 0 && cpu < Machine.num_cores m then
+      Machine.stall_core m ~cpu ~cycles:stall_cycles
 
 let rec schedule t m dev =
   match t.fi_pending with

@@ -22,8 +22,9 @@ type target =
           bit) *)
 
 type action =
-  | Spurious_irq of { level : int; vector : int }
-      (** post an interrupt no device asked for *)
+  | Spurious_irq of { cpu : int option; level : int; vector : int }
+      (** post an interrupt no device asked for; [cpu = None] follows
+          the machine's per-level route, [Some c] pins it to core [c] *)
   | Bit_flip of { target : target; addr : int; bit : int }
       (** flip one bit of data memory or corrupt one code word *)
   | Stall of { device : string; delay_cycles : int }
@@ -35,6 +36,10 @@ type action =
           in-flight write lands at most its first [torn_words] words
           (-1 = lost whole), and the controller goes dead until the
           host powers it back on (kcrash) *)
+  | Core_stall of { cpu : int; stall_cycles : int }
+      (** kSMP: skew one core's local clock forward, forcing a
+          different cross-core interleaving without touching any
+          architectural state (ignored for out-of-range cores) *)
 
 val corrupt_insn : bit:int -> Insn.insn
 (** The undecodable instruction a [Code] flip plants — exposed so
@@ -75,6 +80,12 @@ type config = {
   cut_devices : string list;
   cut_torn_words : int;
       (** torn bound drawn uniformly from \[-1, cut_torn_words\] *)
+  irq_cpus : int list;
+      (** cores spurious irqs are pinned to; [[]] (the default) follows
+          the machine's per-level routes *)
+  n_core_stalls : int;
+  core_stall_cpus : int list;  (** cores eligible; [[]] disables *)
+  core_stall_cycles : int;  (** max stall magnitude *)
 }
 
 val default_config : config

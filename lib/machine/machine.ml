@@ -1,11 +1,27 @@
-(* The simulated Quamachine: CPU, memory, interrupts, devices, and the
-   instruction/memory-reference/cycle counters that the paper's
-   measurement chapter relies on (§6.1).
+(* The simulated Quamachine: CPU cores, shared memory, interrupts,
+   devices, and the instruction/memory-reference/cycle counters that
+   the paper's measurement chapter relies on (§6.1).
 
    Code and data are separate address spaces.  The code store is an
    append-only, patch-in-place array of instructions — run-time kernel
    code synthesis appends specialized routines and rewrites individual
-   instructions (the `jmp` threading of the executable ready queue). *)
+   instructions (the `jmp` threading of the executable ready queue).
+
+   SMP model: [create ?cores] builds N cores stepping over the one
+   shared memory and code store.  Each core keeps a local absolute
+   cycle clock; [step] always runs the runnable core with the smallest
+   clock (ties broken by a seeded rotation, overridable per step by an
+   explorer hook), so the interleaving is deterministic, cores make
+   progress in simulated-parallel time (N cores doing N units of work
+   finish in ~1 unit of wall-clock cycles), and the global clock — the
+   minimum over runnable cores — advances monotonically.  Devices fire
+   against the global clock; interrupts are routed per level to a
+   core and delivered from that core's private pending vector.  Cores
+   interleave at instruction granularity, so every shared-memory
+   access is a potential switch point and another core's committed
+   [Cas] is a real contention source: the compare simply fails.  With
+   one core the scheduler degenerates to today's machine — cycle
+   counts, traces, and attribution are identical. *)
 
 type fault =
   | Bus_error of int
@@ -16,7 +32,7 @@ type fault =
 
 exception Cpu_fault of fault
 
-(* Raised when the CPU is stopped waiting for an interrupt and no
+(* Raised when every core is stopped waiting for an interrupt and no
    device will ever deliver one. *)
 exception Deadlock
 
@@ -41,10 +57,11 @@ type device = {
   mutable dev_tick : t -> unit;
 }
 
-and t = {
-  cost : Cost.t;
-  mem : int array;
-  mem_words : int;
+(* One core's private state: registers, status, pending interrupts,
+   and its local clock/counters.  Everything else — memory, code,
+   devices, MMIO, maps, hcalls — is machine-shared. *)
+and cpu = {
+  cid : int;
   regs : int array;
   fregs : float array;
   mutable pc : int;
@@ -59,10 +76,42 @@ and t = {
   mutable cc_c : bool;
   mutable fp_enabled : bool;
   mutable last_fault_addr : int;
+  mutable cpu_map : int; (* -1: no user map installed *)
+  (* pending interrupts: vector per level 1..7, -1 = none *)
+  pending : int array;
+  mutable stopped : bool;
+  (* has [start_core] ever woken this core?  Distinguishes a core that
+     never booted from one merely stop-waiting for an interrupt (both
+     have [stopped = true]).  Core 0 boots started. *)
+  mutable started : bool;
+  (* local absolute clock: cycles of work this core has performed or
+     slept through *)
+  mutable c_time : int;
+  mutable c_insns : int;
+  mutable c_refs : int;
+  mutable c_irqs : int;
+  mutable c_cas : int;
+  mutable c_cas_lost : int; (* CAS that observed a changed word *)
+}
+
+and t = {
+  cost : Cost.t;
+  mem : int array;
+  mem_words : int;
+  cpus : cpu array;
+  mutable cur : cpu; (* the core host services act on *)
+  (* core-interleaving schedule: rotating tie-break start (seeded) and
+     an optional per-step override (the explorer's preemption lever) *)
+  mutable sched_rr : int;
+  mutable sched_hook : (int array -> int -> int) option;
+  (* interrupt routing: level -> core id (default all to core 0) *)
+  irq_routes : int array;
   (* code store *)
   mutable code : Insn.insn array;
   mutable code_len : int;
-  (* counters *)
+  (* machine-wide counters; [cycles] is the global clock — the minimum
+     over runnable cores' local clocks, monotone because the minimum
+     core is always the one that steps *)
   mutable cycles : int;
   mutable insns : int;
   mutable refs : int;
@@ -72,22 +121,21 @@ and t = {
      with it on the simulated cycle/instruction counts are untouched,
      so a PMU-disabled and a PMU-enabled run are bit-identical. *)
   mutable sample_period : int; (* cycles between pc samples; 0 = off *)
-  mutable sample_next : int; (* absolute cycle count of the next sample *)
+  mutable sample_next : int; (* local cycle count of the next sample *)
   mutable sample_mark : int; (* cycles already covered by earlier samples *)
   mutable sample_hook : pc:int -> weight:int -> unit;
   (* kfault: transient CAS-failure injection.  [cas_count] numbers the
-     Cas instructions executed; when it reaches [cas_fail_next] the
-     store is suppressed and Z forced clear — indistinguishable from
-     losing the race to another processor, so correct optimistic code
-     must take its retry branch.  Host-side only: with no failure
-     armed the Cas path pays one integer compare. *)
+     Cas instructions executed (across all cores); when it reaches
+     [cas_fail_next] the store is suppressed and Z forced clear —
+     indistinguishable from losing the race to another processor, so
+     correct optimistic code must take its retry branch.  Host-side
+     only: with no failure armed the Cas path pays one integer
+     compare. *)
   mutable cas_count : int;
   mutable cas_fail_next : int; (* cas_count value to fail at; max_int = off *)
   mutable cas_fail_hook : t -> unit;
   (* a fault raised while entering a fault handler halts the machine *)
   mutable double_fault : bool;
-  (* pending interrupts: vector per level 1..7, -1 = none *)
-  pending : int array;
   (* devices *)
   mutable devices : device list;
   mutable next_device_due : int;
@@ -100,11 +148,11 @@ and t = {
   mmio_write : (int, int -> unit) Hashtbl.t;
   (* address-space maps: map id -> list of (base, len) segments *)
   maps : (int, (int * int) list) Hashtbl.t;
-  mutable current_map : int; (* -1: no user map installed *)
   (* host service routines invoked by Hcall *)
   mutable hcalls : (t -> unit) array;
   mutable hcall_len : int;
-  (* execution trace ring buffer (kernel monitor, §6.3) *)
+  (* execution trace ring buffer (kernel monitor, §6.3); with several
+     cores it records the global interleaving order *)
   trace_ring : int array;
   mutable trace_pos : int;
   mutable trace_count : int;
@@ -118,19 +166,17 @@ and t = {
   mutable attr_on : bool;
   mutable attr_owner : int array;
   mutable attr_cycles : int array;
-  mutable attr_mark : int; (* cycles already attributed *)
+  mutable attr_mark : int; (* [cur]'s local cycles already attributed *)
   mutable hooks : hooks option;
   mutable halted : bool;
-  mutable stopped : bool;
 }
 
 let mmio_base = 0xF0_0000
+let max_cores = 8
 
-let create ?(mem_words = 1 lsl 20) cost =
+let make_cpu cid =
   {
-    cost;
-    mem = Array.make mem_words 0;
-    mem_words;
+    cid;
     regs = Array.make Insn.num_regs 0;
     fregs = Array.make Insn.num_fregs 0.0;
     pc = 0;
@@ -145,6 +191,31 @@ let create ?(mem_words = 1 lsl 20) cost =
     cc_c = false;
     fp_enabled = true;
     last_fault_addr = 0;
+    cpu_map = -1;
+    pending = Array.make 8 (-1);
+    (* secondary cores sleep until the kernel boots them *)
+    stopped = cid > 0;
+    started = cid = 0;
+    c_time = 0;
+    c_insns = 0;
+    c_refs = 0;
+    c_irqs = 0;
+    c_cas = 0;
+    c_cas_lost = 0;
+  }
+
+let create ?(mem_words = 1 lsl 20) ?(cores = 1) cost =
+  if cores < 1 || cores > max_cores then invalid_arg "create: cores";
+  let cpus = Array.init cores make_cpu in
+  {
+    cost;
+    mem = Array.make mem_words 0;
+    mem_words;
+    cpus;
+    cur = cpus.(0);
+    sched_rr = 0;
+    sched_hook = None;
+    irq_routes = Array.make 8 0;
     code = Array.make 4096 Insn.Halt;
     code_len = 0;
     cycles = 0;
@@ -159,14 +230,12 @@ let create ?(mem_words = 1 lsl 20) cost =
     cas_fail_next = max_int;
     cas_fail_hook = (fun _ -> ());
     double_fault = false;
-    pending = Array.make 8 (-1);
     devices = [];
     next_device_due = max_int;
     power_hooks = [];
     mmio_read = Hashtbl.create 16;
     mmio_write = Hashtbl.create 16;
     maps = Hashtbl.create 16;
-    current_map = -1;
     hcalls = Array.make 64 (fun _ -> ());
     hcall_len = 0;
     trace_ring = Array.make 4096 0;
@@ -181,73 +250,101 @@ let create ?(mem_words = 1 lsl 20) cost =
     attr_mark = 0;
     hooks = None;
     halted = false;
-    stopped = false;
   }
 
 (* ------------------------------------------------------------------ *)
-(* Counters and time *)
+(* Cores *)
 
-let cycles t = t.cycles
+let num_cores t = Array.length t.cpus
+let current_core t = t.cur.cid
+
+(* ------------------------------------------------------------------ *)
+(* Counters and time.
+
+   [cycles]/[time_us] report the acting core's local clock: host
+   services measure and schedule against the core they run on.  With
+   one core this is exactly the old global clock. *)
+
+let cycles t = t.cur.c_time
 let insns_executed t = t.insns
 let mem_refs t = t.refs
 let irqs_taken t = t.irqs_taken
-let time_us t = Cost.us_of_cycles t.cost t.cycles
-let charge t cy = t.cycles <- t.cycles + cy
+let time_us t = Cost.us_of_cycles t.cost t.cur.c_time
+let charge t cy = t.cur.c_time <- t.cur.c_time + cy
 
 let charge_refs t n =
   t.refs <- t.refs + n;
-  t.cycles <- t.cycles + (n * Cost.mem_ref_cycles t.cost)
+  t.cur.c_refs <- t.cur.c_refs + n;
+  t.cur.c_time <- t.cur.c_time + (n * Cost.mem_ref_cycles t.cost)
 
 type stats = { s_cycles : int; s_insns : int; s_refs : int }
 
-let snapshot t = { s_cycles = t.cycles; s_insns = t.insns; s_refs = t.refs }
+let snapshot t = { s_cycles = t.cur.c_time; s_insns = t.insns; s_refs = t.refs }
 
 let delta t s =
   {
-    s_cycles = t.cycles - s.s_cycles;
+    s_cycles = t.cur.c_time - s.s_cycles;
     s_insns = t.insns - s.s_insns;
     s_refs = t.refs - s.s_refs;
   }
 
 let stats_us t s = Cost.us_of_cycles t.cost s.s_cycles
 
+(* Per-core counters *)
+
+let core_cycles t i = t.cpus.(i).c_time
+let core_insns t i = t.cpus.(i).c_insns
+let core_refs t i = t.cpus.(i).c_refs
+let core_irqs t i = t.cpus.(i).c_irqs
+let core_cas t i = t.cpus.(i).c_cas
+let core_cas_lost t i = t.cpus.(i).c_cas_lost
+let core_stopped t i = t.cpus.(i).stopped
+let core_started t i = t.cpus.(i).started
+let core_pc t i = t.cpus.(i).pc
+
+let max_core_cycles t =
+  Array.fold_left (fun acc c -> max acc c.c_time) 0 t.cpus
+
 (* ------------------------------------------------------------------ *)
 (* Registers, flags, status register *)
 
-let get_reg t r = t.regs.(r)
-let set_reg t r v = t.regs.(r) <- Word.of_int v
-let get_freg t r = t.fregs.(r)
-let set_freg t r v = t.fregs.(r) <- v
-let get_pc t = t.pc
-let set_pc t pc = t.pc <- pc
-let in_supervisor t = t.supervisor
+let get_reg t r = t.cur.regs.(r)
+let set_reg t r v = t.cur.regs.(r) <- Word.of_int v
+let get_freg t r = t.cur.fregs.(r)
+let set_freg t r v = t.cur.fregs.(r) <- v
+let get_pc t = t.cur.pc
+let set_pc t pc = t.cur.pc <- pc
+let in_supervisor t = t.cur.supervisor
 
 (* SR layout: C=bit0 V=1 Z=2 N=3, IPL=bits 8..10, S=bit 13, T=bit 15. *)
 let pack_sr t =
-  (if t.cc_c then 1 else 0)
-  lor (if t.cc_v then 2 else 0)
-  lor (if t.cc_z then 4 else 0)
-  lor (if t.cc_n then 8 else 0)
-  lor (t.ipl lsl 8)
-  lor (if t.supervisor then 1 lsl 13 else 0)
-  lor (if t.trace_bit then 1 lsl 15 else 0)
+  let c = t.cur in
+  (if c.cc_c then 1 else 0)
+  lor (if c.cc_v then 2 else 0)
+  lor (if c.cc_z then 4 else 0)
+  lor (if c.cc_n then 8 else 0)
+  lor (c.ipl lsl 8)
+  lor (if c.supervisor then 1 lsl 13 else 0)
+  lor (if c.trace_bit then 1 lsl 15 else 0)
 
 let switch_stacks t =
-  let active = t.regs.(Insn.sp) in
-  t.regs.(Insn.sp) <- t.other_sp;
-  t.other_sp <- active
+  let c = t.cur in
+  let active = c.regs.(Insn.sp) in
+  c.regs.(Insn.sp) <- c.other_sp;
+  c.other_sp <- active
 
 let unpack_sr t sr =
-  t.cc_c <- sr land 1 <> 0;
-  t.cc_v <- sr land 2 <> 0;
-  t.cc_z <- sr land 4 <> 0;
-  t.cc_n <- sr land 8 <> 0;
-  t.ipl <- (sr lsr 8) land 7;
+  let c = t.cur in
+  c.cc_c <- sr land 1 <> 0;
+  c.cc_v <- sr land 2 <> 0;
+  c.cc_z <- sr land 4 <> 0;
+  c.cc_n <- sr land 8 <> 0;
+  c.ipl <- (sr lsr 8) land 7;
   let new_super = sr land (1 lsl 13) <> 0 in
-  if new_super <> t.supervisor then (
-    t.supervisor <- new_super;
+  if new_super <> c.supervisor then (
+    c.supervisor <- new_super;
     switch_stacks t);
-  t.trace_bit <- sr land (1 lsl 15) <> 0
+  c.trace_bit <- sr land (1 lsl 15) <> 0
 
 (* ------------------------------------------------------------------ *)
 (* Memory *)
@@ -256,42 +353,47 @@ let segment_allows segs addr =
   List.exists (fun (base, len) -> addr >= base && addr < base + len) segs
 
 let check_access t addr =
-  if t.supervisor then (
+  let c = t.cur in
+  if c.supervisor then (
     if addr < 0 || (addr >= t.mem_words && addr < mmio_base) then (
-      t.last_fault_addr <- addr;
+      c.last_fault_addr <- addr;
       raise (Cpu_fault (Bus_error addr))))
   else begin
     if addr < 0 || addr >= t.mem_words then (
-      t.last_fault_addr <- addr;
+      c.last_fault_addr <- addr;
       raise (Cpu_fault (Bus_error addr)));
-    if t.current_map >= 0 then
-      let segs = try Hashtbl.find t.maps t.current_map with Not_found -> [] in
+    if c.cpu_map >= 0 then
+      let segs = try Hashtbl.find t.maps c.cpu_map with Not_found -> [] in
       if not (segment_allows segs addr) then (
-        t.last_fault_addr <- addr;
+        c.last_fault_addr <- addr;
         raise (Cpu_fault (Bus_error addr)))
   end
 
 let read_mem t addr =
   check_access t addr;
+  let c = t.cur in
   t.refs <- t.refs + 1;
-  t.cycles <- t.cycles + Cost.mem_ref_cycles t.cost;
+  c.c_refs <- c.c_refs + 1;
+  c.c_time <- c.c_time + Cost.mem_ref_cycles t.cost;
   if addr >= mmio_base then (
     match Hashtbl.find_opt t.mmio_read addr with
     | Some f -> Word.of_int (f ())
     | None ->
-      t.last_fault_addr <- addr;
+      c.last_fault_addr <- addr;
       raise (Cpu_fault (Bus_error addr)))
   else t.mem.(addr)
 
 let write_mem t addr v =
   check_access t addr;
+  let c = t.cur in
   t.refs <- t.refs + 1;
-  t.cycles <- t.cycles + Cost.mem_ref_cycles t.cost;
+  c.c_refs <- c.c_refs + 1;
+  c.c_time <- c.c_time + Cost.mem_ref_cycles t.cost;
   if addr >= mmio_base then (
     match Hashtbl.find_opt t.mmio_write addr with
     | Some f -> f (Word.of_int v)
     | None ->
-      t.last_fault_addr <- addr;
+      c.last_fault_addr <- addr;
       raise (Cpu_fault (Bus_error addr)))
   else t.mem.(addr) <- Word.of_int v
 
@@ -306,8 +408,8 @@ let map_mmio_write t ~addr f = Hashtbl.replace t.mmio_write addr f
 let define_map t ~id segments = Hashtbl.replace t.maps id segments
 
 let map_segments t ~id = try Hashtbl.find t.maps id with Not_found -> []
-let current_map t = t.current_map
-let set_map t id = t.current_map <- id
+let current_map t = t.cur.cpu_map
+let set_map t id = t.cur.cpu_map <- id
 
 (* ------------------------------------------------------------------ *)
 (* Code store *)
@@ -410,16 +512,41 @@ let power_cut t ~device ~torn_words =
   | Some f -> f torn_words
   | None -> ()
 
-let post_interrupt ?(source = "") t ~level ~vector =
+let set_irq_route t ~level ~cpu =
+  if level < 1 || level > 7 then invalid_arg "set_irq_route: level";
+  if cpu < 0 || cpu >= num_cores t then invalid_arg "set_irq_route: cpu";
+  t.irq_routes.(level) <- cpu
+
+let irq_route t ~level = t.irq_routes.(level)
+
+let post_interrupt ?(source = "") ?cpu t ~level ~vector =
   if level < 1 || level > 7 then invalid_arg "post_interrupt: level";
-  t.pending.(level) <- vector;
-  t.stopped <- false;
+  let target =
+    match cpu with
+    | Some c ->
+      if c < 0 || c >= num_cores t then invalid_arg "post_interrupt: cpu";
+      t.cpus.(c)
+    | None -> t.cpus.(t.irq_routes.(level))
+  in
+  target.pending.(level) <- vector;
+  if target.stopped then begin
+    target.stopped <- false;
+    (* A sleeping core wakes at the moment of the interrupt, not in
+       its frozen past: without the warp, a long-halted core would
+       replay cycles other cores (and devices) have already lived
+       through. *)
+    let now = max t.cycles t.cur.c_time in
+    if target.c_time < now then target.c_time <- now
+  end;
   match t.hooks with Some h -> h.h_post ~source ~level ~vector | None -> ()
 
-let pending_level t =
-  let rec scan l = if l = 0 then 0 else if t.pending.(l) >= 0 then l else scan (l - 1) in
+let pending_level c =
+  let rec scan l = if l = 0 then 0 else if c.pending.(l) >= 0 then l else scan (l - 1) in
   scan 7
 
+(* Devices fire against the global clock (the minimum over runnable
+   cores), so a tick never runs before every core has reached it —
+   conservative discrete-event order. *)
 let run_due_devices t =
   if t.cycles >= t.next_device_due then begin
     List.iter
@@ -454,7 +581,7 @@ let ensure_attr_owners t owner =
 let attribution_enable t b =
   t.attr_on <- b;
   if b then begin
-    t.attr_mark <- t.cycles;
+    t.attr_mark <- t.cur.c_time;
     ensure_attr_owners t owner_first;
     if Array.length t.attr_owner < Array.length t.code then begin
       let a = Array.make (Array.length t.code) owner_unowned in
@@ -486,11 +613,12 @@ let attr_add t owner cy =
 
 (* Attribute cycles accumulated since the last mark (host services
    charging between steps) to [owner_host]; call before reading the
-   per-owner totals so the books balance. *)
+   per-owner totals so the books balance.  The mark tracks the acting
+   core's local clock and is re-anchored on every core switch. *)
 let attribution_flush t =
-  if t.attr_on && t.cycles > t.attr_mark then begin
-    attr_add t owner_host (t.cycles - t.attr_mark);
-    t.attr_mark <- t.cycles
+  if t.attr_on && t.cur.c_time > t.attr_mark then begin
+    attr_add t owner_host (t.cur.c_time - t.attr_mark);
+    t.attr_mark <- t.cur.c_time
   end
 
 let owner_cycles t owner =
@@ -503,44 +631,87 @@ let owner_at t addr =
   if addr >= 0 && addr < Array.length t.attr_owner then t.attr_owner.(addr)
   else owner_unowned
 
+(* Attribute the acting core's cycles accumulated since the last mark
+   to [owner] and advance the mark. *)
+let attr_window t owner =
+  if t.attr_on && t.cur.c_time > t.attr_mark then begin
+    attr_add t owner (t.cur.c_time - t.attr_mark);
+    t.attr_mark <- t.cur.c_time
+  end
+
+(* Retarget host services (and the attribution mark) at another core.
+   Any un-attributed residue belongs to host services — instruction
+   windows are always closed inside [step]. *)
+let switch_cur t c =
+  if c != t.cur then begin
+    attr_window t owner_host;
+    t.cur <- c;
+    t.attr_mark <- c.c_time
+  end
+
+let set_active_core t i =
+  if i < 0 || i >= num_cores t then invalid_arg "set_active_core";
+  switch_cur t t.cpus.(i)
+
+(* Boot a secondary core: wake it at the caller's present.  Registers,
+   stack, and pc must have been staged via [set_active_core]. *)
+let start_core t i =
+  if i < 0 || i >= num_cores t then invalid_arg "start_core";
+  let c = t.cpus.(i) in
+  let now = max t.cycles t.cur.c_time in
+  if c.c_time < now then c.c_time <- now;
+  c.stopped <- false;
+  c.started <- true
+
+(* kfault: delay a core's next turn by skewing its local clock — the
+   explorer's lever for forcing a different interleaving. *)
+let stall_core t ~cpu ~cycles =
+  if cpu < 0 || cpu >= num_cores t then invalid_arg "stall_core";
+  if cycles > 0 then t.cpus.(cpu).c_time <- t.cpus.(cpu).c_time + cycles
+
+let set_schedule_seed t seed =
+  t.sched_rr <- abs seed mod num_cores t
+
+let set_sched_hook t h = t.sched_hook <- h
+
 (* ------------------------------------------------------------------ *)
 (* Operand evaluation *)
 
 let effective_addr t = function
   | Insn.Imm _ | Insn.Lbl _ | Insn.Reg _ ->
     invalid_arg "effective_addr: not a memory operand"
-  | Insn.Ind r -> t.regs.(r)
-  | Insn.Idx (r, d) -> Word.of_int (t.regs.(r) + d)
+  | Insn.Ind r -> t.cur.regs.(r)
+  | Insn.Idx (r, d) -> Word.of_int (t.cur.regs.(r) + d)
   | Insn.Abs a -> a
   | Insn.Post_inc r ->
-    let a = t.regs.(r) in
-    t.regs.(r) <- Word.of_int (a + 1);
+    let a = t.cur.regs.(r) in
+    t.cur.regs.(r) <- Word.of_int (a + 1);
     a
   | Insn.Pre_dec r ->
-    let a = Word.of_int (t.regs.(r) - 1) in
-    t.regs.(r) <- a;
+    let a = Word.of_int (t.cur.regs.(r) - 1) in
+    t.cur.regs.(r) <- a;
     a
 
 let read_operand t = function
   | Insn.Imm v -> Word.of_int v
   | Insn.Lbl l -> invalid_arg ("read_operand: unresolved label " ^ l)
-  | Insn.Reg r -> t.regs.(r)
+  | Insn.Reg r -> t.cur.regs.(r)
   | op -> read_mem t (effective_addr t op)
 
 let write_operand t op v =
   match op with
   | Insn.Imm _ -> invalid_arg "write_operand: immediate destination"
-  | Insn.Reg r -> t.regs.(r) <- Word.of_int v
+  | Insn.Reg r -> t.cur.regs.(r) <- Word.of_int v
   | op -> write_mem t (effective_addr t op) v
 
 let set_nz t v =
-  t.cc_n <- Word.is_negative v;
-  t.cc_z <- v = 0
+  t.cur.cc_n <- Word.is_negative v;
+  t.cur.cc_z <- v = 0
 
 let set_nz_clear_cv t v =
   set_nz t v;
-  t.cc_c <- false;
-  t.cc_v <- false
+  t.cur.cc_c <- false;
+  t.cur.cc_v <- false
 
 (* ------------------------------------------------------------------ *)
 (* ALU *)
@@ -551,14 +722,14 @@ let alu_apply t op a b =
   | Insn.Add ->
     let r, c, v = Word.add_full b a in
     set_nz t r;
-    t.cc_c <- c;
-    t.cc_v <- v;
+    t.cur.cc_c <- c;
+    t.cur.cc_v <- v;
     r
   | Insn.Sub ->
     let r, c, v = Word.sub_full b a in
     set_nz t r;
-    t.cc_c <- c;
-    t.cc_v <- v;
+    t.cur.cc_c <- c;
+    t.cur.cc_v <- v;
     r
   | Insn.Mul ->
     let r = Word.mul b a in
@@ -599,39 +770,43 @@ let alu_apply t op a b =
     set_nz_clear_cv t r;
     r
 
-let cond_holds t = function
+let cond_holds t cond =
+  let c = t.cur in
+  match cond with
   | Insn.Always -> true
-  | Insn.Eq -> t.cc_z
-  | Insn.Ne -> not t.cc_z
-  | Insn.Lt -> t.cc_n <> t.cc_v
-  | Insn.Ge -> t.cc_n = t.cc_v
-  | Insn.Le -> t.cc_z || t.cc_n <> t.cc_v
-  | Insn.Gt -> (not t.cc_z) && t.cc_n = t.cc_v
-  | Insn.Hi -> (not t.cc_c) && not t.cc_z
-  | Insn.Ls -> t.cc_c || t.cc_z
-  | Insn.Cs -> t.cc_c
-  | Insn.Cc -> not t.cc_c
-  | Insn.Mi -> t.cc_n
-  | Insn.Pl -> not t.cc_n
+  | Insn.Eq -> c.cc_z
+  | Insn.Ne -> not c.cc_z
+  | Insn.Lt -> c.cc_n <> c.cc_v
+  | Insn.Ge -> c.cc_n = c.cc_v
+  | Insn.Le -> c.cc_z || c.cc_n <> c.cc_v
+  | Insn.Gt -> (not c.cc_z) && c.cc_n = c.cc_v
+  | Insn.Hi -> (not c.cc_c) && not c.cc_z
+  | Insn.Ls -> c.cc_c || c.cc_z
+  | Insn.Cs -> c.cc_c
+  | Insn.Cc -> not c.cc_c
+  | Insn.Mi -> c.cc_n
+  | Insn.Pl -> not c.cc_n
 
 let resolve_target t = function
   | Insn.To_addr a -> a
-  | Insn.To_reg r -> t.regs.(r)
+  | Insn.To_reg r -> t.cur.regs.(r)
   | Insn.To_mem op -> read_mem t (effective_addr t op)
   | Insn.To_label l -> invalid_arg ("resolve_target: unresolved label " ^ l)
 
 let push t v =
-  let a = Word.of_int (t.regs.(Insn.sp) - 1) in
-  t.regs.(Insn.sp) <- a;
+  let c = t.cur in
+  let a = Word.of_int (c.regs.(Insn.sp) - 1) in
+  c.regs.(Insn.sp) <- a;
   write_mem t a v
 
 let pop t =
-  let a = t.regs.(Insn.sp) in
+  let c = t.cur in
+  let a = c.regs.(Insn.sp) in
   let v = read_mem t a in
-  t.regs.(Insn.sp) <- Word.of_int (a + 1);
+  c.regs.(Insn.sp) <- Word.of_int (a + 1);
   v
 
-let require_supervisor t = if not t.supervisor then raise (Cpu_fault Privilege)
+let require_supervisor t = if not t.cur.supervisor then raise (Cpu_fault Privilege)
 
 (* ------------------------------------------------------------------ *)
 (* Exceptions, traps, interrupts *)
@@ -647,26 +822,29 @@ let fault_vector = function
    PC and SR on the supervisor stack, enter supervisor state, fetch
    the handler address from [vbr + vector]. *)
 let take_exception t ~vector ~new_ipl =
+  let c = t.cur in
   let sr = pack_sr t in
-  if not t.supervisor then begin
-    t.supervisor <- true;
+  if not c.supervisor then begin
+    c.supervisor <- true;
     switch_stacks t
   end;
-  t.trace_bit <- false;
-  (match new_ipl with Some l -> t.ipl <- l | None -> ());
-  push t t.pc;
+  c.trace_bit <- false;
+  (match new_ipl with Some l -> c.ipl <- l | None -> ());
+  push t c.pc;
   push t sr;
   charge t 18;
   (* vector fetch *)
-  let handler = read_mem t (t.vbr + vector) in
-  t.pc <- handler
+  let handler = read_mem t (c.vbr + vector) in
+  c.pc <- handler
 
 let deliver_pending_interrupt t =
-  let level = pending_level t in
-  if level > t.ipl then begin
-    let vector = t.pending.(level) in
-    t.pending.(level) <- -1;
+  let c = t.cur in
+  let level = pending_level c in
+  if level > c.ipl then begin
+    let vector = c.pending.(level) in
+    c.pending.(level) <- -1;
     t.irqs_taken <- t.irqs_taken + 1;
+    c.c_irqs <- c.c_irqs + 1;
     (match t.hooks with Some h -> h.h_irq ~level ~vector | None -> ());
     take_exception t ~vector ~new_ipl:(Some level);
     true
@@ -684,10 +862,10 @@ let exec t insn =
     let v = read_operand t src in
     write_operand t dst v;
     set_nz_clear_cv t v
-  | Insn.Lea (op, r) -> t.regs.(r) <- Word.of_int (effective_addr t op)
+  | Insn.Lea (op, r) -> t.cur.regs.(r) <- Word.of_int (effective_addr t op)
   | Insn.Alu (op, src, rd) ->
     let a = read_operand t src in
-    t.regs.(rd) <- alu_apply t op a t.regs.(rd)
+    t.cur.regs.(rd) <- alu_apply t op a t.cur.regs.(rd)
   | Insn.Alu_mem (op, src, dst) ->
     let a = read_operand t src in
     let addr = effective_addr t dst in
@@ -698,96 +876,104 @@ let exec t insn =
     let b = read_operand t dst in
     let r, c, v = Word.sub_full b a in
     set_nz t r;
-    t.cc_c <- c;
-    t.cc_v <- v
+    t.cur.cc_c <- c;
+    t.cur.cc_v <- v
   | Insn.Tst op ->
     let v = read_operand t op in
     set_nz_clear_cv t v
   | Insn.Neg r ->
-    let v = Word.neg t.regs.(r) in
-    t.regs.(r) <- v;
+    let v = Word.neg t.cur.regs.(r) in
+    t.cur.regs.(r) <- v;
     set_nz t v;
-    t.cc_c <- v <> 0;
-    t.cc_v <- v = Word.sign_bit
+    t.cur.cc_c <- v <> 0;
+    t.cur.cc_v <- v = Word.sign_bit
   | Insn.Not r ->
-    let v = Word.lognot t.regs.(r) in
-    t.regs.(r) <- v;
+    let v = Word.lognot t.cur.regs.(r) in
+    t.cur.regs.(r) <- v;
     set_nz_clear_cv t v
-  | Insn.B (c, tgt) -> if cond_holds t c then t.pc <- resolve_target t tgt
+  | Insn.B (c, tgt) -> if cond_holds t c then t.cur.pc <- resolve_target t tgt
   | Insn.Dbra (r, tgt) ->
-    let v = Word.sub t.regs.(r) 1 in
-    t.regs.(r) <- v;
-    if v <> Word.mask then t.pc <- resolve_target t tgt
-  | Insn.Jmp tgt -> t.pc <- resolve_target t tgt
+    let v = Word.sub t.cur.regs.(r) 1 in
+    t.cur.regs.(r) <- v;
+    if v <> Word.mask then t.cur.pc <- resolve_target t tgt
+  | Insn.Jmp tgt -> t.cur.pc <- resolve_target t tgt
   | Insn.Jsr tgt ->
     let dest = resolve_target t tgt in
-    push t t.pc;
-    t.pc <- dest
-  | Insn.Rts -> t.pc <- pop t
+    push t t.cur.pc;
+    t.cur.pc <- dest
+  | Insn.Rts -> t.cur.pc <- pop t
   | Insn.Trap n -> take_exception t ~vector:(Insn.Vector.trap n) ~new_ipl:None
   | Insn.Rte ->
     require_supervisor t;
     let sr = pop t in
     let pc = pop t in
     unpack_sr t sr;
-    t.pc <- pc
+    t.cur.pc <- pc
   | Insn.Cas (rc, ru, ea) ->
-    (* Atomic by construction: interrupts are delivered only between
-       instructions (see [step]), so the load-compare-store sequence
-       can never be split.  A kfault-forced failure suppresses the
-       store and reports Z clear — exactly what losing the race to
-       another processor looks like, and costing the same references
-       as a genuine miss. *)
+    (* Atomic by construction: a core's load-compare-store sequence
+       can never be split — interrupts arrive between instructions and
+       other cores interleave at instruction granularity (see [step]).
+       Cross-core contention is therefore real: another core's
+       committed Cas changes the word and this compare simply fails.
+       A kfault-forced failure suppresses the store and reports Z
+       clear — the same observable outcome, costing the same
+       references. *)
+    let c = t.cur in
     let addr = effective_addr t ea in
     let v = read_mem t addr in
     t.cas_count <- t.cas_count + 1;
+    c.c_cas <- c.c_cas + 1;
     let forced = t.cas_count = t.cas_fail_next in
-    let r, c, ovf = Word.sub_full v t.regs.(rc) in
+    let r, cc, ovf = Word.sub_full v c.regs.(rc) in
     set_nz t r;
-    t.cc_c <- c;
-    t.cc_v <- ovf;
-    if v = t.regs.(rc) && not forced then write_mem t addr t.regs.(ru)
-    else t.regs.(rc) <- v;
+    c.cc_c <- cc;
+    c.cc_v <- ovf;
+    if v = c.regs.(rc) && not forced then write_mem t addr c.regs.(ru)
+    else begin
+      c.regs.(rc) <- v;
+      if not forced then c.c_cas_lost <- c.c_cas_lost + 1
+    end;
     if forced then begin
-      t.cc_z <- false;
+      c.cc_z <- false;
+      c.c_cas_lost <- c.c_cas_lost + 1;
       t.cas_fail_next <- max_int;
       t.cas_fail_hook t
     end
   | Insn.Movem_save (rs, sreg) ->
     List.iter
       (fun r ->
-        let a = Word.of_int (t.regs.(sreg) - 1) in
-        t.regs.(sreg) <- a;
-        write_mem t a t.regs.(r))
+        let a = Word.of_int (t.cur.regs.(sreg) - 1) in
+        t.cur.regs.(sreg) <- a;
+        write_mem t a t.cur.regs.(r))
       (List.rev rs)
   | Insn.Movem_load (sreg, rs) ->
     List.iter
       (fun r ->
-        let a = t.regs.(sreg) in
-        t.regs.(r) <- read_mem t a;
-        t.regs.(sreg) <- Word.of_int (a + 1))
+        let a = t.cur.regs.(sreg) in
+        t.cur.regs.(r) <- read_mem t a;
+        t.cur.regs.(sreg) <- Word.of_int (a + 1))
       rs
   | Insn.Push op -> push t (read_operand t op)
-  | Insn.Pop r -> t.regs.(r) <- pop t
+  | Insn.Pop r -> t.cur.regs.(r) <- pop t
   | Insn.Set_ipl n ->
     require_supervisor t;
-    t.ipl <- n land 7
+    t.cur.ipl <- n land 7
   | Insn.Move_vbr op ->
     require_supervisor t;
-    t.vbr <- read_operand t op
+    t.cur.vbr <- read_operand t op
   | Insn.Move_mmu op ->
     require_supervisor t;
-    t.current_map <- Word.signed (read_operand t op)
+    t.cur.cpu_map <- Word.signed (read_operand t op)
   | Insn.Fmove_imm (f, d) ->
-    if not t.fp_enabled then raise (Cpu_fault Fp_unavailable);
-    t.fregs.(d) <- f
+    if not t.cur.fp_enabled then raise (Cpu_fault Fp_unavailable);
+    t.cur.fregs.(d) <- f
   | Insn.Fmove (s, d) ->
-    if not t.fp_enabled then raise (Cpu_fault Fp_unavailable);
-    t.fregs.(d) <- t.fregs.(s)
+    if not t.cur.fp_enabled then raise (Cpu_fault Fp_unavailable);
+    t.cur.fregs.(d) <- t.cur.fregs.(s)
   | Insn.Fop (op, s, d) ->
-    if not t.fp_enabled then raise (Cpu_fault Fp_unavailable);
-    let a = t.fregs.(s) and b = t.fregs.(d) in
-    t.fregs.(d) <-
+    if not t.cur.fp_enabled then raise (Cpu_fault Fp_unavailable);
+    let a = t.cur.fregs.(s) and b = t.cur.fregs.(d) in
+    t.cur.fregs.(d) <-
       (match op with
       | Insn.Fadd -> b +. a
       | Insn.Fsub -> b -. a
@@ -796,28 +982,28 @@ let exec t insn =
   | Insn.Fmovem_save sreg ->
     (* FP context is wide: three memory words per register. *)
     for i = Insn.num_fregs - 1 downto 0 do
-      let bits = Int64.to_int (Int64.logand (Int64.bits_of_float t.fregs.(i)) 0xFFFF_FFFFL) in
-      let a = Word.of_int (t.regs.(sreg) - 3) in
-      t.regs.(sreg) <- a;
+      let bits = Int64.to_int (Int64.logand (Int64.bits_of_float t.cur.fregs.(i)) 0xFFFF_FFFFL) in
+      let a = Word.of_int (t.cur.regs.(sreg) - 3) in
+      t.cur.regs.(sreg) <- a;
       write_mem t a bits;
       write_mem t (a + 1)
-        (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float t.fregs.(i)) 32));
+        (Int64.to_int (Int64.shift_right_logical (Int64.bits_of_float t.cur.fregs.(i)) 32));
       write_mem t (a + 2) i
     done
   | Insn.Fmovem_load sreg ->
     for i = 0 to Insn.num_fregs - 1 do
-      let a = t.regs.(sreg) in
+      let a = t.cur.regs.(sreg) in
       let lo = read_mem t a in
       let hi = read_mem t (a + 1) in
       let _tag = read_mem t (a + 2) in
-      t.regs.(sreg) <- Word.of_int (a + 3);
-      t.fregs.(i) <-
+      t.cur.regs.(sreg) <- Word.of_int (a + 3);
+      t.cur.fregs.(i) <-
         Int64.float_of_bits
           (Int64.logor (Int64.shift_left (Int64.of_int hi) 32) (Int64.of_int lo))
     done
   | Insn.Stop_wait ->
     require_supervisor t;
-    t.stopped <- true
+    t.cur.stopped <- true
   | Insn.Halt -> t.halted <- true
   | Insn.Hcall id ->
     if id < 0 || id >= t.hcall_len then raise (Cpu_fault Illegal);
@@ -826,16 +1012,13 @@ let exec t insn =
 (* ------------------------------------------------------------------ *)
 (* Stepping and running *)
 
-let fp_control_addr = mmio_base + 0xFF0
-
-let () = ignore fp_control_addr
-
-let set_fp_enabled t b = t.fp_enabled <- b
-let fp_enabled t = t.fp_enabled
+let set_fp_enabled t b = t.cur.fp_enabled <- b
+let fp_enabled t = t.cur.fp_enabled
 
 let fetch t =
-  if t.pc < 0 || t.pc >= t.code_len then raise (Wild_jump t.pc);
-  t.code.(t.pc)
+  let pc = t.cur.pc in
+  if pc < 0 || pc >= t.code_len then raise (Wild_jump pc);
+  t.code.(pc)
 
 let record_trace t pc =
   t.trace_ring.(t.trace_pos) <- pc;
@@ -874,8 +1057,8 @@ let set_sampling t ~period hook =
   if period <= 0 then invalid_arg "set_sampling: period";
   t.sample_period <- period;
   t.sample_hook <- hook;
-  t.sample_mark <- t.cycles;
-  t.sample_next <- t.cycles + period
+  t.sample_mark <- t.cur.c_time;
+  t.sample_next <- t.cur.c_time + period
 
 let clear_sampling t =
   t.sample_period <- 0;
@@ -893,70 +1076,130 @@ let trace_window t n =
       in
       t.trace_ring.(pos))
 
-let advance_to_next_event t =
-  if t.next_device_due = max_int then raise Deadlock;
-  if t.next_device_due > t.cycles then t.cycles <- t.next_device_due;
-  run_due_devices t
+(* The global clock: the smallest local clock among runnable cores, or
+   — with every core asleep — among all of them.  Monotone, because
+   [pick_core] always runs the minimum core. *)
+let frontier t =
+  let n = Array.length t.cpus in
+  if n = 1 then t.cpus.(0).c_time
+  else begin
+    let best = ref max_int and any = ref false in
+    for i = 0 to n - 1 do
+      let c = t.cpus.(i) in
+      if not c.stopped then begin
+        any := true;
+        if c.c_time < !best then best := c.c_time
+      end
+    done;
+    if !any then !best
+    else Array.fold_left (fun acc c -> min acc c.c_time) max_int t.cpus
+  end
 
-(* Attribute the cycles accumulated since the last mark to [owner] and
-   advance the mark. *)
-let attr_window t owner =
-  if t.attr_on && t.cycles > t.attr_mark then begin
-    attr_add t owner (t.cycles - t.attr_mark);
-    t.attr_mark <- t.cycles
+(* The next core to step: runnable with the smallest local clock.
+   Ties go to a rotating start position (seeded by
+   [set_schedule_seed]); the explorer's [sched_hook] may override the
+   pick with any runnable core — its per-step preemption lever. *)
+let pick_core t =
+  let n = Array.length t.cpus in
+  if n = 1 then (if t.cpus.(0).stopped then None else Some t.cpus.(0))
+  else begin
+    let best = ref (-1) and bt = ref max_int in
+    for k = 0 to n - 1 do
+      let i = (t.sched_rr + k) mod n in
+      let c = t.cpus.(i) in
+      if (not c.stopped) && c.c_time < !bt then begin
+        bt := c.c_time;
+        best := i
+      end
+    done;
+    if !best < 0 then None
+    else begin
+      t.sched_rr <- (t.sched_rr + 1) mod n;
+      let choice =
+        match t.sched_hook with
+        | None -> !best
+        | Some f ->
+          let runnable =
+            Array.of_list
+              (List.filter_map
+                 (fun c -> if c.stopped then None else Some c.cid)
+                 (Array.to_list t.cpus))
+          in
+          let pick = f runnable !best in
+          if pick >= 0 && pick < n && not t.cpus.(pick).stopped then pick
+          else !best
+      in
+      Some t.cpus.(choice)
+    end
   end
 
 let step t =
   (* cycles charged host-side between steps belong to host services *)
   attr_window t owner_host;
   if t.halted then ()
-  else if t.stopped then begin
-    (* Idle: fast-forward simulated time to the next device event. *)
-    advance_to_next_event t;
-    attr_window t owner_idle;
-    ignore (deliver_pending_interrupt t);
-    attr_window t owner_irq
-  end
-  else begin
-    if deliver_pending_interrupt t then attr_window t owner_irq
-    else begin
-      let trace_this = t.trace_bit in
-      let insn = fetch t in
-      let at = t.pc in
-      let cy0 = t.cycles in
-      if t.trace_on then record_trace t t.pc;
-      t.pc <- t.pc + 1;
-      t.insns <- t.insns + 1;
-      t.cycles <- t.cycles + Cost.base insn;
-      (try exec t insn
-       with Cpu_fault f -> (
-         t.pc <- t.pc - 1;
-         (match t.hooks with Some h -> h.h_fault f | None -> ());
-         (* fault PC: re-entrant handlers may fix and retry *)
-         try take_exception t ~vector:(fault_vector f) ~new_ipl:None
-         with Cpu_fault _ ->
-           (* Double fault: exception entry itself faulted (ruined
-              supervisor stack or unreadable vector).  There is no
-              state left to recover with — halt, like the 68020's
-              double bus fault. *)
-           t.double_fault <- true;
-           t.halted <- true));
-      if t.profile_on && at < Array.length t.profile then
-        t.profile.(at) <- t.profile.(at) + (t.cycles - cy0);
-      if t.sample_period > 0 && t.cycles >= t.sample_next then begin
-        let weight = t.cycles - t.sample_mark in
-        t.sample_mark <- t.cycles;
-        t.sample_next <- t.cycles + t.sample_period;
-        t.sample_hook ~pc:at ~weight
+  else
+    match pick_core t with
+    | None ->
+      (* Every core is stopped: fast-forward simulated time to the
+         next device event, warping the sleepers' clocks.  One halted
+         core never skips past another's pending work — this path only
+         runs when no core anywhere can make progress. *)
+      if t.next_device_due = max_int then raise Deadlock;
+      if t.next_device_due > t.cycles then t.cycles <- t.next_device_due;
+      Array.iter
+        (fun c -> if c.c_time < t.cycles then c.c_time <- t.cycles)
+        t.cpus;
+      run_due_devices t;
+      attr_window t owner_idle;
+      Array.iter
+        (fun c ->
+          if not c.stopped then begin
+            switch_cur t c;
+            if deliver_pending_interrupt t then attr_window t owner_irq
+          end)
+        t.cpus
+    | Some c ->
+      switch_cur t c;
+      if deliver_pending_interrupt t then attr_window t owner_irq
+      else begin
+        let trace_this = c.trace_bit in
+        let insn = fetch t in
+        let at = c.pc in
+        let cy0 = c.c_time in
+        if t.trace_on then record_trace t c.pc;
+        c.pc <- c.pc + 1;
+        t.insns <- t.insns + 1;
+        c.c_insns <- c.c_insns + 1;
+        c.c_time <- c.c_time + Cost.base insn;
+        (try exec t insn
+         with Cpu_fault f -> (
+           c.pc <- c.pc - 1;
+           (match t.hooks with Some h -> h.h_fault f | None -> ());
+           (* fault PC: re-entrant handlers may fix and retry *)
+           try take_exception t ~vector:(fault_vector f) ~new_ipl:None
+           with Cpu_fault _ ->
+             (* Double fault: exception entry itself faulted (ruined
+                supervisor stack or unreadable vector).  There is no
+                state left to recover with — halt, like the 68020's
+                double bus fault. *)
+             t.double_fault <- true;
+             t.halted <- true));
+        if t.profile_on && at < Array.length t.profile then
+          t.profile.(at) <- t.profile.(at) + (c.c_time - cy0);
+        if t.sample_period > 0 && c.c_time >= t.sample_next then begin
+          let weight = c.c_time - t.sample_mark in
+          t.sample_mark <- c.c_time;
+          t.sample_next <- c.c_time + t.sample_period;
+          t.sample_hook ~pc:at ~weight
+        end;
+        if trace_this && not t.halted then
+          take_exception t ~vector:Insn.Vector.trace ~new_ipl:None;
+        attr_window t (owner_at t at)
       end;
-      if trace_this && not t.halted then
-        take_exception t ~vector:Insn.Vector.trace ~new_ipl:None;
-      attr_window t (owner_at t at)
-    end;
-    run_due_devices t;
-    (* device ticks charge host-side *)
-    attr_window t owner_host
-  end
+      t.cycles <- frontier t;
+      run_due_devices t;
+      (* device ticks charge host-side *)
+      attr_window t owner_host
 
 type run_result = Halted | Insn_limit
 
@@ -994,14 +1237,19 @@ let double_faulted t = t.double_fault
    double fault before re-entering the scheduler, so a *subsequent*
    double fault is distinguishable from the one just handled. *)
 let clear_double_fault t = t.double_fault <- false
-let stopped t = t.stopped
-let last_fault_addr t = t.last_fault_addr
-let vbr t = t.vbr
-let set_vbr t v = t.vbr <- v
-let ipl t = t.ipl
-let set_ipl t l = t.ipl <- l land 7
-let set_supervisor t b = if b <> t.supervisor then (t.supervisor <- b; switch_stacks t)
-let other_sp t = t.other_sp
-let set_other_sp t v = t.other_sp <- v
+let stopped t = t.cur.stopped
+let last_fault_addr t = t.cur.last_fault_addr
+let vbr t = t.cur.vbr
+let set_vbr t v = t.cur.vbr <- v
+let ipl t = t.cur.ipl
+let set_ipl t l = t.cur.ipl <- l land 7
+
+let set_supervisor t b =
+  if b <> t.cur.supervisor then (
+    t.cur.supervisor <- b;
+    switch_stacks t)
+
+let other_sp t = t.cur.other_sp
+let set_other_sp t v = t.cur.other_sp <- v
 let mem_words t = t.mem_words
 let cost_model t = t.cost

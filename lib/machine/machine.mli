@@ -1,7 +1,18 @@
-(** The simulated Quamachine (§6.1): CPU, memory with protection maps,
-    an append-only patchable code store, prioritized interrupts,
+(** The simulated Quamachine (§6.1): CPU cores, memory with protection
+    maps, an append-only patchable code store, prioritized interrupts,
     devices, host-call hooks, and the instruction / memory-reference /
-    cycle counters the paper's measurements rely on. *)
+    cycle counters the paper's measurements rely on.
+
+    With [create ~cores:n], [n] cores step over the one shared memory
+    and code store.  Each core keeps a local absolute cycle clock;
+    [step] always runs the runnable core with the smallest clock (ties
+    broken by a seeded rotation, overridable by an explorer hook), so
+    the interleaving is deterministic and cores progress in
+    simulated-parallel time.  Interrupts are routed per level to a
+    core; cores interleave at instruction granularity, so every
+    shared-memory access is a potential switch point and another
+    core's committed [Cas] is a real contention source.  With one core
+    the machine is cycle-identical to the uniprocessor it replaces. *)
 
 type t
 
@@ -15,7 +26,7 @@ type fault =
 
 exception Cpu_fault of fault
 
-(** The CPU is stopped waiting for an interrupt no device will ever
+(** Every core is stopped waiting for an interrupt no device will ever
     deliver. *)
 exception Deadlock
 
@@ -44,7 +55,70 @@ type device = {
 (** First data address routed to MMIO handlers instead of memory. *)
 val mmio_base : int
 
-val create : ?mem_words:int -> Cost.t -> t
+val create : ?mem_words:int -> ?cores:int -> Cost.t -> t
+
+(** {1 Cores (SMP Quamachine)}
+
+    Host services (register access, [charge], [peek]/[poke], code
+    synthesis) act on the {e active} core — during execution the core
+    whose instruction (or hcall) is running, between steps whichever
+    core was last active or was selected with [set_active_core]. *)
+
+(** Hard cap on [create ~cores]. *)
+val max_cores : int
+
+val num_cores : t -> int
+
+(** The active core's id. *)
+val current_core : t -> int
+
+(** Retarget host services at core [i] (staging a secondary core's
+    registers at boot, inspecting another core in tests). *)
+val set_active_core : t -> int -> unit
+
+(** Wake core [i] at the caller's present; its registers, stack, and
+    pc must have been staged via [set_active_core]. *)
+val start_core : t -> int -> unit
+
+val core_stopped : t -> int -> bool
+
+(** Has [start_core] ever woken this core?  (A stop-waiting core is
+    [core_stopped] but still started; core 0 boots started.) *)
+val core_started : t -> int -> bool
+
+val core_pc : t -> int -> int
+
+(** Per-core counters: local clock, instructions, memory references,
+    interrupts accepted, Cas executed, Cas that observed a changed
+    word (lost races — on several cores, real cross-core contention). *)
+
+val core_cycles : t -> int -> int
+val core_insns : t -> int -> int
+val core_refs : t -> int -> int
+val core_irqs : t -> int -> int
+val core_cas : t -> int -> int
+val core_cas_lost : t -> int -> int
+
+(** Completion time: the largest local clock over all cores. *)
+val max_core_cycles : t -> int
+
+(** Seed the rotating tie-break of the core-interleaving schedule. *)
+val set_schedule_seed : t -> int -> unit
+
+(** Per-step schedule override: receives the runnable core ids and the
+    default pick, returns the core to run (invalid choices fall back
+    to the default).  The explorer's preemption lever. *)
+val set_sched_hook : t -> (int array -> int -> int) option -> unit
+
+(** Route interrupt [level] to a core (default: all levels to core 0).
+    An explicit [?cpu] on [post_interrupt] overrides the route. *)
+val set_irq_route : t -> level:int -> cpu:int -> unit
+
+val irq_route : t -> level:int -> int
+
+(** kfault: delay core [cpu]'s next turn by skewing its local clock —
+    the lever for forcing a different cross-core interleaving. *)
+val stall_core : t -> cpu:int -> cycles:int -> unit
 
 (** {1 Counters and simulated time} *)
 
@@ -147,8 +221,12 @@ val find_device : t -> string -> device option
 (** Unregister a device (e.g. disarming a fault injector). *)
 val remove_device : t -> device -> unit
 
-(** [source] labels the posting device for the observability hooks. *)
-val post_interrupt : ?source:string -> t -> level:int -> vector:int -> unit
+(** [source] labels the posting device for the observability hooks;
+    [cpu] targets a core directly, otherwise the level's route
+    applies.  Posting to a stopped core wakes it at the caller's
+    present. *)
+val post_interrupt :
+  ?source:string -> ?cpu:int -> t -> level:int -> vector:int -> unit
 
 (** {1 Power cuts (kcrash)}
 

@@ -11,8 +11,25 @@ let rtc_insns = base + 0x02
    alarm interrupt; write 0 to cancel; read remaining microseconds. *)
 let timer_alarm = base + 0x10
 
+(* SMP: each core owns a private quantum timer; core [c]'s register is
+   [timer_alarm + c] (c < 8, so the window stops short of [alarm_set]).
+   Core 0's is the plain [timer_alarm] the uniprocessor always used. *)
+let timer_alarm_for c = timer_alarm + c
+
 (* Second interval timer for user-visible alarms (Table 5). *)
 let alarm_set = base + 0x18
+
+(* SMP per-core register window: shared kernel paths (yield, block,
+   procedure chaining) must act on the *executing* core's
+   current-thread state, whichever core that is.  These registers
+   dispatch, host-side, to the executing core's kernel cells — the
+   same one-memory-reference cost as reading the cell directly, so a
+   one-core machine is cycle-identical whether code uses the cell or
+   the window.  Installed by the kernel (which owns the cell layout). *)
+let cur_sw_out = base + 0x60
+let cur_tte = base + 0x61
+let cur_tid = base + 0x62
+let chain_scratch = base + 0x63
 
 (* Serial TTY. *)
 let tty_data_in = base + 0x20

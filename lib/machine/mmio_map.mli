@@ -14,8 +14,24 @@ val rtc_insns : int
 
 val timer_alarm : int
 
+(** SMP: core [c]'s private quantum timer register ([timer_alarm + c];
+    core 0 keeps the plain [timer_alarm] the uniprocessor used). *)
+val timer_alarm_for : int -> int
+
 (** the user-visible alarm timer (Table 5) *)
 val alarm_set : int
+
+(** {1 SMP per-core register window} — dispatch, host-side, to the
+    {e executing} core's current-thread kernel cells at the same
+    one-reference cost as touching the cell directly.  Shared kernel
+    paths (yield, block, chaining) go through these; per-thread
+    synthesized code binds its home core's cell addresses.  Handlers
+    are installed by the kernel, which owns the cell layout. *)
+
+val cur_sw_out : int
+val cur_tte : int
+val cur_tid : int
+val chain_scratch : int
 
 (** {1 Serial TTY} *)
 

@@ -26,6 +26,8 @@ type t = {
   mutable running : bool;
   mutable base : snap; (* counter values when the current window opened *)
   mutable acc : snap; (* closed-window totals *)
+  mutable base_cores : snap array; (* per-core rows of [base] (SMP) *)
+  mutable acc_cores : snap array;
   (* pc samples: parallel growable arrays of (pc, weight-cycles) *)
   mutable sample_pc : int array;
   mutable sample_w : int array;
@@ -41,7 +43,19 @@ let snap m =
     w_irqs = Machine.irqs_taken m;
   }
 
+(* Per-core row of the same counters; w_cycles is the core's local
+   clock, so rows sum to more than the machine frontier under SMP. *)
+let core_snap m i =
+  {
+    w_cycles = Machine.core_cycles m i;
+    w_insns = Machine.core_insns m i;
+    w_refs = Machine.core_refs m i;
+    w_irqs = Machine.core_irqs m i;
+  }
+
 let zero = { w_cycles = 0; w_insns = 0; w_refs = 0; w_irqs = 0 }
+let zero_cores m = Array.make (Machine.num_cores m) zero
+let all_cores m f = Array.init (Machine.num_cores m) f
 
 let create machine =
   {
@@ -49,6 +63,8 @@ let create machine =
     running = false;
     base = zero;
     acc = zero;
+    base_cores = zero_cores machine;
+    acc_cores = zero_cores machine;
     sample_pc = [||];
     sample_w = [||];
     sample_len = 0;
@@ -70,22 +86,38 @@ let window t =
       w_irqs = now.w_irqs - t.base.w_irqs;
     }
 
+(* Per-core deltas over the current window. *)
+let window_core t i =
+  if not t.running then zero
+  else
+    let now = core_snap t.machine i in
+    let b = t.base_cores.(i) in
+    {
+      w_cycles = now.w_cycles - b.w_cycles;
+      w_insns = now.w_insns - b.w_insns;
+      w_refs = now.w_refs - b.w_refs;
+      w_irqs = now.w_irqs - b.w_irqs;
+    }
+
 let start t =
   if not t.running then begin
     t.running <- true;
-    t.base <- snap t.machine
+    t.base <- snap t.machine;
+    t.base_cores <- all_cores t.machine (fun i -> core_snap t.machine i)
   end
+
+let add a w =
+  {
+    w_cycles = a.w_cycles + w.w_cycles;
+    w_insns = a.w_insns + w.w_insns;
+    w_refs = a.w_refs + w.w_refs;
+    w_irqs = a.w_irqs + w.w_irqs;
+  }
 
 let stop t =
   if t.running then begin
-    let w = window t in
-    t.acc <-
-      {
-        w_cycles = t.acc.w_cycles + w.w_cycles;
-        w_insns = t.acc.w_insns + w.w_insns;
-        w_refs = t.acc.w_refs + w.w_refs;
-        w_irqs = t.acc.w_irqs + w.w_irqs;
-      };
+    t.acc_cores <- all_cores t.machine (fun i -> add t.acc_cores.(i) (window_core t i));
+    t.acc <- add t.acc (window t);
     t.running <- false
   end
 
@@ -104,6 +136,20 @@ let read_all t =
     (Mem_refs, read t Mem_refs);
     (Interrupts, read t Interrupts);
   ]
+
+(* Same window discipline per core (SMP): totals plus the open window,
+   with cycles on the core's local clock. *)
+let read_core t cpu c =
+  let w = window_core t cpu in
+  let a = t.acc_cores.(cpu) in
+  match c with
+  | Cycles -> a.w_cycles + w.w_cycles
+  | Instructions -> a.w_insns + w.w_insns
+  | Mem_refs -> a.w_refs + w.w_refs
+  | Interrupts -> a.w_irqs + w.w_irqs
+
+let read_cores t c =
+  Array.init (Machine.num_cores t.machine) (fun i -> read_core t i c)
 
 (* ------------------------------------------------------------------ *)
 (* PC sampling *)
@@ -165,6 +211,8 @@ let reset t =
   t.running <- false;
   t.base <- zero;
   t.acc <- zero;
+  t.base_cores <- zero_cores t.machine;
+  t.acc_cores <- zero_cores t.machine;
   t.sample_len <- 0
 
 let pp ppf t =
@@ -173,6 +221,12 @@ let pp ppf t =
   List.iter
     (fun (c, v) -> Fmt.pf ppf "  %-14s %12d@." (counter_name c) v)
     (read_all t);
+  if Machine.num_cores t.machine > 1 then
+    for i = 0 to Machine.num_cores t.machine - 1 do
+      Fmt.pf ppf "  cpu%d: cycles %d insns %d refs %d irqs %d@." i
+        (read_core t i Cycles) (read_core t i Instructions)
+        (read_core t i Mem_refs) (read_core t i Interrupts)
+    done;
   if t.period > 0 then
     Fmt.pf ppf "  %d pc samples, period %d cycles, %d cycles sampled@."
       t.sample_len t.period (sampled_cycles t)

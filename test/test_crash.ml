@@ -18,7 +18,7 @@ let setup ?cache_capacity ?timeout_us () =
   let k = b.Boot.kernel in
   let ds = Disk_server.install k ?cache_capacity ?timeout_us () in
   let m = k.Kernel.machine in
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

@@ -15,7 +15,7 @@ let setup () =
   (* idle thread must be runnable so completion interrupts can be
      taken while we spin the machine from the host *)
   let m = k.Kernel.machine in
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
@@ -142,7 +142,7 @@ let test_dfs_thread_read () =
   let ds = Disk_server.install k () in
   (* the superblock read needs a running machine: start the idle
      thread first *)
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

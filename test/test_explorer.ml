@@ -26,7 +26,7 @@ let check_bool = Alcotest.(check bool)
 
 let enter_scheduler ?(ipl = 7) k =
   let m = k.Kernel.machine in
-  match k.Kernel.rq_anchor with
+  match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
@@ -160,7 +160,7 @@ let test_stopped_idle_not_requeued () =
   let idle = b.Boot.idle in
   Thread.stop k idle;
   check_bool "stopped idle not re-queued" false (Ready_queue.in_queue idle);
-  check_bool "ready queue empty" true (k.Kernel.rq_anchor = None);
+  check_bool "ready queue empty" true (Kernel.anchor k 0 = None);
   Thread.start k idle;
   check_bool "restarted idle back in the ring" true (Ready_queue.in_queue idle);
   check_bool "idle ready again" true (idle.Kernel.state = Kernel.Ready);
@@ -244,6 +244,21 @@ let test_elevator_direction_flip () =
   Alcotest.(check (list int))
     "SCAN service order" [ 5; 4; 3; 6 ]
     (Disk_server.service_order ds)
+
+(* ------------------------------------------------------------------ *)
+(* Bug (kSMP sweep): the driver paced its forced-preemption stride in
+   global instructions.  On an SMP boot core 0 executes only ~1/cores
+   of the global stream, so the timer interrupt (routed to core 0)
+   arrived below the context-switch cost and core 0 livelocked in
+   switch code — this exact run consumed 0 of 24 items in the full 6M
+   budget.  The stride is now measured in core-0 instructions. *)
+
+let test_stride_paced_per_core () =
+  let r =
+    E.run_queue ~items:8 ~faults:false ~cores:3 ~kind:Kqueue.Mpsc ~seed:4494 ()
+  in
+  Alcotest.(check (list string)) "no stall" [] r.E.x_violations;
+  check_int "all items consumed" (r.E.x_producers * r.E.x_items) r.E.x_consumed
 
 (* ------------------------------------------------------------------ *)
 (* Thread.restart: rebuild the creation-time context and re-queue *)
@@ -351,6 +366,11 @@ let () =
             test_spurious_disk_irq_ignored;
           Alcotest.test_case "elevator direction flip" `Quick
             test_elevator_direction_flip;
+        ] );
+      ( "smp bugs",
+        [
+          Alcotest.test_case "stride paced in core-0 instructions" `Quick
+            test_stride_paced_per_core;
         ] );
       ( "restart",
         [

@@ -80,13 +80,13 @@ let test_remove_anchor_rehomes () =
   let _t1 = Thread.create k ~entry () in
   let _t2 = Thread.create k ~entry () in
   let a =
-    match k.Kernel.rq_anchor with
+    match Kernel.anchor k 0 with
     | Some a -> a
     | None -> Alcotest.fail "no anchor"
   in
   Ready_queue.remove k a;
   check_bool "removed anchor left the ring" false (Ready_queue.in_queue a);
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some a' ->
     check_bool "anchor re-homed to a queued thread" true
       (Ready_queue.in_queue a');
@@ -108,7 +108,7 @@ let test_remove_last_worker_restores_idle () =
   Ready_queue.remove k t;
   check_bool "removed worker left the ring" false (Ready_queue.in_queue t);
   check_bool "idle re-instated" true (Ready_queue.in_queue idle);
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some a -> check_int "anchor is idle again" idle.Kernel.tid a.Kernel.tid
   | None -> Alcotest.fail "anchor lost");
   check_int "only idle queued" 1 (Ready_queue.length k);

@@ -120,7 +120,7 @@ let test_scheduler_history () =
     Ksynth.install k ~name:"m/spin" [ I.Label "s"; I.B (I.Always, I.To_label "s") ]
   in
   let _t = Thread.create k ~quantum_us:100 ~entry:spin () in
-  (match k.Kernel.rq_anchor with
+  (match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;

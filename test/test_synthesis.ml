@@ -11,7 +11,7 @@ let check_bool = Alcotest.(check bool)
 
 let start_machine k =
   let m = k.Kernel.machine in
-  match k.Kernel.rq_anchor with
+  match Kernel.anchor k 0 with
   | Some t ->
     Machine.set_supervisor m true;
     Machine.set_reg m I.sp Layout.boot_stack_top;
