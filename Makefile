@@ -7,7 +7,7 @@ DUNE ?= dune
 .PHONY: all build test fmt check bench bench-check bench-all \
         faultsim faultsim-queues faultsim-ready-queue faultsim-kpipe \
         faultsim-disk faultsim-codeflip faultsim-synthcache \
-        faultsim-smp faultsim-crash clean
+        faultsim-smp faultsim-serve faultsim-crash clean
 
 all: build
 
@@ -87,6 +87,14 @@ faultsim-synthcache:
 # steal dispatch guard and must be caught.
 faultsim-smp:
 	$(FAULTSIM) --subject smp
+
+# kserve: the network serving stack under spurious NIC interrupts,
+# stalled/dropped card service ticks, and core-clock skews; the
+# agitation hook plays the driver watchdog and re-kicks a parked
+# card.  The sabotage leg duplicates one tx frame and the load
+# generator's exactly-once ledger must catch the second copy.
+faultsim-serve:
+	$(FAULTSIM) --subject serve
 
 # kcrash: enumerate every legal power-cut state of the journaled FS
 # workloads (journal prefixes + torn-write variants + a live

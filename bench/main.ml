@@ -27,7 +27,8 @@ let json_benches ~scale () =
   Fault_repair.run ();
   Fs_crash.run ();
   Synth_scale.run ();
-  Smp_bench.run ()
+  Smp_bench.run ();
+  Serve.run ~scale ()
 
 let all_benches ~scale () =
   json_benches ~scale ();
@@ -75,6 +76,17 @@ let cmd_of name f =
 let table1_cmd =
   Cmd.v (Cmd.info "table1")
     Term.(const (fun scale -> Table1.run ~scale ()) $ scale)
+
+(* Standalone `bench serve` defaults to scale 1 — the full 12,000
+   client sessions — where the suite-wide default of 10 keeps the
+   all/tables/compare runs quick. *)
+let serve_cmd =
+  let serve_scale =
+    Arg.(value & opt int 1 & info [ "scale" ] ~doc:"Divide client counts.")
+  in
+  Cmd.v
+    (Cmd.info "serve" ~doc:"Network serving stack: throughput and latency")
+    Term.(const (fun scale -> Serve.run ~scale ()) $ serve_scale)
 
 let all_cmd =
   Cmd.v (Cmd.info "all")
@@ -141,6 +153,7 @@ let main_cmd =
       cmd_of "fault-repair" Fault_repair.run;
       cmd_of "synth-scale" Synth_scale.run;
       cmd_of "smp" Smp_bench.run;
+      serve_cmd;
       cmd_of "bechamel" Bechamel_suite.run;
     ]
 

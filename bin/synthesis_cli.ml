@@ -345,6 +345,7 @@ let cmd_faultsim subject cores seed seeds verbose postmortem_dir =
   | "codeflip" -> run_subject_sweep E.codeflip_subject
   | "synthcache" -> run_subject_sweep E.synthcache_subject
   | "smp" -> run_subject_sweep (E.smp_subject ?cores ())
+  | "serve" -> run_subject_sweep E.serve_subject
   | "crash" -> run_crash_sweep ()
   | "disk" ->
     run_subject_sweep E.disk_subject;
@@ -352,7 +353,7 @@ let cmd_faultsim subject cores seed seeds verbose postmortem_dir =
   | s ->
     Fmt.pr
       "unknown subject %S (try all, queues, ready-queue, kpipe, disk, \
-       codeflip, synthcache, smp, crash)@."
+       codeflip, synthcache, smp, serve, crash)@."
       s;
     exit 2);
   if !failures > 0 then begin
@@ -421,7 +422,7 @@ let cmds =
          & info [ "subject" ] ~docv:"SUBJECT"
              ~doc:
                "workload to stress: all, queues, ready-queue, kpipe, disk, \
-                codeflip, synthcache, smp, or crash")
+                codeflip, synthcache, smp, serve, or crash")
      in
      let cores =
        Arg.(

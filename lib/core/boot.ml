@@ -277,7 +277,11 @@ let install_shared_handlers k =
   let sig_ipi_h, _ =
     Ksynth.install k ~name:"irq/sig_ipi" [ I.Hcall sig_ipi_id; I.Rte ]
   in
-  k.Kernel.default_vectors.(Thread.sig_ipi_vector) <- sig_ipi_h
+  k.Kernel.default_vectors.(Thread.sig_ipi_vector) <- sig_ipi_h;
+  (* NIC interrupt: the serving pumps poll their mailbox cells, so the
+     card's interrupt is only a wakeup kick — acknowledge and return. *)
+  let nic_irq, _ = Ksynth.install k ~name:"irq/nic" [ I.Rte ] in
+  k.Kernel.default_vectors.(Mmio_map.nic_vector) <- nic_irq
 
 (* ---------------------------------------------------------------- *)
 (* The idle thread: waits for interrupts in supervisor mode. *)

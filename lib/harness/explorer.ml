@@ -1459,6 +1459,143 @@ let smp_subject ?cores () =
   in
   { sub_name = "smp"; sub_build = build }
 
+(* ---------------------------------------------------------------- *)
+(* Subject 7: kserve — an accept/request/close storm over the NIC *)
+
+(* A small kserve instance under a seeded client storm while the fault
+   plan posts spurious NIC interrupts (level-1 autovector; the stray
+   handler must absorb them), stalls and drops the card's service
+   tick, and skews core clocks on SMP boots.  A dropped tick parks the
+   card until something re-kicks it, so the agitation hook doubles as
+   the watchdog: it reschedules the "nic" machine device, the same
+   recovery a driver's timeout path performs.
+
+   Invariants, at every forced preemption: the load generator's
+   double-entry ledger stays exactly-once (no response matches nothing
+   in flight, no protocol errors — nothing in this mix may duplicate
+   or corrupt a frame), received never exceeds sent, and the slot
+   accounting closes (accepts − closes = slots in use ≤ table size).
+   The final check adds completion: every session ended served or
+   refused, none abandoned.
+
+   Sabotage arms a one-shot duplicate against the card's next tx frame
+   ([Machine.frame_fault]): the client sees the same response twice
+   and the exactly-once ledger must catch the second copy. *)
+let serve_subject =
+  let build ~seed =
+    let cores = 1 + (mix seed 0x5e7 mod 3) in
+    let b = observed_boot ~cores () in
+    let k = b.Boot.kernel in
+    let m = k.Kernel.machine in
+    Machine.set_schedule_seed m seed;
+    let srv =
+      Kserve.create
+        ~config:
+          {
+            Kserve.default_config with
+            Kserve.cfg_workers = (if mix seed 0x77 mod 2 = 0 then 1 else 2);
+            cfg_slots = 16;
+            cfg_files = 4;
+            (* every session is closed-loop (≤ 1 request in flight), so
+               a ring wider than the client count can never overrun —
+               which makes "no rx overruns" a checkable invariant even
+               while fault stalls park the rx pump *)
+            cfg_ring_len = 32;
+            cfg_queue_size = 16;
+          }
+        b
+    in
+    let clients = 24 in
+    let lg =
+      Loadgen.create
+        ~config:
+          {
+            Loadgen.default_config with
+            Loadgen.lg_clients = clients;
+            lg_reqs_per_session = 3;
+            lg_rate_per_ms = 30.0;
+            lg_seed = mix seed 0x10ad;
+          }
+        ~on_complete:(fun () -> Kserve.shutdown srv)
+        srv
+    in
+    let progress () =
+      Loadgen.completed lg + Loadgen.refused lg + Loadgen.abandoned lg
+    in
+    let agitate _step =
+      (* watchdog re-kick: recovers the card from a dropped tick *)
+      match Machine.find_device m "nic" with
+      | Some d -> Machine.device_schedule m d (Machine.cycles m + 100)
+      | None -> ()
+    in
+    let check () =
+      let v = ref [] in
+      let violate fmt = Fmt.kstr (fun s -> v := s :: !v) fmt in
+      if Loadgen.duplicates lg > 0 then
+        violate "ledger: %d responses matched nothing in flight"
+          (Loadgen.duplicates lg);
+      if Loadgen.errors lg > 0 then
+        violate "ledger: %d protocol errors" (Loadgen.errors lg);
+      if Loadgen.received lg > Loadgen.sent lg then
+        violate "ledger: received %d > sent %d" (Loadgen.received lg)
+          (Loadgen.sent lg);
+      let st = Kserve.stats srv in
+      let in_use = Kserve.open_slots srv in
+      if st.Kserve.n_accepts - st.Kserve.n_closes <> in_use then
+        violate "slots: accepts %d - closes %d <> %d in use"
+          st.Kserve.n_accepts st.Kserve.n_closes in_use;
+      if in_use > (Kserve.config srv).Kserve.cfg_slots then
+        violate "slots: %d in use overflows the table" in_use;
+      let nst = Devices.Nic.stats (Kserve.nic srv) in
+      if nst.Devices.Nic.s_rx_overruns > 0 then
+        violate "nic: %d rx overruns with a ring wider than the client count"
+          nst.Devices.Nic.s_rx_overruns;
+      List.rev !v
+    in
+    let final () =
+      check ()
+      @ (if Loadgen.abandoned lg > 0 then
+           [ Fmt.str "%d sessions abandoned" (Loadgen.abandoned lg) ]
+         else [])
+      @
+      if Loadgen.completed lg + Loadgen.refused lg <> clients then
+        [
+          Fmt.str "sessions unaccounted: %d served + %d refused of %d"
+            (Loadgen.completed lg) (Loadgen.refused lg) clients;
+        ]
+      else []
+    in
+    {
+      i_boot = b;
+      i_goal = clients;
+      i_budget = 30_000_000;
+      i_fault_config =
+        Some
+          {
+            (explorer_config ()) with
+            Fault_inject.n_irqs = 4;
+            irq_choices =
+              [
+                (Mmio_map.timer_level, Mmio_map.timer_vector);
+                (Mmio_map.nic_level, Mmio_map.nic_vector);
+              ];
+            n_stalls = 2;
+            n_drops = 2;
+            stall_devices = [ "nic" ];
+            n_core_stalls = (if cores > 1 then 2 else 0);
+            core_stall_cpus = List.init cores (fun c -> c);
+            core_stall_cycles = 10_000;
+          };
+      i_progress = progress;
+      i_agitate = Some agitate;
+      i_check = check;
+      i_final = final;
+      i_sabotage =
+        Some (fun () -> Machine.frame_fault m ~device:"nic" ~dir:1 ~kind:1);
+    }
+  in
+  { sub_name = "serve"; sub_build = build }
+
 let subjects =
   [
     ready_queue_subject;
@@ -1467,6 +1604,7 @@ let subjects =
     codeflip_subject;
     synthcache_subject;
     smp_subject ();
+    serve_subject;
   ]
 
 (* ---------------------------------------------------------------- *)

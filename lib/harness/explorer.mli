@@ -98,6 +98,18 @@ val smp_subject : ?cores:int -> unit -> subject
     with the dispatch guard skipped ({!Synthesis.Smp.unsafe_skip_guard});
     the current-consistency check must catch it. *)
 
+val serve_subject : subject
+(** kserve: a small serving stack (1–3 cores, 1–2 workers picked by
+    seed) under a 24-session accept/request/close storm while the plan
+    posts spurious NIC interrupts, stalls and drops the card's service
+    tick, and skews core clocks; the agitation hook re-kicks a parked
+    card, playing the driver's timeout watchdog.  Invariants: the load
+    generator's exactly-once ledger (no unmatched responses, no
+    protocol errors, received ≤ sent), slot accounting closes, and
+    every session ends served or refused.  Sabotage duplicates one tx
+    frame ({!Quamachine.Machine.frame_fault}); the ledger must catch
+    the second copy. *)
+
 val subjects : subject list
 (** The kernel subjects above (the queue workloads keep their
     dedicated {!run_queue} entry point). *)

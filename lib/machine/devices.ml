@@ -383,3 +383,465 @@ module Da = struct
 
   let count t = Queue.length t.samples
 end
+
+(* ------------------------------------------------------------------ *)
+(* Network card (kserve).
+
+   Rx/tx descriptor rings in guest memory, 4-word descriptors
+   [buf; len; status; tag].  Head/tail indices are free-running
+   (occupancy = head - tail); the card DMAs arriving frames into
+   posted rx buffers and drains posted tx buffers to a host sink.
+
+   The MMIO register block (Mmio_map.nic_rx_ring etc.) is the
+   canonical interface, but the MMIO window is supervisor-only, so the card also
+   does Intel-style *head writeback* — after every rx delivery it
+   pokes the fill index into a configured data cell — and polls the
+   consumer/doorbell indices from configured data cells on each
+   service tick, letting user-mode pump threads drive it with plain
+   loads and stores.
+
+   Interrupts: one autovector at Mmio_map.nic_level, coalesced —
+   [nic_coalesce] = n fires one interrupt per n completions (rx or
+   tx); a partial batch is flushed when the card goes idle.
+   The delivery burst per tick scales with the coalescing factor, so
+   coalesce=1 really is one interrupt (and one tick) per frame.
+
+   Faults: seeded loss/duplication/reorder knobs per direction
+   ([set_chaos]) plus one-shot forced faults armed through
+   [Machine.frame_fault] (the Fault_inject [Frame_fault] action).
+   With every knob off the data path is exact: no loss, duplication,
+   or reordering, whatever the interleaving. *)
+
+module Nic = struct
+  let desc_words = 4
+  let frame_words_max = 4
+
+  type frame = int array
+
+  (* per-direction chaos state: an LCG plus 1-in-n knobs and the
+     one-shot faults forced by Machine.frame_fault *)
+  type chaos = {
+    mutable ch_seed : int;
+    mutable ch_drop : int; (* 1-in-n; 0 = off *)
+    mutable ch_dup : int;
+    mutable ch_reorder : int;
+    mutable ch_forced : int list; (* pending one-shot kinds, FIFO *)
+    mutable ch_held : frame option; (* frame held back by a reorder *)
+    mutable ch_dropped : int;
+    mutable ch_dupped : int;
+    mutable ch_reordered : int;
+  }
+
+  let chaos_make () =
+    {
+      ch_seed = 0;
+      ch_drop = 0;
+      ch_dup = 0;
+      ch_reorder = 0;
+      ch_forced = [];
+      ch_held = None;
+      ch_dropped = 0;
+      ch_dupped = 0;
+      ch_reordered = 0;
+    }
+
+  type t = {
+    machine : Machine.t;
+    dev : Machine.device;
+    mutable enabled : bool;
+    mutable poll_us : float;
+    (* rx ring *)
+    mutable rx_ring : int;
+    mutable rx_len : int;
+    mutable rx_head : int; (* device fill index, free-running *)
+    mutable rx_tail : int; (* consumer index (kernel-owned) *)
+    mutable rx_mail : int; (* head-writeback cell; 0 = off *)
+    mutable rx_tail_cell : int; (* polled consumer-index cell; 0 = off *)
+    (* tx ring *)
+    mutable tx_ring : int;
+    mutable tx_len : int;
+    mutable tx_head : int; (* producer doorbell (kernel-owned) *)
+    mutable tx_tail : int; (* device consume index *)
+    mutable tx_mail : int; (* tail-writeback cell; 0 = off *)
+    mutable tx_head_cell : int; (* polled doorbell cell; 0 = off *)
+    (* wire-in backlog: frames injected but not yet DMA'd *)
+    rx_q : frame Queue.t;
+    (* frames sent, oldest first, unless a sink consumes them *)
+    tx_out : frame Queue.t;
+    mutable tx_sink : (frame -> unit) option;
+    (* interrupt coalescing *)
+    mutable coalesce : int; (* completions per interrupt; >= 1 *)
+    mutable pending_events : int;
+    mutable cause : int; (* bit0 rx, bit1 tx; read-to-clear *)
+    (* admission control: max admitted rx occupancy; 0 = unlimited *)
+    mutable admit : int;
+    (* chaos, per direction *)
+    rx_chaos : chaos;
+    tx_chaos : chaos;
+    (* counters *)
+    mutable rx_injected : int;
+    mutable rx_delivered : int;
+    mutable rx_shed : int;
+    mutable rx_overruns : int;
+    mutable tx_sent : int;
+    mutable irqs_posted : int;
+    mutable rx_seq : int; (* delivery tag *)
+  }
+
+  let lcg_next ch =
+    ch.ch_seed <- ((ch.ch_seed * 1_103_515_245) + 12_345) land 0x3FFF_FFFF;
+    ch.ch_seed lsr 8
+
+  let hit ch knob = knob > 0 && lcg_next ch mod knob = 0
+
+  (* Run one frame through a direction's chaos: returns the frames
+     that actually move, in order.  Forced one-shot faults take
+     priority over the seeded knobs; a reorder holds the frame back
+     until the next one passes (the tick flushes strays). *)
+  let chaos_apply ch f =
+    let kind =
+      match ch.ch_forced with
+      | k :: rest ->
+        ch.ch_forced <- rest;
+        Some k
+      | [] ->
+        if hit ch ch.ch_drop then Some 0
+        else if hit ch ch.ch_dup then Some 1
+        else if hit ch ch.ch_reorder then Some 2
+        else None
+    in
+    let out =
+      match kind with
+      | Some 0 ->
+        ch.ch_dropped <- ch.ch_dropped + 1;
+        []
+      | Some 1 ->
+        ch.ch_dupped <- ch.ch_dupped + 1;
+        [ f; f ]
+      | Some 2 -> (
+        ch.ch_reordered <- ch.ch_reordered + 1;
+        match ch.ch_held with
+        | None ->
+          ch.ch_held <- Some f;
+          []
+        | Some held ->
+          (* already holding one: emit the new frame first *)
+          ch.ch_held <- Some held;
+          [ f ])
+      | _ -> [ f ]
+    in
+    (* a held frame rides out behind the next frame that passes *)
+    match (out, ch.ch_held, kind) with
+    | _ :: _, Some held, k when k <> Some 2 ->
+      ch.ch_held <- None;
+      out @ [ held ]
+    | _ -> out
+
+  let chaos_flush ch =
+    match ch.ch_held with
+    | Some f ->
+      ch.ch_held <- None;
+      [ f ]
+    | None -> []
+
+  let occupancy head tail = (head - tail) land Word.mask
+
+  (* schedule the next service tick; [kick] only ever shortens *)
+  let kick t =
+    if t.enabled then begin
+      let due =
+        Machine.cycles t.machine
+        + Cost.cycles_of_us (Machine.cost_model t.machine) t.poll_us
+      in
+      if t.dev.Machine.next_due > due then
+        Machine.device_schedule t.machine t.dev due
+    end
+
+  (* the kernel-side indices, honouring the polled mailbox cells *)
+  let rx_tail_now t =
+    if t.rx_tail_cell <> 0 then Machine.peek t.machine t.rx_tail_cell
+    else t.rx_tail
+
+  let tx_head_now t =
+    if t.tx_head_cell <> 0 then Machine.peek t.machine t.tx_head_cell
+    else t.tx_head
+
+  let post_event t ~bit =
+    t.pending_events <- t.pending_events + 1;
+    t.cause <- t.cause lor bit
+
+  let maybe_irq t ~flush =
+    if t.pending_events >= max 1 t.coalesce || (flush && t.pending_events > 0)
+    then begin
+      t.pending_events <- 0;
+      t.irqs_posted <- t.irqs_posted + 1;
+      Machine.post_interrupt ~source:"nic" t.machine ~level:Mmio_map.nic_level
+        ~vector:Mmio_map.nic_vector
+    end
+
+  (* DMA one frame into the rx ring; false = ring full (try later) *)
+  let deliver_rx t f =
+    if t.rx_ring = 0 || t.rx_len = 0 then true (* unconfigured: drop *)
+    else begin
+      let tail = rx_tail_now t in
+      let occ = occupancy t.rx_head tail in
+      if t.admit > 0 && occ >= t.admit then begin
+        t.rx_shed <- t.rx_shed + 1;
+        true (* shed at the ring: admission control *)
+      end
+      else if occ >= t.rx_len then begin
+        t.rx_overruns <- t.rx_overruns + 1;
+        true (* ring overrun: the frame is gone, like real hardware *)
+      end
+      else begin
+        let m = t.machine in
+        let slot = t.rx_head mod t.rx_len in
+        let desc = t.rx_ring + (desc_words * slot) in
+        let buf = Machine.peek m desc in
+        let cap = max 1 (min frame_words_max (Machine.peek m (desc + 1))) in
+        let n = min cap (Array.length f) in
+        for i = 0 to n - 1 do
+          Machine.poke m (buf + i) f.(i)
+        done;
+        Machine.poke m (desc + 1) n;
+        Machine.poke m (desc + 2) 1;
+        Machine.poke m (desc + 3) t.rx_seq;
+        t.rx_seq <- t.rx_seq + 1;
+        t.rx_head <- (t.rx_head + 1) land Word.mask;
+        if t.rx_mail <> 0 then Machine.poke m t.rx_mail t.rx_head;
+        t.rx_delivered <- t.rx_delivered + 1;
+        post_event t ~bit:1;
+        true
+      end
+    end
+
+  let emit_tx t f =
+    t.tx_sent <- t.tx_sent + 1;
+    match t.tx_sink with
+    | Some sink -> sink f
+    | None -> Queue.push f t.tx_out
+
+  (* drain one posted tx descriptor; false = nothing posted *)
+  let drain_tx t =
+    if t.tx_ring = 0 || t.tx_len = 0 then false
+    else
+      let head = tx_head_now t in
+      if occupancy head t.tx_tail = 0 then false
+      else begin
+        let m = t.machine in
+        let slot = t.tx_tail mod t.tx_len in
+        let desc = t.tx_ring + (desc_words * slot) in
+        let buf = Machine.peek m desc in
+        let len = max 0 (min frame_words_max (Machine.peek m (desc + 1))) in
+        let f = Array.init len (fun i -> Machine.peek m (buf + i)) in
+        Machine.poke m (desc + 2) 0;
+        t.tx_tail <- (t.tx_tail + 1) land Word.mask;
+        if t.tx_mail <> 0 then Machine.poke m t.tx_mail t.tx_tail;
+        List.iter (emit_tx t) (chaos_apply t.tx_chaos f);
+        post_event t ~bit:2;
+        true
+      end
+
+  let service t =
+    if t.enabled then begin
+      let burst = max 1 t.coalesce in
+      (* rx: wire backlog -> ring *)
+      let budget = ref burst in
+      while !budget > 0 && not (Queue.is_empty t.rx_q) do
+        let f = Queue.pop t.rx_q in
+        ignore (deliver_rx t f);
+        decr budget
+      done;
+      (* a reorder-held frame with nothing behind it rides out now *)
+      if Queue.is_empty t.rx_q then
+        List.iter (fun f -> ignore (deliver_rx t f)) (chaos_flush t.rx_chaos);
+      (* tx: ring -> sink *)
+      let budget = ref burst in
+      while !budget > 0 && drain_tx t do
+        decr budget
+      done;
+      let tx_pending = occupancy (tx_head_now t) t.tx_tail > 0 in
+      if not tx_pending then
+        List.iter (emit_tx t) (chaos_flush t.tx_chaos);
+      let idle = Queue.is_empty t.rx_q && not tx_pending in
+      maybe_irq t ~flush:idle;
+      (* keep polling while enabled: the doorbell cells are plain
+         memory, so there is no MMIO write to wake us *)
+      kick t
+    end
+
+  let install ?(poll_us = 1.0) m =
+    let dev = Machine.add_device m ~name:"nic" ~due:max_int ~tick:(fun _ -> ()) in
+    let t =
+      {
+        machine = m;
+        dev;
+        enabled = false;
+        poll_us;
+        rx_ring = 0;
+        rx_len = 0;
+        rx_head = 0;
+        rx_tail = 0;
+        rx_mail = 0;
+        rx_tail_cell = 0;
+        tx_ring = 0;
+        tx_len = 0;
+        tx_head = 0;
+        tx_tail = 0;
+        tx_mail = 0;
+        tx_head_cell = 0;
+        rx_q = Queue.create ();
+        tx_out = Queue.create ();
+        tx_sink = None;
+        coalesce = 1;
+        pending_events = 0;
+        cause = 0;
+        admit = 0;
+        rx_chaos = chaos_make ();
+        tx_chaos = chaos_make ();
+        rx_injected = 0;
+        rx_delivered = 0;
+        rx_shed = 0;
+        rx_overruns = 0;
+        tx_sent = 0;
+        irqs_posted = 0;
+        rx_seq = 0;
+      }
+    in
+    dev.Machine.dev_tick <-
+      (fun m ->
+        Machine.device_idle m dev;
+        service t);
+    let wr addr f = Machine.map_mmio_write m ~addr f in
+    let rd addr f = Machine.map_mmio_read m ~addr f in
+    wr Mmio_map.nic_rx_ring (fun v -> t.rx_ring <- v);
+    wr Mmio_map.nic_rx_len (fun v -> t.rx_len <- v);
+    rd Mmio_map.nic_rx_head (fun () -> t.rx_head);
+    rd Mmio_map.nic_rx_tail (fun () -> rx_tail_now t);
+    wr Mmio_map.nic_rx_tail (fun v ->
+        t.rx_tail <- v;
+        if t.rx_tail_cell <> 0 then Machine.poke m t.rx_tail_cell v;
+        kick t);
+    wr Mmio_map.nic_tx_ring (fun v -> t.tx_ring <- v);
+    wr Mmio_map.nic_tx_len (fun v -> t.tx_len <- v);
+    rd Mmio_map.nic_tx_head (fun () -> tx_head_now t);
+    wr Mmio_map.nic_tx_head (fun v ->
+        t.tx_head <- v;
+        if t.tx_head_cell <> 0 then Machine.poke m t.tx_head_cell v;
+        kick t);
+    rd Mmio_map.nic_tx_tail (fun () -> t.tx_tail);
+    wr Mmio_map.nic_ctrl (fun v ->
+        t.enabled <- v land 1 <> 0;
+        if t.enabled then kick t else Machine.device_idle m dev);
+    wr Mmio_map.nic_coalesce (fun v -> t.coalesce <- max 1 v);
+    rd Mmio_map.nic_cause (fun () ->
+        let c = t.cause in
+        t.cause <- 0;
+        c);
+    wr Mmio_map.nic_admit (fun v -> t.admit <- max 0 v);
+    rd Mmio_map.nic_admit (fun () -> t.admit);
+    rd Mmio_map.nic_shed (fun () -> t.rx_shed);
+    rd Mmio_map.nic_overrun (fun () -> t.rx_overruns);
+    wr Mmio_map.nic_rx_mail (fun v -> t.rx_mail <- v);
+    wr Mmio_map.nic_tx_mail (fun v -> t.tx_mail <- v);
+    wr Mmio_map.nic_rx_tail_cell (fun v -> t.rx_tail_cell <- v);
+    wr Mmio_map.nic_tx_head_cell (fun v -> t.tx_head_cell <- v);
+    (* one-shot frame faults (Fault_inject's Frame_fault action) *)
+    Machine.register_frame_hook m ~device:"nic" (fun ~dir ~kind ->
+        let ch = if dir = 0 then t.rx_chaos else t.tx_chaos in
+        if kind >= 0 && kind <= 2 then
+          ch.ch_forced <- ch.ch_forced @ [ kind ]);
+    t
+
+  (* ---- host side --------------------------------------------------- *)
+
+  (* Offer a frame on the wire.  Always re-kicks the service tick, so
+     a dropped completion only delays delivery until the next
+     injection. *)
+  let inject t f =
+    t.rx_injected <- t.rx_injected + 1;
+    List.iter (fun f' -> Queue.push f' t.rx_q) (chaos_apply t.rx_chaos f);
+    kick t
+
+  let set_tx_sink t sink = t.tx_sink <- sink
+
+  let drain_tx_frames t =
+    let out = List.of_seq (Queue.to_seq t.tx_out) in
+    Queue.clear t.tx_out;
+    out
+
+  (* Host-side mirrors of the MMIO interface, for tests and for
+     kernel-build code that runs before any thread exists (the same
+     precedent as Disk.write_block / Ad.set_rate). *)
+  let host_config_rx t ~ring ~len ~mail ~tail_cell =
+    t.rx_ring <- ring;
+    t.rx_len <- len;
+    t.rx_mail <- mail;
+    t.rx_tail_cell <- tail_cell
+
+  let host_config_tx t ~ring ~len ~mail ~head_cell =
+    t.tx_ring <- ring;
+    t.tx_len <- len;
+    t.tx_mail <- mail;
+    t.tx_head_cell <- head_cell
+
+  let host_enable t on =
+    t.enabled <- on;
+    if on then kick t else Machine.device_idle t.machine t.dev
+
+  let host_set_coalesce t n = t.coalesce <- max 1 n
+  let host_set_admit t n = t.admit <- max 0 n
+
+  let host_rx_tail t v =
+    t.rx_tail <- v;
+    if t.rx_tail_cell <> 0 then Machine.poke t.machine t.rx_tail_cell v;
+    kick t
+
+  let host_tx_head t v =
+    t.tx_head <- v;
+    if t.tx_head_cell <> 0 then Machine.poke t.machine t.tx_head_cell v;
+    kick t
+
+  let rx_head t = t.rx_head
+  let tx_tail t = t.tx_tail
+
+  let set_chaos t ~dir ~seed ~drop_1_in ~dup_1_in ~reorder_1_in =
+    let ch = if dir = 0 then t.rx_chaos else t.tx_chaos in
+    ch.ch_seed <- seed land 0x3FFF_FFFF;
+    ch.ch_drop <- max 0 drop_1_in;
+    ch.ch_dup <- max 0 dup_1_in;
+    ch.ch_reorder <- max 0 reorder_1_in
+
+  type stats = {
+    s_rx_injected : int;
+    s_rx_delivered : int;
+    s_rx_shed : int;
+    s_rx_overruns : int;
+    s_tx_sent : int;
+    s_irqs : int;
+    s_rx_dropped : int;
+    s_rx_dupped : int;
+    s_rx_reordered : int;
+    s_tx_dropped : int;
+    s_tx_dupped : int;
+    s_tx_reordered : int;
+  }
+
+  let stats t =
+    {
+      s_rx_injected = t.rx_injected;
+      s_rx_delivered = t.rx_delivered;
+      s_rx_shed = t.rx_shed;
+      s_rx_overruns = t.rx_overruns;
+      s_tx_sent = t.tx_sent;
+      s_irqs = t.irqs_posted;
+      s_rx_dropped = t.rx_chaos.ch_dropped;
+      s_rx_dupped = t.rx_chaos.ch_dupped;
+      s_rx_reordered = t.rx_chaos.ch_reordered;
+      s_tx_dropped = t.tx_chaos.ch_dropped;
+      s_tx_dupped = t.tx_chaos.ch_dupped;
+      s_tx_reordered = t.tx_chaos.ch_reordered;
+    }
+
+  let wire_backlog t = Queue.length t.rx_q
+end

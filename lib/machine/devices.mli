@@ -104,3 +104,82 @@ module Da : sig
 
   val count : t -> int
 end
+
+(** Network card (kserve): rx/tx descriptor rings in guest memory
+    (4-word descriptors [buf; len; status; tag], free-running
+    head/tail indices), per-completion interrupts with coalescing,
+    admission control at the rx ring, and seeded per-direction
+    loss/duplication/reorder knobs (plus one-shot faults through
+    {!Machine.frame_fault}).  Because the MMIO window is
+    supervisor-only, the card also writes the rx head back to a data
+    cell after every delivery and polls the consumer/doorbell indices
+    from data cells, so user-mode pumps drive it with plain loads and
+    stores. *)
+module Nic : sig
+  val desc_words : int
+
+  (** Largest frame the card moves, in words. *)
+  val frame_words_max : int
+
+  type frame = int array
+  type t
+
+  (** [poll_us] is the service-tick period while enabled. *)
+  val install : ?poll_us:float -> Machine.t -> t
+
+  (** {2 The wire (host side)} *)
+
+  (** Offer a frame for delivery; re-kicks the service tick, so a
+      dropped completion only delays until the next injection. *)
+  val inject : t -> frame -> unit
+
+  (** Frames sent by the card, oldest first, when no sink is set. *)
+  val drain_tx_frames : t -> frame list
+
+  (** Divert sent frames to a callback (the load generator). *)
+  val set_tx_sink : t -> (frame -> unit) option -> unit
+
+  (** Injected frames not yet DMA'd into the rx ring. *)
+  val wire_backlog : t -> int
+
+  (** {2 Host-side mirrors of the MMIO interface} (tests and
+      kernel-build code; same precedent as [Disk.write_block]). *)
+
+  val host_config_rx : t -> ring:int -> len:int -> mail:int -> tail_cell:int -> unit
+  val host_config_tx : t -> ring:int -> len:int -> mail:int -> head_cell:int -> unit
+  val host_enable : t -> bool -> unit
+  val host_set_coalesce : t -> int -> unit
+
+  (** Max admitted rx-ring occupancy; 0 = unlimited.  Frames arriving
+      beyond it are shed and counted — admission control. *)
+  val host_set_admit : t -> int -> unit
+
+  val host_rx_tail : t -> int -> unit
+  val host_tx_head : t -> int -> unit
+  val rx_head : t -> int
+  val tx_tail : t -> int
+
+  (** {2 Chaos knobs} — [dir] 0 = rx, 1 = tx; each knob is 1-in-n
+      (0 = off), drawn from a private seeded LCG. *)
+
+  val set_chaos :
+    t -> dir:int -> seed:int -> drop_1_in:int -> dup_1_in:int ->
+    reorder_1_in:int -> unit
+
+  type stats = {
+    s_rx_injected : int;
+    s_rx_delivered : int;
+    s_rx_shed : int;
+    s_rx_overruns : int;
+    s_tx_sent : int;
+    s_irqs : int;
+    s_rx_dropped : int;
+    s_rx_dupped : int;
+    s_rx_reordered : int;
+    s_tx_dropped : int;
+    s_tx_dupped : int;
+    s_tx_reordered : int;
+  }
+
+  val stats : t -> stats
+end

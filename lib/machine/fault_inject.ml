@@ -57,6 +57,10 @@ type action =
   | Core_stall of { cpu : int; stall_cycles : int }
       (* skew one core's local clock: forces a different cross-core
          interleaving without touching any architectural state *)
+  | Frame_fault of { device : string; dir : int; kind : int }
+      (* kserve: arm a one-shot fault against the named device's next
+         frame — dir 0 = rx, 1 = tx; kind 0 = drop, 1 = duplicate,
+         2 = reorder.  Devices with no frame hook ignore it. *)
 
 (* The code store is an instruction array, so a "flipped bit" in code
    is modelled at instruction granularity: the word no longer decodes,
@@ -102,6 +106,10 @@ type config = {
   n_core_stalls : int;
   core_stall_cpus : int list;
   core_stall_cycles : int;
+  (* kserve: one-shot frame faults (drop/duplicate/reorder) against
+     frame-moving devices; [] disables them *)
+  n_frame_faults : int;
+  frame_devices : string list;
 }
 
 let default_config =
@@ -138,6 +146,8 @@ let default_config =
     n_core_stalls = 0;
     core_stall_cpus = [];
     core_stall_cycles = 20_000;
+    n_frame_faults = 0;
+    frame_devices = [];
   }
 
 let describe_action = function
@@ -156,6 +166,10 @@ let describe_action = function
     Printf.sprintf "power_cut %s torn=%d" device torn_words
   | Core_stall { cpu; stall_cycles } ->
     Printf.sprintf "core_stall cpu=%d +%d cycles" cpu stall_cycles
+  | Frame_fault { device; dir; kind } ->
+    Printf.sprintf "frame_fault %s %s %s" device
+      (if dir = 0 then "rx" else "tx")
+      (match kind with 0 -> "drop" | 1 -> "dup" | _ -> "reorder")
 
 let compile ?(config = default_config) seed =
   let r = rng_make seed in
@@ -217,6 +231,14 @@ let compile ?(config = default_config) seed =
       add (Drop_completion { device })
     done
   end;
+  if config.frame_devices <> [] then
+    for _ = 1 to config.n_frame_faults do
+      let device =
+        List.nth config.frame_devices
+          (rng_int r (List.length config.frame_devices))
+      in
+      add (Frame_fault { device; dir = rng_int r 2; kind = rng_int r 3 })
+    done;
   if config.cut_devices <> [] then
     for _ = 1 to config.n_cuts do
       let device =
@@ -277,6 +299,8 @@ let fire t m action =
   | Core_stall { cpu; stall_cycles } ->
     if cpu >= 0 && cpu < Machine.num_cores m then
       Machine.stall_core m ~cpu ~cycles:stall_cycles
+  | Frame_fault { device; dir; kind } ->
+    Machine.frame_fault m ~device ~dir ~kind
 
 let rec schedule t m dev =
   match t.fi_pending with

@@ -40,6 +40,11 @@ type action =
       (** kSMP: skew one core's local clock forward, forcing a
           different cross-core interleaving without touching any
           architectural state (ignored for out-of-range cores) *)
+  | Frame_fault of { device : string; dir : int; kind : int }
+      (** kserve: arm a one-shot fault against the named device's
+          next frame — [dir] 0 = rx, 1 = tx; [kind] 0 = drop,
+          1 = duplicate, 2 = reorder.  Devices with no registered
+          frame hook ignore it. *)
 
 val corrupt_insn : bit:int -> Insn.insn
 (** The undecodable instruction a [Code] flip plants — exposed so
@@ -86,6 +91,9 @@ type config = {
   n_core_stalls : int;
   core_stall_cpus : int list;  (** cores eligible; [[]] disables *)
   core_stall_cycles : int;  (** max stall magnitude *)
+  n_frame_faults : int;  (** one-shot frame faults (0 in the default mix) *)
+  frame_devices : string list;
+      (** frame-moving devices eligible; [[]] disables *)
 }
 
 val default_config : config

@@ -143,6 +143,11 @@ and t = {
      torn-word count for an in-flight write (-1 = the transfer is lost
      whole).  Registered by devices that model persistence (kcrash). *)
   mutable power_hooks : (string * (int -> unit)) list;
+  (* frame-fault hooks: device name -> handler.  [dir] is 0 = rx,
+     1 = tx; [kind] is 0 = drop, 1 = duplicate, 2 = reorder.
+     Registered by devices that move frames (the NIC); the hook arms a
+     one-shot fault against the next frame in that direction. *)
+  mutable frame_hooks : (string * (dir:int -> kind:int -> unit)) list;
   (* memory-mapped I/O: address -> handlers *)
   mmio_read : (int, unit -> int) Hashtbl.t;
   mmio_write : (int, int -> unit) Hashtbl.t;
@@ -233,6 +238,7 @@ let create ?(mem_words = 1 lsl 20) ?(cores = 1) cost =
     devices = [];
     next_device_due = max_int;
     power_hooks = [];
+    frame_hooks = [];
     mmio_read = Hashtbl.create 16;
     mmio_write = Hashtbl.create 16;
     maps = Hashtbl.create 16;
@@ -510,6 +516,18 @@ let register_power_hook t ~device f =
 let power_cut t ~device ~torn_words =
   match List.assoc_opt device t.power_hooks with
   | Some f -> f torn_words
+  | None -> ()
+
+let register_frame_hook t ~device f =
+  t.frame_hooks <- (device, f) :: List.remove_assoc device t.frame_hooks
+
+(* Arm a one-shot frame fault against [device]'s next frame in
+   direction [dir] (0 = rx, 1 = tx): [kind] 0 drops it, 1 duplicates
+   it, 2 reorders it past its successor.  Unknown devices ignore the
+   fault (same contract as [power_cut]). *)
+let frame_fault t ~device ~dir ~kind =
+  match List.assoc_opt device t.frame_hooks with
+  | Some f -> f ~dir ~kind
   | None -> ()
 
 let set_irq_route t ~level ~cpu =

@@ -241,6 +241,20 @@ val register_power_hook : t -> device:string -> (int -> unit) -> unit
     devices with no registered handler are ignored. *)
 val power_cut : t -> device:string -> torn_words:int -> unit
 
+(** {1 Frame faults (kserve)}
+
+    Devices that move frames (the NIC) register a handler; [dir] is
+    0 = rx, 1 = tx and [kind] is 0 = drop, 1 = duplicate, 2 = reorder.
+    The handler arms a one-shot fault against the next frame moved in
+    that direction. *)
+
+val register_frame_hook :
+  t -> device:string -> (dir:int -> kind:int -> unit) -> unit
+
+(** Arm a one-shot frame fault; faults to devices with no registered
+    handler are ignored (same contract as [power_cut]). *)
+val frame_fault : t -> device:string -> dir:int -> kind:int -> unit
+
 (** {1 Observability hooks} *)
 
 val set_hooks : t -> hooks option -> unit

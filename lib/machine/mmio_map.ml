@@ -49,6 +49,37 @@ let ad_control = base + 0x41
 (* D/A converter (sound output). *)
 let da_data = base + 0x50
 
+(* Network card (kserve).  Two descriptor rings in guest memory
+   (4-word descriptors: buf, len, status, tag); the card DMAs frames
+   into posted rx buffers and drains posted tx buffers.  Head/tail
+   indices are free-running; occupancy = head - tail.
+
+   User-mode pumps cannot reach the MMIO window (supervisor-only), so
+   the card also supports *mailbox cells* in ordinary data memory —
+   the rx head is written back to [nic_rx_mail] after every delivery
+   (Intel-style head writeback) and the consumer/producer indices are
+   polled from [nic_rx_tail_cell]/[nic_tx_head_cell] on each service
+   tick.  The MMIO registers remain authoritative for supervisor code
+   and tests. *)
+let nic_rx_ring = base + 0x70
+let nic_rx_len = base + 0x71
+let nic_rx_head = base + 0x72 (* read: device fill index *)
+let nic_rx_tail = base + 0x73 (* r/w: consumer index *)
+let nic_tx_ring = base + 0x74
+let nic_tx_len = base + 0x75
+let nic_tx_head = base + 0x76 (* r/w: producer doorbell *)
+let nic_tx_tail = base + 0x77 (* read: device consume index *)
+let nic_ctrl = base + 0x78 (* bit0 = enable *)
+let nic_coalesce = base + 0x79 (* completions per interrupt (0/1 = every) *)
+let nic_cause = base + 0x7A (* read-to-clear: bit0 rx, bit1 tx *)
+let nic_admit = base + 0x7B (* max admitted rx occupancy; 0 = unlimited *)
+let nic_shed = base + 0x7C (* read: frames shed by admission control *)
+let nic_overrun = base + 0x7D (* read: frames dropped on rx ring full *)
+let nic_rx_mail = base + 0x7E (* write: rx-head writeback cell (0 = off) *)
+let nic_tx_mail = base + 0x7F (* write: tx-tail writeback cell (0 = off) *)
+let nic_rx_tail_cell = base + 0x80 (* write: polled consumer-index cell *)
+let nic_tx_head_cell = base + 0x81 (* write: polled doorbell cell *)
+
 (* CPU control: write 0/1 to disable/enable the FP coprocessor for the
    currently running thread (used by the lazy-FP context switch). *)
 let fp_control = base + 0xFF0
@@ -63,9 +94,16 @@ let ad_level = 5
 let tty_level = 4
 let disk_level = 3
 let alarm_level = 2
+let nic_level = 1
 
 let timer_vector = Insn.Vector.autovector timer_level
 let ad_vector = Insn.Vector.autovector ad_level
 let tty_vector = Insn.Vector.autovector tty_level
 let disk_vector = Insn.Vector.autovector disk_level
 let alarm_vector = Insn.Vector.autovector alarm_level
+
+(* The NIC supplies its own vector during the interrupt acknowledge
+   cycle instead of using autovector(1): level 1's autovector belongs
+   to the cross-core signal IPI, and routing card interrupts through
+   the signal handler corrupts whatever thread they land on. *)
+let nic_vector = 12

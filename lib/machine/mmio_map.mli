@@ -52,6 +52,33 @@ val ad_data : int
 val ad_control : int
 val da_data : int
 
+(** {1 Network card (kserve)}
+
+    Descriptor rings in guest memory; free-running head/tail indices.
+    Supervisor code and tests drive the MMIO registers directly;
+    user-mode pumps use the mailbox cells (head writeback + polled
+    tail/doorbell cells) because the MMIO window is
+    supervisor-only. *)
+
+val nic_rx_ring : int
+val nic_rx_len : int
+val nic_rx_head : int
+val nic_rx_tail : int
+val nic_tx_ring : int
+val nic_tx_len : int
+val nic_tx_head : int
+val nic_tx_tail : int
+val nic_ctrl : int
+val nic_coalesce : int
+val nic_cause : int
+val nic_admit : int
+val nic_shed : int
+val nic_overrun : int
+val nic_rx_mail : int
+val nic_tx_mail : int
+val nic_rx_tail_cell : int
+val nic_tx_head_cell : int
+
 (** {1 CPU control} *)
 
 (** FP-coprocessor availability for the running thread (lazy-FP). *)
@@ -67,8 +94,10 @@ val ad_level : int
 val tty_level : int
 val disk_level : int
 val alarm_level : int
+val nic_level : int
 val timer_vector : int
 val ad_vector : int
 val tty_vector : int
 val disk_vector : int
 val alarm_vector : int
+val nic_vector : int

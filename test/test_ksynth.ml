@@ -277,6 +277,43 @@ let prop_rebuild_exact_under_storm =
 
 (* ------------------------------------------------------------------ *)
 
+(* kserve's accept path leans on the cache: opening and closing 100
+   connections must reuse the recycled slots' cached service pages —
+   the arena footprint and the code_bytes_peak gauge stay exactly
+   where the warmup left them, and the cache serves every warm
+   accept. *)
+let test_serve_connection_churn_no_leak () =
+  let boot = Boot.boot () in
+  let srv = Kserve.create boot in
+  let k = Kserve.kernel srv in
+  let cfg = Kserve.config srv in
+  let nfiles = cfg.Kserve.cfg_files in
+  let cycle conn =
+    let r = Kserve.host_accept srv ~conn ~file:(conn mod nfiles) in
+    check_bool "open accepted" true (Kserve.msg_op r <> Kserve.op_err);
+    Kserve.host_close srv ~slot:(Kserve.msg_id r)
+  in
+  (* warmup: one synthesis per (slot, file) pairing in this pattern *)
+  for c = 0 to nfiles - 1 do
+    cycle c
+  done;
+  let fp0 = Ksynth.footprint_words k in
+  let peak0 = Metrics.read_gauge k.Kernel.metrics Metrics.code_bytes_peak in
+  let hits0 = (Ksynth.stats k).Ksynth.st_hits in
+  let live0 = (Ksynth.stats k).Ksynth.st_live_words in
+  for c = 0 to 99 do
+    cycle c
+  done;
+  check_int "arena footprint flat across 100 open/close cycles" fp0
+    (Ksynth.footprint_words k);
+  Alcotest.(check (option (float 0.0)))
+    "code_bytes_peak gauge flat" peak0
+    (Metrics.read_gauge k.Kernel.metrics Metrics.code_bytes_peak);
+  check_int "every churned accept was a cache hit" (hits0 + 100)
+    (Ksynth.stats k).Ksynth.st_hits;
+  check_int "live words flat (no detached copies accumulating)" live0
+    (Ksynth.stats k).Ksynth.st_live_words
+
 let () =
   Alcotest.run "ksynth"
     [
@@ -307,4 +344,9 @@ let () =
         ] );
       ( "property",
         [ QCheck_alcotest.to_alcotest prop_rebuild_exact_under_storm ] );
+      ( "serve-churn",
+        [
+          Alcotest.test_case "100 open/close cycles leak nothing" `Quick
+            test_serve_connection_churn_no_leak;
+        ] );
     ]

@@ -1,0 +1,175 @@
+(* kserve end-to-end: a seeded load-generator run over the full stack
+   (NIC rings → rx pump → switch → synthesized per-connection service
+   routines → tx pump) completes every session exactly once; a warm
+   restart serves its accepts from the synthesis cache with a flat
+   code footprint; overload arms admission control, sheds at the rx
+   ring, and still converges; spans measure every served request. *)
+
+open Quamachine
+open Synthesis
+open Repro_harness
+
+let check_int = Alcotest.(check int)
+let check_bool = Alcotest.(check bool)
+
+let test_sessions_complete_exactly_once () =
+  let boot = Boot.boot () in
+  let k = boot.Boot.kernel in
+  ignore (Kernel.attach_spans k);
+  let srv =
+    Kserve.create
+      ~config:{ Kserve.default_config with cfg_workers = 2 }
+      boot
+  in
+  let lg =
+    Loadgen.create
+      ~config:
+        {
+          Loadgen.default_config with
+          lg_clients = 50;
+          lg_reqs_per_session = 3;
+        }
+      ~on_complete:(fun () -> Kserve.shutdown srv)
+      srv
+  in
+  (match Boot.go ~max_insns:40_000_000 boot with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "serve run did not converge");
+  check_bool "all sessions finished" true (Loadgen.finished lg);
+  check_bool "graph drained" true (Kserve.drained srv);
+  check_int "every session completed" 50 (Loadgen.completed lg);
+  check_int "nothing refused" 0 (Loadgen.refused lg);
+  check_int "exactly-once: no unmatched responses" 0 (Loadgen.duplicates lg);
+  check_int "no protocol errors" 0 (Loadgen.errors lg);
+  check_int "no requests left in flight" 0 (Loadgen.in_flight lg);
+  check_int "one send per receive" (Loadgen.sent lg) (Loadgen.received lg);
+  let st = Kserve.stats srv in
+  check_int "one accept per session" 50 st.Kserve.n_accepts;
+  check_int "one close per session" 50 st.Kserve.n_closes;
+  check_int "every slot returned" 0 (Kserve.open_slots srv);
+  check_bool "tx pump answered every request" true
+    (st.Kserve.n_responses >= Loadgen.received lg);
+  (* spans: every request's latency was measured *)
+  let h = Loadgen.latency lg in
+  check_int "a latency sample per response" (Loadgen.received lg)
+    (Histogram.count h);
+  check_bool "the controller retuned worker quanta" true (st.Kserve.n_retunes > 0)
+
+let test_warm_restart_hits_cache () =
+  let boot = Boot.boot () in
+  let srv = Kserve.create boot in
+  let run () =
+    let lg =
+      Loadgen.create
+        ~config:{ Loadgen.default_config with lg_clients = 40; lg_seed = 7 }
+        ~on_complete:(fun () -> Kserve.shutdown srv)
+        srv
+    in
+    (match Boot.go ~max_insns:60_000_000 boot with
+    | Machine.Halted -> ()
+    | Machine.Insn_limit -> Alcotest.fail "serve run did not converge");
+    check_bool "sessions finished" true (Loadgen.finished lg)
+  in
+  run ();
+  let st1 = Kserve.stats srv in
+  let fp1 = Ksynth.footprint_words (Kserve.kernel srv) in
+  check_int "cold run misses for every accept" st1.Kserve.n_accepts
+    st1.Kserve.n_misses;
+  Kserve.restart srv;
+  run ();
+  let st2 = Kserve.stats srv in
+  let fp2 = Ksynth.footprint_words (Kserve.kernel srv) in
+  let warm_accepts = st2.Kserve.n_accepts - st1.Kserve.n_accepts in
+  let warm_hits = st2.Kserve.n_hits - st1.Kserve.n_hits in
+  check_bool
+    (Printf.sprintf "warm accepts are cache hits (%d/%d)" warm_hits
+       warm_accepts)
+    true
+    (float_of_int warm_hits >= 0.9 *. float_of_int warm_accepts);
+  check_int "code footprint stayed flat across the restart" fp1 fp2;
+  check_bool "drained again" true (Kserve.drained srv)
+
+let test_overload_sheds_and_converges () =
+  let boot = Boot.boot () in
+  let srv =
+    Kserve.create
+      ~config:
+        {
+          Kserve.default_config with
+          cfg_workers = 1;
+          cfg_queue_size = 32;
+          cfg_admit_hi = 48;
+          cfg_admit_lo = 16;
+          cfg_admit_limit = 8;
+        }
+      boot
+  in
+  let lg =
+    Loadgen.create
+      ~config:
+        {
+          Loadgen.default_config with
+          lg_clients = 300;
+          lg_rate_per_ms = 300.0;
+          lg_think_us = 20.0;
+          lg_timeout_us = 8000.0;
+          lg_retries = 6;
+          lg_seed = 3;
+        }
+      ~on_complete:(fun () -> Kserve.shutdown srv)
+      srv
+  in
+  (match Boot.go ~max_insns:200_000_000 boot with
+  | Machine.Halted -> ()
+  | Machine.Insn_limit -> Alcotest.fail "overload run did not converge");
+  let st = Kserve.stats srv in
+  check_bool "admission control shed at the rx ring" true (st.Kserve.n_shed > 0);
+  check_bool "clients retried through the shedding" true
+    (Loadgen.resent lg > 0);
+  check_int "the ledger stayed exactly-once under overload" 0
+    (Loadgen.duplicates lg);
+  check_bool "some sessions were still served" true (Loadgen.completed lg > 0);
+  check_bool "graph drained after the storm" true (Kserve.drained srv)
+
+let test_host_accept_slot_discipline () =
+  let boot = Boot.boot () in
+  let srv = Kserve.create boot in
+  let cfg = Kserve.config srv in
+  (* an open answers with the slot and echoes the connection *)
+  let r = Kserve.host_accept srv ~conn:9 ~file:0 in
+  check_bool "open accepted" true (Kserve.msg_op r <> Kserve.op_err);
+  check_int "connection echoed" 9 (Kserve.msg_arg r);
+  (* the same connection opening again is idempotent: same slot, no
+     second slot consumed *)
+  let dup = Kserve.host_accept srv ~conn:9 ~file:1 in
+  check_int "duplicate open returns the same slot" (Kserve.msg_id r)
+    (Kserve.msg_id dup);
+  check_int "one slot in use" 1 (Kserve.open_slots srv);
+  check_int "the duplicate was counted" 1 (Kserve.stats srv).Kserve.n_dup_opens;
+  Kserve.host_close srv ~slot:(Kserve.msg_id r);
+  check_int "slot returned on close" 0 (Kserve.open_slots srv);
+  (* slot exhaustion refuses with op_err and a zero id *)
+  for c = 0 to cfg.Kserve.cfg_slots - 1 do
+    let r = Kserve.host_accept srv ~conn:(100 + c) ~file:(c mod 4) in
+    check_bool "filling opens accepted" true (Kserve.msg_op r <> Kserve.op_err)
+  done;
+  let r = Kserve.host_accept srv ~conn:9999 ~file:0 in
+  check_int "the table-full open is refused" Kserve.op_err (Kserve.msg_op r);
+  check_int "refusals carry id 0" 0 (Kserve.msg_id r);
+  check_int "refusal counted" 1 (Kserve.stats srv).Kserve.n_refused
+
+let () =
+  Alcotest.run "serve"
+    [
+      ( "kserve",
+        [
+          Alcotest.test_case "sessions complete exactly once" `Quick
+            test_sessions_complete_exactly_once;
+          Alcotest.test_case "warm restart hits the synthesis cache" `Quick
+            test_warm_restart_hits_cache;
+          Alcotest.test_case "overload sheds and converges" `Quick
+            test_overload_sheds_and_converges;
+          Alcotest.test_case "host accept/close slot discipline" `Quick
+            test_host_accept_slot_discipline;
+        ] );
+    ]
